@@ -1,0 +1,101 @@
+// Command tcqbench regenerates the paper's evaluation tables
+// (Figures 5.1–5.3 of "Processing Aggregate Relational Queries with
+// Hard Time Constraints", SIGMOD 1989) and this repo's ablations on the
+// simulated machine.
+//
+// Usage:
+//
+//	tcqbench                         # run every experiment, 200 trials each
+//	tcqbench -exp fig5.3 -trials 50  # one table, fewer trials
+//	tcqbench -list                   # list experiment ids
+//	tcqbench -compare                # include the paper's reported numbers
+//	tcqbench -quality                # estimator-quality sweep instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tcq/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tcqbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes the requested experiments, writing
+// tables to out.
+func run(args []string, out io.Writer) error {
+	flag := flag.NewFlagSet("tcqbench", flag.ContinueOnError)
+	flag.SetOutput(out)
+	var (
+		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		trials  = flag.Int("trials", 200, "independent trials per table row (the paper uses 200)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		jitter  = flag.Float64("jitter", 0.03, "per-charge clock jitter (stddev)")
+		load    = flag.Float64("load", 0.12, "per-stage system-load lognormal sigma")
+		compare = flag.Bool("compare", false, "print the paper's reported numbers after each table")
+		quality = flag.Bool("quality", false, "run the estimator-quality sweep instead of the tables")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		md      = flag.Bool("md", false, "render tables as markdown (for EXPERIMENTS.md)")
+	)
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.AllExperiments() {
+			fmt.Fprintf(out, "%-22s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	opts := bench.RunOptions{Trials: *trials, BaseSeed: *seed, Jitter: *jitter, LoadSigma: *load}
+
+	if *quality {
+		rows, err := bench.EstimatorQuality(opts, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, bench.RenderQuality(rows))
+		return nil
+	}
+
+	var exps []bench.Experiment
+	if *expID == "all" {
+		exps = bench.AllExperiments()
+	} else {
+		e, ok := bench.ByID(*expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *expID)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	for i, e := range exps {
+		start := time.Now()
+		rows, err := e.Run(opts)
+		if err != nil {
+			return err
+		}
+		if *md {
+			fmt.Fprint(out, bench.RenderMarkdown(e.Title, rows))
+		} else {
+			fmt.Fprint(out, bench.Render(e.Title, rows))
+		}
+		if *compare {
+			fmt.Fprintf(out, "paper: %s\n", e.PaperNote)
+		}
+		fmt.Fprintf(out, "(%d trials/row, %.1fs wall)\n", *trials, time.Since(start).Seconds())
+		if i < len(exps)-1 {
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig5.1-1000", "fig5.2", "fig5.3", "ablation-selectivity"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("list missing %s:\n%s", id, buf.String())
+		}
+	}
+}
+
+func TestBenchSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig5.1-1000", "-trials", "5", "-compare"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 5.1", "dβ=0", "dβ=72", "paper:", "trials/row"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchQuality(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quality", "-trials", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Estimator quality") {
+		t.Errorf("quality output:\n%s", buf.String())
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nonsense", "-trials", "1"}, &buf); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-notaflag"}, &buf); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestBenchMarkdownFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig5.3", "-trials", "3", "-md"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| variant |") {
+		t.Errorf("markdown output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,126 @@
+// Command tcqgen generates the paper's synthetic relations and writes
+// them as tcq binary relation files, for use with tcqsh or the library.
+//
+// Usage:
+//
+//	tcqgen -kind select -n 10000 -out 1000 -o r.tcq
+//	tcqgen -kind intersect -n 10000 -out 10000 -o r1.tcq -o2 r2.tcq
+//	tcqgen -kind join -n 10000 -out 70000 -o r1.tcq -o2 r2.tcq
+//	tcqgen -kind project -n 10000 -out 500 -o r.tcq
+//	tcqgen -kind uniform -n 10000 -max 1000 -o r.tcq
+//	tcqgen -kind zipf -n 10000 -max 1000 -s 1.3 -o r.tcq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"tcq/internal/storage"
+	"tcq/internal/vclock"
+	"tcq/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tcqgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and generates the requested relations, writing
+// progress to out.
+func run(args []string, out io.Writer) error {
+	flag := flag.NewFlagSet("tcqgen", flag.ContinueOnError)
+	flag.SetOutput(out)
+	var (
+		kind = flag.String("kind", "select", "workload: select|intersect|join|project|uniform|zipf")
+		n    = flag.Int("n", workload.PaperTuples, "tuples per relation")
+		outN = flag.Int("out", 1000, "target output cardinality (select/intersect/join/project)")
+		maxA = flag.Int64("max", 1000, "attribute domain size (uniform/zipf)")
+		s    = flag.Float64("s", 1.3, "zipf exponent (> 1)")
+		seed = flag.Int64("seed", 1, "random seed")
+		o1   = flag.String("o", "r1.tcq", "output file for the (first) relation")
+		o2   = flag.String("o2", "r2.tcq", "output file for the second relation (intersect/join)")
+	)
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+
+	st := storage.NewStore(vclock.NewSim(*seed, 0), storage.SunProfile(), storage.DefaultBlockSize)
+	rng := rand.New(rand.NewSource(*seed))
+
+	save := func(rel *storage.Relation, path string) error {
+		if err := rel.SaveFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s: %d tuples, %d blocks\n", path, rel.NumTuples(), rel.NumBlocks())
+		return nil
+	}
+
+	switch *kind {
+	case "select":
+		rel, err := workload.SelectRelation(st, "r", *n, *outN, rng)
+		if err != nil {
+			return err
+		}
+		if err := save(rel, *o1); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "exact: count(select(r, a < %d)) = %d\n", *outN, *outN)
+	case "intersect":
+		r1, r2, err := workload.IntersectPair(st, "r1", "r2", *n, *outN, rng)
+		if err != nil {
+			return err
+		}
+		if err := save(r1, *o1); err != nil {
+			return err
+		}
+		if err := save(r2, *o2); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "exact: count(intersect(r1, r2)) = %d\n", *outN)
+	case "join":
+		r1, r2, err := workload.JoinPair(st, "r1", "r2", *n, *outN, rng)
+		if err != nil {
+			return err
+		}
+		if err := save(r1, *o1); err != nil {
+			return err
+		}
+		if err := save(r2, *o2); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "exact: count(join(r1, r2, a = a)) = %d\n", *outN)
+	case "project":
+		rel, err := workload.ProjectRelation(st, "r", *n, *outN, rng)
+		if err != nil {
+			return err
+		}
+		if err := save(rel, *o1); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "exact: count(project(r, [a])) = %d\n", *outN)
+	case "uniform":
+		rel, err := workload.UniformRelation(st, "r", *n, *maxA, rng)
+		if err != nil {
+			return err
+		}
+		if err := save(rel, *o1); err != nil {
+			return err
+		}
+	case "zipf":
+		rel, err := workload.ZipfRelation(st, "r", *n, uint64(*maxA), *s, rng)
+		if err != nil {
+			return err
+		}
+		if err := save(rel, *o1); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	return nil
+}

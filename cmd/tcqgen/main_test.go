@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcq/internal/storage"
+	"tcq/internal/vclock"
+)
+
+func genTo(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	o1, o2 := dir+"/r1.tcq", dir+"/r2.tcq"
+	var buf bytes.Buffer
+	full := append(args, "-o", o1, "-o2", o2)
+	if err := run(full, &buf); err != nil {
+		t.Fatalf("run(%v): %v\n%s", full, err, buf.String())
+	}
+	return o1, buf.String()
+}
+
+func loadCount(t *testing.T, path string) int64 {
+	t.Helper()
+	st := storage.NewStore(vclock.NewSim(1, 0), storage.SunProfile(), storage.DefaultBlockSize)
+	rel, err := st.LoadRelationFile("r", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel.NumTuples()
+}
+
+func TestGenSelect(t *testing.T) {
+	path, out := genTo(t, "-kind", "select", "-n", "500", "-out", "50")
+	if !strings.Contains(out, "count(select(r, a < 50)) = 50") {
+		t.Errorf("output:\n%s", out)
+	}
+	if n := loadCount(t, path); n != 500 {
+		t.Errorf("loaded %d tuples", n)
+	}
+}
+
+func TestGenJoinPairFiles(t *testing.T) {
+	dir := t.TempDir()
+	o1, o2 := dir+"/a.tcq", dir+"/b.tcq"
+	var buf bytes.Buffer
+	err := run([]string{"-kind", "join", "-n", "500", "-out", "3500", "-o", o1, "-o2", o2}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadCount(t, o1) != 500 || loadCount(t, o2) != 500 {
+		t.Error("pair files wrong")
+	}
+}
+
+func TestGenAllKinds(t *testing.T) {
+	for _, kind := range []string{"intersect", "project", "uniform", "zipf"} {
+		args := []string{"-kind", kind, "-n", "200", "-out", "100"}
+		if _, out := genTo(t, args...); !strings.Contains(out, "wrote") {
+			t.Errorf("%s output:\n%s", kind, out)
+		}
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-kind", "nope"},
+		{"-kind", "select", "-n", "10", "-out", "100"}, // out > n
+		{"-kind", "zipf", "-s", "0.5"},                 // bad exponent
+		{"-kind", "join", "-n", "15", "-out", "10"},    // n not mult of 10
+		{"-badflag"},
+		{"-kind", "select", "-o", "/nonexistent-dir/x.tcq"}, // unwritable
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

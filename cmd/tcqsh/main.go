@@ -1,0 +1,414 @@
+// Command tcqsh is an interactive shell for the tcq time-constrained
+// query processor. It speaks the textual RA syntax and runs both exact
+// and time-constrained COUNT queries against a simulated machine.
+//
+//	$ tcqsh
+//	tcq> gen select r 10000 1000
+//	tcq> count select(r, a < 1000)
+//	exact: 1000
+//	tcq> estimate 10s select(r, a < 1000)
+//	estimate: 1012.5 ± 161.2 (95%), 3 stages, 97 blocks, spent 9.61s, util 96%
+//	tcq> quit
+//
+// Commands:
+//
+//	gen select|intersect|join|project NAME [NAME2] N OUT   generate data
+//	load NAME FILE                                         load a .tcq file (in memory)
+//	open NAME FILE                                         attach a .tcq file (on demand)
+//	save NAME FILE                                         save a relation
+//	rels                                                   list relations
+//	explain EXPR                                           show the evaluation plan
+//	count EXPR                                             exact COUNT
+//	sum COL EXPR / avg COL EXPR                            exact SUM / AVG
+//	estimate DUR EXPR                                      time-constrained COUNT
+//	estsum DUR COL EXPR / estavg DUR COL EXPR              time-constrained SUM / AVG
+//	sql SELECT ...                                         exact SQL aggregate
+//	estsql DUR SELECT ...                                  time-constrained SQL aggregate
+//	analyze [BUCKETS]                                      build equi-depth statistics
+//	set dbeta|strategy|seed|stats VALUE                    session settings
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tcq"
+	"tcq/internal/workload"
+)
+
+type session struct {
+	db       *tcq.DB
+	dBeta    float64
+	strategy tcq.StrategyKind
+	seed     int64
+	useStats bool
+	analyzed bool
+	out      *bufio.Writer
+}
+
+// newSession builds a shell session writing to out.
+func newSession(out io.Writer) *session {
+	return &session{
+		db:    tcq.Open(tcq.WithSimulatedClock(1), tcq.WithLoadNoise(0.12)),
+		dBeta: 12,
+		seed:  1,
+		out:   bufio.NewWriter(out),
+	}
+}
+
+func main() {
+	s := newSession(os.Stdout)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminalish()
+	for {
+		if interactive {
+			fmt.Fprint(s.out, "tcq> ")
+		}
+		s.out.Flush()
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if err := s.dispatch(line); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+		}
+	}
+	s.out.Flush()
+}
+
+func isTerminalish() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func (s *session) dispatch(line string) error {
+	cmd, rest := splitWord(line)
+	switch cmd {
+	case "help":
+		fmt.Fprintln(s.out, "commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, help, quit")
+		return nil
+	case "rels":
+		names := s.db.Relations()
+		if len(names) == 0 {
+			fmt.Fprintln(s.out, "(no relations)")
+			return nil
+		}
+		for _, n := range names {
+			rel, err := s.db.Relation(n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "%-12s %7d tuples %6d blocks\n", n, rel.NumTuples(), rel.NumBlocks())
+		}
+		return nil
+	case "gen":
+		return s.gen(rest)
+	case "load", "open":
+		name, file := splitWord(rest)
+		if name == "" || file == "" {
+			return fmt.Errorf("usage: %s NAME FILE", cmd)
+		}
+		var rel *tcq.Relation
+		var err error
+		if cmd == "open" {
+			rel, err = s.db.OpenRelationFile(name, strings.TrimSpace(file))
+		} else {
+			rel, err = s.db.LoadRelationFile(name, strings.TrimSpace(file))
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%sed %s: %d tuples, %d blocks\n", cmd, name, rel.NumTuples(), rel.NumBlocks())
+		return nil
+	case "save":
+		name, file := splitWord(rest)
+		if name == "" || file == "" {
+			return fmt.Errorf("usage: save NAME FILE")
+		}
+		rel, err := s.db.Relation(name)
+		if err != nil {
+			return err
+		}
+		return rel.SaveFile(strings.TrimSpace(file))
+	case "sql":
+		res, err := s.db.ExecSQL(rest)
+		if err != nil {
+			return err
+		}
+		s.printSQL(res)
+		return nil
+	case "estsql":
+		durStr, stmt := splitWord(rest)
+		quota, err := time.ParseDuration(durStr)
+		if err != nil {
+			return fmt.Errorf("usage: estsql DURATION SELECT ... (%v)", err)
+		}
+		res, err := s.db.EstimateSQL(stmt, s.estimateOptions(quota))
+		if err != nil {
+			return err
+		}
+		s.printSQL(res)
+		s.seed++
+		return nil
+	case "explain":
+		q, err := tcq.Parse(rest)
+		if err != nil {
+			return err
+		}
+		plan, err := s.db.Explain(q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, plan)
+		return nil
+	case "count":
+		q, err := tcq.Parse(rest)
+		if err != nil {
+			return err
+		}
+		n, err := s.db.Count(q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "exact: %d\n", n)
+		return nil
+	case "sum", "avg":
+		col, exprStr := splitWord(rest)
+		if col == "" || exprStr == "" {
+			return fmt.Errorf("usage: %s COL EXPR", cmd)
+		}
+		q, err := tcq.Parse(exprStr)
+		if err != nil {
+			return err
+		}
+		var v float64
+		if cmd == "sum" {
+			v, err = s.db.Sum(q, col)
+		} else {
+			v, err = s.db.Avg(q, col)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "exact %s(%s): %g\n", cmd, col, v)
+		return nil
+	case "analyze":
+		buckets := 32
+		if w, _ := splitWord(rest); w != "" {
+			b, err := strconv.Atoi(w)
+			if err != nil {
+				return err
+			}
+			buckets = b
+		}
+		if err := s.db.BuildStatistics(buckets); err != nil {
+			return err
+		}
+		s.analyzed = true
+		fmt.Fprintf(s.out, "built equi-depth statistics (%d buckets per column)\n", buckets)
+		return nil
+	case "estsum", "estavg":
+		durStr, rest2 := splitWord(rest)
+		col, exprStr := splitWord(rest2)
+		quota, err := time.ParseDuration(durStr)
+		if err != nil || col == "" || exprStr == "" {
+			return fmt.Errorf("usage: %s DURATION COL EXPR", cmd)
+		}
+		q, err := tcq.Parse(exprStr)
+		if err != nil {
+			return err
+		}
+		opts := s.estimateOptions(quota)
+		var est *tcq.Estimate
+		if cmd == "estsum" {
+			est, err = s.db.SumEstimate(q, col, opts)
+		} else {
+			est, err = s.db.AvgEstimate(q, col, opts)
+		}
+		if err != nil {
+			return err
+		}
+		s.printEstimate(est)
+		s.seed++
+		return nil
+	case "estimate":
+		durStr, exprStr := splitWord(rest)
+		quota, err := time.ParseDuration(durStr)
+		if err != nil {
+			return fmt.Errorf("usage: estimate DURATION EXPR (%v)", err)
+		}
+		q, err := tcq.Parse(exprStr)
+		if err != nil {
+			return err
+		}
+		est, err := s.db.CountEstimate(q, s.estimateOptions(quota))
+		if err != nil {
+			return err
+		}
+		s.printEstimate(est)
+		s.seed++ // fresh sample next time
+		return nil
+	case "set":
+		key, val := splitWord(rest)
+		switch key {
+		case "dbeta":
+			v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil {
+				return err
+			}
+			s.dBeta = v
+		case "seed":
+			v, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+			if err != nil {
+				return err
+			}
+			s.seed = v
+		case "strategy":
+			switch strings.TrimSpace(val) {
+			case "one-at-a-time":
+				s.strategy = tcq.OneAtATime
+			case "single-interval":
+				s.strategy = tcq.SingleInterval
+			case "heuristic":
+				s.strategy = tcq.Heuristic
+			default:
+				return fmt.Errorf("strategies: one-at-a-time, single-interval, heuristic")
+			}
+		case "stats":
+			switch strings.TrimSpace(val) {
+			case "on":
+				if !s.analyzed {
+					return fmt.Errorf("run 'analyze' first")
+				}
+				s.useStats = true
+			case "off":
+				s.useStats = false
+			default:
+				return fmt.Errorf("usage: set stats on|off")
+			}
+		default:
+			return fmt.Errorf("settable: dbeta, seed, strategy, stats")
+		}
+		fmt.Fprintf(s.out, "set %s = %s\n", key, strings.TrimSpace(val))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+// printSQL renders a SQL result, including group rows.
+func (s *session) printSQL(res *tcq.SQLResult) {
+	fmt.Fprintln(s.out, res.String())
+	for _, g := range res.Groups {
+		if g.Interval > 0 {
+			fmt.Fprintf(s.out, "  %-12v %10.1f ± %.1f\n", g.Key, g.Value, g.Interval)
+		} else {
+			fmt.Fprintf(s.out, "  %-12v %10.0f\n", g.Key, g.Value)
+		}
+	}
+}
+
+// estimateOptions assembles the session's estimate settings.
+func (s *session) estimateOptions(quota time.Duration) tcq.EstimateOptions {
+	return tcq.EstimateOptions{
+		Quota:         quota,
+		DBeta:         s.dBeta,
+		Strategy:      s.strategy,
+		Seed:          s.seed,
+		UseStatistics: s.useStats,
+	}
+}
+
+// printEstimate renders an estimate in the shell's one-line format.
+func (s *session) printEstimate(est *tcq.Estimate) {
+	fmt.Fprintf(s.out, "estimate: %.1f ± %.1f (%.0f%%), %d stages, %d blocks, spent %.2fs, util %.0f%%",
+		est.Value, est.Interval, est.Confidence*100, est.Stages, est.Blocks,
+		est.Elapsed.Seconds(), est.Utilization*100)
+	if est.Overspent {
+		fmt.Fprintf(s.out, ", OVERSPENT %.2fs", est.Overrun.Seconds())
+	}
+	fmt.Fprintf(s.out, "\n  [%s]\n", est.StopReason)
+}
+
+// gen handles: gen select NAME N OUT | gen project NAME N OUT |
+// gen intersect NAME1 NAME2 N OUT | gen join NAME1 NAME2 N OUT
+func (s *session) gen(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		return fmt.Errorf("usage: gen select|project NAME N OUT | gen intersect|join NAME1 NAME2 N OUT")
+	}
+	kind := fields[0]
+	rng := rand.New(rand.NewSource(s.seed))
+	atoi := func(str string) (int, error) { return strconv.Atoi(str) }
+	switch kind {
+	case "select", "project":
+		if len(fields) != 4 {
+			return fmt.Errorf("usage: gen %s NAME N OUT", kind)
+		}
+		n, err := atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		out, err := atoi(fields[3])
+		if err != nil {
+			return err
+		}
+		if kind == "select" {
+			_, err = workload.SelectRelation(s.db.Store(), fields[1], n, out, rng)
+		} else {
+			_, err = workload.ProjectRelation(s.db.Store(), fields[1], n, out, rng)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "generated %s (%d tuples)\n", fields[1], n)
+		return nil
+	case "intersect", "join":
+		if len(fields) != 5 {
+			return fmt.Errorf("usage: gen %s NAME1 NAME2 N OUT", kind)
+		}
+		n, err := atoi(fields[3])
+		if err != nil {
+			return err
+		}
+		out, err := atoi(fields[4])
+		if err != nil {
+			return err
+		}
+		if kind == "intersect" {
+			_, _, err = workload.IntersectPair(s.db.Store(), fields[1], fields[2], n, out, rng)
+		} else {
+			_, _, err = workload.JoinPair(s.db.Store(), fields[1], fields[2], n, out, rng)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "generated %s, %s (%d tuples each)\n", fields[1], fields[2], n)
+		return nil
+	default:
+		return fmt.Errorf("gen kinds: select, project, intersect, join")
+	}
+}
+
+func splitWord(s string) (first, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runLines drives a session through a script and returns the output.
+func runLines(t *testing.T, lines ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	s := newSession(&buf)
+	for _, line := range lines {
+		if err := s.dispatch(line); err != nil {
+			t.Fatalf("dispatch(%q): %v", line, err)
+		}
+	}
+	s.out.Flush()
+	return buf.String()
+}
+
+func TestShellGenCountEstimate(t *testing.T) {
+	out := runLines(t,
+		"gen select r 1000 100",
+		"rels",
+		"count select(r, a < 100)",
+		"estimate 3s select(r, a < 100)",
+	)
+	for _, want := range []string{
+		"generated r (1000 tuples)",
+		"200 blocks",
+		"exact: 100",
+		"estimate:",
+		"stages",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellGenPairsAndSet(t *testing.T) {
+	out := runLines(t,
+		"set dbeta 24",
+		"set strategy heuristic",
+		"set seed 5",
+		"gen join j1 j2 1000 7000",
+		"gen intersect i1 i2 500 200",
+		"gen project p 500 50",
+		"count join(j1, j2, a = a)",
+		"count intersect(i1, i2)",
+		"count project(p, [a])",
+	)
+	for _, want := range []string{
+		"set dbeta = 24",
+		"set strategy = heuristic",
+		"exact: 7000",
+		"exact: 200",
+		"exact: 50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/r.tcq"
+	out := runLines(t,
+		"gen select r 200 20",
+		"save r "+path,
+		"load r2 "+path,
+		"count select(r2, a < 20)",
+	)
+	if !strings.Contains(out, "loaded r2: 200 tuples") {
+		t.Errorf("load output:\n%s", out)
+	}
+	if !strings.Contains(out, "exact: 20") {
+		t.Errorf("count after load:\n%s", out)
+	}
+}
+
+func TestShellHelpAndRels(t *testing.T) {
+	out := runLines(t, "help", "rels")
+	if !strings.Contains(out, "commands:") || !strings.Contains(out, "(no relations)") {
+		t.Errorf("help/rels output:\n%s", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSession(&buf)
+	bad := []string{
+		"frobnicate",
+		"count select(r,",        // parse error
+		"count select(r, a < 1)", // unknown relation
+		"estimate nope select(r, true)",
+		"estimate 1s",
+		"load onlyname",
+		"save onlyname",
+		"save missing /tmp/x.tcq",
+		"set dbeta abc",
+		"set seed abc",
+		"set strategy nope",
+		"set unknown 1",
+		"gen",
+		"gen select r 10",     // wrong arity
+		"gen select r abc 10", // bad number
+		"gen join a b 10",     // wrong arity
+		"gen join a b abc 10", // bad number
+		"gen whatever x 1 1",
+	}
+	for _, line := range bad {
+		if err := s.dispatch(line); err == nil {
+			t.Errorf("dispatch(%q) should fail", line)
+		}
+	}
+}
+
+func TestSplitWord(t *testing.T) {
+	cases := []struct{ in, first, rest string }{
+		{"a b c", "a", "b c"},
+		{"  lead  trail  ", "lead", "trail"},
+		{"single", "single", ""},
+		{"", "", ""},
+		{"tabs\there", "tabs", "here"},
+	}
+	for _, c := range cases {
+		f, r := splitWord(c.in)
+		if f != c.first || r != c.rest {
+			t.Errorf("splitWord(%q) = %q, %q", c.in, f, r)
+		}
+	}
+}
+
+func TestShellSumAvgAnalyze(t *testing.T) {
+	out := runLines(t,
+		"gen select r 1000 100",
+		"sum a select(r, a < 10)",
+		"avg a select(r, a < 10)",
+		"analyze 16",
+		"set stats on",
+		"estimate 3s select(r, a < 100)",
+		"estsum 3s a select(r, a < 100)",
+		"estavg 3s a select(r, a < 100)",
+		"set stats off",
+	)
+	for _, want := range []string{
+		"exact sum(a): 45", // 0+..+9
+		"exact avg(a): 4.5",
+		"built equi-depth statistics (16 buckets per column)",
+		"set stats = on",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "estimate:") != 3 {
+		t.Errorf("expected 3 estimates:\n%s", out)
+	}
+}
+
+func TestShellSumAvgErrors(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSession(&buf)
+	s.dispatch("gen select r 100 10")
+	bad := []string{
+		"sum",
+		"sum a",
+		"sum zz select(r, true)",
+		"avg a select(r,",
+		"estsum 1s a",
+		"estsum nope a select(r, true)",
+		"estavg 1s zz select(r, true)",
+		"analyze abc",
+		"set stats on", // before analyze
+		"set stats maybe",
+	}
+	for _, line := range bad {
+		if err := s.dispatch(line); err == nil {
+			t.Errorf("dispatch(%q) should fail", line)
+		}
+	}
+}
+
+func TestShellOpenFileBacked(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/r.tcq"
+	out := runLines(t,
+		"gen select r 200 20",
+		"save r "+path,
+		"open r2 "+path,
+		"count select(r2, a < 20)",
+	)
+	if !strings.Contains(out, "opened r2: 200 tuples") {
+		t.Errorf("open output:\n%s", out)
+	}
+	if !strings.Contains(out, "exact: 20") {
+		t.Errorf("count after open:\n%s", out)
+	}
+}
+
+func TestShellExplain(t *testing.T) {
+	out := runLines(t,
+		"gen select r 100 10",
+		"explain union(select(r, a < 10), r)",
+	)
+	if !strings.Contains(out, "inclusion–exclusion") || !strings.Contains(out, "scan r") {
+		t.Errorf("explain output:\n%s", out)
+	}
+}
+
+func TestShellSQL(t *testing.T) {
+	out := runLines(t,
+		"gen select r 1000 100",
+		"sql SELECT COUNT(*) FROM r WHERE a < 100",
+		"sql SELECT COUNT(*) FROM r GROUP BY a",
+		"estsql 3s SELECT COUNT(*) FROM r WHERE a < 100",
+	)
+	if !strings.Contains(out, "count = 100") {
+		t.Errorf("sql count output:\n%s", out)
+	}
+	if !strings.Contains(out, "groups") {
+		t.Errorf("sql group output:\n%s", out)
+	}
+	if !strings.Contains(out, "±") {
+		t.Errorf("estsql output:\n%s", out)
+	}
+}
+
+func TestShellSQLErrors(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSession(&buf)
+	for _, line := range []string{
+		"sql SELECT NOPE FROM x",
+		"estsql nope SELECT COUNT(*) FROM x",
+		"estsql 1s SELECT COUNT(*) FROM missing",
+	} {
+		if err := s.dispatch(line); err == nil {
+			t.Errorf("dispatch(%q) should fail", line)
+		}
+	}
+}

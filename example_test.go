@@ -1,0 +1,69 @@
+package tcq_test
+
+import (
+	"fmt"
+	"time"
+
+	"tcq"
+)
+
+// Example demonstrates the core workflow: load data, run an exact count
+// and a time-constrained estimate on a simulated machine.
+func Example() {
+	db := tcq.Open(tcq.WithSimulatedClock(42))
+	rel, _ := db.CreateRelation("orders", []tcq.Column{
+		{Name: "id", Type: tcq.Int},
+		{Name: "amount", Type: tcq.Int},
+	}, 200)
+	for i := 0; i < 5000; i++ {
+		rel.Insert(i, i%1000)
+	}
+	q := tcq.Rel("orders").Where(tcq.Col("amount").Lt(100))
+	exact, _ := db.Count(q)
+	fmt.Println("exact:", exact)
+	// Output: exact: 500
+}
+
+// ExampleParse shows the textual RA query language.
+func ExampleParse() {
+	q, err := tcq.Parse(`select(orders, amount < 100 and region = "north")`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	// Output: select(orders, (amount < 100 and region = "north"))
+}
+
+// ExampleDB_CountEstimate runs a time-constrained COUNT with a hard
+// deadline and prints how the engine reports its work.
+func ExampleDB_CountEstimate() {
+	db := tcq.Open(tcq.WithSimulatedClock(7))
+	rel, _ := db.CreateRelation("events", []tcq.Column{
+		{Name: "id", Type: tcq.Int},
+		{Name: "level", Type: tcq.Int},
+	}, 200)
+	for i := 0; i < 10000; i++ {
+		rel.Insert(i, i%100)
+	}
+	est, _ := db.CountEstimate(
+		tcq.Rel("events").Where(tcq.Col("level").Ge(90)),
+		tcq.EstimateOptions{Quota: 20 * time.Second, DBeta: 24, Seed: 1},
+	)
+	fmt.Printf("within quota: %v; stages >= 1: %v; blocks sampled > 0: %v\n",
+		est.Elapsed <= 21*time.Second, est.Stages >= 1, est.Blocks > 0)
+	// Output: within quota: true; stages >= 1: true; blocks sampled > 0: true
+}
+
+// ExampleQuery_Union shows inclusion–exclusion handling set operations.
+func ExampleQuery_Union() {
+	db := tcq.Open()
+	a, _ := db.CreateRelation("a", []tcq.Column{{Name: "v", Type: tcq.Int}}, 0)
+	b, _ := db.CreateRelation("b", []tcq.Column{{Name: "v", Type: tcq.Int}}, 0)
+	for i := 0; i < 10; i++ {
+		a.Insert(i)     // 0..9
+		b.Insert(i + 5) // 5..14
+	}
+	n, _ := db.Count(tcq.Rel("a").Union(tcq.Rel("b")))
+	fmt.Println("count(a ∪ b) =", n)
+	// Output: count(a ∪ b) = 15
+}

@@ -1,0 +1,67 @@
+// Quickstart: create a relation, load data, and compare an exact COUNT
+// with time-constrained estimates at several quotas.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"tcq"
+)
+
+func main() {
+	// A simulated 1989-class machine: disk blocks cost tens of
+	// milliseconds, so exact answers over 2,000 blocks take minutes of
+	// virtual time — the regime the paper targets.
+	db := tcq.Open(tcq.WithSimulatedClock(42), tcq.WithLoadNoise(0.12))
+
+	orders, err := db.CreateRelation("orders", []tcq.Column{
+		{Name: "id", Type: tcq.Int},
+		{Name: "amount", Type: tcq.Int},
+		{Name: "region", Type: tcq.String, Size: 8},
+	}, 200) // 200-byte tuples: 5 per 1 KB disk block
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions := []string{"north", "south", "east", "west"}
+	rng := rand.New(rand.NewSource(7))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := orders.Insert(i, rng.Intn(1000), regions[rng.Intn(4)]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d tuples into %d disk blocks\n\n", orders.NumTuples(), orders.NumBlocks())
+
+	// The query: how many cheap northern orders?
+	q := tcq.Rel("orders").Where(
+		tcq.Col("amount").Lt(100).And(tcq.Col("region").Eq("north")))
+	fmt.Println("query: count(", q, ")")
+
+	exact, err := db.Count(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact answer (unconstrained): %d\n\n", exact)
+
+	for _, quota := range []time.Duration{2 * time.Second, 10 * time.Second, 60 * time.Second} {
+		est, err := db.CountEstimate(q, tcq.EstimateOptions{
+			Quota: quota,
+			DBeta: 24, // risk knob: larger = less likely to overspend
+			Seed:  int64(quota),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("quota %6s: estimate %7.1f ± %6.1f   (%d stages, %3d blocks, util %3.0f%%, err %+5.1f%%)\n",
+			quota, est.Value, est.Interval, est.Stages, est.Blocks,
+			est.Utilization*100, 100*(est.Value-float64(exact))/float64(exact))
+	}
+
+	fmt.Println("\nThe estimate tightens as the quota grows — the engine spends")
+	fmt.Println("exactly the time you give it, never (much) more.")
+}

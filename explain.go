@@ -1,0 +1,76 @@
+package tcq
+
+import (
+	"fmt"
+	"strings"
+
+	"tcq/internal/ra"
+)
+
+// Explain renders the query's evaluation plan: the signed
+// Select-Join-Intersect-Project terms of the inclusion–exclusion
+// decomposition (what the engine actually samples and evaluates), each
+// with its operator tree and the base relations' sizes.
+func (db *DB) Explain(q Query) (string, error) {
+	if q.err != nil {
+		return "", q.err
+	}
+	terms, err := ra.Terms(q.expr, db.catalog())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "count(%s)\n", q.expr)
+	if len(terms) > 1 {
+		fmt.Fprintf(&b, "= inclusion–exclusion over %d terms:\n", len(terms))
+	}
+	for i, t := range terms {
+		sign := "+"
+		if t.Sign < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(&b, "term %d (%s%d):\n", i+1, sign, abs(t.Sign))
+		explainExpr(&b, t.Expr(), 1, db)
+	}
+	return b.String(), nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func explainExpr(b *strings.Builder, e ra.Expr, depth int, db *DB) {
+	pad := strings.Repeat("  ", depth)
+	switch v := e.(type) {
+	case *ra.Base:
+		line := fmt.Sprintf("%sscan %s", pad, v.Name)
+		if rel, err := db.store.Relation(v.Name); err == nil {
+			line += fmt.Sprintf(" (%d tuples, %d blocks)", rel.NumTuples(), rel.NumBlocks())
+		}
+		b.WriteString(line + "\n")
+	case *ra.Select:
+		fmt.Fprintf(b, "%sselect %s\n", pad, v.Pred)
+		explainExpr(b, v.Input, depth+1, db)
+	case *ra.Project:
+		fmt.Fprintf(b, "%sproject [%s] (distinct, Goodman estimator)\n", pad, strings.Join(v.Cols, ", "))
+		explainExpr(b, v.Input, depth+1, db)
+	case *ra.Join:
+		conds := make([]string, len(v.On))
+		for i, c := range v.On {
+			conds[i] = c.LeftCol + " = " + c.RightCol
+		}
+		fmt.Fprintf(b, "%ssort-merge join on %s\n", pad, strings.Join(conds, " and "))
+		explainExpr(b, v.Left, depth+1, db)
+		explainExpr(b, v.Right, depth+1, db)
+	case *ra.Intersect:
+		fmt.Fprintf(b, "%ssort-merge intersect (%d inputs)\n", pad, len(v.Inputs))
+		for _, in := range v.Inputs {
+			explainExpr(b, in, depth+1, db)
+		}
+	default:
+		fmt.Fprintf(b, "%s%s\n", pad, e)
+	}
+}

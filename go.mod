@@ -1,0 +1,3 @@
+module tcq
+
+go 1.22

@@ -1,0 +1,72 @@
+package tcq_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tcq"
+	"tcq/internal/workload"
+)
+
+// TestPaperScaleEndToEnd runs one full paper-scale trial (10,000-tuple
+// relation, 10-second quota) through the public API and checks the
+// headline behaviours: the quota is respected (within one stage's
+// overrun), the estimate lands near the truth, and a larger quota
+// tightens the interval.
+func TestPaperScaleEndToEnd(t *testing.T) {
+	db := tcq.Open(tcq.WithSimulatedClock(2024), tcq.WithLoadNoise(0.12))
+	if _, err := workload.SelectRelation(db.Store(), "r", workload.PaperTuples, 1000, newRand(5)); err != nil {
+		t.Fatal(err)
+	}
+	q := tcq.Rel("r").Where(tcq.Col("a").Lt(1000))
+
+	small, err := db.CountEstimate(q, tcq.EstimateOptions{Quota: 5 * time.Second, DBeta: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := db.CountEstimate(q, tcq.EstimateOptions{Quota: 40 * time.Second, DBeta: 24, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, est := range map[string]*tcq.Estimate{"small": small, "large": large} {
+		if est.Stages < 1 || est.Blocks < 1 {
+			t.Fatalf("%s: ran nothing: %+v", name, est)
+		}
+		if rel := math.Abs(est.Value-1000) / 1000; rel > 0.6 {
+			t.Errorf("%s: estimate %.0f too far from 1000", name, est.Value)
+		}
+	}
+	if !(large.Interval < small.Interval) {
+		t.Errorf("larger quota should tighten the CI: %f vs %f", large.Interval, small.Interval)
+	}
+	if !(large.Blocks > small.Blocks) {
+		t.Errorf("larger quota should sample more blocks: %d vs %d", large.Blocks, small.Blocks)
+	}
+}
+
+// TestHardDeadlinePaperScale: the hard mode never takes meaningfully
+// more than the quota, across several seeds, at paper scale.
+func TestHardDeadlinePaperScale(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		db := tcq.Open(tcq.WithSimulatedClock(seed), tcq.WithLoadNoise(0.12))
+		if _, err := workload.SelectRelation(db.Store(), "r", workload.PaperTuples, 1000, newRand(seed)); err != nil {
+			t.Fatal(err)
+		}
+		q := tcq.Rel("r").Where(tcq.Col("a").Lt(1000))
+		quota := 4 * time.Second
+		start := db.Now()
+		if _, err := db.CountEstimate(q, tcq.EstimateOptions{
+			Quota: quota, HardDeadline: true, DBeta: 0.001, Seed: seed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := db.Now() - start
+		if elapsed > quota+200*time.Millisecond {
+			t.Errorf("seed %d: hard deadline blew the quota: %v", seed, elapsed)
+		}
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps unit tests quick; the real tables use 200 trials via
+// cmd/tcqbench or the root bench targets.
+func fastOpts() RunOptions {
+	return RunOptions{Trials: 12, BaseSeed: 1}
+}
+
+func TestAllExperimentsDefined(t *testing.T) {
+	exps := AllExperiments()
+	if len(exps) != 9 {
+		t.Fatalf("expected 9 experiments, got %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Quota <= 0 || e.Setup == nil || len(e.Variants) == 0 {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if e.PaperNote == "" {
+			t.Errorf("experiment %q missing its paper reference note", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig5.3"); !ok {
+		t.Error("fig5.3 should exist")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestFig51ShapeSmallScale(t *testing.T) {
+	// Scaled-down run of Fig 5.1 (selection): check the paper's shape —
+	// risk falls and stages grow from dβ=0 to dβ=48.
+	e := Fig51Selection(1000)
+	e.Variants = dBetaVariants([]float64{0, 48})
+	rows, err := e.Run(RunOptions{Trials: 16, BaseSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r0, r48 := rows[0], rows[1]
+	if !(r48.RiskPct < r0.RiskPct) {
+		t.Errorf("risk did not fall: %.1f -> %.1f", r0.RiskPct, r48.RiskPct)
+	}
+	if !(r48.Stages > r0.Stages) {
+		t.Errorf("stages did not grow: %.2f -> %.2f", r0.Stages, r48.Stages)
+	}
+	for _, r := range rows {
+		if r.Utilization <= 0 || r.Utilization > 100 {
+			t.Errorf("%s: utilization %.1f out of range", r.Label, r.Utilization)
+		}
+		if r.Blocks <= 0 {
+			t.Errorf("%s: no blocks sampled", r.Label)
+		}
+	}
+}
+
+func TestFig53JoinRuns(t *testing.T) {
+	e := Fig53Join()
+	e.Variants = dBetaVariants([]float64{0})
+	rows, err := e.Run(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Stages < 1 {
+		t.Errorf("join rows = %+v", rows[0])
+	}
+}
+
+func TestAblationFulfillmentRuns(t *testing.T) {
+	rows, err := AblationFulfillment().Run(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestAblationAdaptiveBeatsFixed(t *testing.T) {
+	rows, err := AblationAdaptiveCost().Run(RunOptions{Trials: 30, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, fixed := rows[0], rows[1]
+	// With conservative 2x defaults the fixed model persistently halves
+	// its stage sizes, paying the per-stage overhead many more times for
+	// the same quota — the paper's "not flexible enough" complaint.
+	if !(fixed.Stages > adaptive.Stages*1.15) {
+		t.Errorf("fixed-form stages %.2f not clearly above adaptive %.2f", fixed.Stages, adaptive.Stages)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render("title", []Row{{Label: "x", Trials: 5, Stages: 1.5}})
+	if !strings.Contains(out, "title") || !strings.Contains(out, "x") {
+		t.Errorf("render output: %s", out)
+	}
+}
+
+func TestEstimatorQualitySweep(t *testing.T) {
+	rows, err := EstimatorQuality(RunOptions{Trials: 10, BaseSeed: 2}, []float64{0.1, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // 5 operators × 2 fractions
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Error should shrink with the fraction for each operator.
+	byOp := map[string][]QualityRow{}
+	for _, r := range rows {
+		byOp[r.Op] = append(byOp[r.Op], r)
+	}
+	for op, rs := range byOp {
+		if len(rs) != 2 {
+			t.Fatalf("%s: %d rows", op, len(rs))
+		}
+		if !(rs[1].MeanRelErr < rs[0].MeanRelErr+5) {
+			t.Errorf("%s: error grew with the sample: %.1f -> %.1f", op, rs[0].MeanRelErr, rs[1].MeanRelErr)
+		}
+	}
+	out := RenderQuality(rows)
+	if !strings.Contains(out, "select") {
+		t.Error("quality render missing operators")
+	}
+}
+
+func TestRunOptionsDefaults(t *testing.T) {
+	o := RunOptions{}.withDefaults()
+	if o.Trials != 200 || o.Jitter != 0.03 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if o.Profile.BlockRead <= 0 {
+		t.Error("default profile missing")
+	}
+}
+
+func TestExperimentQuotasMatchPaper(t *testing.T) {
+	if Fig51Selection(1000).Quota != 10*time.Second {
+		t.Error("Fig 5.1 quota should be 10s")
+	}
+	if Fig52Intersection().Quota != 10*time.Second {
+		t.Error("Fig 5.2 quota should be 10s")
+	}
+	if Fig53Join().Quota != 2500*time.Millisecond {
+		t.Error("Fig 5.3 quota should be 2.5s")
+	}
+}
+
+func TestAblationSelectivityOracleHelps(t *testing.T) {
+	rows, err := AblationSelectivity().Run(RunOptions{Trials: 16, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtimeRow, oracleRow := rows[0], rows[1]
+	// With exact selectivities the planner sizes its first stage
+	// correctly instead of starting from a conservative guess, so the
+	// oracle run should sample at least as many blocks on average.
+	if oracleRow.Blocks < runtimeRow.Blocks*0.9 {
+		t.Errorf("oracle blocks %.1f well below run-time %.1f", oracleRow.Blocks, runtimeRow.Blocks)
+	}
+	if oracleRow.Stages <= 0 {
+		t.Error("oracle variant ran no stages")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	out := RenderMarkdown("Some table", []Row{{Label: "dβ=12", Trials: 200, Stages: 2.1, RiskPct: 40}})
+	for _, want := range []string{"## Some table", "| variant |", "| dβ=12 | 200 | 2.10 | 40.0 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationSamplingClusterWins(t *testing.T) {
+	rows, err := AblationSampling().Run(RunOptions{Trials: 10, BaseSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, srs := rows[0], rows[1]
+	// Cluster evaluates ~5 tuples per sample unit; SRS evaluates 1 per
+	// unit at the same block-read price. Tuples evaluated:
+	clusterTuples := cluster.Blocks * 5
+	srsTuples := srs.Blocks
+	if !(clusterTuples > 1.8*srsTuples) {
+		t.Errorf("cluster tuples %.0f vs srs %.0f — expected clear advantage", clusterTuples, srsTuples)
+	}
+	if !(srs.RelErrPct > cluster.RelErrPct) {
+		t.Errorf("SRS error %.1f%% should exceed cluster %.1f%% (smaller samples)", srs.RelErrPct, cluster.RelErrPct)
+	}
+}
+
+func TestSkewedJoinBreaksVarianceApproximation(t *testing.T) {
+	// Under a zipfian join attribute the SRS variance approximation
+	// (§3.3, Fig. 3.5) grossly understates the true cluster variance,
+	// so the 95% CI's empirical coverage collapses — the paper's "some
+	// inaccuracy in the risk control is expected" made measurable. The
+	// uniform join's coverage stays near nominal.
+	rows, err := EstimatorQuality(RunOptions{Trials: 20, BaseSeed: 3}, []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uniformCover, skewedCover float64
+	for _, r := range rows {
+		switch r.Op {
+		case "join":
+			uniformCover = r.CoveragePct
+		case "join-skewed":
+			skewedCover = r.CoveragePct
+		}
+	}
+	if uniformCover < 80 {
+		t.Errorf("uniform join coverage %.0f%% below nominal range", uniformCover)
+	}
+	if skewedCover > uniformCover-30 {
+		t.Errorf("skewed coverage %.0f%% should collapse well below uniform %.0f%%",
+			skewedCover, uniformCover)
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"tcq/internal/exec"
+	"tcq/internal/ra"
+	"tcq/internal/sampling"
+	"tcq/internal/stats"
+	"tcq/internal/storage"
+	"tcq/internal/vclock"
+	"tcq/internal/workload"
+)
+
+// QualityRow reports estimator quality at one sample fraction for one
+// operator: mean relative error and the empirical coverage of the 95%
+// confidence interval. The paper defers estimator quality to [HoOT 88]/
+// [HouO 88]; this sweep stands in for that reference ("est.quality" in
+// DESIGN.md).
+type QualityRow struct {
+	Op          string
+	FracPct     float64
+	MeanRelErr  float64 // percent
+	CoveragePct float64 // how often the 95% CI contained the truth
+}
+
+// qualityCase is one operator workload for the sweep.
+type qualityCase struct {
+	name  string
+	setup func(st *storage.Store, rng *rand.Rand) (ra.Expr, int64, error)
+}
+
+func qualityCases() []qualityCase {
+	return []qualityCase{
+		{"select", func(st *storage.Store, rng *rand.Rand) (ra.Expr, int64, error) {
+			if _, err := workload.SelectRelation(st, "r", 2000, 200, rng); err != nil {
+				return nil, 0, err
+			}
+			return &ra.Select{Input: &ra.Base{Name: "r"},
+				Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(200)}}}, 200, nil
+		}},
+		{"join", func(st *storage.Store, rng *rand.Rand) (ra.Expr, int64, error) {
+			if _, _, err := workload.JoinPair(st, "r", "s", 2000, 14000, rng); err != nil {
+				return nil, 0, err
+			}
+			return &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"},
+				On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}, 14000, nil
+		}},
+		{"intersect", func(st *storage.Store, rng *rand.Rand) (ra.Expr, int64, error) {
+			if _, _, err := workload.IntersectPair(st, "r", "s", 2000, 800, rng); err != nil {
+				return nil, 0, err
+			}
+			return &ra.Intersect{Inputs: []ra.Expr{&ra.Base{Name: "r"}, &ra.Base{Name: "s"}}}, 800, nil
+		}},
+		{"project", func(st *storage.Store, rng *rand.Rand) (ra.Expr, int64, error) {
+			if _, err := workload.ProjectRelation(st, "r", 2000, 150, rng); err != nil {
+				return nil, 0, err
+			}
+			return &ra.Project{Input: &ra.Base{Name: "r"}, Cols: []string{"a"}}, 150, nil
+		}},
+		{"join-skewed", func(st *storage.Store, rng *rand.Rand) (ra.Expr, int64, error) {
+			// Zipfian join attribute: a few heavy values dominate the
+			// output. The point estimate stays reasonable, but the SRS
+			// variance approximation (§3.3) grossly understates the true
+			// cluster variance here, so CI coverage collapses — the
+			// "some inaccuracy in the risk control is expected"
+			// phenomenon the paper acknowledges, made visible.
+			truth, err := workload.SkewedJoinPair(st, "r", "s", 2000, 400, 1.3, rng)
+			if err != nil {
+				return nil, 0, err
+			}
+			return &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"},
+				On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}, truth, nil
+		}},
+	}
+}
+
+// EstimatorQuality runs the quality sweep over the given sample
+// fractions (default {0.05, 0.1, 0.2, 0.4} when nil).
+func EstimatorQuality(opts RunOptions, fractions []float64) ([]QualityRow, error) {
+	opts = opts.withDefaults()
+	if fractions == nil {
+		fractions = []float64{0.05, 0.1, 0.2, 0.4}
+	}
+	var rows []QualityRow
+	for _, c := range qualityCases() {
+		for _, frac := range fractions {
+			var relErr stats.Accumulator
+			covered := 0
+			for trial := 0; trial < opts.Trials; trial++ {
+				seed := opts.BaseSeed + int64(trial)
+				clk := vclock.NewSim(seed, 0)
+				st := storage.NewStore(clk, opts.Profile, storage.DefaultBlockSize)
+				rng := rand.New(rand.NewSource(seed))
+				expr, truth, err := c.setup(st, rng)
+				if err != nil {
+					return nil, fmt.Errorf("quality %s: %w", c.name, err)
+				}
+				env := exec.NewEnv(st)
+				q, err := exec.NewQuery(expr, env, exec.StoreCatalog{Store: st}, exec.FullFulfillment)
+				if err != nil {
+					return nil, err
+				}
+				for _, f := range q.Feeds {
+					k := int(math.Round(frac * float64(f.Rel.NumBlocks())))
+					if k < 1 {
+						k = 1
+					}
+					smp := sampling.NewBlockSampler(f.Rel.NumBlocks(), rng)
+					if err := f.LoadStage(smp.Draw(k)); err != nil {
+						return nil, err
+					}
+				}
+				if err := q.AdvanceStage(0); err != nil {
+					return nil, err
+				}
+				est := q.Estimate()
+				if truth > 0 {
+					re := math.Abs(est.Value-float64(truth)) / float64(truth)
+					relErr.Add(re * 100)
+				}
+				if est.Interval(0.95).Contains(float64(truth)) {
+					covered++
+				}
+			}
+			rows = append(rows, QualityRow{
+				Op:          c.name,
+				FracPct:     frac * 100,
+				MeanRelErr:  relErr.Mean(),
+				CoveragePct: 100 * float64(covered) / float64(opts.Trials),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderQuality formats the quality sweep as a text table.
+func RenderQuality(rows []QualityRow) string {
+	var b strings.Builder
+	b.WriteString("Estimator quality (cluster sampling, single stage)\n")
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s\n", "operator", "frac%", "relerr%", "cover95%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8.1f %10.2f %10.1f\n", r.Op, r.FracPct, r.MeanRelErr, r.CoveragePct)
+	}
+	return b.String()
+}

@@ -1,0 +1,725 @@
+// Package core implements the paper's time-constrained aggregate query
+// evaluation algorithm (Figure 3.1): given COUNT(E) and a time quota T,
+// repetitively draw a cluster sample sized by the time-control strategy,
+// evaluate the estimator, and stop when the quota (or another stopping
+// criterion) is satisfied.
+//
+// Two execution modes mirror the paper:
+//
+//   - HardDeadline: a timer interrupt (deadline on the session clock)
+//     aborts the running stage the moment the quota expires; the aborted
+//     stage's work is wasted and the previous stage's estimate is
+//     returned — the hard time constraint of §3.2.
+//   - Overrun ("ERAM mode"): the final stage is allowed to complete past
+//     the quota so its overspend can be measured — exactly how Section 5
+//     instruments the prototype ("the ERAM does not abort a query
+//     (stage) ... when the query overspends").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"tcq/internal/cost"
+	"tcq/internal/estimator"
+	"tcq/internal/exec"
+	"tcq/internal/histogram"
+	"tcq/internal/ra"
+	"tcq/internal/sampling"
+	"tcq/internal/stats"
+	"tcq/internal/storage"
+	"tcq/internal/timectrl"
+	"tcq/internal/tuple"
+	"tcq/internal/vclock"
+)
+
+// Mode selects how the engine treats the quota boundary.
+type Mode int
+
+const (
+	// HardDeadline aborts the running stage at quota expiry (timer
+	// interrupt); the aborted stage's time is wasted.
+	HardDeadline Mode = iota
+	// Overrun lets the final stage finish past the quota and records
+	// the overspent time (the paper's instrumented "ERAM mode").
+	Overrun
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Overrun {
+		return "overrun"
+	}
+	return "hard"
+}
+
+// AggKind selects the aggregate function to estimate.
+type AggKind int
+
+const (
+	// AggCount estimates COUNT(E) (the paper's aggregate).
+	AggCount AggKind = iota
+	// AggSum estimates SUM(E.column) — the paper's "any aggregate,
+	// given an estimator" extension.
+	AggSum
+	// AggAvg estimates AVG(E.column) as the ratio SUM/COUNT.
+	AggAvg
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	default:
+		return "count"
+	}
+}
+
+// SamplingPlan selects the sampling technique (the paper's Fig. 3.2
+// decision).
+type SamplingPlan int
+
+const (
+	// ClusterSampling draws whole disk blocks as sample units — the
+	// prototype's choice ("efficiency in sampling and in evaluation").
+	ClusterSampling SamplingPlan = iota
+	// SimpleRandomSampling draws individual tuples; every tuple costs a
+	// full block read, which is why the paper rejects it on disk.
+	SimpleRandomSampling
+)
+
+// String names the sampling plan.
+func (p SamplingPlan) String() string {
+	if p == SimpleRandomSampling {
+		return "srs"
+	}
+	return "cluster"
+}
+
+// Options configures a time-constrained evaluation.
+type Options struct {
+	// Quota is the time constraint T. Required.
+	Quota time.Duration
+	// Agg selects the aggregate (default COUNT). AggColumn names the
+	// summed column for AggSum/AggAvg.
+	Agg       AggKind
+	AggColumn string
+	// GroupBy, when non-empty, additionally estimates per-group COUNTs
+	// over the named output column (Result.Groups).
+	GroupBy string
+	// Strategy sizes each stage; defaults to One-at-a-Time with d_β=12.
+	Strategy timectrl.Strategy
+	// Stop adds precision-based stopping criteria on top of the quota.
+	Stop timectrl.Criterion
+	// Mode selects hard-deadline or overrun (ERAM) behaviour.
+	Mode Mode
+	// Plan selects full (default) or partial fulfillment.
+	Plan exec.Plan
+	// Sampling selects cluster (default) or simple random sampling.
+	Sampling SamplingPlan
+	// Initial holds first-stage selectivity assumptions (Fig. 3.3
+	// defaults when zero-valued fields are kept).
+	Initial timectrl.Initials
+	// Model is the adaptive cost model; a fresh adaptive model with
+	// designer defaults is built when nil.
+	Model *cost.Model
+	// PrestoredSelectivities switches from the paper's run-time
+	// selectivity estimation to the §3.1 alternative the paper
+	// discusses and rejects for general use: exact per-operator
+	// selectivities computed ahead of time (modelling maintained
+	// statistics). Useful for the ablation comparing the approaches.
+	PrestoredSelectivities bool
+	// Histograms, when non-nil, supplies equi-depth histograms
+	// ([PsCo 84]/[MuDe 88], the §3.1 prestored-statistics approach) used
+	// to estimate the selectivity of selections over base relations;
+	// operators the histograms cannot estimate fall back to run-time
+	// estimation. Ignored when PrestoredSelectivities is set.
+	Histograms *histogram.Catalog
+	// Confidence is the CI level of the result (default 0.95).
+	Confidence float64
+	// Seed drives the block sampler.
+	Seed int64
+	// MinStageBlocks is the smallest per-relation stage draw (default 1).
+	MinStageBlocks int
+	// MaxStages caps the stage count (safety valve; default 1000).
+	MaxStages int
+	// OnStage, when non-nil, observes each completed stage's record —
+	// the online-aggregation-style progressive estimate hook.
+	OnStage func(StageRecord)
+	// Trace, when non-nil, receives a human-readable line per stage
+	// decision (selectivities, planned fraction, predicted vs actual
+	// cost) — the debugging view of the time-control algorithm.
+	Trace io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.MinStageBlocks < 1 {
+		o.MinStageBlocks = 1
+	}
+	if o.MaxStages <= 0 {
+		o.MaxStages = 1000
+	}
+	if init := (timectrl.Initials{}); o.Initial == init {
+		o.Initial = timectrl.DefaultInitials()
+	}
+	return o
+}
+
+// StageRecord documents one stage of the evaluation.
+type StageRecord struct {
+	Index     int           // 1-based stage number
+	Fraction  float64       // planned stage sample fraction
+	Blocks    int           // blocks drawn this stage (all relations)
+	Predicted time.Duration // QCOST(f, SEL⁺) for the stage
+	Actual    time.Duration // realised stage duration
+	Estimate  float64       // COUNT estimate after the stage
+	Variance  float64
+	Completed bool // false when the stage was aborted (hard mode)
+	InTime    bool // completed within the quota
+}
+
+// Result is the outcome of a time-constrained evaluation.
+type Result struct {
+	// Estimate is the COUNT estimate from the last stage that finished
+	// within the quota (zero-valued if none did).
+	Estimate estimator.Estimate
+	// Interval is the normal-approximation CI at Options.Confidence.
+	Interval stats.Interval
+	// Stages is the number of stages completed within the quota.
+	Stages int
+	// Blocks is the number of disk blocks evaluated within the quota
+	// (the paper's "blocks" column).
+	Blocks int
+	// Elapsed is the total time consumed, including any overrun.
+	Elapsed time.Duration
+	// Successful is the time through the last within-quota stage (the
+	// numerator of the paper's "utilization" column).
+	Successful time.Duration
+	// Overspent reports whether the quota was exceeded, and by how much
+	// (the paper's "ovsp": the time past the quota needed to finish the
+	// stage that was running at expiry; measured in Overrun mode).
+	Overspent bool
+	Overspend time.Duration
+	// Wasted is quota − Successful: leftover too small for a stage plus
+	// any within-quota time spent on an aborted stage.
+	Wasted time.Duration
+	// Utilization is Successful/Quota in [0, 1].
+	Utilization float64
+	// StopReason explains why evaluation ended.
+	StopReason string
+	// StageRecords documents every stage, including an aborted one.
+	StageRecords []StageRecord
+	// Groups holds per-group COUNT estimates (Options.GroupBy), from
+	// the last stage completed within the quota.
+	Groups []exec.GroupEstimate
+}
+
+// Engine evaluates time-constrained COUNT queries against a store.
+type Engine struct {
+	store *storage.Store
+}
+
+// NewEngine creates an engine over a store.
+func NewEngine(store *storage.Store) *Engine { return &Engine{store: store} }
+
+// Count runs the time-constrained evaluation of COUNT(e) (Fig. 3.1).
+func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Quota <= 0 {
+		return nil, errors.New("core: a positive time quota is required")
+	}
+	cat := exec.StoreCatalog{Store: g.store}
+	env := exec.NewEnv(g.store)
+	q, err := exec.NewQuery(e, env, cat, opts.Plan)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Feeds) == 0 {
+		return nil, errors.New("core: query references no relations")
+	}
+	if opts.Agg != AggCount {
+		if opts.AggColumn == "" {
+			return nil, errors.New("core: AggSum/AggAvg need AggColumn")
+		}
+		if err := q.SetAggregate(opts.AggColumn); err != nil {
+			return nil, err
+		}
+	}
+	if opts.GroupBy != "" {
+		if err := q.SetGroupBy(opts.GroupBy); err != nil {
+			return nil, err
+		}
+	}
+	aggregate := func() estimator.Estimate {
+		switch opts.Agg {
+		case AggSum:
+			return q.SumEstimate()
+		case AggAvg:
+			return estimator.Ratio(q.SumEstimate(), q.Estimate())
+		default:
+			return q.Estimate()
+		}
+	}
+
+	// Per-relation samplers (equal sample fractions across relations).
+	// Under cluster sampling the units are disk blocks; under SRS they
+	// are individual tuples.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	samplers := map[string]*sampling.RelationSample{}
+	minBlocks, maxBlocks := math.MaxInt32, 0
+	for name, f := range q.Feeds {
+		units := f.Rel.NumBlocks()
+		if opts.Sampling == SimpleRandomSampling {
+			units = int(f.Rel.NumTuples())
+			f.SetSRS(true)
+		}
+		if units == 0 {
+			return nil, fmt.Errorf("core: relation %q is empty", name)
+		}
+		samplers[name] = sampling.NewRelationSample(name, units, f.Rel.NumTuples(), rng)
+		if units < minBlocks {
+			minBlocks = units
+		}
+		if units > maxBlocks {
+			maxBlocks = units
+		}
+	}
+
+	model := opts.Model
+	if model == nil {
+		bf := q.Feeds[firstKey(q.Feeds)].Rel.BlockingFactor()
+		model = cost.NewModel(cost.DefaultCoefficients(g.store.Costs(), bf), true)
+	}
+	strategy := opts.Strategy
+	if strategy == nil {
+		strategy = &timectrl.OneAtATime{DBeta: 12}
+	}
+
+	var oracle map[int]float64
+	switch {
+	case opts.PrestoredSelectivities:
+		oracle, err = buildOracle(q, cat)
+		if err != nil {
+			return nil, err
+		}
+	case opts.Histograms != nil:
+		oracle = buildHistogramOracle(q, opts.Histograms)
+	}
+
+	clock := g.store.Clock()
+	start := clock.Now()
+	deadline := vclock.NewDeadline(clock, opts.Quota)
+	if opts.Mode == HardDeadline {
+		env.SetDeadline(deadline)
+	}
+
+	res := &Result{StopReason: "quota exhausted"}
+	var history []float64
+	lastGood := estimator.Estimate{}
+	successfulEnd := start
+
+	for stageIdx := 1; stageIdx <= opts.MaxStages; stageIdx++ {
+		// Model between-stage system-load variability when the clock
+		// supports it (a simulated clock with load noise enabled).
+		if lv, ok := clock.(interface{ ResampleLoad() }); ok {
+			lv.ResampleLoad()
+		}
+		elapsed := clock.Now() - start
+		remaining := opts.Quota - elapsed
+		if remaining <= 0 {
+			res.StopReason = "quota exhausted"
+			break
+		}
+
+		// Determine the stage sample fraction (Fig. 3.4).
+		var roots []*exec.NodeInfo
+		for _, te := range q.Terms {
+			roots = append(roots, exec.Snapshot(te.Root))
+		}
+		maxFraction, covered := 1.0, 1.0
+		for name, s := range samplers {
+			remFrac := float64(s.Remaining()) / float64(s.DTotal)
+			if remFrac < maxFraction {
+				maxFraction = remFrac
+			}
+			cumFrac := s.Fraction()
+			if cumFrac < covered {
+				covered = cumFrac
+			}
+			_ = name
+		}
+		if maxFraction <= 0 {
+			res.StopReason = "sample exhausted (census reached)"
+			break
+		}
+		minFraction := float64(opts.MinStageBlocks) / float64(maxBlocks)
+		setMinFraction(strategy, minFraction)
+		plan := strategy.PlanStage(timectrl.PlanInput{
+			Roots:       roots,
+			Model:       model,
+			Remaining:   remaining,
+			Stage:       stageIdx,
+			CoveredFrac: covered,
+			MaxFraction: maxFraction,
+			Initial:     opts.Initial,
+			Oracle:      oracle,
+		})
+		if plan.Fraction <= 0 && stageIdx > 1 {
+			// Even the smallest stage does not fit the leftover quota —
+			// the paper terminates here (observed for join at high d_β).
+			res.StopReason = "remaining quota too small for another stage"
+			break
+		}
+		if plan.Fraction <= 0 {
+			// Stage 1 always runs at the minimum size: some answer beats
+			// none, and the paper's first stage is unconditional.
+			plan.Fraction = minFraction
+		}
+
+		// Draw the stage's blocks (equal fractions, ≥ MinStageBlocks).
+		stageStart := clock.Now()
+		stageBlocks := 0
+		aborted := false
+		for name, f := range q.Feeds {
+			s := samplers[name]
+			k := int(math.Round(plan.Fraction * float64(s.DTotal)))
+			if k < opts.MinStageBlocks {
+				k = opts.MinStageBlocks
+			}
+			blocks := s.Draw(k)
+			if len(blocks) == 0 {
+				continue
+			}
+			stageBlocks += len(blocks)
+			if err := f.LoadStage(blocks); err != nil {
+				if exec.IsAborted(err) {
+					aborted = true
+					break
+				}
+				return nil, err
+			}
+			if err := s.SetStageTuples(len(s.Stages)-1, stageTupleCount(f)); err != nil {
+				return nil, err
+			}
+		}
+		if !aborted {
+			// Feeds that drew nothing this stage (exhausted relations)
+			// still need a stage entry so term stage indices align.
+			for _, f := range q.Feeds {
+				for f.Stages() < stageIdx {
+					if err := f.LoadStage(nil); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := q.AdvanceStage(stageIdx - 1); err != nil {
+				if exec.IsAborted(err) {
+					aborted = true
+				} else {
+					return nil, err
+				}
+			}
+		}
+		stageEnd := clock.Now()
+		stageDur := stageEnd - stageStart
+		inTime := stageEnd-start <= opts.Quota
+		if opts.Trace != nil {
+			fmt.Fprintf(opts.Trace,
+				"stage %d: f=%.4f blocks=%d predicted=%v actual=%v remaining=%v aborted=%v\n",
+				stageIdx, plan.Fraction, stageBlocks,
+				plan.Predicted.Round(time.Millisecond), stageDur.Round(time.Millisecond),
+				(opts.Quota - (stageEnd - start)).Round(time.Millisecond), aborted)
+			for _, root := range roots {
+				exec.WalkInfo(root, func(n *exec.NodeInfo) {
+					if n.Op == exec.OpBase {
+						return
+					}
+					fmt.Fprintf(opts.Trace, "  node %d %s: sel=%.6f (out=%d points=%.0f)\n",
+						n.ID, n.Op, timectrl.Selectivity(n, opts.Initial), n.CumOut, n.CumPoints)
+				})
+			}
+		}
+
+		rec := StageRecord{
+			Index:     stageIdx,
+			Fraction:  plan.Fraction,
+			Blocks:    stageBlocks,
+			Predicted: plan.Predicted,
+			Actual:    stageDur,
+			Completed: !aborted,
+			InTime:    !aborted && inTime,
+		}
+
+		if aborted {
+			// Hard mode: the interrupt fired; the stage's time inside the
+			// quota is wasted, and the previous estimate stands.
+			res.Overspent = true
+			res.StageRecords = append(res.StageRecords, rec)
+			res.StopReason = "hard deadline: stage aborted"
+			break
+		}
+
+		model.Observe(env.TakeTimings())
+		strategy.ObserveStage(plan.Predicted, stageDur)
+
+		est := aggregate()
+		rec.Estimate = est.Value
+		rec.Variance = est.Variance
+		res.StageRecords = append(res.StageRecords, rec)
+		if opts.OnStage != nil {
+			opts.OnStage(rec)
+		}
+
+		if !inTime {
+			// Overrun mode: the stage finished past the quota. Record the
+			// overspend; the stage does not count toward the result
+			// (a hard environment would have lost it).
+			res.Overspent = true
+			res.Overspend = (stageEnd - start) - opts.Quota
+			res.StopReason = "quota exceeded during stage (overrun measured)"
+			break
+		}
+
+		lastGood = est
+		if opts.GroupBy != "" {
+			res.Groups = q.GroupEstimates()
+		}
+		history = append(history, est.Value)
+		res.Stages = stageIdx
+		res.Blocks += stageBlocks
+		successfulEnd = stageEnd
+
+		if opts.Stop != nil {
+			state := timectrl.StopState{
+				Stage:    stageIdx,
+				Elapsed:  stageEnd - start,
+				Quota:    opts.Quota,
+				Estimate: est,
+				History:  history,
+			}
+			if done, why := opts.Stop.Done(state); done {
+				res.StopReason = why
+				break
+			}
+		}
+	}
+
+	res.Estimate = lastGood
+	res.Interval = lastGood.Interval(opts.Confidence)
+	res.Elapsed = clock.Now() - start
+	res.Successful = successfulEnd - start
+	if res.Successful > opts.Quota {
+		res.Successful = opts.Quota
+	}
+	res.Utilization = float64(res.Successful) / float64(opts.Quota)
+	if w := opts.Quota - res.Successful; w > 0 {
+		res.Wasted = w
+	}
+	if res.Overspent && res.Overspend == 0 && opts.Mode == HardDeadline {
+		// Hard mode can't measure the counterfactual completion time;
+		// the overspend is the wasted in-quota time of the aborted stage.
+		res.Overspend = 0
+	}
+	return res, nil
+}
+
+// ExactCount evaluates COUNT(e) exactly (no sampling, no time
+// constraint) — ground truth for experiments and tests.
+func (g *Engine) ExactCount(e ra.Expr) (int64, error) {
+	return ra.CountExact(e, exec.StoreCatalog{Store: g.store})
+}
+
+// ExactSum evaluates SUM(e.col) exactly.
+func (g *Engine) ExactSum(e ra.Expr, col string) (float64, error) {
+	return ra.SumExact(e, col, exec.StoreCatalog{Store: g.store})
+}
+
+// ExactAvg evaluates AVG(e.col) exactly (0 for an empty result).
+func (g *Engine) ExactAvg(e ra.Expr, col string) (float64, error) {
+	sum, err := g.ExactSum(e, col)
+	if err != nil {
+		return 0, err
+	}
+	n, err := g.ExactCount(e)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+// buildOracle computes exact per-operator selectivities for every node
+// of the query (the §3.1 "prestored" statistics): sel(op) = exact
+// output cardinality / exact operand point count, with the same point
+// definitions the executors track at run time. Exact counts are
+// memoized per subexpression.
+func buildOracle(q *exec.Query, rels ra.Relations) (map[int]float64, error) {
+	counts := map[string]float64{}
+	countOf := func(e ra.Expr) (float64, error) {
+		k := e.String()
+		if c, ok := counts[k]; ok {
+			return c, nil
+		}
+		n, err := ra.CountExact(e, rels)
+		if err != nil {
+			return 0, err
+		}
+		counts[k] = float64(n)
+		return float64(n), nil
+	}
+	oracle := map[int]float64{}
+	var walkErr error
+	for _, te := range q.Terms {
+		exec.WalkInfo(exec.Snapshot(te.Root), func(n *exec.NodeInfo) {
+			if walkErr != nil || n.Op == exec.OpBase || n.Src == nil {
+				return
+			}
+			out, err := countOf(n.Src)
+			if err != nil {
+				walkErr = err
+				return
+			}
+			points := 1.0
+			for _, c := range n.Children {
+				if c.Src == nil {
+					walkErr = fmt.Errorf("core: oracle: node %d missing source expr", c.ID)
+					return
+				}
+				p, err := countOf(c.Src)
+				if err != nil {
+					walkErr = err
+					return
+				}
+				points *= p
+			}
+			if points > 0 {
+				oracle[n.ID] = out / points
+			}
+		})
+	}
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return oracle, nil
+}
+
+// buildHistogramOracle estimates selectivities for selections over
+// base relations from equi-depth histograms. Nodes the histograms
+// cannot cover are simply absent from the map (run-time estimation
+// applies to them).
+func buildHistogramOracle(q *exec.Query, cat *histogram.Catalog) map[int]float64 {
+	oracle := map[int]float64{}
+	for _, te := range q.Terms {
+		exec.WalkInfo(exec.Snapshot(te.Root), func(n *exec.NodeInfo) {
+			if n.Op != exec.OpSelect || n.Src == nil || len(n.Children) != 1 {
+				return
+			}
+			sel, ok := n.Src.(*ra.Select)
+			if !ok {
+				return
+			}
+			base, ok := sel.Input.(*ra.Base)
+			if !ok {
+				return
+			}
+			if s, ok := cat.PredSelectivity(base.Name, sel.Pred); ok {
+				oracle[n.ID] = s
+			}
+		})
+	}
+	return oracle
+}
+
+// BuildHistograms constructs equi-depth histograms (with the given
+// bucket count) for every numeric column of every relation in the
+// store — the "ANALYZE" step of the prestored-statistics approach.
+func BuildHistograms(st *storage.Store, buckets int) (*histogram.Catalog, error) {
+	cat := histogram.NewCatalog()
+	for _, name := range st.RelationNames() {
+		rel, err := st.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		sch := rel.Schema()
+		ts := rel.AllTuples()
+		for i := 0; i < sch.NumCols(); i++ {
+			col := sch.Col(i)
+			if col.Type != tuple.Int && col.Type != tuple.Float {
+				continue
+			}
+			if err := cat.Add(name, sch, ts, col.Name, buckets); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cat, nil
+}
+
+// stageTupleCount returns the tuples loaded in a feed's latest stage.
+func stageTupleCount(f *exec.Feed) int {
+	ts, err := f.StageTuples(f.Stages() - 1)
+	if err != nil {
+		return 0
+	}
+	return len(ts)
+}
+
+// setMinFraction pushes the engine-computed minimum stage fraction into
+// strategies that expose one.
+func setMinFraction(s timectrl.Strategy, f float64) {
+	switch v := s.(type) {
+	case *timectrl.OneAtATime:
+		v.MinFraction = f
+	case *timectrl.SingleInterval:
+		v.MinFraction = f
+	case *timectrl.Heuristic:
+		v.MinFraction = f
+	}
+}
+
+func firstKey(m map[string]*exec.Feed) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// FullScanCount evaluates COUNT(e) exactly WITH full cost accounting:
+// it runs the sample executor over a census (every block of every
+// operand relation in one stage), so the session clock is charged for
+// all the work an unconstrained evaluation performs. This is the
+// honest baseline a time-constrained estimate competes against.
+func (g *Engine) FullScanCount(e ra.Expr) (int64, error) {
+	cat := exec.StoreCatalog{Store: g.store}
+	env := exec.NewEnv(g.store)
+	q, err := exec.NewQuery(e, env, cat, exec.FullFulfillment)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range q.Feeds {
+		blocks := make([]int, f.Rel.NumBlocks())
+		for i := range blocks {
+			blocks[i] = i
+		}
+		if err := f.LoadStage(blocks); err != nil {
+			return 0, err
+		}
+	}
+	if err := q.AdvanceStage(0); err != nil {
+		return 0, err
+	}
+	est := q.Estimate()
+	return int64(math.Round(est.Value)), nil
+}

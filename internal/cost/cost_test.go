@@ -1,0 +1,334 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tcq/internal/exec"
+	"tcq/internal/ra"
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+	"tcq/internal/vclock"
+)
+
+func fixtureStore(t *testing.T) (*storage.Store, *vclock.Sim) {
+	t.Helper()
+	clk := vclock.NewSim(1, 0) // no jitter: predictions should be exact-ish
+	st := storage.NewStore(clk, storage.SunProfile(), storage.DefaultBlockSize)
+	sch := tuple.MustSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "a", Type: tuple.Int},
+	)
+	r, _ := st.CreateRelation("r", sch)
+	s, _ := st.CreateRelation("s", sch)
+	// 640 tuples of 16 bytes = exactly 10 blocks of 64 tuples, so the
+	// fractions used below map to whole blocks and predictions are
+	// comparable to actual stage costs without rounding slack.
+	for i := int64(0); i < 640; i++ {
+		r.Append(tuple.Tuple{i, i % 40})
+		s.Append(tuple.Tuple{i + 100, (i + 100) % 40})
+	}
+	return st, clk
+}
+
+func runStage(t *testing.T, st *storage.Store, e ra.Expr, frac float64) (*exec.Query, *exec.Env, time.Duration) {
+	t.Helper()
+	env := exec.NewEnv(st)
+	q, err := exec.NewQuery(e, env, exec.StoreCatalog{Store: st}, exec.FullFulfillment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := st.Clock()
+	t0 := clk.Now()
+	for _, f := range q.Feeds {
+		n := int(math.Round(frac * float64(f.Rel.NumBlocks())))
+		blocks := make([]int, n)
+		for i := range blocks {
+			blocks[i] = i
+		}
+		if err := f.LoadStage(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	return q, env, clk.Now() - t0
+}
+
+// trueSel returns a SelPlusFunc that uses the operator's realised
+// selectivity (from the advanced tree), i.e. a clairvoyant planner.
+func trueSelFunc(roots []*exec.NodeInfo) SelPlusFunc {
+	sels := map[int]float64{}
+	for _, r := range roots {
+		exec.WalkInfo(r, func(n *exec.NodeInfo) {
+			if n.CumPoints > 0 {
+				sels[n.ID] = float64(n.CumOut) / n.CumPoints
+			}
+		})
+	}
+	return func(n *exec.NodeInfo, _ float64) float64 {
+		if s, ok := sels[n.ID]; ok {
+			return s
+		}
+		return 1
+	}
+}
+
+// TestPredictionMatchesActualAfterOneStage is the calibration property:
+// starting from the static coefficient table and adapting on stage 1's
+// observed step timings, QCOST must predict stage 2's actual duration
+// within 15%. (A purely static table cannot be exact for sort/merge
+// steps — their comparison counts are data-dependent — which is exactly
+// why the paper adapts coefficients at run time.)
+func TestPredictionMatchesActualAfterOneStage(t *testing.T) {
+	exprs := map[string]ra.Expr{
+		"select": &ra.Select{Input: &ra.Base{Name: "r"},
+			Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(10)}}},
+		"join": &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"},
+			On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}},
+		"intersect": &ra.Intersect{Inputs: []ra.Expr{&ra.Base{Name: "r"}, &ra.Base{Name: "s"}}},
+		"project":   &ra.Project{Input: &ra.Base{Name: "r"}, Cols: []string{"a"}},
+	}
+	for name, e := range exprs {
+		st, _ := fixtureStore(t)
+		// Stage 1 runs first so the snapshot has realised selectivities,
+		// then we predict stage 2 of the same size and run it.
+		q, env, _ := runStage(t, st, e, 0.3)
+
+		var roots []*exec.NodeInfo
+		for _, te := range q.Terms {
+			roots = append(roots, exec.Snapshot(te.Root))
+		}
+		model := NewModel(TrueCoefficients(st.Costs(), 64), true)
+		model.Observe(env.TakeTimings())
+		pred := model.PredictStage(roots, 0.3, trueSelFunc(roots))
+
+		// Run stage 2 with the next 30% of blocks.
+		clk := st.Clock()
+		t0 := clk.Now()
+		for _, f := range q.Feeds {
+			n := int(math.Round(0.3 * float64(f.Rel.NumBlocks())))
+			blocks := make([]int, n)
+			for i := range blocks {
+				blocks[i] = n + i
+			}
+			if err := f.LoadStage(blocks); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := q.AdvanceStage(1); err != nil {
+			t.Fatal(err)
+		}
+		actual := clk.Now() - t0
+		ratio := pred.Duration.Seconds() / actual.Seconds()
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s: predicted %v, actual %v (ratio %.3f)", name, pred.Duration, actual, ratio)
+		}
+	}
+}
+
+func TestAdaptiveFitConvergesFromWrongDefaults(t *testing.T) {
+	st, _ := fixtureStore(t)
+	e := &ra.Select{Input: &ra.Base{Name: "r"},
+		Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(10)}}}
+
+	// Defaults 3x off true.
+	defaults := TrueCoefficients(st.Costs(), 64).Scale(3)
+	model := NewModel(defaults, true)
+
+	q, env, actual1 := runStage(t, st, e, 0.3)
+	var roots []*exec.NodeInfo
+	for _, te := range q.Terms {
+		roots = append(roots, exec.Snapshot(te.Root))
+	}
+	sel := trueSelFunc(roots)
+
+	before := model.PredictStage(roots, 0.3, sel).Duration
+	model.Observe(env.TakeTimings())
+	after := model.PredictStage(roots, 0.3, sel).Duration
+
+	errBefore := math.Abs(before.Seconds() - actual1.Seconds())
+	errAfter := math.Abs(after.Seconds() - actual1.Seconds())
+	if errAfter >= errBefore {
+		t.Errorf("adaptation did not improve: before err %.3fs, after %.3fs", errBefore, errAfter)
+	}
+	if ratio := after.Seconds() / actual1.Seconds(); ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("post-adaptation ratio %.3f", ratio)
+	}
+}
+
+func TestNonAdaptiveModelIgnoresObservations(t *testing.T) {
+	st, _ := fixtureStore(t)
+	e := &ra.Select{Input: &ra.Base{Name: "r"}, Pred: ra.True{}}
+	defaults := TrueCoefficients(st.Costs(), 64).Scale(2)
+	model := NewModel(defaults, false)
+	if model.Adaptive() {
+		t.Fatal("model should be non-adaptive")
+	}
+	q, env, _ := runStage(t, st, e, 0.2)
+	var roots []*exec.NodeInfo
+	for _, te := range q.Terms {
+		roots = append(roots, exec.Snapshot(te.Root))
+	}
+	sel := trueSelFunc(roots)
+	before := model.PredictStage(roots, 0.2, sel).Duration
+	model.Observe(env.TakeTimings())
+	after := model.PredictStage(roots, 0.2, sel).Duration
+	if before != after {
+		t.Errorf("fixed-form model changed its prediction: %v -> %v", before, after)
+	}
+}
+
+func TestPredictionMonotoneInFraction(t *testing.T) {
+	st, _ := fixtureStore(t)
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"},
+		On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	q, env, _ := runStage(t, st, e, 0.1)
+	env.TakeTimings()
+	var roots []*exec.NodeInfo
+	for _, te := range q.Terms {
+		roots = append(roots, exec.Snapshot(te.Root))
+	}
+	model := NewModel(TrueCoefficients(st.Costs(), 64), true)
+	sel := trueSelFunc(roots)
+	prev := time.Duration(0)
+	for _, f := range []float64{0.01, 0.05, 0.1, 0.3, 0.6, 1.0} {
+		d := model.PredictStage(roots, f, sel).Duration
+		if d <= prev {
+			t.Fatalf("prediction not monotone at f=%g: %v <= %v", f, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestPredictionSharesBaseReads(t *testing.T) {
+	// A self-intersect term reads its relation once; prediction must not
+	// double-charge the block reads.
+	st, _ := fixtureStore(t)
+	e := &ra.Intersect{Inputs: []ra.Expr{
+		&ra.Select{Input: &ra.Base{Name: "r"}, Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(20)}}},
+		&ra.Select{Input: &ra.Base{Name: "r"}, Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Ge, Right: ra.Const{Value: int64(5)}}},
+	}}
+	q, env, actual := runStage(t, st, e, 0.5)
+	env.TakeTimings()
+	_ = actual
+	var roots []*exec.NodeInfo
+	for _, te := range q.Terms {
+		roots = append(roots, exec.Snapshot(te.Root))
+	}
+	model := NewModel(TrueCoefficients(st.Costs(), 64), true)
+	pred := model.PredictStage(roots, 0.5, trueSelFunc(roots))
+	// Prediction charges the shared relation's reads once. If it double-
+	// charged, the ratio check below would fail high.
+	readOnce := model.Coef(roots[0].ID, exec.OpBase, exec.StepRead) * 0.5 * float64(10)
+	if pred.Duration.Seconds() < readOnce {
+		t.Fatalf("prediction %.3fs below single read cost %.3fs", pred.Duration.Seconds(), readOnce)
+	}
+	ratio := pred.Duration.Seconds() / actual.Seconds()
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("self-intersect prediction ratio %.3f (pred %v, actual %v)", ratio, pred.Duration, actual)
+	}
+}
+
+func TestCoefficientsHelpers(t *testing.T) {
+	c := TrueCoefficients(storage.SunProfile(), 5)
+	if c.Get(exec.OpBase, exec.StepRead) != storage.SunProfile().BlockRead.Seconds() {
+		t.Error("base read coefficient wrong")
+	}
+	if c.Get(exec.OpKind(42), exec.StepRead) != 0 {
+		t.Error("missing op should give 0")
+	}
+	scaled := c.Scale(2)
+	if scaled.Get(exec.OpBase, exec.StepRead) != 2*c.Get(exec.OpBase, exec.StepRead) {
+		t.Error("Scale failed")
+	}
+	if c.Get(exec.OpBase, exec.StepRead) == scaled.Get(exec.OpBase, exec.StepRead) {
+		t.Error("Scale must not mutate the original")
+	}
+	d := DefaultCoefficients(storage.SunProfile(), 5)
+	if d.Get(exec.OpSelect, exec.StepScan) <= c.Get(exec.OpSelect, exec.StepScan) {
+		t.Error("designer defaults should be conservative (larger)")
+	}
+	// Degenerate blocking factor.
+	z := TrueCoefficients(storage.SunProfile(), 0)
+	if z.Get(exec.OpJoin, exec.StepWrite) <= 0 {
+		t.Error("blocking factor floor failed")
+	}
+}
+
+func TestModelCoefFallsBackToDefaults(t *testing.T) {
+	defaults := TrueCoefficients(storage.SunProfile(), 5)
+	m := NewModel(defaults, true)
+	if m.Coef(99, exec.OpJoin, exec.StepMerge) != defaults.Get(exec.OpJoin, exec.StepMerge) {
+		t.Error("unobserved coefficient should fall back to default")
+	}
+	m.Observe([]exec.StepTiming{
+		{NodeID: 99, Op: exec.OpJoin, Step: exec.StepMerge, Units: 100, Actual: time.Second},
+		{NodeID: 99, Op: exec.OpJoin, Step: exec.StepMerge, Units: 100, Actual: 3 * time.Second},
+		{NodeID: 99, Op: exec.OpJoin, Step: exec.StepMerge, Units: 0, Actual: time.Hour}, // ignored
+	})
+	want := 4.0 / 200.0
+	if got := m.Coef(99, exec.OpJoin, exec.StepMerge); math.Abs(got-want) > 1e-12 {
+		t.Errorf("fitted coef = %g, want %g", got, want)
+	}
+}
+
+func TestPredictStageEmptyRoots(t *testing.T) {
+	m := NewModel(TrueCoefficients(storage.SunProfile(), 5), true)
+	p := m.PredictStage(nil, 0.5, func(*exec.NodeInfo, float64) float64 { return 1 })
+	if p.Duration != 0 {
+		t.Errorf("empty prediction = %v", p.Duration)
+	}
+}
+
+func TestPredictionSRSReadUnits(t *testing.T) {
+	// Under SRS the base read units are tuples, not blocks: prediction
+	// for the same fraction must be much larger.
+	mkInfo := func(srs bool) *exec.NodeInfo {
+		return &exec.NodeInfo{
+			ID: 1, Op: exec.OpBase, BaseName: "r",
+			BaseTuples: 640, BaseBlocks: 10, BlockingFactor: 64, SRS: srs,
+		}
+	}
+	m := NewModel(TrueCoefficients(storage.SunProfile(), 64), true)
+	sel := func(*exec.NodeInfo, float64) float64 { return 1 }
+	cluster := m.PredictStage([]*exec.NodeInfo{mkInfo(false)}, 0.5, sel).Duration
+	srs := m.PredictStage([]*exec.NodeInfo{mkInfo(true)}, 0.5, sel).Duration
+	// 320 tuple-reads vs 5 block-reads at the same per-unit price.
+	if !(srs > 10*cluster) {
+		t.Errorf("SRS prediction %v not clearly above cluster %v", srs, cluster)
+	}
+}
+
+func TestPredictionPartialPlanUnits(t *testing.T) {
+	// Partial fulfillment: merge units and new points cover same-stage
+	// pairs only, so the prediction must be below full fulfillment's
+	// once cumulative state exists.
+	base := func(id int) *exec.NodeInfo {
+		return &exec.NodeInfo{ID: id, Op: exec.OpBase, BaseName: "r" + string(rune('0'+id)),
+			BaseTuples: 640, BaseBlocks: 10, BlockingFactor: 64}
+	}
+	mk := func(plan exec.Plan) *exec.NodeInfo {
+		l, r := base(1), base(2)
+		l.CumOut, r.CumOut = 320, 320
+		return &exec.NodeInfo{
+			ID: 3, Op: exec.OpJoin, Plan: plan, NumRuns: 2,
+			Children: []*exec.NodeInfo{l, r},
+			CumOut:   100, CumPoints: 320 * 320,
+		}
+	}
+	m := NewModel(TrueCoefficients(storage.SunProfile(), 64), true)
+	sel := func(n *exec.NodeInfo, _ float64) float64 {
+		if n.Op == exec.OpJoin {
+			return 0.001
+		}
+		return 1
+	}
+	full := m.PredictStage([]*exec.NodeInfo{mk(exec.FullFulfillment)}, 0.2, sel).Duration
+	partial := m.PredictStage([]*exec.NodeInfo{mk(exec.PartialFulfillment)}, 0.2, sel).Duration
+	if !(partial < full) {
+		t.Errorf("partial prediction %v not below full %v", partial, full)
+	}
+}

@@ -1,0 +1,92 @@
+package estimator
+
+// Aggregate estimators beyond COUNT. The paper restricts itself to
+// COUNT but notes that "most of the following discussions apply to any
+// type of relational algebra query (given, of course, an estimator for
+// the query)". SUM and AVG are the natural next aggregates: the
+// point-space model extends directly by giving each value-1 point the
+// numeric value of its output tuple instead of 1.
+
+// SumSample accumulates the sampled statistics a SUM/AVG estimator
+// needs: the number of covered points, the output tuple count among
+// them, and the first two moments of the aggregated column over the
+// output tuples. The zero value is ready to use.
+type SumSample struct {
+	Points float64 // points of the term's point space covered
+	Count  float64 // output tuples among the covered points
+	Sum    float64 // Σ value over output tuples
+	SumSq  float64 // Σ value² over output tuples
+}
+
+// Add incorporates one output tuple's aggregated value.
+func (s *SumSample) Add(v float64) {
+	s.Count++
+	s.Sum += v
+	s.SumSq += v * v
+}
+
+// Merge folds another sample into s.
+func (s *SumSample) Merge(o SumSample) {
+	s.Points += o.Points
+	s.Count += o.Count
+	s.Sum += o.Sum
+	s.SumSq += o.SumSq
+}
+
+// PointSpaceSum estimates SUM(E.col) for a cluster-sampled term: every
+// point of the term's point space carries the output tuple's value (or
+// 0 when the point produces no output), so
+//
+//	ŜUM = totalPoints · (Σv / pointsEval)
+//
+// with the SRS variance approximation over per-point values:
+//
+//	v(ŜUM) = totalPoints² · (1 − m/N) · s²_v / m
+//
+// where s²_v is the sample variance of the per-point values (zeros
+// included) — the same approximation structure the paper uses for
+// COUNT selectivities.
+func PointSpaceSum(s SumSample, totalPoints float64) Estimate {
+	m := s.Points
+	if m <= 0 {
+		return Estimate{}
+	}
+	mean := s.Sum / m
+	est := totalPoints * mean
+	var v float64
+	if m > 1 && totalPoints > 0 {
+		fpc := 1 - m/totalPoints
+		if fpc < 0 {
+			fpc = 0
+		}
+		// Sample variance of per-point values: the (m − Count) zero
+		// points contribute 0 to both moments.
+		sv := (s.SumSq - s.Sum*s.Sum/m) / (m - 1)
+		if sv < 0 {
+			sv = 0
+		}
+		v = totalPoints * totalPoints * fpc * sv / m
+	}
+	return Estimate{Value: est, Variance: v}
+}
+
+// Ratio estimates AVG = SUM/COUNT from combined estimates with a
+// first-order (delta method) variance that ignores the covariance
+// between numerator and denominator — consistent with the paper's other
+// covariance omissions:
+//
+//	Var(A/B) ≈ Var(A)/B² + A²·Var(B)/B⁴
+//
+// A zero denominator yields a zero estimate.
+func Ratio(num, den Estimate) Estimate {
+	if den.Value == 0 {
+		return Estimate{}
+	}
+	r := num.Value / den.Value
+	b2 := den.Value * den.Value
+	v := num.Variance/b2 + num.Value*num.Value*den.Variance/(b2*b2)
+	if v < 0 {
+		v = 0
+	}
+	return Estimate{Value: r, Variance: v}
+}

@@ -1,0 +1,100 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcq/internal/stats"
+)
+
+func TestSumSampleAccumulation(t *testing.T) {
+	var s SumSample
+	s.Add(3)
+	s.Add(4)
+	if s.Count != 2 || s.Sum != 7 || s.SumSq != 25 {
+		t.Errorf("sample = %+v", s)
+	}
+	var o SumSample
+	o.Points = 10
+	o.Add(1)
+	s.Merge(o)
+	if s.Count != 3 || s.Sum != 8 || s.SumSq != 26 || s.Points != 10 {
+		t.Errorf("merged = %+v", s)
+	}
+}
+
+func TestPointSpaceSumCensusIsExact(t *testing.T) {
+	// Census: every point covered; the estimate must equal the true sum.
+	var s SumSample
+	s.Points = 100
+	truth := 0.0
+	for i := 0; i < 30; i++ {
+		v := float64(i * 3)
+		s.Add(v)
+		truth += v
+	}
+	e := PointSpaceSum(s, 100)
+	if math.Abs(e.Value-truth) > 1e-9 {
+		t.Errorf("census sum = %g, want %g", e.Value, truth)
+	}
+	if e.Variance != 0 {
+		t.Errorf("census variance = %g, want 0", e.Variance)
+	}
+}
+
+func TestPointSpaceSumEmpty(t *testing.T) {
+	if e := PointSpaceSum(SumSample{}, 100); e.Value != 0 || e.Variance != 0 {
+		t.Errorf("empty sample: %+v", e)
+	}
+}
+
+func TestPointSpaceSumUnbiasedBySimulation(t *testing.T) {
+	// Population: 1,000 points; 200 are "output" points with values;
+	// estimate from repeated samples of 100 points.
+	const N, K, m = 1000, 200, 100
+	vals := make([]float64, N)
+	truth := 0.0
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < K; i++ {
+		vals[i] = float64(1 + rng.Intn(50))
+		truth += vals[i]
+	}
+	var est, varEst stats.Accumulator
+	for trial := 0; trial < 3000; trial++ {
+		rng.Shuffle(N, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		var s SumSample
+		s.Points = m
+		for i := 0; i < m; i++ {
+			if vals[i] != 0 {
+				s.Add(vals[i])
+			}
+		}
+		e := PointSpaceSum(s, N)
+		est.Add(e.Value)
+		varEst.Add(e.Variance)
+	}
+	if math.Abs(est.Mean()-truth)/truth > 0.03 {
+		t.Errorf("mean estimate %.1f, want ~%.1f", est.Mean(), truth)
+	}
+	// The variance estimator should track the empirical variance.
+	ratio := varEst.Mean() / est.Var()
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("variance estimator ratio %.3f (est %.0f, empirical %.0f)",
+			ratio, varEst.Mean(), est.Var())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	avg := Ratio(Estimate{Value: 1000, Variance: 100}, Estimate{Value: 100, Variance: 4})
+	if avg.Value != 10 {
+		t.Errorf("ratio = %g, want 10", avg.Value)
+	}
+	// Var ≈ 100/100² + 1000²·4/100⁴ = 0.01 + 0.04 = 0.05.
+	if math.Abs(avg.Variance-0.05) > 1e-12 {
+		t.Errorf("ratio variance = %g, want 0.05", avg.Variance)
+	}
+	if z := Ratio(Estimate{Value: 5}, Estimate{}); z.Value != 0 {
+		t.Error("zero denominator should give zero estimate")
+	}
+}

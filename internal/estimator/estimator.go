@@ -1,0 +1,283 @@
+// Package estimator implements the COUNT(E) estimators of the companion
+// paper [HoOT 88] ("Statistical Estimators for Relational Algebra
+// Expressions", PODS 1988) that the time-constrained evaluation
+// algorithm of the SIGMOD 1989 paper drives:
+//
+//   - the point-space estimator û(E) = N·(y/m) under simple random
+//     sampling of points, with its variance;
+//   - the cluster-sampling estimator Ŷ_b(E) = B·(Σy_i/b) with disk
+//     blocks (space blocks) as sample units, with its variance;
+//   - Goodman's (1949) unbiased estimator for the number of classes,
+//     used for expressions containing projection, revised with a
+//     stability fallback (the alternating series is numerically
+//     explosive at small sampling fractions — a known property);
+//   - the signed inclusion–exclusion combination across SJIP terms.
+package estimator
+
+import (
+	"math"
+
+	"tcq/internal/stats"
+)
+
+// Estimate is a point estimate with an estimated variance.
+type Estimate struct {
+	Value    float64
+	Variance float64
+}
+
+// Interval returns the normal-approximation confidence interval at the
+// given level.
+func (e Estimate) Interval(level float64) stats.Interval {
+	return stats.NormalInterval(e.Value, e.Variance, level)
+}
+
+// StdErr returns the standard error (√variance).
+func (e Estimate) StdErr() float64 {
+	if e.Variance <= 0 {
+		return 0
+	}
+	return math.Sqrt(e.Variance)
+}
+
+// RelHalfWidth returns the CI half-width at the given level relative to
+// the estimate's magnitude, or +Inf for a zero estimate with nonzero
+// variance (used by the error-constrained stopping criterion).
+func (e Estimate) RelHalfWidth(level float64) float64 {
+	half := e.Interval(level).Half
+	if half == 0 {
+		return 0
+	}
+	if e.Value == 0 {
+		return math.Inf(1)
+	}
+	return half / math.Abs(e.Value)
+}
+
+// SRS returns the point-space estimator û(E) = N·(y/m) for a simple
+// random sample (without replacement) of m points out of N, of which y
+// had the value 1, together with the standard unbiased variance
+// estimate
+//
+//	v(û) = N² · (1 − m/N) · p̂(1−p̂) / (m−1),  p̂ = y/m.
+//
+// A sample of size m <= 1 yields zero variance.
+func SRS(y, m int64, N float64) Estimate {
+	if m <= 0 {
+		return Estimate{}
+	}
+	p := float64(y) / float64(m)
+	est := N * p
+	var v float64
+	if m > 1 && N > 0 {
+		fpc := 1 - float64(m)/N
+		if fpc < 0 {
+			fpc = 0
+		}
+		v = N * N * fpc * p * (1 - p) / float64(m-1)
+	}
+	return Estimate{Value: est, Variance: v}
+}
+
+// SRSPopulationVariance returns the true variance of û(E) given the
+// population proportion S (Theorem-style formula, used in tests):
+// N²·S(1−S)(N−m)/(m(N−1)).
+func SRSPopulationVariance(S float64, m int64, N float64) float64 {
+	if m <= 0 || N <= 1 {
+		return 0
+	}
+	return N * N * stats.SRSProportionVariance(S, int64(N), m)
+}
+
+// Cluster returns the cluster-sampling estimator Ŷ_b(E) = B·(Σy_i/b)
+// given the per-space-block totals y_i of the b sampled space blocks
+// out of B, with the standard one-stage cluster variance estimate
+//
+//	v(Ŷ) = B² · (1 − b/B) · s_y² / b
+//
+// where s_y² is the sample variance of the block totals.
+func Cluster(blockTotals []float64, B float64) Estimate {
+	b := len(blockTotals)
+	if b == 0 {
+		return Estimate{}
+	}
+	var acc stats.Accumulator
+	for _, y := range blockTotals {
+		acc.Add(y)
+	}
+	est := B * acc.Mean()
+	var v float64
+	if b > 1 && B > 0 {
+		fpc := 1 - float64(b)/B
+		if fpc < 0 {
+			fpc = 0
+		}
+		v = B * B * fpc * acc.Var() / float64(b)
+	}
+	return Estimate{Value: est, Variance: v}
+}
+
+// PointSpaceCluster returns the COUNT estimate for a cluster-sampled
+// Select-Join-Intersect term expressed in point-space units: yTotal
+// output tuples were found among pointsEval evaluated points of a point
+// space with totalPoints points. The estimate is
+//
+//	totalPoints · yTotal / pointsEval
+//
+// and the variance uses the paper's simple-random-sampling
+// approximation (Section 3.3: "we have chosen to use the variance
+// formula for simple random sampling ... as an approximation"), which
+// typically understates the true cluster variance.
+func PointSpaceCluster(yTotal, pointsEval, totalPoints float64) Estimate {
+	if pointsEval <= 0 {
+		return Estimate{}
+	}
+	p := yTotal / pointsEval
+	est := totalPoints * p
+	var v float64
+	if pointsEval > 1 && totalPoints > 0 {
+		fpc := 1 - pointsEval/totalPoints
+		if fpc < 0 {
+			fpc = 0
+		}
+		v = totalPoints * totalPoints * fpc * p * (1 - p) / (pointsEval - 1)
+	}
+	return Estimate{Value: est, Variance: v}
+}
+
+// Goodman computes Goodman's (1949) unbiased estimator of the number of
+// distinct classes in a population of N elements, from a simple random
+// sample (without replacement) of n elements in which freq[i] classes
+// appeared exactly i times:
+//
+//	D̂ = d + Σ_{i≥1} (−1)^{i+1} · C(N−n+i−1, i)/C(n, i) · f_i
+//
+// where d = Σ f_i is the number of distinct classes observed. The
+// estimator is unbiased but numerically explosive for small sampling
+// fractions; stable reports whether the alternating series stayed
+// within plausible bounds. Callers should fall back to GoodmanRevised
+// when stable is false.
+func Goodman(N, n int64, freq map[int]int) (estimate float64, stable bool) {
+	d := 0
+	for _, f := range freq {
+		d += f
+	}
+	if n <= 0 || d == 0 {
+		return 0, true
+	}
+	if n >= N {
+		return float64(d), true // census: exact
+	}
+	est := float64(d)
+	stable = true
+	for i, f := range freq {
+		if f == 0 || i <= 0 {
+			continue
+		}
+		logCoef := stats.LogBinomial(N-n+int64(i)-1, int64(i)) - stats.LogBinomial(n, int64(i))
+		// The alternating series is trustworthy only while its
+		// coefficients stay O(1) — they grow like ((N−n)/n)^i, so any
+		// coefficient clearly above 1 signals the explosive regime
+		// (small sampling fractions) where adjacent terms cancel to
+		// garbage. Goodman himself notes the estimator's variance can
+		// be enormous; this is the "revision" trigger.
+		if math.Exp(logCoef) > 8 {
+			stable = false
+		}
+		term := math.Exp(logCoef) * float64(f)
+		if i%2 == 0 {
+			term = -term
+		}
+		est += term
+	}
+	// The unbiased estimator can legitimately fall below d (even to 0 —
+	// see the N=3 example in the tests), so only clearly impossible
+	// values flag instability.
+	if est < 0 || est > float64(N) || math.IsNaN(est) || math.IsInf(est, 0) {
+		stable = false
+	}
+	return est, stable
+}
+
+// GoodmanRevised is the stabilised distinct-count estimator used when
+// the raw Goodman series misbehaves (the paper notes Goodman's estimator
+// is "revised" for projection expressions; the exact revision lives in
+// an unavailable tech report, so we use the first-order smoothed
+// jackknife common in the distinct-value estimation literature):
+//
+//	D̂ = d / (1 − (1−q)·f₁/n),  q = n/N
+//
+// It is d when the sample has no singletons and approaches N when every
+// sampled element is a singleton. The result is clamped to [d, N].
+func GoodmanRevised(N, n int64, freq map[int]int) float64 {
+	d := 0
+	for _, f := range freq {
+		d += f
+	}
+	if n <= 0 || d == 0 {
+		return 0
+	}
+	if n >= N {
+		return float64(d)
+	}
+	q := float64(n) / float64(N)
+	f1 := float64(freq[1])
+	denom := 1 - (1-q)*f1/float64(n)
+	est := float64(d)
+	if denom > 0 {
+		est = float64(d) / denom
+	} else {
+		est = float64(N)
+	}
+	return stats.Clamp(est, float64(d), float64(N))
+}
+
+// DistinctCount picks Goodman's estimator when stable and the revised
+// estimator otherwise, with a rough variance: the squared gap between
+// the chosen estimate and the naive scale-up d/q, floored at the
+// binomial variance of d. The paper reports estimator quality
+// separately ([HouO 88]); this variance only drives stopping decisions.
+func DistinctCount(N, n int64, freq map[int]int) Estimate {
+	d := 0
+	for _, f := range freq {
+		d += f
+	}
+	if n <= 0 || d == 0 {
+		return Estimate{}
+	}
+	var est float64
+	if g, ok := Goodman(N, n, freq); ok {
+		est = g
+	} else {
+		est = GoodmanRevised(N, n, freq)
+	}
+	q := float64(n) / float64(N)
+	scaleUp := stats.Clamp(float64(d)/q, float64(d), float64(N))
+	gap := est - scaleUp
+	v := gap * gap
+	if floor := est * (1 - q); v < floor {
+		v = floor
+	}
+	return Estimate{Value: est, Variance: v}
+}
+
+// TermEstimate is one signed term's estimate in the inclusion–exclusion
+// decomposition of COUNT(E).
+type TermEstimate struct {
+	Sign     int
+	Estimate Estimate
+}
+
+// Combine returns the signed sum of term estimates. Terms share samples
+// in the implementation, so the summed variance (which ignores
+// covariances) is an approximation; the paper makes the corresponding
+// approximation when it replaces covariance computations with
+// previous-stage plug-ins (Section 3.3.1).
+func Combine(terms []TermEstimate) Estimate {
+	var out Estimate
+	for _, t := range terms {
+		out.Value += float64(t.Sign) * t.Estimate.Value
+		out.Variance += float64(t.Sign*t.Sign) * t.Estimate.Variance
+	}
+	return out
+}

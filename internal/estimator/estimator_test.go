@@ -1,0 +1,336 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcq/internal/stats"
+)
+
+func TestSRSBasics(t *testing.T) {
+	// N=100, m=10, y=3 -> estimate 30.
+	e := SRS(3, 10, 100)
+	if e.Value != 30 {
+		t.Errorf("estimate = %g, want 30", e.Value)
+	}
+	if e.Variance <= 0 {
+		t.Error("variance should be positive for 0 < y < m")
+	}
+	// Degenerate cases.
+	if e := SRS(0, 0, 100); e.Value != 0 || e.Variance != 0 {
+		t.Errorf("empty sample: %+v", e)
+	}
+	if e := SRS(5, 1, 100); e.Variance != 0 {
+		t.Error("single-point sample variance should be 0")
+	}
+	// Census: zero variance (fpc = 0).
+	if e := SRS(40, 100, 100); e.Variance != 0 || e.Value != 40 {
+		t.Errorf("census: %+v", e)
+	}
+	// All ones / all zeros: zero variance.
+	if e := SRS(10, 10, 100); e.Variance != 0 {
+		t.Error("p=1 variance should be 0")
+	}
+	if e := SRS(0, 10, 100); e.Variance != 0 || e.Value != 0 {
+		t.Error("p=0 variance should be 0")
+	}
+}
+
+func TestSRSUnbiasedBySimulation(t *testing.T) {
+	// Population of N=500 with K=120 ones; repeated SRS of m=50.
+	const N, K, m = 500, 120, 50
+	pop := make([]int, N)
+	for i := 0; i < K; i++ {
+		pop[i] = 1
+	}
+	rng := rand.New(rand.NewSource(17))
+	var est, varEst stats.Accumulator
+	const trials = 4000
+	for trial := 0; trial < trials; trial++ {
+		rng.Shuffle(N, func(i, j int) { pop[i], pop[j] = pop[j], pop[i] })
+		y := int64(0)
+		for i := 0; i < m; i++ {
+			y += int64(pop[i])
+		}
+		e := SRS(y, m, N)
+		est.Add(e.Value)
+		varEst.Add(e.Variance)
+	}
+	if math.Abs(est.Mean()-K) > 3 {
+		t.Errorf("mean estimate %.2f, want ~%d (unbiasedness)", est.Mean(), K)
+	}
+	// Mean of the variance estimator should match the empirical variance
+	// of the estimates (within sampling slack).
+	empirical := est.Var()
+	ratio := varEst.Mean() / empirical
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("variance estimator ratio = %.3f (est %.1f, empirical %.1f)",
+			ratio, varEst.Mean(), empirical)
+	}
+	// And it should be close to the population-formula variance.
+	popVar := SRSPopulationVariance(float64(K)/N, m, N)
+	if r := varEst.Mean() / popVar; r < 0.85 || r > 1.2 {
+		t.Errorf("variance vs population formula ratio = %.3f", r)
+	}
+}
+
+func TestSRSPopulationVarianceEdges(t *testing.T) {
+	if SRSPopulationVariance(0.5, 0, 100) != 0 {
+		t.Error("m=0 should give 0")
+	}
+	if SRSPopulationVariance(0.5, 10, 1) != 0 {
+		t.Error("N<=1 should give 0")
+	}
+	if SRSPopulationVariance(0.5, 100, 100) != 0 {
+		t.Error("census should give 0")
+	}
+}
+
+func TestClusterBasics(t *testing.T) {
+	// 3 sampled blocks out of 10 with totals 2, 4, 6 -> mean 4, est 40.
+	e := Cluster([]float64{2, 4, 6}, 10)
+	if e.Value != 40 {
+		t.Errorf("estimate = %g, want 40", e.Value)
+	}
+	if e.Variance <= 0 {
+		t.Error("variance should be positive for varying block totals")
+	}
+	if e := Cluster(nil, 10); e.Value != 0 || e.Variance != 0 {
+		t.Errorf("empty cluster sample: %+v", e)
+	}
+	if e := Cluster([]float64{5}, 10); e.Variance != 0 {
+		t.Error("single block variance should be 0")
+	}
+	// Uniform block totals: zero variance.
+	if e := Cluster([]float64{3, 3, 3}, 10); e.Variance != 0 {
+		t.Error("constant blocks variance should be 0")
+	}
+	// Census of blocks: fpc zero.
+	if e := Cluster([]float64{1, 2}, 2); e.Variance != 0 {
+		t.Error("census of blocks variance should be 0")
+	}
+}
+
+func TestClusterUnbiasedBySimulation(t *testing.T) {
+	// Population: 40 blocks with known totals; sample 8 blocks.
+	rng := rand.New(rand.NewSource(23))
+	blocks := make([]float64, 40)
+	var truth float64
+	for i := range blocks {
+		blocks[i] = float64(rng.Intn(9))
+		truth += blocks[i]
+	}
+	var est stats.Accumulator
+	for trial := 0; trial < 6000; trial++ {
+		idx := rng.Perm(40)[:8]
+		sample := make([]float64, 8)
+		for i, j := range idx {
+			sample[i] = blocks[j]
+		}
+		est.Add(Cluster(sample, 40).Value)
+	}
+	if math.Abs(est.Mean()-truth) > truth*0.03+1 {
+		t.Errorf("cluster mean estimate %.1f, want ~%.1f", est.Mean(), truth)
+	}
+}
+
+func TestPointSpaceCluster(t *testing.T) {
+	e := PointSpaceCluster(30, 1000, 1e8)
+	if e.Value != 3e6 {
+		t.Errorf("estimate = %g, want 3e6", e.Value)
+	}
+	if e.Variance <= 0 {
+		t.Error("variance should be positive")
+	}
+	if e := PointSpaceCluster(0, 0, 1e8); e.Value != 0 || e.Variance != 0 {
+		t.Errorf("no points evaluated: %+v", e)
+	}
+	// Full coverage: zero variance.
+	if e := PointSpaceCluster(5, 100, 100); e.Variance != 0 {
+		t.Error("full point coverage variance should be 0")
+	}
+}
+
+func TestGoodmanExactOnTinyCase(t *testing.T) {
+	// Population N=3 with classes {2,1} (D=2), sample n=2. Enumerating
+	// the three equally likely samples must average to exactly 2.
+	// Samples: {a1,a2} -> f2=1; {a1,b},{a2,b} -> f1=2.
+	e1, ok1 := Goodman(3, 2, map[int]int{2: 1})
+	e2, ok2 := Goodman(3, 2, map[int]int{1: 2})
+	if !ok1 || !ok2 {
+		t.Fatalf("tiny Goodman unstable: %v %v", ok1, ok2)
+	}
+	mean := (e1 + 2*e2) / 3
+	if math.Abs(mean-2) > 1e-9 {
+		t.Errorf("E[Goodman] = %g, want 2 (unbiasedness)", mean)
+	}
+}
+
+func TestGoodmanUnbiasedBySimulation(t *testing.T) {
+	// Population of N=60 elements in D=20 classes of size 3; n=30 is a
+	// large sampling fraction, where Goodman is stable.
+	const N, D, size, n = 60, 20, 3, 30
+	pop := make([]int, N)
+	for i := range pop {
+		pop[i] = i / size
+	}
+	rng := rand.New(rand.NewSource(31))
+	var acc stats.Accumulator
+	unstable := 0
+	for trial := 0; trial < 4000; trial++ {
+		rng.Shuffle(N, func(i, j int) { pop[i], pop[j] = pop[j], pop[i] })
+		counts := map[int]int{}
+		for i := 0; i < n; i++ {
+			counts[pop[i]]++
+		}
+		freq := map[int]int{}
+		for _, c := range counts {
+			freq[c]++
+		}
+		est, ok := Goodman(N, n, freq)
+		if !ok {
+			unstable++
+			continue
+		}
+		acc.Add(est)
+	}
+	if unstable > 400 {
+		t.Errorf("Goodman unstable in %d/4000 trials at 50%% fraction", unstable)
+	}
+	if math.Abs(acc.Mean()-D) > 1 {
+		t.Errorf("E[Goodman] = %.2f, want ~%d", acc.Mean(), D)
+	}
+}
+
+func TestGoodmanEdgeCases(t *testing.T) {
+	if e, ok := Goodman(100, 0, nil); e != 0 || !ok {
+		t.Error("empty sample should be 0, stable")
+	}
+	if e, ok := Goodman(100, 10, map[int]int{}); e != 0 || !ok {
+		t.Error("no classes should be 0, stable")
+	}
+	// Census returns exactly d.
+	if e, ok := Goodman(50, 50, map[int]int{5: 10}); e != 10 || !ok {
+		t.Errorf("census Goodman = %g, %v", e, ok)
+	}
+}
+
+func TestGoodmanDetectsInstability(t *testing.T) {
+	// Tiny sampling fraction with multi-occurrence classes: the i=2 term
+	// C(N-n+1, 2)/C(n, 2) explodes.
+	_, ok := Goodman(1_000_000, 10, map[int]int{1: 5, 2: 2})
+	if ok {
+		t.Error("expected instability at microscopic sampling fraction")
+	}
+}
+
+func TestGoodmanRevised(t *testing.T) {
+	// No singletons: estimate is d.
+	if e := GoodmanRevised(1000, 100, map[int]int{2: 10}); e != 10 {
+		t.Errorf("no singletons: %g, want 10", e)
+	}
+	// All singletons: estimate approaches N.
+	if e := GoodmanRevised(1000, 100, map[int]int{1: 100}); math.Abs(e-1000) > 1e-9 {
+		t.Errorf("all singletons: %g, want 1000", e)
+	}
+	// Census: d.
+	if e := GoodmanRevised(100, 100, map[int]int{1: 7}); e != 7 {
+		t.Errorf("census: %g", e)
+	}
+	// Empty: 0.
+	if e := GoodmanRevised(100, 10, nil); e != 0 {
+		t.Errorf("empty: %g", e)
+	}
+	// Clamped to [d, N].
+	e := GoodmanRevised(50, 10, map[int]int{1: 9, 2: 1})
+	if e < 10 || e > 50 {
+		t.Errorf("estimate %g outside [d, N]", e)
+	}
+}
+
+func TestGoodmanRevisedConsistency(t *testing.T) {
+	// As the sampling fraction grows on a fixed population, the revised
+	// estimator's error shrinks.
+	const N, D, size = 3000, 300, 10
+	pop := make([]int, N)
+	for i := range pop {
+		pop[i] = i / size
+	}
+	rng := rand.New(rand.NewSource(5))
+	errAt := func(n int) float64 {
+		var acc stats.Accumulator
+		for trial := 0; trial < 300; trial++ {
+			rng.Shuffle(N, func(i, j int) { pop[i], pop[j] = pop[j], pop[i] })
+			counts := map[int]int{}
+			for i := 0; i < n; i++ {
+				counts[pop[i]]++
+			}
+			freq := map[int]int{}
+			for _, c := range counts {
+				freq[c]++
+			}
+			acc.Add(math.Abs(GoodmanRevised(N, int64(n), freq) - D))
+		}
+		return acc.Mean()
+	}
+	small, large := errAt(150), errAt(1500)
+	if large >= small {
+		t.Errorf("revised estimator error did not shrink: %.1f -> %.1f", small, large)
+	}
+}
+
+func TestDistinctCount(t *testing.T) {
+	if e := DistinctCount(100, 0, nil); e.Value != 0 {
+		t.Error("empty distinct count should be 0")
+	}
+	e := DistinctCount(1000, 100, map[int]int{1: 50, 2: 25})
+	if e.Value <= 0 || e.Value > 1000 {
+		t.Errorf("distinct estimate = %g", e.Value)
+	}
+	if e.Variance <= 0 {
+		t.Error("distinct variance should be positive away from census")
+	}
+}
+
+func TestEstimateHelpers(t *testing.T) {
+	e := Estimate{Value: 100, Variance: 25}
+	if e.StdErr() != 5 {
+		t.Errorf("StdErr = %g", e.StdErr())
+	}
+	iv := e.Interval(0.95)
+	if math.Abs(iv.Half-5*1.959963984540054) > 1e-6 {
+		t.Errorf("interval half = %g", iv.Half)
+	}
+	if rhw := e.RelHalfWidth(0.95); math.Abs(rhw-iv.Half/100) > 1e-12 {
+		t.Errorf("RelHalfWidth = %g", rhw)
+	}
+	zero := Estimate{Value: 0, Variance: 25}
+	if !math.IsInf(zero.RelHalfWidth(0.95), 1) {
+		t.Error("zero estimate with variance should have infinite rel width")
+	}
+	if (Estimate{}).RelHalfWidth(0.95) != 0 {
+		t.Error("zero estimate, zero variance rel width should be 0")
+	}
+	if (Estimate{Value: 1, Variance: -3}).StdErr() != 0 {
+		t.Error("negative variance StdErr should be 0")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	terms := []TermEstimate{
+		{Sign: 1, Estimate: Estimate{Value: 100, Variance: 4}},
+		{Sign: 1, Estimate: Estimate{Value: 50, Variance: 1}},
+		{Sign: -1, Estimate: Estimate{Value: 30, Variance: 2}},
+	}
+	e := Combine(terms)
+	if e.Value != 120 {
+		t.Errorf("combined value = %g, want 120", e.Value)
+	}
+	if e.Variance != 7 {
+		t.Errorf("combined variance = %g, want 7", e.Variance)
+	}
+	if c := Combine(nil); c.Value != 0 || c.Variance != 0 {
+		t.Error("empty combine should be zero")
+	}
+}

@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcq/internal/ra"
+	"tcq/internal/sampling"
+	"tcq/internal/stats"
+	"tcq/internal/tuple"
+)
+
+func TestSetAggregateValidation(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Select{Input: &ra.Base{Name: "r"}, Pred: ra.True{}}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	if err := q.SetAggregate("a"); err != nil {
+		t.Errorf("numeric column rejected: %v", err)
+	}
+	if err := q.SetAggregate("zz"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	// Projection-rooted term: no SUM estimator.
+	p := &ra.Project{Input: &ra.Base{Name: "r"}, Cols: []string{"a"}}
+	qp, _ := mustQuery(t, st, p, FullFulfillment)
+	if err := qp.SetAggregate("a"); err == nil {
+		t.Error("sum over projection accepted")
+	}
+}
+
+func TestSumCensusExact(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Select{Input: &ra.Base{Name: "r"},
+		Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(5)}}}
+	want, err := ra.SumExact(e, "id", StoreCatalog{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	if err := q.SetAggregate("id"); err != nil {
+		t.Fatal(err)
+	}
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	got := q.SumEstimate()
+	if math.Abs(got.Value-want) > 1e-6 {
+		t.Errorf("census sum = %g, exact = %g", got.Value, want)
+	}
+	if got.Variance != 0 {
+		t.Errorf("census sum variance = %g", got.Variance)
+	}
+}
+
+func TestSumCensusJoin(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"},
+		On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	// Join output schema disambiguates clashing columns as l.id / r.id.
+	want, err := ra.SumExact(e, "l.id", StoreCatalog{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	if err := q.SetAggregate("l.id"); err != nil {
+		t.Fatal(err)
+	}
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	got := q.SumEstimate()
+	if math.Abs(got.Value-want) > 1e-6 {
+		t.Errorf("census join sum = %g, exact = %g", got.Value, want)
+	}
+}
+
+func TestSumEstimateUnbiasedOverSamples(t *testing.T) {
+	e := &ra.Select{Input: &ra.Base{Name: "r"},
+		Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(10)}}}
+	st0, _ := fixture(t, 1)
+	want, err := ra.SumExact(e, "id", StoreCatalog{st0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	var acc stats.Accumulator
+	for trial := 0; trial < 120; trial++ {
+		st, _ := fixture(t, 1)
+		q, _ := mustQuery(t, st, e, FullFulfillment)
+		if err := q.SetAggregate("id"); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range q.Feeds {
+			smp := sampling.NewBlockSampler(f.Rel.NumBlocks(), rng)
+			if err := f.LoadStage(smp.Draw(8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := q.AdvanceStage(0); err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(q.SumEstimate().Value)
+	}
+	if math.Abs(acc.Mean()-want)/want > 0.15 {
+		t.Errorf("mean sum estimate %.1f, exact %.1f", acc.Mean(), want)
+	}
+}
+
+func TestSumEstimateWithoutAggregateIsZero(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Base{Name: "r"}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.SumEstimate(); got.Value != 0 {
+		t.Errorf("unconfigured sum = %+v", got)
+	}
+}
+
+func TestGroupByCensusExact(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Select{Input: &ra.Base{Name: "r"},
+		Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(4)}}}
+	want, err := ra.GroupCountExact(e, "a", StoreCatalog{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 4 {
+		t.Fatalf("expected 4 groups, got %v", want)
+	}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	if err := q.SetGroupBy("a"); err != nil {
+		t.Fatal(err)
+	}
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	groups := q.GroupEstimates()
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	prev := int64(-1)
+	for _, g := range groups {
+		k := g.Key.(int64)
+		if k <= prev {
+			t.Error("groups not sorted by key")
+		}
+		prev = k
+		if math.Abs(g.Estimate.Value-float64(want[g.Key])) > 1e-6 {
+			t.Errorf("group %v: estimate %g, exact %d", g.Key, g.Estimate.Value, want[g.Key])
+		}
+		if g.Estimate.Variance != 0 {
+			t.Errorf("census group variance = %g", g.Estimate.Variance)
+		}
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	st, _ := fixture(t, 1)
+	q, _ := mustQuery(t, st, &ra.Base{Name: "r"}, FullFulfillment)
+	if err := q.SetGroupBy("zz"); err == nil {
+		t.Error("unknown group column accepted")
+	}
+	p, _ := mustQuery(t, st, &ra.Project{Input: &ra.Base{Name: "r"}, Cols: []string{"a"}}, FullFulfillment)
+	if err := p.SetGroupBy("a"); err == nil {
+		t.Error("group-by over projection accepted")
+	}
+}
+
+func TestGroupByUnionSignedCombination(t *testing.T) {
+	// count per group of (r ∪ s) = r groups + s groups − (r∩s) groups,
+	// evaluated on a census: must be exact.
+	st, _ := fixture(t, 1)
+	e := &ra.Union{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}}
+	want, err := ra.GroupCountExact(e, "a", StoreCatalog{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	if err := q.SetGroupBy("a"); err != nil {
+		t.Fatal(err)
+	}
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	got := q.GroupEstimates()
+	byKey := map[tuple.Value]float64{}
+	for _, g := range got {
+		byKey[g.Key] = g.Estimate.Value
+	}
+	for k, w := range want {
+		if math.Abs(byKey[k]-float64(w)) > 1e-6 {
+			t.Errorf("group %v: got %g, want %d", k, byKey[k], w)
+		}
+	}
+}

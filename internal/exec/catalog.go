@@ -1,0 +1,34 @@
+package exec
+
+import (
+	"tcq/internal/ra"
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+)
+
+// StoreCatalog adapts a storage.Store to ra.Catalog and ra.Relations.
+// RelationTuples reads without charging the clock (it exists for exact
+// ground-truth evaluation, not for query execution).
+type StoreCatalog struct {
+	Store *storage.Store
+}
+
+var _ ra.Relations = StoreCatalog{}
+
+// RelationSchema implements ra.Catalog.
+func (c StoreCatalog) RelationSchema(name string) (*tuple.Schema, error) {
+	rel, err := c.Store.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Schema(), nil
+}
+
+// RelationTuples implements ra.Relations (uncharged; for ground truth).
+func (c StoreCatalog) RelationTuples(name string) ([]tuple.Tuple, error) {
+	rel, err := c.Store.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	return rel.AllTuples(), nil
+}

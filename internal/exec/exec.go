@@ -1,0 +1,902 @@
+// Package exec implements the stage-by-stage sample executors of the
+// paper's Section 4: the estimator-evaluation algorithms for Select
+// (Fig. 4.3), Intersect (Fig. 4.4), Join (Fig. 4.6) and Project
+// (Fig. 4.7) over cluster samples, under the full fulfillment plan
+// (every new stage's sample is combined with all previous stages'
+// samples, Fig. 4.1/4.5) or the partial fulfillment plan (same-stage
+// samples only).
+//
+// Executors do the real work against the storage engine (charging block
+// reads, temp-file writes, sort comparisons and merges to the session
+// clock) and record per-step timings that the adaptive cost model
+// (internal/cost) fits its coefficients against — exactly the paper's
+// run-time coefficient adjustment.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"tcq/internal/ra"
+	"tcq/internal/sortx"
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+	"tcq/internal/vclock"
+)
+
+// ErrAborted wraps storage.ErrDeadline for stage aborts.
+var ErrAborted = storage.ErrDeadline
+
+// OpKind identifies the RA operator a node implements.
+type OpKind int
+
+// Operator kinds.
+const (
+	OpBase OpKind = iota
+	OpSelect
+	OpJoin
+	OpIntersect
+	OpProject
+)
+
+// String returns the operator name.
+func (k OpKind) String() string {
+	switch k {
+	case OpBase:
+		return "base"
+	case OpSelect:
+		return "select"
+	case OpJoin:
+		return "join"
+	case OpIntersect:
+		return "intersect"
+	case OpProject:
+		return "project"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// StepKind identifies a time-consuming step within an operator (the
+// paper derives one cost term per step: write, sort, merge, scan,
+// output).
+type StepKind int
+
+// Step kinds.
+const (
+	StepRead   StepKind = iota // reading sampled blocks (base nodes)
+	StepScan                   // reading/checking tuples (select, project dedup)
+	StepWrite                  // writing sample tuples to temp files
+	StepSort                   // external sort of a stage's run
+	StepMerge                  // merging runs (intersect/join pairs)
+	StepOutput                 // writing output tuples/pages
+	StepInit                   // fixed per-stage operator initialisation (overhead)
+)
+
+// String returns the step name.
+func (k StepKind) String() string {
+	switch k {
+	case StepRead:
+		return "read"
+	case StepScan:
+		return "scan"
+	case StepWrite:
+		return "write"
+	case StepSort:
+		return "sort"
+	case StepMerge:
+		return "merge"
+	case StepOutput:
+		return "output"
+	case StepInit:
+		return "init"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// StepTiming is one observed (units, duration) pair for a node step;
+// the adaptive cost model fits coefficient = Σduration/Σunits per
+// (node, step).
+type StepTiming struct {
+	NodeID int
+	Op     OpKind
+	Step   StepKind
+	Units  float64
+	Actual time.Duration
+}
+
+// Env is the shared execution environment of one query.
+type Env struct {
+	Store    *storage.Store
+	Timings  []StepTiming
+	nextID   int
+	deadline vclock.Deadline
+}
+
+// NewEnv creates an execution environment over a store.
+func NewEnv(store *storage.Store) *Env {
+	return &Env{Store: store}
+}
+
+// SetDeadline arms (or disarms, with vclock.Unarmed()) the hard
+// deadline honoured by all executors of this environment.
+func (e *Env) SetDeadline(dl vclock.Deadline) { e.deadline = dl }
+
+// TakeTimings returns and clears the step timings recorded so far.
+func (e *Env) TakeTimings() []StepTiming {
+	t := e.Timings
+	e.Timings = nil
+	return t
+}
+
+func (e *Env) newID() int {
+	e.nextID++
+	return e.nextID - 1
+}
+
+// record logs a step timing.
+func (e *Env) record(nodeID int, op OpKind, step StepKind, units float64, actual time.Duration) {
+	e.Timings = append(e.Timings, StepTiming{
+		NodeID: nodeID, Op: op, Step: step, Units: units, Actual: actual,
+	})
+}
+
+// chargeInit charges the fixed per-stage initialisation overhead of one
+// operator and records it, modelling the paper's per-stage "overhead"
+// (the reason more stages cost more for the same overall sample size).
+func (e *Env) chargeInit(nodeID int, op OpKind) {
+	clock := e.Store.Clock()
+	t0 := clock.Now()
+	clock.Charge(e.Store.Costs().OpInit)
+	e.record(nodeID, op, StepInit, 1, clock.Now()-t0)
+}
+
+// chargeChunked charges n units of per-unit cost in bounded chunks,
+// checking the hard deadline between chunks so that a timer interrupt
+// can abort inside a long sort, merge or write phase (a single bulk
+// charge could overshoot the quota by the phase's whole duration).
+func (e *Env) chargeChunked(n int64, per time.Duration) error {
+	const chunk = 64
+	clock := e.Store.Clock()
+	for n > 0 {
+		c := n
+		if c > chunk {
+			c = chunk
+		}
+		clock.Charge(time.Duration(c) * per)
+		n -= c
+		if err := e.checkDeadline(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkDeadline returns ErrAborted when the hard deadline has passed.
+func (e *Env) checkDeadline() error {
+	if e.deadline.Expired() {
+		return fmt.Errorf("exec: stage aborted: %w", ErrAborted)
+	}
+	return nil
+}
+
+// Stats summarises one node's cumulative point-space coverage, used by
+// Revise-Selectivities (Fig. 3.3): sel = CumTuples / CumPoints.
+type Stats struct {
+	CumPoints float64 // points of the operator's point space covered
+	CumOut    float64 // output tuples produced
+}
+
+// Node is one operator of a term's executor tree. Advance evaluates one
+// more stage, returning the node's NEW output tuples for that stage.
+type Node interface {
+	// ID returns the node's unique id within its Env.
+	ID() int
+	// Op returns the operator kind.
+	Op() OpKind
+	// Children returns the input nodes (empty for base nodes).
+	Children() []Node
+	// Schema returns the node's output schema.
+	Schema() *tuple.Schema
+	// Advance evaluates stage (0-based) and returns the new outputs.
+	// Stages must be advanced in order, exactly once each.
+	Advance(stage int) ([]tuple.Tuple, error)
+	// Stats returns cumulative selectivity bookkeeping.
+	Stats() Stats
+	// CumOutTuples returns the cumulative number of output tuples.
+	CumOutTuples() int64
+}
+
+// Feed supplies the per-stage sample of one base relation, shared by
+// every base node over that relation (samples must be drawn once per
+// relation per stage, and block reads charged once).
+//
+// Two sampling techniques are supported (the paper's Fig. 3.2
+// decision): cluster sampling, where whole disk blocks are the sample
+// units (the prototype's choice — "efficient in sampling and in
+// evaluation"), and simple random sampling of tuples, where every
+// sampled tuple costs a full block read (the reason the paper rejects
+// it for disk-resident data).
+type Feed struct {
+	Rel       *storage.Relation
+	env       *Env
+	nodeID    int // pseudo-node id for read-step timings
+	srs       bool
+	stages    [][]tuple.Tuple
+	cumTuples int64
+	cumBlocks int
+}
+
+// NewFeed creates the sample feed for one base relation.
+func NewFeed(env *Env, rel *storage.Relation) *Feed {
+	return &Feed{Rel: rel, env: env, nodeID: env.newID()}
+}
+
+// SetSRS switches the feed to simple-random-sampling mode: LoadStage's
+// indices denote individual tuples instead of blocks. Must be set
+// before the first stage loads.
+func (f *Feed) SetSRS(srs bool) { f.srs = srs }
+
+// SRS reports whether the feed samples tuples rather than blocks.
+func (f *Feed) SRS() bool { return f.srs }
+
+// LoadStage reads the given sample as the feed's next stage: block
+// indices under cluster sampling, tuple indices under SRS (each tuple
+// read charges one block read — random tuples live in random blocks).
+// It charges reads and records the read-step timing. On deadline expiry
+// it returns ErrAborted (wrapped); the partially read stage is
+// discarded.
+func (f *Feed) LoadStage(indices []int) error {
+	if f.srs {
+		return f.loadStageSRS(indices)
+	}
+	return f.loadStageCluster(indices)
+}
+
+func (f *Feed) loadStageCluster(blocks []int) error {
+	f.env.chargeInit(f.nodeID, OpBase)
+	clock := f.env.Store.Clock()
+	t0 := clock.Now()
+	var ts []tuple.Tuple
+	for _, b := range blocks {
+		blk, err := f.Rel.ReadBlock(b, f.env.deadline)
+		if err != nil {
+			return err
+		}
+		ts = append(ts, blk...)
+	}
+	f.env.record(f.nodeID, OpBase, StepRead, float64(len(blocks)), clock.Now()-t0)
+	f.stages = append(f.stages, ts)
+	f.cumTuples += int64(len(ts))
+	f.cumBlocks += len(blocks)
+	return nil
+}
+
+// loadStageSRS reads individual tuples by global index, charging a full
+// block read per tuple.
+func (f *Feed) loadStageSRS(tupleIdx []int) error {
+	f.env.chargeInit(f.nodeID, OpBase)
+	clock := f.env.Store.Clock()
+	t0 := clock.Now()
+	bf := f.Rel.BlockingFactor()
+	var ts []tuple.Tuple
+	for _, ti := range tupleIdx {
+		blk, err := f.Rel.ReadBlock(ti/bf, f.env.deadline)
+		if err != nil {
+			return err
+		}
+		off := ti % bf
+		if off >= len(blk) {
+			return fmt.Errorf("exec: tuple index %d out of range in %s", ti, f.Rel.Name())
+		}
+		ts = append(ts, blk[off])
+	}
+	// Each random tuple costs one block read; the read-step units are
+	// the tuples fetched so the cost model fits seconds-per-tuple.
+	f.env.record(f.nodeID, OpBase, StepRead, float64(len(tupleIdx)), clock.Now()-t0)
+	f.stages = append(f.stages, ts)
+	f.cumTuples += int64(len(ts))
+	f.cumBlocks += len(tupleIdx) // blocks touched (no caching assumed)
+	return nil
+}
+
+// StageTuples returns the tuples loaded for a stage.
+func (f *Feed) StageTuples(stage int) ([]tuple.Tuple, error) {
+	if stage < 0 || stage >= len(f.stages) {
+		return nil, fmt.Errorf("exec: feed %s has no stage %d", f.Rel.Name(), stage)
+	}
+	return f.stages[stage], nil
+}
+
+// Stages returns how many stages have been loaded.
+func (f *Feed) Stages() int { return len(f.stages) }
+
+// CumTuples returns the cumulative sampled tuple count.
+func (f *Feed) CumTuples() int64 { return f.cumTuples }
+
+// CumBlocks returns the cumulative sampled block count.
+func (f *Feed) CumBlocks() int { return f.cumBlocks }
+
+// Plan selects between the paper's two cluster-sampling evaluation
+// plans.
+type Plan int
+
+const (
+	// FullFulfillment combines each stage's new sample with all
+	// previous stages' samples (Fig. 4.1): after s stages every cross
+	// combination of sampled blocks is evaluated.
+	FullFulfillment Plan = iota
+	// PartialFulfillment combines only same-stage samples; cheaper per
+	// stage but covers fewer points for the same I/O ([HoOT 88a]).
+	PartialFulfillment
+)
+
+// String names the plan.
+func (p Plan) String() string {
+	if p == PartialFulfillment {
+		return "partial"
+	}
+	return "full"
+}
+
+// Build compiles a set-operation-free SJIP expression (an atom of a
+// ra.Term, or a whole term via BuildTerm) into an executor tree. feeds
+// must contain a Feed for every base relation in the expression.
+func Build(e ra.Expr, env *Env, cat ra.Catalog, feeds map[string]*Feed, plan Plan) (Node, error) {
+	switch v := e.(type) {
+	case *ra.Base:
+		feed, ok := feeds[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("exec: no feed for relation %q", v.Name)
+		}
+		return newBaseNode(env, feed, v)
+
+	case *ra.Select:
+		child, err := Build(v.Input, env, cat, feeds, plan)
+		if err != nil {
+			return nil, err
+		}
+		return newSelectNode(env, child, v.Pred, v)
+
+	case *ra.Project:
+		child, err := Build(v.Input, env, cat, feeds, plan)
+		if err != nil {
+			return nil, err
+		}
+		return newProjectNode(env, child, v.Cols, v)
+
+	case *ra.Join:
+		left, err := Build(v.Left, env, cat, feeds, plan)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(v.Right, env, cat, feeds, plan)
+		if err != nil {
+			return nil, err
+		}
+		return newJoinNode(env, left, right, v.On, plan, v)
+
+	case *ra.Intersect:
+		if len(v.Inputs) == 0 {
+			return nil, fmt.Errorf("exec: empty intersect")
+		}
+		node, err := Build(v.Inputs[0], env, cat, feeds, plan)
+		if err != nil {
+			return nil, err
+		}
+		for i, in := range v.Inputs[1:] {
+			right, err := Build(in, env, cat, feeds, plan)
+			if err != nil {
+				return nil, err
+			}
+			// The chained binary node denotes the prefix intersection.
+			prefix := &ra.Intersect{Inputs: append([]ra.Expr{}, v.Inputs[:i+2]...)}
+			node, err = newIntersectNode(env, node, right, plan, prefix)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return node, nil
+
+	default:
+		return nil, fmt.Errorf("exec: unsupported expression %T (set ops must be removed by ra.Terms)", e)
+	}
+}
+
+// BuildTerm compiles one ra.Term into an executor tree.
+func BuildTerm(t ra.Term, env *Env, cat ra.Catalog, feeds map[string]*Feed, plan Plan) (Node, error) {
+	return Build(t.Expr(), env, cat, feeds, plan)
+}
+
+// ---------------------------------------------------------------------------
+// Base node
+
+type baseNode struct {
+	id    int
+	feed  *Feed
+	src   ra.Expr
+	stats Stats
+}
+
+func newBaseNode(env *Env, feed *Feed, src ra.Expr) (Node, error) {
+	// Base nodes share the feed's node id so that the read/init step
+	// timings the feed records are attributed to the node the cost
+	// model predicts with (several base nodes over one relation share
+	// one feed and hence one set of coefficients).
+	return &baseNode{id: feed.nodeID, feed: feed, src: src}, nil
+}
+
+func (n *baseNode) ID() int               { return n.id }
+func (n *baseNode) Op() OpKind            { return OpBase }
+func (n *baseNode) Children() []Node      { return nil }
+func (n *baseNode) Schema() *tuple.Schema { return n.feed.Rel.Schema() }
+func (n *baseNode) Stats() Stats          { return n.stats }
+func (n *baseNode) CumOutTuples() int64   { return int64(n.stats.CumOut) }
+
+// Feed returns the node's sample feed (the engine uses it to size the
+// point space).
+func (n *baseNode) Feed() *Feed { return n.feed }
+
+func (n *baseNode) Advance(stage int) ([]tuple.Tuple, error) {
+	ts, err := n.feed.StageTuples(stage)
+	if err != nil {
+		return nil, err
+	}
+	n.stats.CumPoints += float64(len(ts))
+	n.stats.CumOut += float64(len(ts))
+	return ts, nil
+}
+
+// BaseFeedOf returns the Feed when n is a base node.
+func BaseFeedOf(n Node) (*Feed, bool) {
+	b, ok := n.(*baseNode)
+	if !ok {
+		return nil, false
+	}
+	return b.feed, true
+}
+
+// ---------------------------------------------------------------------------
+// Select node (Fig. 4.3)
+
+type selectNode struct {
+	id       int
+	child    Node
+	pred     ra.CompiledPred
+	predSize int
+	src      ra.Expr
+	env      *Env
+	out      *storage.TempFile
+	stats    Stats
+}
+
+func newSelectNode(env *Env, child Node, pred ra.Pred, src ra.Expr) (Node, error) {
+	compiled, err := ra.Compile(pred, child.Schema())
+	if err != nil {
+		return nil, err
+	}
+	size := pred.Comparisons()
+	if size < 1 {
+		size = 1
+	}
+	return &selectNode{
+		id:       env.newID(),
+		child:    child,
+		pred:     compiled,
+		predSize: size,
+		src:      src,
+		env:      env,
+		out:      env.Store.NewTempFile(child.Schema()),
+	}, nil
+}
+
+func (n *selectNode) ID() int               { return n.id }
+func (n *selectNode) Op() OpKind            { return OpSelect }
+func (n *selectNode) Children() []Node      { return []Node{n.child} }
+func (n *selectNode) Schema() *tuple.Schema { return n.child.Schema() }
+func (n *selectNode) Stats() Stats          { return n.stats }
+func (n *selectNode) CumOutTuples() int64   { return int64(n.stats.CumOut) }
+
+func (n *selectNode) Advance(stage int) ([]tuple.Tuple, error) {
+	in, err := n.child.Advance(stage)
+	if err != nil {
+		return nil, err
+	}
+	n.env.chargeInit(n.id, OpSelect)
+	clock := n.env.Store.Clock()
+	costs := n.env.Store.Costs()
+
+	// Scan + check each input tuple (cost c1·n of eq. 4.1).
+	t0 := clock.Now()
+	var out []tuple.Tuple
+	for _, t := range in {
+		if err := n.env.checkDeadline(); err != nil {
+			return nil, err
+		}
+		clock.Charge(time.Duration(n.predSize) * costs.TupleCheck)
+		if n.pred(t) {
+			out = append(out, t)
+		}
+	}
+	n.env.record(n.id, OpSelect, StepScan, float64(len(in)), clock.Now()-t0)
+
+	// Write output pages (cost C1·p of eq. 4.1).
+	t0 = clock.Now()
+	for _, t := range out {
+		if err := n.env.checkDeadline(); err != nil {
+			return nil, err
+		}
+		n.out.Write(t)
+	}
+	n.out.Flush()
+	n.env.record(n.id, OpSelect, StepOutput, float64(len(out)), clock.Now()-t0)
+
+	n.stats.CumPoints += float64(len(in))
+	n.stats.CumOut += float64(len(out))
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Project node (Fig. 4.7)
+
+type projectNode struct {
+	id        int
+	child     Node
+	idx       []int
+	schema    *tuple.Schema
+	src       ra.Expr
+	env       *Env
+	temp      *storage.TempFile
+	out       *storage.TempFile
+	occupancy map[string]int
+	stats     Stats
+}
+
+func newProjectNode(env *Env, child Node, cols []string, src ra.Expr) (Node, error) {
+	schema, idx, err := child.Schema().Project(cols)
+	if err != nil {
+		return nil, err
+	}
+	return &projectNode{
+		id:        env.newID(),
+		child:     child,
+		idx:       idx,
+		schema:    schema,
+		src:       src,
+		env:       env,
+		temp:      env.Store.NewTempFile(schema),
+		out:       env.Store.NewTempFile(schema),
+		occupancy: make(map[string]int),
+	}, nil
+}
+
+func (n *projectNode) ID() int               { return n.id }
+func (n *projectNode) Op() OpKind            { return OpProject }
+func (n *projectNode) Children() []Node      { return []Node{n.child} }
+func (n *projectNode) Schema() *tuple.Schema { return n.schema }
+func (n *projectNode) Stats() Stats          { return n.stats }
+func (n *projectNode) CumOutTuples() int64   { return int64(n.stats.CumOut) }
+
+// Occupancies returns f_i = number of distinct projected values seen
+// exactly i times in the cumulative sample — the input to Goodman's
+// estimator.
+func (n *projectNode) Occupancies() map[int]int {
+	freq := map[int]int{}
+	for _, c := range n.occupancy {
+		freq[c]++
+	}
+	return freq
+}
+
+// SampledInput returns the cumulative number of input tuples the
+// projection has consumed (Goodman's sample size n).
+func (n *projectNode) SampledInput() int64 { return int64(n.stats.CumPoints) }
+
+func (n *projectNode) Advance(stage int) ([]tuple.Tuple, error) {
+	in, err := n.child.Advance(stage)
+	if err != nil {
+		return nil, err
+	}
+	n.env.chargeInit(n.id, OpProject)
+	clock := n.env.Store.Clock()
+	costs := n.env.Store.Costs()
+
+	// Step 1: write projected attributes to a temporary file.
+	t0 := clock.Now()
+	projected := make([]tuple.Tuple, len(in))
+	for i, t := range in {
+		if err := n.env.checkDeadline(); err != nil {
+			return nil, err
+		}
+		projected[i] = t.Project(n.idx)
+		n.temp.Write(projected[i])
+	}
+	n.temp.Flush()
+	n.env.record(n.id, OpProject, StepWrite, float64(len(in)), clock.Now()-t0)
+	if err := n.env.checkDeadline(); err != nil {
+		return nil, err
+	}
+
+	// Step 2: sort the temporary file (this stage's run).
+	t0 = clock.Now()
+	res := sortx.Sort(projected, func(a, b tuple.Tuple) int {
+		return tuple.Compare(a, b, nil, nil)
+	}, 0)
+	if err := n.env.chargeChunked(res.Comparisons, costs.TupleCompare); err != nil {
+		return nil, err
+	}
+	n.env.record(n.id, OpProject, StepSort, nLogN(len(projected)), clock.Now()-t0)
+
+	// Step 3: scan, count occupancies, emit newly distinct tuples.
+	t0 = clock.Now()
+	var out []tuple.Tuple
+	for _, t := range res.Sorted {
+		if err := n.env.checkDeadline(); err != nil {
+			return nil, err
+		}
+		clock.Charge(costs.TupleCheck)
+		k := t.Key(n.schema, nil)
+		if n.occupancy[k] == 0 {
+			out = append(out, t)
+			n.out.Write(t)
+		}
+		n.occupancy[k]++
+	}
+	n.out.Flush()
+	n.env.record(n.id, OpProject, StepScan, float64(len(res.Sorted)), clock.Now()-t0)
+
+	n.stats.CumPoints += float64(len(in))
+	n.stats.CumOut += float64(len(out))
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Join and Intersect nodes (Figs. 4.4–4.6)
+
+// mergeNode implements the shared sort-merge machinery of intersect and
+// join under full or partial fulfillment: per stage, write both sides'
+// new tuples to temp files, sort them into runs F_{j,s}, then merge the
+// new run of each side against the other side's runs per Fig. 4.5.
+type mergeNode struct {
+	id     int
+	op     OpKind
+	src    ra.Expr
+	left   Node
+	right  Node
+	lcols  []int
+	rcols  []int
+	schema *tuple.Schema
+	emit   func(l, r tuple.Tuple) tuple.Tuple
+	env    *Env
+	plan   Plan
+	lruns  [][]tuple.Tuple // sorted runs per stage, left side
+	rruns  [][]tuple.Tuple
+	lcum   int64
+	rcum   int64
+	out    *storage.TempFile
+	stats  Stats
+}
+
+func newJoinNode(env *Env, left, right Node, on []ra.JoinCond, plan Plan, src ra.Expr) (Node, error) {
+	lcols, rcols, err := ra.JoinCols(on, left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	schema, err := left.Schema().Concat(right.Schema(), "l", "r")
+	if err != nil {
+		return nil, err
+	}
+	return &mergeNode{
+		id: env.newID(), op: OpJoin, src: src, left: left, right: right,
+		lcols: lcols, rcols: rcols, schema: schema,
+		emit: func(l, r tuple.Tuple) tuple.Tuple { return l.Concat(r) },
+		env:  env, plan: plan, out: env.Store.NewTempFile(schema),
+	}, nil
+}
+
+func newIntersectNode(env *Env, left, right Node, plan Plan, src ra.Expr) (Node, error) {
+	ls, rs := left.Schema(), right.Schema()
+	if ls.NumCols() != rs.NumCols() {
+		return nil, fmt.Errorf("exec: intersect of incompatible schemas")
+	}
+	all := make([]int, ls.NumCols())
+	for i := range all {
+		all[i] = i
+	}
+	return &mergeNode{
+		id: env.newID(), op: OpIntersect, src: src, left: left, right: right,
+		lcols: all, rcols: all, schema: ls,
+		emit: func(l, r tuple.Tuple) tuple.Tuple { return l },
+		env:  env, plan: plan, out: env.Store.NewTempFile(ls),
+	}, nil
+}
+
+func (n *mergeNode) ID() int               { return n.id }
+func (n *mergeNode) Op() OpKind            { return n.op }
+func (n *mergeNode) Children() []Node      { return []Node{n.left, n.right} }
+func (n *mergeNode) Schema() *tuple.Schema { return n.schema }
+func (n *mergeNode) Stats() Stats          { return n.stats }
+func (n *mergeNode) CumOutTuples() int64   { return int64(n.stats.CumOut) }
+
+func (n *mergeNode) keyCmpLR(l, r tuple.Tuple) int {
+	return tuple.Compare(l, r, n.lcols, n.rcols)
+}
+
+func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
+	newL, err := n.left.Advance(stage)
+	if err != nil {
+		return nil, err
+	}
+	newR, err := n.right.Advance(stage)
+	if err != nil {
+		return nil, err
+	}
+	n.env.chargeInit(n.id, n.op)
+	clock := n.env.Store.Clock()
+	costs := n.env.Store.Costs()
+
+	// Step 1: write sample tuples to temporary files (eq. 4.2).
+	t0 := clock.Now()
+	lTemp := n.env.Store.NewTempFile(n.left.Schema())
+	for _, t := range newL {
+		if err := n.env.checkDeadline(); err != nil {
+			return nil, err
+		}
+		lTemp.Write(t)
+	}
+	lTemp.Flush()
+	rTemp := n.env.Store.NewTempFile(n.right.Schema())
+	for _, t := range newR {
+		if err := n.env.checkDeadline(); err != nil {
+			return nil, err
+		}
+		rTemp.Write(t)
+	}
+	rTemp.Flush()
+	n.env.record(n.id, n.op, StepWrite, float64(len(newL)+len(newR)), clock.Now()-t0)
+	if err := n.env.checkDeadline(); err != nil {
+		return nil, err
+	}
+
+	// Step 2: sort both temporary files (eq. 4.3).
+	t0 = clock.Now()
+	lSorted := sortx.Sort(newL, func(a, b tuple.Tuple) int {
+		return tuple.Compare(a, b, n.lcols, n.lcols)
+	}, 0)
+	rSorted := sortx.Sort(newR, func(a, b tuple.Tuple) int {
+		return tuple.Compare(a, b, n.rcols, n.rcols)
+	}, 0)
+	if err := n.env.chargeChunked(lSorted.Comparisons+rSorted.Comparisons, costs.TupleCompare); err != nil {
+		return nil, err
+	}
+	n.env.record(n.id, n.op, StepSort, nLogN(len(newL))+nLogN(len(newR)), clock.Now()-t0)
+
+	n.lruns = append(n.lruns, lSorted.Sorted)
+	n.rruns = append(n.rruns, rSorted.Sorted)
+
+	// Step 3: merge per the fulfillment plan (eq. 4.4, Fig. 4.5).
+	t0 = clock.Now()
+	var out []tuple.Tuple
+	var mergeUnits float64
+	mergePair := func(l, r []tuple.Tuple) error {
+		matched, comps, err := n.mergeJoin(l, r)
+		if err != nil {
+			return err
+		}
+		if err := n.env.chargeChunked(comps, costs.TupleCompare); err != nil {
+			return err
+		}
+		mergeUnits += float64(len(l) + len(r))
+		out = append(out, matched...)
+		return nil
+	}
+	s := len(n.lruns) - 1
+	if n.plan == FullFulfillment {
+		// New-left × every right run, then old-left runs × new-right.
+		for i := 0; i <= s; i++ {
+			if err := mergePair(n.lruns[s], n.rruns[i]); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < s; i++ {
+			if err := mergePair(n.lruns[i], n.rruns[s]); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := mergePair(n.lruns[s], n.rruns[s]); err != nil {
+			return nil, err
+		}
+	}
+	n.env.record(n.id, n.op, StepMerge, mergeUnits, clock.Now()-t0)
+
+	// Write output pages.
+	t0 = clock.Now()
+	for _, t := range out {
+		if err := n.env.checkDeadline(); err != nil {
+			return nil, err
+		}
+		n.out.Write(t)
+	}
+	n.out.Flush()
+	n.env.record(n.id, n.op, StepOutput, float64(len(out)), clock.Now()-t0)
+
+	// Point-space accounting.
+	var newPoints float64
+	if n.plan == FullFulfillment {
+		newPoints = float64(n.lcum+int64(len(newL)))*float64(n.rcum+int64(len(newR))) -
+			float64(n.lcum)*float64(n.rcum)
+	} else {
+		newPoints = float64(len(newL)) * float64(len(newR))
+	}
+	n.lcum += int64(len(newL))
+	n.rcum += int64(len(newR))
+	n.stats.CumPoints += newPoints
+	n.stats.CumOut += float64(len(out))
+	return out, nil
+}
+
+// mergeJoin merges two key-sorted runs, emitting n.emit(l, r) for each
+// key-equal pair (group-wise cross product for duplicate keys). It
+// returns the matches and the number of comparisons performed.
+func (n *mergeNode) mergeJoin(l, r []tuple.Tuple) ([]tuple.Tuple, int64, error) {
+	var out []tuple.Tuple
+	var comps int64
+	i, j := 0, 0
+	for i < len(l) && j < len(r) {
+		if (i+j)%16 == 0 {
+			if err := n.env.checkDeadline(); err != nil {
+				return nil, comps, err
+			}
+		}
+		comps++
+		c := n.keyCmpLR(l[i], r[j])
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Find the extent of the equal-key groups on both sides.
+			i2 := i + 1
+			for i2 < len(l) && tuple.Compare(l[i2], l[i], n.lcols, n.lcols) == 0 {
+				comps++
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(r) && tuple.Compare(r[j2], r[j], n.rcols, n.rcols) == 0 {
+				comps++
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					out = append(out, n.emit(l[a], r[b]))
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out, comps, nil
+}
+
+// nLogN returns n·log₂(n) (0 for n <= 1), the sort-step unit measure.
+func nLogN(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n) * math.Log2(float64(n))
+}
+
+// Walk visits every node of a tree depth-first (children first).
+func Walk(n Node, fn func(Node)) {
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+	fn(n)
+}
+
+// IsAborted reports whether err is a deadline abort.
+func IsAborted(err error) bool { return errors.Is(err, ErrAborted) }

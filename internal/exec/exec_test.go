@@ -1,0 +1,517 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tcq/internal/ra"
+	"tcq/internal/sampling"
+	"tcq/internal/stats"
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+	"tcq/internal/vclock"
+)
+
+// fixture builds a store with two relations r and s:
+//
+//	r(id, a): 200 tuples, id 0..199, a = id % 20
+//	s(id, a): 200 tuples, id 100..299, a = id % 20
+//
+// so r ∩ s would be empty on full tuples unless values align; we make s
+// share ids 100..199 with identical tuples for intersect tests.
+func fixture(t *testing.T, seed int64) (*storage.Store, *vclock.Sim) {
+	t.Helper()
+	clk := vclock.NewSim(seed, 0)
+	st := storage.NewStore(clk, storage.SunProfile(), storage.DefaultBlockSize)
+	sch := tuple.MustSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "a", Type: tuple.Int},
+	)
+	r, err := st.CreateRelation("r", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.CreateRelation("s", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := r.Append(tuple.Tuple{i, i % 20}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(tuple.Tuple{i + 100, (i + 100) % 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, clk
+}
+
+// loadAll loads every block of every feed as a single stage.
+func loadAll(t *testing.T, q *Query) {
+	t.Helper()
+	for _, f := range q.Feeds {
+		blocks := make([]int, f.Rel.NumBlocks())
+		for i := range blocks {
+			blocks[i] = i
+		}
+		if err := f.LoadStage(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// loadStages splits each relation's blocks into k random stages.
+func loadStages(t *testing.T, q *Query, k int, rng *rand.Rand) {
+	t.Helper()
+	for _, f := range q.Feeds {
+		d := f.Rel.NumBlocks()
+		smp := sampling.NewBlockSampler(d, rng)
+		per := d / k
+		for i := 0; i < k; i++ {
+			n := per
+			if i == k-1 {
+				n = smp.Remaining()
+			}
+			if err := f.LoadStage(smp.Draw(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func mustQuery(t *testing.T, st *storage.Store, e ra.Expr, plan Plan) (*Query, *Env) {
+	t.Helper()
+	env := NewEnv(st)
+	q, err := NewQuery(e, env, StoreCatalog{st}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, env
+}
+
+func exactCount(t *testing.T, st *storage.Store, e ra.Expr) int64 {
+	t.Helper()
+	c, err := ra.CountExact(e, StoreCatalog{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fullSampleExact asserts that a census sample reproduces the exact
+// count with zero (or near-zero) estimator error.
+func fullSampleExact(t *testing.T, e ra.Expr, stages int) {
+	t.Helper()
+	st, _ := fixture(t, 1)
+	want := exactCount(t, st, e)
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	if stages == 1 {
+		loadAll(t, q)
+	} else {
+		loadStages(t, q, stages, rand.New(rand.NewSource(7)))
+	}
+	for s := 0; s < stages; s++ {
+		if err := q.AdvanceStage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := q.Estimate()
+	if math.Abs(got.Value-float64(want)) > 1e-6 {
+		t.Errorf("%s: census estimate = %g, exact = %d", e, got.Value, want)
+	}
+}
+
+func TestCensusSelect(t *testing.T) {
+	e := &ra.Select{Input: &ra.Base{Name: "r"}, Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(5)}}}
+	fullSampleExact(t, e, 1)
+	fullSampleExact(t, e, 3)
+}
+
+func TestCensusJoin(t *testing.T) {
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}, On: []ra.JoinCond{{LeftCol: "id", RightCol: "id"}}}
+	fullSampleExact(t, e, 1)
+	fullSampleExact(t, e, 4)
+}
+
+func TestCensusIntersect(t *testing.T) {
+	e := &ra.Intersect{Inputs: []ra.Expr{&ra.Base{Name: "r"}, &ra.Base{Name: "s"}}}
+	fullSampleExact(t, e, 1)
+	fullSampleExact(t, e, 3)
+}
+
+func TestCensusUnionViaTerms(t *testing.T) {
+	e := &ra.Union{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}}
+	fullSampleExact(t, e, 1)
+	fullSampleExact(t, e, 2)
+}
+
+func TestCensusDifferenceViaTerms(t *testing.T) {
+	e := &ra.Difference{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}}
+	fullSampleExact(t, e, 1)
+	fullSampleExact(t, e, 3)
+}
+
+func TestCensusProject(t *testing.T) {
+	e := &ra.Project{Input: &ra.Base{Name: "r"}, Cols: []string{"a"}}
+	fullSampleExact(t, e, 1)
+	fullSampleExact(t, e, 2)
+}
+
+func TestCensusSelectJoinCompound(t *testing.T) {
+	e := &ra.Join{
+		Left:  &ra.Select{Input: &ra.Base{Name: "r"}, Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(10)}}},
+		Right: &ra.Base{Name: "s"},
+		On:    []ra.JoinCond{{LeftCol: "a", RightCol: "a"}},
+	}
+	fullSampleExact(t, e, 1)
+	fullSampleExact(t, e, 3)
+}
+
+func TestMultiStageMatchesSingleStage(t *testing.T) {
+	// Full fulfillment: splitting the census into stages must cover the
+	// same points and produce the same final y (order differs only).
+	st1, _ := fixture(t, 1)
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}, On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	q1, _ := mustQuery(t, st1, e, FullFulfillment)
+	loadAll(t, q1)
+	if err := q1.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _ := fixture(t, 1)
+	q2, _ := mustQuery(t, st2, e, FullFulfillment)
+	loadStages(t, q2, 5, rand.New(rand.NewSource(3)))
+	for s := 0; s < 5; s++ {
+		if err := q2.AdvanceStage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	y1 := q1.Terms[0].Root.CumOutTuples()
+	y2 := q2.Terms[0].Root.CumOutTuples()
+	if y1 != y2 {
+		t.Errorf("multi-stage full fulfillment y = %d, single-stage = %d", y2, y1)
+	}
+	p1 := q1.Terms[0].PointsEvaluated()
+	p2 := q2.Terms[0].PointsEvaluated()
+	if p1 != p2 {
+		t.Errorf("points evaluated %g vs %g", p2, p1)
+	}
+}
+
+func TestPartialFulfillmentCoversFewerPoints(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}, On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	q, _ := mustQuery(t, st, e, PartialFulfillment)
+	loadStages(t, q, 4, rand.New(rand.NewSource(11)))
+	for s := 0; s < 4; s++ {
+		if err := q.AdvanceStage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	te := q.Terms[0]
+	full := 1.0
+	for _, f := range te.Feeds() {
+		full *= float64(f.CumTuples())
+	}
+	if got := te.PointsEvaluated(); got >= full {
+		t.Errorf("partial plan covered %g points, full would be %g", got, full)
+	}
+	// Census estimate under partial fulfillment is still unbiased-ish;
+	// with the whole relation sampled it should be close but the plan
+	// does not cover all cross pairs, so only check it is positive and
+	// finite.
+	est := q.Estimate()
+	if est.Value <= 0 || math.IsInf(est.Value, 0) || math.IsNaN(est.Value) {
+		t.Errorf("partial estimate = %v", est)
+	}
+}
+
+func TestEstimatorUnbiasedOverRandomSamples(t *testing.T) {
+	// Join estimate over repeated small cluster samples should center on
+	// the exact count.
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}, On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	st0, _ := fixture(t, 1)
+	want := float64(exactCount(t, st0, e))
+	rng := rand.New(rand.NewSource(99))
+	var acc stats.Accumulator
+	for trial := 0; trial < 150; trial++ {
+		st, _ := fixture(t, 1)
+		q, _ := mustQuery(t, st, e, FullFulfillment)
+		for _, f := range q.Feeds {
+			smp := sampling.NewBlockSampler(f.Rel.NumBlocks(), rng)
+			if err := f.LoadStage(smp.Draw(8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := q.AdvanceStage(0); err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(q.Estimate().Value)
+	}
+	if math.Abs(acc.Mean()-want)/want > 0.1 {
+		t.Errorf("mean estimate %.1f, exact %.1f (relative error > 10%%)", acc.Mean(), want)
+	}
+}
+
+func TestSelectivityStatsTracked(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Select{Input: &ra.Base{Name: "r"}, Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(5)}}}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	root := q.Terms[0].Root
+	s := root.Stats()
+	if s.CumPoints != 200 {
+		t.Errorf("select CumPoints = %g, want 200", s.CumPoints)
+	}
+	// a < 5 matches a in {0..4}: 10 ids per a value -> 50 tuples.
+	if s.CumOut != 50 {
+		t.Errorf("select CumOut = %g, want 50", s.CumOut)
+	}
+	sel := s.CumOut / s.CumPoints
+	if math.Abs(sel-0.25) > 1e-9 {
+		t.Errorf("selectivity = %g, want 0.25", sel)
+	}
+}
+
+func TestStepTimingsRecorded(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}, On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	q, env := mustQuery(t, st, e, FullFulfillment)
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	timings := env.TakeTimings()
+	if len(timings) == 0 {
+		t.Fatal("no step timings recorded")
+	}
+	kinds := map[StepKind]bool{}
+	for _, tm := range timings {
+		kinds[tm.Step] = true
+		if tm.Units < 0 || tm.Actual < 0 {
+			t.Errorf("bad timing %+v", tm)
+		}
+	}
+	for _, k := range []StepKind{StepRead, StepWrite, StepSort, StepMerge, StepOutput} {
+		if !kinds[k] {
+			t.Errorf("missing step kind %s", k)
+		}
+	}
+	if len(env.TakeTimings()) != 0 {
+		t.Error("TakeTimings must clear the buffer")
+	}
+}
+
+func TestClockChargedDuringExecution(t *testing.T) {
+	st, clk := fixture(t, 1)
+	e := &ra.Select{Input: &ra.Base{Name: "r"}, Pred: ra.True{}}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	loadAll(t, q)
+	before := clk.Now()
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() <= before {
+		t.Error("executing a stage must charge the clock")
+	}
+}
+
+func TestHardDeadlineAbortsStage(t *testing.T) {
+	st, clk := fixture(t, 1)
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}, On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	env := NewEnv(st)
+	q, err := NewQuery(e, env, StoreCatalog{st}, FullFulfillment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm a deadline that will expire partway through the block reads.
+	env.SetDeadline(vclock.NewDeadline(clk, 100*time.Millisecond))
+	var abortErr error
+	for _, f := range q.Feeds {
+		blocks := make([]int, f.Rel.NumBlocks())
+		for i := range blocks {
+			blocks[i] = i
+		}
+		if abortErr = f.LoadStage(blocks); abortErr != nil {
+			break
+		}
+	}
+	if abortErr == nil {
+		abortErr = q.AdvanceStage(0)
+	}
+	if !IsAborted(abortErr) {
+		t.Errorf("expected deadline abort, got %v", abortErr)
+	}
+}
+
+func TestDeadlineAbortsMidMerge(t *testing.T) {
+	st, clk := fixture(t, 1)
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}, On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	env := NewEnv(st)
+	q, err := NewQuery(e, env, StoreCatalog{st}, FullFulfillment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load everything with no deadline, then arm one that expires during
+	// operator evaluation.
+	for _, f := range q.Feeds {
+		blocks := make([]int, f.Rel.NumBlocks())
+		for i := range blocks {
+			blocks[i] = i
+		}
+		if err := f.LoadStage(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env.SetDeadline(vclock.NewDeadline(clk, time.Millisecond))
+	clk.Advance(2 * time.Millisecond)
+	if err := q.AdvanceStage(0); !IsAborted(err) {
+		t.Errorf("expected mid-stage abort, got %v", err)
+	}
+}
+
+func TestSnapshotReflectsTree(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Join{
+		Left:  &ra.Select{Input: &ra.Base{Name: "r"}, Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(5)}}},
+		Right: &ra.Base{Name: "s"},
+		On:    []ra.JoinCond{{LeftCol: "id", RightCol: "id"}},
+	}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	info := Snapshot(q.Terms[0].Root)
+	if info.Op != OpJoin || len(info.Children) != 2 {
+		t.Fatalf("root info = %+v", info)
+	}
+	sel := info.Children[0]
+	if sel.Op != OpSelect || sel.PredComparisons != 1 {
+		t.Errorf("select info = %+v", sel)
+	}
+	base := sel.Children[0]
+	if base.Op != OpBase || base.BaseName != "r" || base.BaseTuples != 200 {
+		t.Errorf("base info = %+v", base)
+	}
+	if base.BlockingFactor != storage.DefaultBlockSize/16 {
+		t.Errorf("blocking factor = %d", base.BlockingFactor)
+	}
+	if info.CumOut != q.Terms[0].Root.CumOutTuples() {
+		t.Error("snapshot CumOut mismatch")
+	}
+	count := 0
+	WalkInfo(info, func(*NodeInfo) { count++ })
+	if count != 4 {
+		t.Errorf("walked %d nodes, want 4", count)
+	}
+}
+
+func TestQuerySampledBlocks(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"}, On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range q.Feeds {
+		smp := sampling.NewBlockSampler(f.Rel.NumBlocks(), rng)
+		if err := f.LoadStage(smp.Draw(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.SampledBlocks() != 6 {
+		t.Errorf("SampledBlocks = %d, want 6", q.SampledBlocks())
+	}
+}
+
+func TestOpAndStepStrings(t *testing.T) {
+	ops := []OpKind{OpBase, OpSelect, OpJoin, OpIntersect, OpProject, OpKind(9)}
+	for _, o := range ops {
+		if o.String() == "" {
+			t.Errorf("empty op name for %d", int(o))
+		}
+	}
+	steps := []StepKind{StepRead, StepScan, StepWrite, StepSort, StepMerge, StepOutput, StepKind(9)}
+	for _, s := range steps {
+		if s.String() == "" {
+			t.Errorf("empty step name for %d", int(s))
+		}
+	}
+	if FullFulfillment.String() != "full" || PartialFulfillment.String() != "partial" {
+		t.Error("plan names wrong")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	st, _ := fixture(t, 1)
+	env := NewEnv(st)
+	cat := StoreCatalog{st}
+	// Missing feed.
+	if _, err := Build(&ra.Base{Name: "r"}, env, cat, map[string]*Feed{}, FullFulfillment); err == nil {
+		t.Error("missing feed should fail")
+	}
+	// Set op must be rejected (Terms handles them upstream).
+	r, _ := st.Relation("r")
+	feeds := map[string]*Feed{"r": NewFeed(env, r)}
+	if _, err := Build(&ra.Union{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "r"}}, env, cat, feeds, FullFulfillment); err == nil {
+		t.Error("union should be rejected by Build")
+	}
+	// Bad predicate.
+	bad := &ra.Select{Input: &ra.Base{Name: "r"}, Pred: &ra.Cmp{Left: ra.Col{Name: "zz"}, Op: ra.Lt, Right: ra.Const{Value: int64(1)}}}
+	if _, err := Build(bad, env, cat, feeds, FullFulfillment); err == nil {
+		t.Error("unknown predicate column should fail at build time")
+	}
+}
+
+func TestGoodmanPathOnProjection(t *testing.T) {
+	// Project over r on column a has exactly 20 distinct values; a census
+	// sample must estimate exactly 20 (Goodman is exact at q=1).
+	st, _ := fixture(t, 1)
+	e := &ra.Project{Input: &ra.Base{Name: "r"}, Cols: []string{"a"}}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Terms[0].HasRootProjection() {
+		t.Fatal("expected projection at term root")
+	}
+	est := q.Estimate()
+	if math.Abs(est.Value-20) > 1e-9 {
+		t.Errorf("census distinct estimate = %g, want 20", est.Value)
+	}
+}
+
+func TestProjectionOccupancies(t *testing.T) {
+	st, _ := fixture(t, 1)
+	e := &ra.Project{Input: &ra.Base{Name: "r"}, Cols: []string{"a"}}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	proj := q.Terms[0].Root.(*projectNode)
+	freq := proj.Occupancies()
+	// Every a value appears exactly 10 times in r.
+	if freq[10] != 20 || len(freq) != 1 {
+		t.Errorf("occupancies = %v, want {10:20}", freq)
+	}
+	if proj.SampledInput() != 200 {
+		t.Errorf("SampledInput = %d", proj.SampledInput())
+	}
+}
+
+func TestSelfIntersectUsesSingleDimension(t *testing.T) {
+	// intersect(select(r, a<5), select(r, a<10)) over the SAME relation:
+	// the point space is one-dimensional; a census must return exactly
+	// the size of the conjunction (a<5 -> 50 tuples).
+	e := &ra.Intersect{Inputs: []ra.Expr{
+		&ra.Select{Input: &ra.Base{Name: "r"}, Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(5)}}},
+		&ra.Select{Input: &ra.Base{Name: "r"}, Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(10)}}},
+	}}
+	fullSampleExact(t, e, 1)
+}

@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"tcq/internal/ra"
+	"tcq/internal/tuple"
+)
+
+// NodeInfo is an immutable snapshot of an executor node, consumed by the
+// adaptive cost model (internal/cost) and the time-control strategies
+// (internal/timectrl) — they predict the next stage's cost from the
+// tree's structure and cumulative state without touching live nodes.
+type NodeInfo struct {
+	ID       int
+	Op       OpKind
+	Children []*NodeInfo
+
+	// CumOut is the cumulative number of output tuples produced.
+	CumOut int64
+	// CumPoints is the cumulative point-space coverage of the operator
+	// (denominator of its sample selectivity, Fig. 3.3).
+	CumPoints float64
+
+	// PredComparisons is the number of atomic comparisons in a select
+	// node's predicate (cost weight of one tuple check).
+	PredComparisons int
+
+	// Base relation facts (base nodes only).
+	BaseName       string
+	BaseTuples     int64
+	BaseBlocks     int
+	BlockingFactor int
+	// SRS reports tuple-level simple random sampling (base nodes only);
+	// false means cluster (block) sampling.
+	SRS bool
+
+	// Plan is the fulfillment plan (merge nodes only).
+	Plan Plan
+	// NumRuns is the number of per-stage sorted runs held on each side
+	// (merge nodes only); stage s+1 merges against all of them under
+	// full fulfillment.
+	NumRuns int
+
+	// OutTupleSize is the byte width of this node's output tuples.
+	OutTupleSize int
+
+	// Src is the relational algebra expression the node evaluates
+	// (used by the prestored-selectivity oracle of §3.1).
+	Src ra.Expr
+}
+
+// Snapshot captures the current state of an executor tree.
+func Snapshot(n Node) *NodeInfo {
+	info := &NodeInfo{
+		ID:           n.ID(),
+		Op:           n.Op(),
+		CumOut:       n.CumOutTuples(),
+		CumPoints:    n.Stats().CumPoints,
+		OutTupleSize: n.Schema().TupleSize(),
+	}
+	for _, c := range n.Children() {
+		info.Children = append(info.Children, Snapshot(c))
+	}
+	switch v := n.(type) {
+	case *baseNode:
+		info.BaseName = v.feed.Rel.Name()
+		info.BaseTuples = v.feed.Rel.NumTuples()
+		info.BaseBlocks = v.feed.Rel.NumBlocks()
+		info.BlockingFactor = v.feed.Rel.BlockingFactor()
+		info.SRS = v.feed.srs
+		info.Src = v.src
+	case *selectNode:
+		info.PredComparisons = v.predSize
+		info.Src = v.src
+	case *projectNode:
+		info.Src = v.src
+	case *mergeNode:
+		info.Plan = v.plan
+		info.NumRuns = len(v.lruns)
+		info.Src = v.src
+	}
+	return info
+}
+
+// WalkInfo visits every NodeInfo depth-first (children first).
+func WalkInfo(n *NodeInfo, fn func(*NodeInfo)) {
+	for _, c := range n.Children {
+		WalkInfo(c, fn)
+	}
+	fn(n)
+}
+
+// SchemaOf is a convenience returning a node's schema (exported for
+// tests in other packages).
+func SchemaOf(n Node) *tuple.Schema { return n.Schema() }

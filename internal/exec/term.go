@@ -1,0 +1,297 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tcq/internal/estimator"
+	"tcq/internal/ra"
+	"tcq/internal/tuple"
+)
+
+// TermExec runs one signed SJIP term of the inclusion–exclusion
+// decomposition: it owns the term's executor tree and derives the
+// term's COUNT estimate from the cumulative sample.
+type TermExec struct {
+	Term  ra.Term
+	Root  Node
+	Plan  Plan
+	feeds []*Feed // distinct base-relation feeds, sorted by name
+
+	aggCol   int     // aggregated column index in Root's schema; -1 = none
+	aggSum   float64 // Σ value over output tuples
+	aggSqSum float64 // Σ value² over output tuples
+
+	groupCol int // group-by column index; -1 = none
+	groups   map[tuple.Value]int64
+}
+
+// NewTermExec builds the executor for one term. feeds must contain a
+// Feed for every base relation of the term (feeds are shared across
+// terms so each relation is sampled once per stage).
+func NewTermExec(term ra.Term, env *Env, cat ra.Catalog, feeds map[string]*Feed, plan Plan) (*TermExec, error) {
+	root, err := BuildTerm(term, env, cat, feeds, plan)
+	if err != nil {
+		return nil, err
+	}
+	names := ra.BaseRelations(term.Expr())
+	sort.Strings(names)
+	te := &TermExec{Term: term, Root: root, Plan: plan, aggCol: -1, groupCol: -1}
+	for _, n := range names {
+		f, ok := feeds[n]
+		if !ok {
+			return nil, fmt.Errorf("exec: no feed for relation %q", n)
+		}
+		te.feeds = append(te.feeds, f)
+	}
+	return te, nil
+}
+
+// Feeds returns the term's distinct base-relation feeds.
+func (te *TermExec) Feeds() []*Feed { return te.feeds }
+
+// SetAggregate configures SUM/AVG accumulation over the named numeric
+// column of the term's output. It fails for unknown or non-numeric
+// columns and for projection-rooted terms (a sum over distinct values
+// has no point-space estimator here).
+func (te *TermExec) SetAggregate(col string) error {
+	if _, ok := te.Root.(*projectNode); ok {
+		return fmt.Errorf("exec: SUM/AVG over a projection is not supported")
+	}
+	sch := te.Root.Schema()
+	i, ok := sch.ColIndex(col)
+	if !ok {
+		return fmt.Errorf("exec: unknown aggregate column %q", col)
+	}
+	switch sch.Col(i).Type {
+	case tuple.Int, tuple.Float:
+	default:
+		return fmt.Errorf("exec: aggregate column %q is not numeric", col)
+	}
+	te.aggCol = i
+	return nil
+}
+
+// Advance evaluates one more stage of the term. Feeds must already hold
+// the stage's samples (Feed.LoadStage).
+func (te *TermExec) Advance(stage int) error {
+	out, err := te.Root.Advance(stage)
+	if err != nil {
+		return err
+	}
+	if te.aggCol >= 0 {
+		for _, t := range out {
+			v := numeric(t[te.aggCol])
+			te.aggSum += v
+			te.aggSqSum += v * v
+		}
+	}
+	if te.groupCol >= 0 {
+		for _, t := range out {
+			te.groups[t[te.groupCol]]++
+		}
+	}
+	return nil
+}
+
+// numeric converts an Int/Float column value to float64.
+func numeric(v tuple.Value) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	default:
+		return 0
+	}
+}
+
+// PointsEvaluated returns the number of points of the term's point
+// space covered by the cumulative sample: Π m_i under full fulfillment,
+// Σ_s Π m_{i,s} under partial fulfillment. The point-space dimensions
+// are the term's distinct base relations.
+func (te *TermExec) PointsEvaluated() float64 {
+	if len(te.feeds) == 0 {
+		return 0
+	}
+	if te.Plan == FullFulfillment {
+		p := 1.0
+		for _, f := range te.feeds {
+			p *= float64(f.CumTuples())
+		}
+		return p
+	}
+	// Partial fulfillment: only same-stage combinations are covered.
+	nStages := te.feeds[0].Stages()
+	total := 0.0
+	for s := 0; s < nStages; s++ {
+		prod := 1.0
+		for _, f := range te.feeds {
+			ts, err := f.StageTuples(s)
+			if err != nil {
+				return total
+			}
+			prod *= float64(len(ts))
+		}
+		total += prod
+	}
+	return total
+}
+
+// TotalPoints returns the size of the term's point space: Π |r_i| over
+// distinct base relations.
+func (te *TermExec) TotalPoints() float64 {
+	p := 1.0
+	for _, f := range te.feeds {
+		p *= float64(f.Rel.NumTuples())
+	}
+	return p
+}
+
+// Estimate returns the term's current COUNT estimate.
+//
+// For Select-Join-Intersect terms this is the cluster-plan point-space
+// estimator with the paper's SRS variance approximation. For terms with
+// a projection at the root, Goodman's estimator (revised) is applied to
+// the projection's occupancy counts, with the population size taken
+// from the point-space estimate of the projection's input (the paper
+// assumes the input size known; under composition we estimate it —
+// see DESIGN.md). A projection nested below other operators falls back
+// to the point-space ratio, a documented approximation.
+func (te *TermExec) Estimate() estimator.Estimate {
+	pointsEval := te.PointsEvaluated()
+	if pointsEval <= 0 {
+		return estimator.Estimate{}
+	}
+	totalPoints := te.TotalPoints()
+	if proj, ok := te.Root.(*projectNode); ok {
+		child := proj.child
+		childEst := estimator.PointSpaceCluster(float64(child.CumOutTuples()), pointsEval, totalPoints)
+		popN := int64(math.Round(childEst.Value))
+		n := proj.SampledInput()
+		if popN < n {
+			popN = n
+		}
+		if popN <= 0 {
+			return estimator.Estimate{}
+		}
+		return estimator.DistinctCount(popN, n, proj.Occupancies())
+	}
+	return estimator.PointSpaceCluster(float64(te.Root.CumOutTuples()), pointsEval, totalPoints)
+}
+
+// SumEstimate returns the term's SUM estimate over the configured
+// aggregate column (zero Estimate when SetAggregate was not called or
+// no points are covered yet).
+func (te *TermExec) SumEstimate() estimator.Estimate {
+	if te.aggCol < 0 {
+		return estimator.Estimate{}
+	}
+	s := estimator.SumSample{
+		Points: te.PointsEvaluated(),
+		Count:  float64(te.Root.CumOutTuples()),
+		Sum:    te.aggSum,
+		SumSq:  te.aggSqSum,
+	}
+	return estimator.PointSpaceSum(s, te.TotalPoints())
+}
+
+// HasRootProjection reports whether the term's top operator is a
+// projection (Goodman path).
+func (te *TermExec) HasRootProjection() bool {
+	_, ok := te.Root.(*projectNode)
+	return ok
+}
+
+// Query bundles the term executors of one COUNT(E) query with the
+// shared feeds, and combines their estimates.
+type Query struct {
+	Terms []*TermExec
+	Feeds map[string]*Feed
+	Env   *Env
+	Plan  Plan
+}
+
+// NewQuery decomposes COUNT(e) into signed terms and builds an executor
+// per term, with one shared Feed per distinct base relation.
+func NewQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan) (*Query, error) {
+	terms, err := ra.Terms(e, cat)
+	if err != nil {
+		return nil, err
+	}
+	feeds := map[string]*Feed{}
+	for _, name := range ra.BaseRelations(e) {
+		rel, err := env.Store.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		feeds[name] = NewFeed(env, rel)
+	}
+	q := &Query{Feeds: feeds, Env: env, Plan: plan}
+	for _, t := range terms {
+		te, err := NewTermExec(t, env, cat, feeds, plan)
+		if err != nil {
+			return nil, err
+		}
+		q.Terms = append(q.Terms, te)
+	}
+	return q, nil
+}
+
+// AdvanceStage evaluates stage over all terms (feeds must be loaded).
+func (q *Query) AdvanceStage(stage int) error {
+	for _, te := range q.Terms {
+		if err := te.Advance(stage); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetAggregate configures SUM/AVG accumulation over the named column on
+// every term.
+func (q *Query) SetAggregate(col string) error {
+	for _, te := range q.Terms {
+		if err := te.SetAggregate(col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SumEstimate combines the signed per-term SUM estimates.
+func (q *Query) SumEstimate() estimator.Estimate {
+	parts := make([]estimator.TermEstimate, 0, len(q.Terms))
+	for _, te := range q.Terms {
+		parts = append(parts, estimator.TermEstimate{
+			Sign:     te.Term.Sign,
+			Estimate: te.SumEstimate(),
+		})
+	}
+	return estimator.Combine(parts)
+}
+
+// Estimate combines the signed term estimates (Principle of Inclusion
+// and Exclusion).
+func (q *Query) Estimate() estimator.Estimate {
+	parts := make([]estimator.TermEstimate, 0, len(q.Terms))
+	for _, te := range q.Terms {
+		parts = append(parts, estimator.TermEstimate{
+			Sign:     te.Term.Sign,
+			Estimate: te.Estimate(),
+		})
+	}
+	return estimator.Combine(parts)
+}
+
+// SampledBlocks returns the total number of distinct disk blocks
+// sampled across all relations (the "blocks" column of the paper's
+// experiment tables).
+func (q *Query) SampledBlocks() int {
+	total := 0
+	for _, f := range q.Feeds {
+		total += f.CumBlocks()
+	}
+	return total
+}

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcq/internal/ra"
+	"tcq/internal/sampling"
+	"tcq/internal/stats"
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+	"tcq/internal/vclock"
+)
+
+// threeWayFixture builds r(id,a), s(id,a), u(id,a) so that the chain
+// join r ⋈_a s ⋈_a u has a known positive cardinality.
+func threeWayFixture(t *testing.T) *storage.Store {
+	t.Helper()
+	clk := vclock.NewSim(1, 0)
+	st := storage.NewStore(clk, storage.SunProfile(), storage.DefaultBlockSize)
+	sch := tuple.MustSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "a", Type: tuple.Int},
+	)
+	for relIdx, name := range []string{"r", "s", "u"} {
+		rel, err := st.CreateRelation(name, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 120; i++ {
+			// Join attribute in 0..11; ids unique per relation.
+			if err := rel.Append(tuple.Tuple{int64(relIdx*1000) + i, i % 12}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return st
+}
+
+func threeWayJoin() ra.Expr {
+	return &ra.Join{
+		Left: &ra.Join{
+			Left:  &ra.Base{Name: "r"},
+			Right: &ra.Base{Name: "s"},
+			On:    []ra.JoinCond{{LeftCol: "a", RightCol: "a"}},
+		},
+		Right: &ra.Base{Name: "u"},
+		// The left schema disambiguates the clash as l.a / r.a.
+		On: []ra.JoinCond{{LeftCol: "l.a", RightCol: "a"}},
+	}
+}
+
+func TestThreeWayJoinCensusExact(t *testing.T) {
+	st := threeWayFixture(t)
+	e := threeWayJoin()
+	want, err := ra.CountExact(e, StoreCatalog{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 values × 10 tuples each per relation: 12 · 10³ = 12000 triples.
+	if want != 12000 {
+		t.Fatalf("exact three-way join = %d, want 12000", want)
+	}
+	for _, stages := range []int{1, 3} {
+		st := threeWayFixture(t)
+		q, _ := mustQuery(t, st, e, FullFulfillment)
+		if stages == 1 {
+			loadAll(t, q)
+		} else {
+			loadStages(t, q, stages, rand.New(rand.NewSource(3)))
+		}
+		for s := 0; s < stages; s++ {
+			if err := q.AdvanceStage(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := q.Estimate()
+		if math.Abs(got.Value-float64(want)) > 1e-6 {
+			t.Errorf("stages=%d: census estimate %g, exact %d", stages, got.Value, want)
+		}
+	}
+}
+
+func TestThreeWayJoinPointSpace(t *testing.T) {
+	st := threeWayFixture(t)
+	q, _ := mustQuery(t, st, threeWayJoin(), FullFulfillment)
+	te := q.Terms[0]
+	if got := te.TotalPoints(); got != 120*120*120 {
+		t.Errorf("TotalPoints = %g, want 120³", got)
+	}
+	if len(te.Feeds()) != 3 {
+		t.Errorf("feeds = %d, want 3", len(te.Feeds()))
+	}
+}
+
+func TestThreeWayJoinEstimateUnbiased(t *testing.T) {
+	e := threeWayJoin()
+	rng := rand.New(rand.NewSource(5))
+	var acc stats.Accumulator
+	for trial := 0; trial < 60; trial++ {
+		st := threeWayFixture(t)
+		q, _ := mustQuery(t, st, e, FullFulfillment)
+		for _, f := range q.Feeds {
+			smp := sampling.NewBlockSampler(f.Rel.NumBlocks(), rng)
+			if err := f.LoadStage(smp.Draw(3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := q.AdvanceStage(0); err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(q.Estimate().Value)
+	}
+	if math.Abs(acc.Mean()-12000)/12000 > 0.15 {
+		t.Errorf("three-way mean estimate %.0f, exact 12000", acc.Mean())
+	}
+}
+
+func TestSelectOverJoinCensus(t *testing.T) {
+	st := threeWayFixture(t)
+	e := &ra.Select{
+		Input: &ra.Join{
+			Left:  &ra.Base{Name: "r"},
+			Right: &ra.Base{Name: "s"},
+			On:    []ra.JoinCond{{LeftCol: "a", RightCol: "a"}},
+		},
+		// Both join inputs carry (id, a), so the joined schema
+		// disambiguates every column: l.id, l.a, r.id, r.a.
+		Pred: &ra.Cmp{Left: ra.Col{Name: "l.a"}, Op: ra.Lt, Right: ra.Const{Value: int64(3)}},
+	}
+	want, err := ra.CountExact(e, StoreCatalog{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 300 { // 3 values × 100 pairs
+		t.Fatalf("exact = %d, want 300", want)
+	}
+	q, _ := mustQuery(t, st, e, FullFulfillment)
+	loadAll(t, q)
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Estimate(); math.Abs(got.Value-300) > 1e-6 {
+		t.Errorf("census estimate %g, want 300", got.Value)
+	}
+}
+
+func TestDeadlineAbortsDuringProjectPhase(t *testing.T) {
+	st, clk := fixture(t, 1)
+	e := &ra.Project{Input: &ra.Base{Name: "r"}, Cols: []string{"a"}}
+	env := NewEnv(st)
+	q, err := NewQuery(e, env, StoreCatalog{st}, FullFulfillment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range q.Feeds {
+		blocks := make([]int, f.Rel.NumBlocks())
+		for i := range blocks {
+			blocks[i] = i
+		}
+		if err := f.LoadStage(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Arm a deadline that expires during the project's write phase.
+	env.SetDeadline(vclock.NewDeadline(clk, storage.SunProfile().TupleWrite*10))
+	if err := q.AdvanceStage(0); !IsAborted(err) {
+		t.Errorf("expected abort in project phase, got %v", err)
+	}
+}

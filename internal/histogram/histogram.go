@@ -1,0 +1,308 @@
+// Package histogram implements equi-depth histograms for selectivity
+// estimation — the "prestored statistics" alternative of the paper's
+// §3.1 ([PsCo 84], [MuDe 88]): selectivities of selection predicates
+// are estimated from maintained per-column statistics instead of
+// run-time samples. The paper rejects this approach for general use
+// (maintenance cost, one entry per operator/operand/formula
+// combination) but it is the right tool when the query workload is
+// fixed; tcq offers it as a selectivity source for exactly that case.
+//
+// An equi-depth histogram splits a column's sorted values into buckets
+// of (nearly) equal tuple counts, remembering each bucket's bounds.
+// Selectivity of "col op constant" follows from bucket interpolation;
+// distinct-value counts per bucket support equality predicates.
+package histogram
+
+import (
+	"fmt"
+	"sort"
+
+	"tcq/internal/ra"
+	"tcq/internal/tuple"
+)
+
+// Histogram is an equi-depth histogram over one numeric column.
+type Histogram struct {
+	col     string
+	buckets []bucket
+	total   int64
+}
+
+// bucket covers values in [lo, hi] (inclusive bounds as observed).
+type bucket struct {
+	lo, hi   float64
+	count    int64
+	distinct int64
+}
+
+// Build constructs an equi-depth histogram with the given bucket count
+// over a numeric column of the supplied tuples. It fails for unknown or
+// non-numeric columns, and for a non-positive bucket count.
+func Build(schema *tuple.Schema, ts []tuple.Tuple, col string, bucketCount int) (*Histogram, error) {
+	if bucketCount < 1 {
+		return nil, fmt.Errorf("histogram: need at least one bucket")
+	}
+	i, ok := schema.ColIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("histogram: unknown column %q", col)
+	}
+	switch schema.Col(i).Type {
+	case tuple.Int, tuple.Float:
+	default:
+		return nil, fmt.Errorf("histogram: column %q is not numeric", col)
+	}
+	vals := make([]float64, 0, len(ts))
+	for _, t := range ts {
+		switch v := t[i].(type) {
+		case int64:
+			vals = append(vals, float64(v))
+		case float64:
+			vals = append(vals, v)
+		}
+	}
+	h := &Histogram{col: col, total: int64(len(vals))}
+	if len(vals) == 0 {
+		return h, nil
+	}
+	sort.Float64s(vals)
+	if bucketCount > len(vals) {
+		bucketCount = len(vals)
+	}
+	per := len(vals) / bucketCount
+	rem := len(vals) % bucketCount
+	pos := 0
+	for b := 0; b < bucketCount; b++ {
+		n := per
+		if b < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		seg := vals[pos : pos+n]
+		bk := bucket{lo: seg[0], hi: seg[n-1], count: int64(n), distinct: 1}
+		for j := 1; j < n; j++ {
+			if seg[j] != seg[j-1] {
+				bk.distinct++
+			}
+		}
+		h.buckets = append(h.buckets, bk)
+		pos += n
+	}
+	return h, nil
+}
+
+// Column returns the histogrammed column name.
+func (h *Histogram) Column() string { return h.col }
+
+// Total returns the number of tuples summarised.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Distinct returns the (approximate) number of distinct values: the sum
+// of per-bucket distinct counts, which double-counts values that span
+// bucket boundaries by at most Buckets()−1.
+func (h *Histogram) Distinct() int64 {
+	var d int64
+	for _, b := range h.buckets {
+		d += b.distinct
+	}
+	return d
+}
+
+// LessEq estimates the number of tuples with value <= x by bucket
+// interpolation (the standard equi-depth estimate: full buckets below
+// x, a linear fraction of the straddling bucket).
+func (h *Histogram) LessEq(x float64) float64 {
+	var n float64
+	for _, b := range h.buckets {
+		switch {
+		case b.hi <= x:
+			n += float64(b.count)
+		case b.lo > x:
+			return n
+		default:
+			width := b.hi - b.lo
+			if width <= 0 {
+				// Single-valued bucket straddling x can only mean
+				// b.lo == x (b.lo > x handled above).
+				n += float64(b.count)
+				return n
+			}
+			frac := (x - b.lo) / width
+			n += frac * float64(b.count)
+			return n
+		}
+	}
+	return n
+}
+
+// EqCount estimates the number of tuples equal to x: for every bucket
+// whose range contains x, the bucket's count divided by its distinct
+// values (uniform-within-bucket assumption). Heavy values span several
+// equi-depth buckets, so contributions are summed.
+func (h *Histogram) EqCount(x float64) float64 {
+	var n float64
+	for _, b := range h.buckets {
+		if x < b.lo || x > b.hi || b.distinct == 0 {
+			continue
+		}
+		n += float64(b.count) / float64(b.distinct)
+	}
+	return n
+}
+
+// Selectivity estimates the fraction of tuples satisfying "col op x"
+// (0 when the histogram is empty).
+func (h *Histogram) Selectivity(op ra.CmpOp, x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	t := float64(h.total)
+	var n float64
+	switch op {
+	case ra.Le:
+		n = h.LessEq(x)
+	case ra.Lt:
+		n = h.LessEq(x) - h.EqCount(x)
+	case ra.Ge:
+		n = t - h.LessEq(x) + h.EqCount(x)
+	case ra.Gt:
+		n = t - h.LessEq(x)
+	case ra.Eq:
+		n = h.EqCount(x)
+	case ra.Ne:
+		n = t - h.EqCount(x)
+	default:
+		return 0
+	}
+	return clamp01(n / t)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Catalog holds histograms per (relation, column) and estimates
+// selectivities for selection predicates over base relations.
+type Catalog struct {
+	hists map[string]*Histogram // key: relation + "\x00" + column
+}
+
+// NewCatalog returns an empty histogram catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{hists: map[string]*Histogram{}}
+}
+
+// Add builds and registers a histogram for one relation column.
+func (c *Catalog) Add(relation string, schema *tuple.Schema, ts []tuple.Tuple, col string, buckets int) error {
+	h, err := Build(schema, ts, col, buckets)
+	if err != nil {
+		return err
+	}
+	c.hists[relation+"\x00"+col] = h
+	return nil
+}
+
+// Get returns the histogram for a relation column, if present.
+func (c *Catalog) Get(relation, col string) (*Histogram, bool) {
+	h, ok := c.hists[relation+"\x00"+col]
+	return h, ok
+}
+
+// PredSelectivity estimates the selectivity of a selection predicate
+// over the named base relation from the registered histograms. It
+// handles comparisons of a histogrammed column against a numeric
+// constant, combined with and/or/not under an independence assumption.
+// The boolean result reports whether every leaf of the predicate could
+// be estimated; when false the estimate is unusable and the caller
+// should fall back to run-time estimation.
+func (c *Catalog) PredSelectivity(relation string, p ra.Pred) (float64, bool) {
+	switch q := p.(type) {
+	case ra.True, *ra.True:
+		return 1, true
+	case *ra.Cmp:
+		return c.cmpSelectivity(relation, q)
+	case *ra.And:
+		l, okL := c.PredSelectivity(relation, q.L)
+		r, okR := c.PredSelectivity(relation, q.R)
+		return l * r, okL && okR
+	case *ra.Or:
+		l, okL := c.PredSelectivity(relation, q.L)
+		r, okR := c.PredSelectivity(relation, q.R)
+		return clamp01(l + r - l*r), okL && okR
+	case *ra.Not:
+		s, ok := c.PredSelectivity(relation, q.P)
+		return clamp01(1 - s), ok
+	default:
+		return 0, false
+	}
+}
+
+func (c *Catalog) cmpSelectivity(relation string, q *ra.Cmp) (float64, bool) {
+	colRef, constant, op, ok := normalizeCmp(q)
+	if !ok {
+		return 0, false
+	}
+	h, found := c.Get(relation, colRef)
+	if !found {
+		return 0, false
+	}
+	return h.Selectivity(op, constant), true
+}
+
+// normalizeCmp extracts (column, constant, op) from a comparison,
+// flipping the operator when the constant is on the left.
+func normalizeCmp(q *ra.Cmp) (col string, x float64, op ra.CmpOp, ok bool) {
+	num := func(o ra.Operand) (float64, bool) {
+		cst, isConst := o.(ra.Const)
+		if !isConst {
+			return 0, false
+		}
+		switch v := cst.Value.(type) {
+		case int64:
+			return float64(v), true
+		case float64:
+			return v, true
+		case int:
+			return float64(v), true
+		default:
+			return 0, false
+		}
+	}
+	if cr, isCol := q.Left.(ra.Col); isCol {
+		if v, isNum := num(q.Right); isNum {
+			return cr.Name, v, q.Op, true
+		}
+		return "", 0, 0, false
+	}
+	if cr, isCol := q.Right.(ra.Col); isCol {
+		if v, isNum := num(q.Left); isNum {
+			return cr.Name, v, flip(q.Op), true
+		}
+	}
+	return "", 0, 0, false
+}
+
+func flip(op ra.CmpOp) ra.CmpOp {
+	switch op {
+	case ra.Lt:
+		return ra.Gt
+	case ra.Le:
+		return ra.Ge
+	case ra.Gt:
+		return ra.Lt
+	case ra.Ge:
+		return ra.Le
+	default:
+		return op // Eq, Ne are symmetric
+	}
+}

@@ -1,0 +1,230 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcq/internal/ra"
+	"tcq/internal/tuple"
+)
+
+func numSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Column{Name: "a", Type: tuple.Int},
+		tuple.Column{Name: "f", Type: tuple.Float},
+		tuple.Column{Name: "s", Type: tuple.String, Size: 4},
+	)
+}
+
+func intTuples(vals ...int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = tuple.Tuple{v, float64(v), "x"}
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	s := numSchema()
+	if _, err := Build(s, nil, "a", 0); err == nil {
+		t.Error("zero buckets should fail")
+	}
+	if _, err := Build(s, nil, "zz", 4); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := Build(s, nil, "s", 4); err == nil {
+		t.Error("string column should fail")
+	}
+	h, err := Build(s, nil, "a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 0 || h.Buckets() != 0 {
+		t.Errorf("empty histogram: %d/%d", h.Total(), h.Buckets())
+	}
+	if h.Selectivity(ra.Lt, 5) != 0 {
+		t.Error("empty histogram selectivity should be 0")
+	}
+}
+
+func TestEquiDepthBucketsBalanced(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	h, err := Build(numSchema(), intTuples(vals...), "a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 10 {
+		t.Fatalf("buckets = %d", h.Buckets())
+	}
+	for _, b := range h.buckets {
+		if b.count != 100 {
+			t.Errorf("bucket count = %d, want 100 (equi-depth)", b.count)
+		}
+	}
+	if h.Total() != 1000 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestBucketCountClampedToValues(t *testing.T) {
+	h, err := Build(numSchema(), intTuples(1, 2, 3), "a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 3 {
+		t.Errorf("buckets = %d, want 3", h.Buckets())
+	}
+}
+
+func TestSelectivityUniformColumn(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	h, _ := Build(numSchema(), intTuples(vals...), "a", 20)
+	cases := []struct {
+		op   ra.CmpOp
+		x    float64
+		want float64
+		tol  float64
+	}{
+		{ra.Lt, 250, 0.25, 0.02},
+		{ra.Le, 499, 0.50, 0.02},
+		{ra.Gt, 900, 0.10, 0.02},
+		{ra.Ge, 0, 1.00, 0.01},
+		{ra.Eq, 123, 0.001, 0.001},
+		{ra.Ne, 123, 0.999, 0.001},
+		{ra.Lt, -5, 0, 0.001},
+		{ra.Gt, 5000, 0, 0.001},
+	}
+	for _, c := range cases {
+		got := h.Selectivity(c.op, c.x)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("sel(a %v %g) = %.4f, want %.4f ± %.3f", c.op, c.x, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestSelectivitySkewedColumn(t *testing.T) {
+	// 900 zeros + values 1..100: equi-depth handles the skew where
+	// equi-width would not.
+	vals := make([]int64, 0, 1000)
+	for i := 0; i < 900; i++ {
+		vals = append(vals, 0)
+	}
+	for i := 1; i <= 100; i++ {
+		vals = append(vals, int64(i))
+	}
+	h, _ := Build(numSchema(), intTuples(vals...), "a", 10)
+	if got := h.Selectivity(ra.Eq, 0); math.Abs(got-0.9) > 0.03 {
+		t.Errorf("sel(a = 0) = %.3f, want ~0.9", got)
+	}
+	if got := h.Selectivity(ra.Gt, 0); math.Abs(got-0.1) > 0.03 {
+		t.Errorf("sel(a > 0) = %.3f, want ~0.1", got)
+	}
+}
+
+func TestSelectivityMatchesTruthOnRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(rng.NormFloat64()*100) + 500
+	}
+	h, _ := Build(numSchema(), intTuples(vals...), "a", 50)
+	for _, x := range []float64{300, 450, 500, 550, 700} {
+		truth := 0
+		for _, v := range vals {
+			if float64(v) < x {
+				truth++
+			}
+		}
+		got := h.Selectivity(ra.Lt, x)
+		want := float64(truth) / float64(len(vals))
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("sel(a < %g) = %.4f, truth %.4f", x, got, want)
+		}
+	}
+}
+
+func TestFloatColumn(t *testing.T) {
+	ts := []tuple.Tuple{
+		{int64(0), 0.5, "x"}, {int64(0), 1.5, "x"},
+		{int64(0), 2.5, "x"}, {int64(0), 3.5, "x"},
+	}
+	h, err := Build(numSchema(), ts, "f", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Selectivity(ra.Lt, 2.0); math.Abs(got-0.5) > 0.15 {
+		t.Errorf("float sel = %.3f, want ~0.5", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	h, _ := Build(numSchema(), intTuples(1, 1, 2, 2, 3, 3, 4, 4), "a", 2)
+	// 4 distinct values; bucket-boundary double counting allowed up to
+	// buckets-1.
+	if d := h.Distinct(); d < 4 || d > 5 {
+		t.Errorf("distinct = %d, want 4..5", d)
+	}
+}
+
+func TestCatalogPredSelectivity(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	c := NewCatalog()
+	if err := c.Add("r", numSchema(), intTuples(vals...), "a", 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("r", "a"); !ok {
+		t.Fatal("histogram not registered")
+	}
+	if _, ok := c.Get("r", "zz"); ok {
+		t.Fatal("phantom histogram")
+	}
+
+	cases := []struct {
+		pred ra.Pred
+		want float64
+		ok   bool
+	}{
+		{&ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(100)}}, 0.1, true},
+		{&ra.Cmp{Left: ra.Const{Value: int64(100)}, Op: ra.Gt, Right: ra.Col{Name: "a"}}, 0.1, true}, // flipped
+		{&ra.Cmp{Left: ra.Const{Value: 900.0}, Op: ra.Le, Right: ra.Col{Name: "a"}}, 0.1, true},      // flipped Ge
+		{ra.True{}, 1, true},
+		{&ra.And{
+			L: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(500)}},
+			R: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Ge, Right: ra.Const{Value: int64(250)}},
+		}, 0.5 * 0.75, true}, // independence assumption
+		{&ra.Or{
+			L: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(100)}},
+			R: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Ge, Right: ra.Const{Value: int64(900)}},
+		}, 0.1 + 0.1 - 0.01, true},
+		{&ra.Not{P: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(100)}}}, 0.9, true},
+		// Unestimable leaves: unknown column, col-vs-col, string const.
+		{&ra.Cmp{Left: ra.Col{Name: "zz"}, Op: ra.Lt, Right: ra.Const{Value: int64(1)}}, 0, false},
+		{&ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Eq, Right: ra.Col{Name: "a"}}, 0, false},
+		{&ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Eq, Right: ra.Const{Value: "x"}}, 0, false},
+	}
+	for i, cse := range cases {
+		got, ok := c.PredSelectivity("r", cse.pred)
+		if ok != cse.ok {
+			t.Errorf("case %d (%s): ok = %v, want %v", i, cse.pred, ok, cse.ok)
+			continue
+		}
+		if ok && math.Abs(got-cse.want) > 0.03 {
+			t.Errorf("case %d (%s): sel = %.4f, want %.4f", i, cse.pred, got, cse.want)
+		}
+	}
+	// Missing relation.
+	if _, ok := c.PredSelectivity("missing",
+		&ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(1)}}); ok {
+		t.Error("missing relation should not estimate")
+	}
+}

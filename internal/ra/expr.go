@@ -1,0 +1,320 @@
+package ra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tcq/internal/tuple"
+)
+
+// Catalog resolves base relation names to schemas.
+type Catalog interface {
+	RelationSchema(name string) (*tuple.Schema, error)
+}
+
+// Expr is a relational algebra expression.
+type Expr interface {
+	// String renders the expression in the tcq RA syntax.
+	String() string
+	// Schema infers the output schema against a catalog.
+	Schema(cat Catalog) (*tuple.Schema, error)
+	isExpr()
+}
+
+// Base references a stored relation by name.
+type Base struct{ Name string }
+
+func (b *Base) isExpr()        {}
+func (b *Base) String() string { return b.Name }
+
+// Schema returns the base relation's schema.
+func (b *Base) Schema(cat Catalog) (*tuple.Schema, error) {
+	return cat.RelationSchema(b.Name)
+}
+
+// Select filters its input by a predicate.
+type Select struct {
+	Input Expr
+	Pred  Pred
+}
+
+func (s *Select) isExpr() {}
+func (s *Select) String() string {
+	return "select(" + s.Input.String() + ", " + s.Pred.String() + ")"
+}
+
+// Schema returns the input schema (selection preserves columns).
+func (s *Select) Schema(cat Catalog) (*tuple.Schema, error) {
+	sch, err := s.Input.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	// Validate that the predicate compiles against the schema.
+	if _, err := Compile(s.Pred, sch); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}
+
+// Project keeps only the named columns, with set (distinct) semantics.
+type Project struct {
+	Input Expr
+	Cols  []string
+}
+
+func (p *Project) isExpr() {}
+func (p *Project) String() string {
+	return "project(" + p.Input.String() + ", [" + strings.Join(p.Cols, ", ") + "])"
+}
+
+// Schema returns the projected schema.
+func (p *Project) Schema(cat Catalog) (*tuple.Schema, error) {
+	if len(p.Cols) == 0 {
+		return nil, fmt.Errorf("ra: projection with no columns")
+	}
+	sch, err := p.Input.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := sch.Project(p.Cols)
+	return out, err
+}
+
+// JoinCond equates one column of the left input with one of the right.
+type JoinCond struct {
+	LeftCol  string
+	RightCol string
+}
+
+// Join is an equijoin of two inputs on one or more column pairs.
+type Join struct {
+	Left  Expr
+	Right Expr
+	On    []JoinCond
+}
+
+func (j *Join) isExpr() {}
+func (j *Join) String() string {
+	conds := make([]string, len(j.On))
+	for i, c := range j.On {
+		conds[i] = c.LeftCol + " = " + c.RightCol
+	}
+	return "join(" + j.Left.String() + ", " + j.Right.String() + ", " + strings.Join(conds, " and ") + ")"
+}
+
+// Schema returns the concatenated schema of both inputs.
+func (j *Join) Schema(cat Catalog) (*tuple.Schema, error) {
+	if len(j.On) == 0 {
+		return nil, fmt.Errorf("ra: join with no conditions")
+	}
+	ls, err := j.Left.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := j.Right.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range j.On {
+		li, ok := ls.ColIndex(c.LeftCol)
+		if !ok {
+			return nil, fmt.Errorf("ra: join: unknown left column %q", c.LeftCol)
+		}
+		ri, ok := rs.ColIndex(c.RightCol)
+		if !ok {
+			return nil, fmt.Errorf("ra: join: unknown right column %q", c.RightCol)
+		}
+		lt, rt := ls.Col(li).Type, rs.Col(ri).Type
+		if (lt == tuple.String) != (rt == tuple.String) {
+			return nil, fmt.Errorf("ra: join: incomparable types %s and %s", lt, rt)
+		}
+	}
+	return ls.Concat(rs, "l", "r")
+}
+
+// Union is the set union of two union-compatible inputs.
+type Union struct{ Left, Right Expr }
+
+func (u *Union) isExpr()        {}
+func (u *Union) String() string { return "union(" + u.Left.String() + ", " + u.Right.String() + ")" }
+
+// Schema checks union compatibility and returns the left schema.
+func (u *Union) Schema(cat Catalog) (*tuple.Schema, error) {
+	return setOpSchema(cat, u.Left, u.Right, "union")
+}
+
+// Difference is the set difference of two union-compatible inputs.
+type Difference struct{ Left, Right Expr }
+
+func (d *Difference) isExpr() {}
+func (d *Difference) String() string {
+	return "diff(" + d.Left.String() + ", " + d.Right.String() + ")"
+}
+
+// Schema checks union compatibility and returns the left schema.
+func (d *Difference) Schema(cat Catalog) (*tuple.Schema, error) {
+	return setOpSchema(cat, d.Left, d.Right, "diff")
+}
+
+// Intersect is the n-ary set intersection of union-compatible inputs.
+type Intersect struct{ Inputs []Expr }
+
+func (x *Intersect) isExpr() {}
+func (x *Intersect) String() string {
+	parts := make([]string, len(x.Inputs))
+	for i, e := range x.Inputs {
+		parts[i] = e.String()
+	}
+	return "intersect(" + strings.Join(parts, ", ") + ")"
+}
+
+// Schema checks pairwise union compatibility and returns the first
+// input's schema.
+func (x *Intersect) Schema(cat Catalog) (*tuple.Schema, error) {
+	if len(x.Inputs) == 0 {
+		return nil, fmt.Errorf("ra: intersect with no inputs")
+	}
+	first, err := x.Inputs[0].Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range x.Inputs[1:] {
+		s, err := e.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		if !compatible(first, s) {
+			return nil, fmt.Errorf("ra: intersect of incompatible schemas")
+		}
+	}
+	return first, nil
+}
+
+func setOpSchema(cat Catalog, l, r Expr, op string) (*tuple.Schema, error) {
+	ls, err := l.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := r.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	if !compatible(ls, rs) {
+		return nil, fmt.Errorf("ra: %s of incompatible schemas", op)
+	}
+	return ls, nil
+}
+
+// compatible reports union compatibility: same column types and widths
+// position by position (names may differ, as in classic RA).
+func compatible(a, b *tuple.Schema) bool {
+	if a.NumCols() != b.NumCols() {
+		return false
+	}
+	for i := 0; i < a.NumCols(); i++ {
+		ca, cb := a.Col(i), b.Col(i)
+		if ca.Type != cb.Type {
+			return false
+		}
+		if ca.Type == tuple.String && ca.Size != cb.Size {
+			return false
+		}
+	}
+	return true
+}
+
+// BaseRelations returns the distinct base relation names appearing in e,
+// in first-appearance order.
+func BaseRelations(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *Base:
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				out = append(out, v.Name)
+			}
+		case *Select:
+			walk(v.Input)
+		case *Project:
+			walk(v.Input)
+		case *Join:
+			walk(v.Left)
+			walk(v.Right)
+		case *Union:
+			walk(v.Left)
+			walk(v.Right)
+		case *Difference:
+			walk(v.Left)
+			walk(v.Right)
+		case *Intersect:
+			for _, in := range v.Inputs {
+				walk(in)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// BaseOccurrences returns every base relation occurrence in e in
+// left-to-right order (with repeats), which defines the dimensions of
+// the expression's point space.
+func BaseOccurrences(e Expr) []string {
+	var out []string
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *Base:
+			out = append(out, v.Name)
+		case *Select:
+			walk(v.Input)
+		case *Project:
+			walk(v.Input)
+		case *Join:
+			walk(v.Left)
+			walk(v.Right)
+		case *Union:
+			walk(v.Left)
+			walk(v.Right)
+		case *Difference:
+			walk(v.Left)
+			walk(v.Right)
+		case *Intersect:
+			for _, in := range v.Inputs {
+				walk(in)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// HasSetOps reports whether the expression contains union, difference or
+// intersection anywhere.
+func HasSetOps(e Expr) bool {
+	switch v := e.(type) {
+	case *Base:
+		return false
+	case *Select:
+		return HasSetOps(v.Input)
+	case *Project:
+		return HasSetOps(v.Input)
+	case *Join:
+		return HasSetOps(v.Left) || HasSetOps(v.Right)
+	case *Union, *Difference, *Intersect:
+		return true
+	default:
+		return false
+	}
+}
+
+// SortStrings sorts a string slice in place and returns it (small
+// convenience used by the transform and tests).
+func SortStrings(s []string) []string {
+	sort.Strings(s)
+	return s
+}

@@ -1,0 +1,223 @@
+package ra
+
+import (
+	"strings"
+	"testing"
+
+	"tcq/internal/tuple"
+)
+
+// testRels builds a small catalog with two union-compatible relations
+// r and s (columns id, v) and a third relation u (columns k, w).
+func testRels() *MapRelations {
+	m := NewMapRelations()
+	rs := tuple.MustSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "v", Type: tuple.Int},
+	)
+	us := tuple.MustSchema(
+		tuple.Column{Name: "k", Type: tuple.Int},
+		tuple.Column{Name: "w", Type: tuple.Int},
+	)
+	mk := func(pairs ...[2]int64) []tuple.Tuple {
+		out := make([]tuple.Tuple, len(pairs))
+		for i, p := range pairs {
+			out[i] = tuple.Tuple{p[0], p[1]}
+		}
+		return out
+	}
+	m.Add("r", rs, mk([2]int64{1, 10}, [2]int64{2, 20}, [2]int64{3, 30}, [2]int64{4, 40}))
+	m.Add("s", rs, mk([2]int64{3, 30}, [2]int64{4, 99}, [2]int64{5, 50}))
+	m.Add("u", us, mk([2]int64{1, 7}, [2]int64{3, 8}, [2]int64{3, 9}))
+	return m
+}
+
+func TestSchemaInference(t *testing.T) {
+	m := testRels()
+	cases := []struct {
+		expr    Expr
+		cols    int
+		wantErr bool
+	}{
+		{&Base{"r"}, 2, false},
+		{&Base{"missing"}, 0, true},
+		{&Select{&Base{"r"}, &Cmp{Col{"v"}, Gt, Const{int64(0)}}}, 2, false},
+		{&Select{&Base{"r"}, &Cmp{Col{"zz"}, Gt, Const{int64(0)}}}, 0, true},
+		{&Project{&Base{"r"}, []string{"v"}}, 1, false},
+		{&Project{&Base{"r"}, []string{}}, 0, true},
+		{&Project{&Base{"r"}, []string{"zz"}}, 0, true},
+		{&Join{&Base{"r"}, &Base{"u"}, []JoinCond{{"id", "k"}}}, 4, false},
+		{&Join{&Base{"r"}, &Base{"u"}, nil}, 0, true},
+		{&Join{&Base{"r"}, &Base{"u"}, []JoinCond{{"zz", "k"}}}, 0, true},
+		{&Join{&Base{"r"}, &Base{"u"}, []JoinCond{{"id", "zz"}}}, 0, true},
+		{&Union{&Base{"r"}, &Base{"s"}}, 2, false},
+		{&Union{&Base{"r"}, &Project{&Base{"r"}, []string{"v"}}}, 0, true},
+		{&Difference{&Base{"r"}, &Base{"s"}}, 2, false},
+		{&Intersect{[]Expr{&Base{"r"}, &Base{"s"}}}, 2, false},
+		{&Intersect{nil}, 0, true},
+	}
+	for i, c := range cases {
+		sch, err := c.expr.Schema(m)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("case %d (%s): expected error", i, c.expr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("case %d (%s): %v", i, c.expr, err)
+			continue
+		}
+		if sch.NumCols() != c.cols {
+			t.Errorf("case %d (%s): %d cols, want %d", i, c.expr, sch.NumCols(), c.cols)
+		}
+	}
+}
+
+func TestJoinTypeCheck(t *testing.T) {
+	m := NewMapRelations()
+	m.Add("a", tuple.MustSchema(tuple.Column{Name: "x", Type: tuple.Int}), nil)
+	m.Add("b", tuple.MustSchema(tuple.Column{Name: "y", Type: tuple.String, Size: 4}), nil)
+	j := &Join{&Base{"a"}, &Base{"b"}, []JoinCond{{"x", "y"}}}
+	if _, err := j.Schema(m); err == nil {
+		t.Error("joining int to string should fail the type check")
+	}
+}
+
+func TestUnionCompatibilityIgnoresNames(t *testing.T) {
+	m := NewMapRelations()
+	m.Add("a", tuple.MustSchema(tuple.Column{Name: "x", Type: tuple.Int}), nil)
+	m.Add("b", tuple.MustSchema(tuple.Column{Name: "y", Type: tuple.Int}), nil)
+	if _, err := (&Union{&Base{"a"}, &Base{"b"}}).Schema(m); err != nil {
+		t.Errorf("same-type different-name union should be allowed: %v", err)
+	}
+	m.Add("c", tuple.MustSchema(tuple.Column{Name: "z", Type: tuple.String, Size: 3}), nil)
+	if _, err := (&Union{&Base{"a"}, &Base{"c"}}).Schema(m); err == nil {
+		t.Error("type-mismatched union must fail")
+	}
+	m.Add("d", tuple.MustSchema(tuple.Column{Name: "z", Type: tuple.String, Size: 5}), nil)
+	if _, err := (&Union{&Base{"c"}, &Base{"d"}}).Schema(m); err == nil {
+		t.Error("width-mismatched string union must fail")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &Union{
+		&Select{&Base{"r"}, &Cmp{Col{"v"}, Lt, Const{int64(5)}}},
+		&Intersect{[]Expr{&Base{"r"}, &Base{"s"}}},
+	}
+	got := e.String()
+	for _, frag := range []string{"union(", "select(r, v < 5)", "intersect(r, s)"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("String = %q missing %q", got, frag)
+		}
+	}
+	j := &Join{&Base{"r"}, &Base{"u"}, []JoinCond{{"id", "k"}}}
+	if j.String() != "join(r, u, id = k)" {
+		t.Errorf("join String = %q", j.String())
+	}
+	d := &Difference{&Base{"r"}, &Base{"s"}}
+	if d.String() != "diff(r, s)" {
+		t.Errorf("diff String = %q", d.String())
+	}
+	p := &Project{&Base{"r"}, []string{"id", "v"}}
+	if p.String() != "project(r, [id, v])" {
+		t.Errorf("project String = %q", p.String())
+	}
+}
+
+func TestBaseRelationsAndOccurrences(t *testing.T) {
+	e := &Join{
+		&Union{&Base{"r"}, &Base{"s"}},
+		&Select{&Base{"r"}, True{}},
+		[]JoinCond{{"id", "id"}},
+	}
+	distinct := BaseRelations(e)
+	if len(distinct) != 2 || distinct[0] != "r" || distinct[1] != "s" {
+		t.Errorf("BaseRelations = %v", distinct)
+	}
+	occ := BaseOccurrences(e)
+	if len(occ) != 3 || occ[0] != "r" || occ[1] != "s" || occ[2] != "r" {
+		t.Errorf("BaseOccurrences = %v", occ)
+	}
+}
+
+func TestHasSetOps(t *testing.T) {
+	if HasSetOps(&Select{&Base{"r"}, True{}}) {
+		t.Error("select over base has no set ops")
+	}
+	if !HasSetOps(&Select{&Union{&Base{"r"}, &Base{"s"}}, True{}}) {
+		t.Error("nested union should be detected")
+	}
+	if !HasSetOps(&Join{&Base{"r"}, &Difference{&Base{"r"}, &Base{"s"}}, []JoinCond{{"id", "id"}}}) {
+		t.Error("nested difference under join should be detected")
+	}
+}
+
+func TestEvalExactBasics(t *testing.T) {
+	m := testRels()
+	count := func(e Expr) int64 {
+		t.Helper()
+		c, err := CountExact(e, m)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		return c
+	}
+	if got := count(&Base{"r"}); got != 4 {
+		t.Errorf("count(r) = %d", got)
+	}
+	if got := count(&Select{&Base{"r"}, &Cmp{Col{"v"}, Ge, Const{int64(30)}}}); got != 2 {
+		t.Errorf("count(select) = %d", got)
+	}
+	// u has duplicate k=3; project must dedup.
+	if got := count(&Project{&Base{"u"}, []string{"k"}}); got != 2 {
+		t.Errorf("count(project) = %d", got)
+	}
+	// r join u on id=k: id 1 matches once, id 3 matches twice.
+	if got := count(&Join{&Base{"r"}, &Base{"u"}, []JoinCond{{"id", "k"}}}); got != 3 {
+		t.Errorf("count(join) = %d", got)
+	}
+	// r ∩ s shares only (3,30).
+	if got := count(&Intersect{[]Expr{&Base{"r"}, &Base{"s"}}}); got != 1 {
+		t.Errorf("count(intersect) = %d", got)
+	}
+	// r ∪ s = 4 + 3 − 1.
+	if got := count(&Union{&Base{"r"}, &Base{"s"}}); got != 6 {
+		t.Errorf("count(union) = %d", got)
+	}
+	// r − s = 4 − 1.
+	if got := count(&Difference{&Base{"r"}, &Base{"s"}}); got != 3 {
+		t.Errorf("count(diff) = %d", got)
+	}
+}
+
+func TestEvalExactJoinOutputsConcatenated(t *testing.T) {
+	m := testRels()
+	out, err := EvalExact(&Join{&Base{"r"}, &Base{"u"}, []JoinCond{{"id", "k"}}}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range out {
+		if len(tp) != 4 {
+			t.Fatalf("join output arity %d, want 4: %v", len(tp), tp)
+		}
+		if tp[0].(int64) != tp[2].(int64) {
+			t.Errorf("join key mismatch in %v", tp)
+		}
+	}
+}
+
+func TestEvalExactErrors(t *testing.T) {
+	m := testRels()
+	bad := []Expr{
+		&Base{"missing"},
+		&Select{&Base{"r"}, &Cmp{Col{"zz"}, Lt, Const{int64(0)}}},
+		&Union{&Base{"r"}, &Project{&Base{"u"}, []string{"k"}}}, // incompatible arity
+	}
+	for i, e := range bad {
+		if _, err := EvalExact(e, m); err == nil {
+			t.Errorf("case %d (%s): expected error", i, e)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package ra defines the relational algebra of the tcq mini-DBMS: the
+// expression AST (the prototype's query language is RA expressions), a
+// predicate language for selections, schema inference, and the
+// inclusion–exclusion transform that rewrites COUNT(E) for an arbitrary
+// RA expression E into a signed sum of COUNTs over
+// Select-Join-Intersect-Project terms (Section 2 of the paper).
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"tcq/internal/tuple"
+)
+
+// CmpOp is a comparison operator in a selection predicate.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Eq
+	Ne
+	Ge
+	Gt
+)
+
+// String returns the SQL-ish spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+func (op CmpOp) matches(c int) bool {
+	switch op {
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Ge:
+		return c >= 0
+	case Gt:
+		return c > 0
+	}
+	return false
+}
+
+// Operand is one side of a comparison: a column reference or a constant.
+type Operand interface {
+	operandString() string
+}
+
+// Col references a column by name.
+type Col struct{ Name string }
+
+func (c Col) operandString() string { return c.Name }
+
+// Const is a literal value (int64, float64 or string).
+type Const struct{ Value tuple.Value }
+
+func (c Const) operandString() string {
+	if s, ok := c.Value.(string); ok {
+		return fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprintf("%v", c.Value)
+}
+
+// Pred is a selection predicate.
+type Pred interface {
+	// String renders the predicate.
+	String() string
+	// Comparisons returns the number of atomic comparisons in the
+	// predicate; the cost model charges per comparison.
+	Comparisons() int
+}
+
+// Cmp is an atomic comparison between two operands.
+type Cmp struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+}
+
+func (c *Cmp) String() string {
+	return c.Left.operandString() + " " + c.Op.String() + " " + c.Right.operandString()
+}
+
+// Comparisons returns 1.
+func (c *Cmp) Comparisons() int { return 1 }
+
+// And is a conjunction of two predicates.
+type And struct{ L, R Pred }
+
+func (a *And) String() string   { return "(" + a.L.String() + " and " + a.R.String() + ")" }
+func (a *And) Comparisons() int { return a.L.Comparisons() + a.R.Comparisons() }
+
+// Or is a disjunction of two predicates.
+type Or struct{ L, R Pred }
+
+func (o *Or) String() string   { return "(" + o.L.String() + " or " + o.R.String() + ")" }
+func (o *Or) Comparisons() int { return o.L.Comparisons() + o.R.Comparisons() }
+
+// Not negates a predicate.
+type Not struct{ P Pred }
+
+func (n *Not) String() string   { return "not " + n.P.String() }
+func (n *Not) Comparisons() int { return n.P.Comparisons() }
+
+// True is the always-true predicate.
+type True struct{}
+
+func (True) String() string   { return "true" }
+func (True) Comparisons() int { return 0 }
+
+// CompiledPred is a predicate bound to a schema, ready to evaluate.
+type CompiledPred func(tuple.Tuple) bool
+
+// Compile binds p to schema, resolving column references to indices.
+// It returns an error for unknown columns.
+func Compile(p Pred, schema *tuple.Schema) (CompiledPred, error) {
+	switch q := p.(type) {
+	case True:
+		return func(tuple.Tuple) bool { return true }, nil
+	case *True:
+		return func(tuple.Tuple) bool { return true }, nil
+	case *Cmp:
+		left, err := compileOperand(q.Left, schema)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compileOperand(q.Right, schema)
+		if err != nil {
+			return nil, err
+		}
+		op := q.Op
+		return func(t tuple.Tuple) bool {
+			return op.matches(tuple.CompareValues(left(t), right(t)))
+		}, nil
+	case *And:
+		l, err := Compile(q.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(q.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(t tuple.Tuple) bool { return l(t) && r(t) }, nil
+	case *Or:
+		l, err := Compile(q.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(q.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(t tuple.Tuple) bool { return l(t) || r(t) }, nil
+	case *Not:
+		inner, err := Compile(q.P, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(t tuple.Tuple) bool { return !inner(t) }, nil
+	default:
+		return nil, fmt.Errorf("ra: unknown predicate type %T", p)
+	}
+}
+
+func compileOperand(o Operand, schema *tuple.Schema) (func(tuple.Tuple) tuple.Value, error) {
+	switch v := o.(type) {
+	case Col:
+		i, ok := schema.ColIndex(v.Name)
+		if !ok {
+			return nil, fmt.Errorf("ra: unknown column %q (schema has %s)", v.Name, schemaCols(schema))
+		}
+		return func(t tuple.Tuple) tuple.Value { return t[i] }, nil
+	case Const:
+		val := v.Value
+		switch val.(type) {
+		case int64, float64, string:
+			return func(tuple.Tuple) tuple.Value { return val }, nil
+		case int:
+			iv := int64(val.(int))
+			return func(tuple.Tuple) tuple.Value { return iv }, nil
+		default:
+			return nil, fmt.Errorf("ra: unsupported constant type %T", val)
+		}
+	default:
+		return nil, fmt.Errorf("ra: unknown operand type %T", o)
+	}
+}
+
+func schemaCols(s *tuple.Schema) string {
+	names := make([]string, s.NumCols())
+	for i := range names {
+		names[i] = s.Col(i).Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,128 @@
+package ra
+
+import (
+	"testing"
+
+	"tcq/internal/tuple"
+)
+
+func predSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Column{Name: "a", Type: tuple.Int},
+		tuple.Column{Name: "b", Type: tuple.Float},
+		tuple.Column{Name: "c", Type: tuple.String, Size: 8},
+	)
+}
+
+func TestCmpOpString(t *testing.T) {
+	want := map[CmpOp]string{Lt: "<", Le: "<=", Eq: "=", Ne: "!=", Ge: ">=", Gt: ">"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q, want %q", int(op), op.String(), s)
+		}
+	}
+	if CmpOp(42).String() == "" {
+		t.Error("unknown op should still render")
+	}
+}
+
+func TestCompileComparisons(t *testing.T) {
+	sch := predSchema()
+	tp := tuple.Tuple{int64(5), 2.5, "hello"}
+	cases := []struct {
+		pred Pred
+		want bool
+	}{
+		{&Cmp{Col{"a"}, Lt, Const{int64(6)}}, true},
+		{&Cmp{Col{"a"}, Lt, Const{int64(5)}}, false},
+		{&Cmp{Col{"a"}, Le, Const{int64(5)}}, true},
+		{&Cmp{Col{"a"}, Eq, Const{int64(5)}}, true},
+		{&Cmp{Col{"a"}, Ne, Const{int64(5)}}, false},
+		{&Cmp{Col{"a"}, Ge, Const{int64(5)}}, true},
+		{&Cmp{Col{"a"}, Gt, Const{int64(5)}}, false},
+		{&Cmp{Col{"b"}, Gt, Const{2.0}}, true},
+		{&Cmp{Col{"a"}, Gt, Const{4.5}}, true}, // int col vs float const
+		{&Cmp{Col{"c"}, Eq, Const{"hello"}}, true},
+		{&Cmp{Col{"c"}, Lt, Const{"world"}}, true},
+		{&Cmp{Const{int64(1)}, Lt, Col{"a"}}, true}, // const on the left
+		{&Cmp{Col{"a"}, Eq, Col{"a"}}, true},        // col vs col
+		{&Cmp{Col{"a"}, Gt, Const{2}}, true},        // plain int const promoted
+	}
+	for i, c := range cases {
+		f, err := Compile(c.pred, sch)
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", i, c.pred, err)
+		}
+		if got := f(tp); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.pred, got, c.want)
+		}
+	}
+}
+
+func TestCompileBoolOps(t *testing.T) {
+	sch := predSchema()
+	tp := tuple.Tuple{int64(5), 2.5, "x"}
+	a := &Cmp{Col{"a"}, Gt, Const{int64(0)}} // true
+	b := &Cmp{Col{"b"}, Gt, Const{10.0}}     // false
+	cases := []struct {
+		pred Pred
+		want bool
+	}{
+		{&And{a, a}, true},
+		{&And{a, b}, false},
+		{&Or{a, b}, true},
+		{&Or{b, b}, false},
+		{&Not{b}, true},
+		{&Not{a}, false},
+		{True{}, true},
+		{&True{}, true},
+	}
+	for i, c := range cases {
+		f, err := Compile(c.pred, sch)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got := f(tp); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.pred, got, c.want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	sch := predSchema()
+	bad := []Pred{
+		&Cmp{Col{"nope"}, Lt, Const{int64(1)}},
+		&Cmp{Col{"a"}, Lt, Col{"nope"}},
+		&And{True{}, &Cmp{Col{"zz"}, Eq, Const{int64(0)}}},
+		&Or{&Cmp{Col{"zz"}, Eq, Const{int64(0)}}, True{}},
+		&Not{&Cmp{Col{"zz"}, Eq, Const{int64(0)}}},
+		&Cmp{Col{"a"}, Lt, Const{[]int{1}}},
+	}
+	for i, p := range bad {
+		if _, err := Compile(p, sch); err == nil {
+			t.Errorf("case %d (%s): expected error", i, p)
+		}
+	}
+}
+
+func TestPredComparisonsCount(t *testing.T) {
+	p := &And{
+		&Or{&Cmp{Col{"a"}, Lt, Const{int64(1)}}, &Cmp{Col{"a"}, Gt, Const{int64(5)}}},
+		&Not{&Cmp{Col{"b"}, Eq, Const{0.0}}},
+	}
+	if p.Comparisons() != 3 {
+		t.Errorf("Comparisons = %d, want 3", p.Comparisons())
+	}
+	if (True{}).Comparisons() != 0 {
+		t.Error("True has no comparisons")
+	}
+}
+
+func TestPredString(t *testing.T) {
+	p := &And{&Cmp{Col{"a"}, Le, Const{int64(3)}}, &Not{&Cmp{Col{"c"}, Eq, Const{"hi"}}}}
+	got := p.String()
+	want := `(a <= 3 and not c = "hi")`
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

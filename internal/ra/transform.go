@@ -1,0 +1,349 @@
+package ra
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnsupported marks expressions outside the transformable fragment
+// (currently: a projection applied above a difference or intersection,
+// which does not distribute and therefore has no Select-Join-Intersect-
+// Project decomposition).
+var ErrUnsupported = errors.New("ra: expression not transformable to SJIP terms")
+
+// Term is one signed Select-Join-Intersect-Project term of the
+// inclusion–exclusion decomposition of COUNT(E):
+//
+//	COUNT(E) = Σ_t t.Sign · COUNT(∩ t.Atoms)
+//
+// Every atom is a set-operation-free expression (selects, joins and
+// projections over base relations); the term denotes the intersection
+// of its atoms' outputs (a single atom denotes just that atom).
+type Term struct {
+	Sign  int
+	Atoms []Expr
+}
+
+// Expr returns the RA expression the term denotes: the atom itself for
+// one atom, otherwise an n-ary Intersect.
+func (t Term) Expr() Expr {
+	if len(t.Atoms) == 1 {
+		return t.Atoms[0]
+	}
+	return &Intersect{Inputs: t.Atoms}
+}
+
+// String renders the term with its sign.
+func (t Term) String() string {
+	sign := "+"
+	if t.Sign < 0 {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s%d·count(%s)", sign, abs(t.Sign), t.Expr().String())
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Terms rewrites COUNT(e) into signed SJIP terms by the Principle of
+// Inclusion and Exclusion (the paper's Section 2 transformation):
+//
+//	1_{A∪B} = 1_A + 1_B − 1_A·1_B
+//	1_{A−B} = 1_A − 1_A·1_B
+//	1_{A∩B} = 1_A·1_B
+//
+// after pushing selections and joins below set operations (both
+// distribute over all three) and projections below unions (the only set
+// operation projection distributes over). The expression is validated
+// against the catalog first. Identical terms are merged by summing
+// signs; zero terms are dropped.
+func Terms(e Expr, cat Catalog) ([]Term, error) {
+	if _, err := e.Schema(cat); err != nil {
+		return nil, err
+	}
+	pushed, err := pushDown(e)
+	if err != nil {
+		return nil, err
+	}
+	terms, err := lincomb(pushed)
+	if err != nil {
+		return nil, err
+	}
+	return canonicalize(terms), nil
+}
+
+// pushDown rewrites e so that set operations appear only above
+// set-operation-free subtrees: selections, joins and projections are
+// pushed through them. It returns ErrUnsupported for a projection above
+// a difference or intersection.
+func pushDown(e Expr) (Expr, error) {
+	switch v := e.(type) {
+	case *Base:
+		return v, nil
+
+	case *Select:
+		in, err := pushDown(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		switch child := in.(type) {
+		case *Union:
+			return distribute1(child.Left, child.Right, func(a, b Expr) Expr { return &Union{a, b} },
+				func(x Expr) Expr { return &Select{Input: x, Pred: v.Pred} })
+		case *Difference:
+			return distribute1(child.Left, child.Right, func(a, b Expr) Expr { return &Difference{a, b} },
+				func(x Expr) Expr { return &Select{Input: x, Pred: v.Pred} })
+		case *Intersect:
+			outs := make([]Expr, len(child.Inputs))
+			for i, ci := range child.Inputs {
+				o, err := pushDown(&Select{Input: ci, Pred: v.Pred})
+				if err != nil {
+					return nil, err
+				}
+				outs[i] = o
+			}
+			return &Intersect{Inputs: outs}, nil
+		default:
+			return &Select{Input: in, Pred: v.Pred}, nil
+		}
+
+	case *Project:
+		in, err := pushDown(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		switch child := in.(type) {
+		case *Union:
+			return distribute1(child.Left, child.Right, func(a, b Expr) Expr { return &Union{a, b} },
+				func(x Expr) Expr { return &Project{Input: x, Cols: v.Cols} })
+		case *Difference, *Intersect:
+			return nil, fmt.Errorf("%w: project over %T", ErrUnsupported, child)
+		default:
+			return &Project{Input: in, Cols: v.Cols}, nil
+		}
+
+	case *Join:
+		l, err := pushDown(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pushDown(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		// Distribute the join over a set operation on the left side
+		// first, then the right, recursing until both sides are clean.
+		if so, ok := asSetOp(l); ok {
+			return so.rebuildThrough(func(x Expr) (Expr, error) {
+				return pushDown(&Join{Left: x, Right: r, On: v.On})
+			})
+		}
+		if so, ok := asSetOp(r); ok {
+			return so.rebuildThrough(func(x Expr) (Expr, error) {
+				return pushDown(&Join{Left: l, Right: x, On: v.On})
+			})
+		}
+		return &Join{Left: l, Right: r, On: v.On}, nil
+
+	case *Union:
+		l, err := pushDown(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pushDown(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &Union{l, r}, nil
+
+	case *Difference:
+		l, err := pushDown(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pushDown(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &Difference{l, r}, nil
+
+	case *Intersect:
+		outs := make([]Expr, len(v.Inputs))
+		for i, in := range v.Inputs {
+			o, err := pushDown(in)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = o
+		}
+		return &Intersect{Inputs: outs}, nil
+
+	default:
+		return nil, fmt.Errorf("ra: unknown expression type %T", e)
+	}
+}
+
+func distribute1(l, r Expr, rebuild func(a, b Expr) Expr, wrap func(Expr) Expr) (Expr, error) {
+	a, err := pushDown(wrap(l))
+	if err != nil {
+		return nil, err
+	}
+	b, err := pushDown(wrap(r))
+	if err != nil {
+		return nil, err
+	}
+	return rebuild(a, b), nil
+}
+
+// setOp abstracts the three set operations for join distribution.
+type setOp struct {
+	kind  string // "union", "diff", "intersect"
+	parts []Expr
+}
+
+func asSetOp(e Expr) (setOp, bool) {
+	switch v := e.(type) {
+	case *Union:
+		return setOp{kind: "union", parts: []Expr{v.Left, v.Right}}, true
+	case *Difference:
+		return setOp{kind: "diff", parts: []Expr{v.Left, v.Right}}, true
+	case *Intersect:
+		return setOp{kind: "intersect", parts: v.Inputs}, true
+	}
+	return setOp{}, false
+}
+
+func (so setOp) rebuildThrough(f func(Expr) (Expr, error)) (Expr, error) {
+	outs := make([]Expr, len(so.parts))
+	for i, p := range so.parts {
+		o, err := f(p)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = o
+	}
+	switch so.kind {
+	case "union":
+		return &Union{outs[0], outs[1]}, nil
+	case "diff":
+		return &Difference{outs[0], outs[1]}, nil
+	default:
+		return &Intersect{Inputs: outs}, nil
+	}
+}
+
+// lincomb expresses e's indicator function as a signed combination of
+// products of atom indicators. e must already be pushed down.
+func lincomb(e Expr) ([]Term, error) {
+	switch v := e.(type) {
+	case *Union:
+		l, err := lincomb(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lincomb(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(append(append([]Term{}, l...), r...), negate(product(l, r))...), nil
+	case *Difference:
+		l, err := lincomb(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lincomb(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(append([]Term{}, l...), negate(product(l, r))...), nil
+	case *Intersect:
+		acc := []Term{{Sign: 1}} // multiplicative identity (empty product)
+		for _, in := range v.Inputs {
+			t, err := lincomb(in)
+			if err != nil {
+				return nil, err
+			}
+			acc = product(acc, t)
+		}
+		return acc, nil
+	default:
+		if HasSetOps(e) {
+			return nil, fmt.Errorf("ra: internal: set op survived push-down in %s", e)
+		}
+		return []Term{{Sign: 1, Atoms: []Expr{e}}}, nil
+	}
+}
+
+func negate(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = Term{Sign: -t.Sign, Atoms: t.Atoms}
+	}
+	return out
+}
+
+// product multiplies two signed combinations: signs multiply, atom
+// lists concatenate (indicator functions are idempotent under product,
+// so duplicate atoms within a term collapse).
+func product(a, b []Term) []Term {
+	out := make([]Term, 0, len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			atoms := make([]Expr, 0, len(x.Atoms)+len(y.Atoms))
+			atoms = append(atoms, x.Atoms...)
+			atoms = append(atoms, y.Atoms...)
+			out = append(out, Term{Sign: x.Sign * y.Sign, Atoms: dedupAtoms(atoms)})
+		}
+	}
+	return out
+}
+
+func dedupAtoms(atoms []Expr) []Expr {
+	seen := map[string]bool{}
+	out := atoms[:0]
+	for _, a := range atoms {
+		k := a.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// canonicalize sorts atoms within each term, merges identical terms by
+// summing signs, drops zero terms, and orders terms deterministically.
+func canonicalize(ts []Term) []Term {
+	type bucket struct {
+		term Term
+		sign int
+	}
+	buckets := map[string]*bucket{}
+	var order []string
+	for _, t := range ts {
+		atoms := append([]Expr{}, t.Atoms...)
+		sort.Slice(atoms, func(i, j int) bool { return atoms[i].String() < atoms[j].String() })
+		key := Term{Sign: 1, Atoms: atoms}.Expr().String()
+		if b, ok := buckets[key]; ok {
+			b.sign += t.Sign
+		} else {
+			buckets[key] = &bucket{term: Term{Atoms: atoms}, sign: t.Sign}
+			order = append(order, key)
+		}
+	}
+	sort.Strings(order)
+	out := make([]Term, 0, len(order))
+	for _, k := range order {
+		b := buckets[k]
+		if b.sign == 0 {
+			continue
+		}
+		out = append(out, Term{Sign: b.sign, Atoms: b.term.Atoms})
+	}
+	return out
+}

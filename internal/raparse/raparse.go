@@ -1,0 +1,501 @@
+// Package raparse parses the textual relational algebra syntax of the
+// tcq mini-DBMS (the prototype's query language is RA expressions). The
+// grammar is exactly what ra.Expr.String() prints, so parsing round-
+// trips rendering:
+//
+//	expr    := ident
+//	         | "select"    "(" expr "," pred ")"
+//	         | "project"   "(" expr "," "[" ident { "," ident } "]" ")"
+//	         | "join"      "(" expr "," expr "," cond { "and" cond } ")"
+//	         | "union"     "(" expr "," expr ")"
+//	         | "diff"      "(" expr "," expr ")"
+//	         | "intersect" "(" expr { "," expr } ")"
+//	cond    := ident "=" ident
+//	pred    := orp
+//	orp     := andp { "or" andp }
+//	andp    := unary { "and" unary }
+//	unary   := "not" unary | "(" pred ")" | "true" | cmp
+//	cmp     := operand op operand        op := < <= = != >= >
+//	operand := ident | int | float | string-literal
+//
+// Keywords are case-insensitive; identifiers may contain letters,
+// digits, '_' and '.'.
+package raparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"tcq/internal/ra"
+)
+
+// Parse parses one RA expression and fails on trailing input.
+func Parse(input string) (ra.Expr, error) {
+	p := &parser{lex: newLexer(input)}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return nil, fmt.Errorf("raparse: unexpected %q after expression", tok.text)
+	}
+	return e, nil
+}
+
+// ParsePred parses a standalone predicate (used by tests and tools).
+func ParsePred(input string) (ra.Pred, error) {
+	p := &parser{lex: newLexer(input)}
+	pred, err := p.parsePred()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return nil, fmt.Errorf("raparse: unexpected %q after predicate", tok.text)
+	}
+	return pred, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // ( ) [ ] ,
+	tokOp    // < <= = != >= >
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+	err  error
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.run()
+	return l
+}
+
+func (l *lexer) fail(pos int, format string, args ...interface{}) {
+	if l.err == nil {
+		l.err = fmt.Errorf("raparse: at offset %d: %s", pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (l *lexer) run() {
+	s := l.src
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case strings.ContainsRune("()[],", rune(c)):
+			l.toks = append(l.toks, token{tokPunct, string(c), i})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			start := i
+			i++
+			if i < len(s) && s[i] == '=' {
+				i++
+			}
+			op := s[start:i]
+			if op == "!" {
+				l.fail(start, "expected '!=' after '!'")
+				return
+			}
+			l.toks = append(l.toks, token{tokOp, op, start})
+		case c == '"':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(s) {
+				if s[i] == '\\' && i+1 < len(s) {
+					sb.WriteByte(s[i+1])
+					i += 2
+					continue
+				}
+				if s[i] == '"' {
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(s[i])
+				i++
+			}
+			if !closed {
+				l.fail(start, "unterminated string literal")
+				return
+			}
+			l.toks = append(l.toks, token{tokString, sb.String(), start})
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+			start := i
+			i++
+			isFloat := false
+			for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+				if s[i] == '.' {
+					isFloat = true
+				}
+				i++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			l.toks = append(l.toks, token{kind, s[start:i], start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(s) {
+				r := rune(s[i])
+				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' {
+					i++
+					continue
+				}
+				break
+			}
+			l.toks = append(l.toks, token{tokIdent, s[start:i], start})
+		default:
+			l.fail(i, "unexpected character %q", c)
+			return
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(s)})
+}
+
+type parser struct {
+	lex *lexer
+	idx int
+}
+
+func (p *parser) peek() token {
+	if p.lex.err != nil || p.idx >= len(p.lex.toks) {
+		return token{tokEOF, "", len(p.lex.src)}
+	}
+	return p.lex.toks[p.idx]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if t.kind != tokEOF {
+		p.idx++
+	}
+	return t
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.lex.err != nil {
+		return p.lex.err
+	}
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("raparse: expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parseExpr() (ra.Expr, error) {
+	if p.lex.err != nil {
+		return nil, p.lex.err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("raparse: expected relation or operator, got %q", t.text)
+	}
+	kw := strings.ToLower(t.text)
+	if p.peek().text != "(" || p.peek().kind != tokPunct {
+		// Bare identifier: a base relation.
+		return &ra.Base{Name: t.text}, nil
+	}
+	switch kw {
+	case "select":
+		return p.parseSelect()
+	case "project":
+		return p.parseProject()
+	case "join":
+		return p.parseJoin()
+	case "union", "diff", "intersect":
+		return p.parseSetOp(kw)
+	default:
+		return nil, fmt.Errorf("raparse: unknown operator %q", t.text)
+	}
+}
+
+func (p *parser) parseSelect() (ra.Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	in, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	pred, err := p.parsePred()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &ra.Select{Input: in, Pred: pred}, nil
+}
+
+func (p *parser) parseProject() (ra.Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	in, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("raparse: expected column name, got %q", t.text)
+		}
+		cols = append(cols, t.text)
+		sep := p.next()
+		if sep.kind == tokPunct && sep.text == "," {
+			continue
+		}
+		if sep.kind == tokPunct && sep.text == "]" {
+			break
+		}
+		return nil, fmt.Errorf("raparse: expected ',' or ']', got %q", sep.text)
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &ra.Project{Input: in, Cols: cols}, nil
+}
+
+func (p *parser) parseJoin() (ra.Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	right, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	var on []ra.JoinCond
+	for {
+		lc := p.next()
+		if lc.kind != tokIdent {
+			return nil, fmt.Errorf("raparse: expected join column, got %q", lc.text)
+		}
+		eq := p.next()
+		if eq.kind != tokOp || eq.text != "=" {
+			return nil, fmt.Errorf("raparse: expected '=', got %q", eq.text)
+		}
+		rc := p.next()
+		if rc.kind != tokIdent {
+			return nil, fmt.Errorf("raparse: expected join column, got %q", rc.text)
+		}
+		on = append(on, ra.JoinCond{LeftCol: lc.text, RightCol: rc.text})
+		if isKeyword(p.peek(), "and") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &ra.Join{Left: left, Right: right, On: on}, nil
+}
+
+func (p *parser) parseSetOp(kw string) (ra.Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var parts []ra.Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+		t := p.next()
+		if t.kind == tokPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			break
+		}
+		return nil, fmt.Errorf("raparse: expected ',' or ')', got %q", t.text)
+	}
+	switch kw {
+	case "union", "diff":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("raparse: %s takes exactly 2 inputs, got %d", kw, len(parts))
+		}
+		if kw == "union" {
+			return &ra.Union{Left: parts[0], Right: parts[1]}, nil
+		}
+		return &ra.Difference{Left: parts[0], Right: parts[1]}, nil
+	default: // intersect
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("raparse: intersect needs at least 2 inputs")
+		}
+		return &ra.Intersect{Inputs: parts}, nil
+	}
+}
+
+func (p *parser) parsePred() (ra.Pred, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (ra.Pred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for isKeyword(p.peek(), "or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &ra.Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (ra.Pred, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for isKeyword(p.peek(), "and") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &ra.And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (ra.Pred, error) {
+	if p.lex.err != nil {
+		return nil, p.lex.err
+	}
+	t := p.peek()
+	if isKeyword(t, "not") {
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Not{P: inner}, nil
+	}
+	if isKeyword(t, "true") {
+		p.next()
+		return ra.True{}, nil
+	}
+	if t.kind == tokPunct && t.text == "(" {
+		p.next()
+		inner, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (ra.Pred, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	if opTok.kind != tokOp {
+		return nil, fmt.Errorf("raparse: expected comparison operator, got %q", opTok.text)
+	}
+	var op ra.CmpOp
+	switch opTok.text {
+	case "<":
+		op = ra.Lt
+	case "<=":
+		op = ra.Le
+	case "=", "==":
+		op = ra.Eq
+	case "!=":
+		op = ra.Ne
+	case ">=":
+		op = ra.Ge
+	case ">":
+		op = ra.Gt
+	default:
+		return nil, fmt.Errorf("raparse: bad operator %q", opTok.text)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &ra.Cmp{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *parser) parseOperand() (ra.Operand, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		return ra.Col{Name: t.text}, nil
+	case tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("raparse: bad integer %q: %v", t.text, err)
+		}
+		return ra.Const{Value: v}, nil
+	case tokFloat:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("raparse: bad float %q: %v", t.text, err)
+		}
+		return ra.Const{Value: v}, nil
+	case tokString:
+		return ra.Const{Value: t.text}, nil
+	default:
+		return nil, fmt.Errorf("raparse: expected operand, got %q", t.text)
+	}
+}

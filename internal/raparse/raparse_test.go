@@ -1,0 +1,231 @@
+package raparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tcq/internal/ra"
+)
+
+func mustParse(t *testing.T, s string) ra.Expr {
+	t.Helper()
+	e, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return e
+}
+
+func TestParseBase(t *testing.T) {
+	e := mustParse(t, "employees")
+	b, ok := e.(*ra.Base)
+	if !ok || b.Name != "employees" {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	e := mustParse(t, "select(r, a < 10)")
+	s, ok := e.(*ra.Select)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if s.String() != "select(r, a < 10)" {
+		t.Errorf("round trip: %s", s)
+	}
+}
+
+func TestParseSelectComplexPred(t *testing.T) {
+	e := mustParse(t, `select(r, (a < 10 and not b = "x") or c >= 2.5)`)
+	s := e.(*ra.Select)
+	or, ok := s.Pred.(*ra.Or)
+	if !ok {
+		t.Fatalf("top pred is %T, want Or", s.Pred)
+	}
+	if _, ok := or.L.(*ra.And); !ok {
+		t.Errorf("left of or is %T, want And", or.L)
+	}
+	cmp, ok := or.R.(*ra.Cmp)
+	if !ok || cmp.Op != ra.Ge {
+		t.Errorf("right of or: %#v", or.R)
+	}
+	if v, ok := cmp.Right.(ra.Const); !ok || v.Value != 2.5 {
+		t.Errorf("float const: %#v", cmp.Right)
+	}
+}
+
+func TestParsePredPrecedence(t *testing.T) {
+	// and binds tighter than or.
+	p, err := ParsePred("a < 1 or b < 2 and c < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := p.(*ra.Or)
+	if !ok {
+		t.Fatalf("top is %T", p)
+	}
+	if _, ok := or.R.(*ra.And); !ok {
+		t.Errorf("right of or should be the and: %T", or.R)
+	}
+}
+
+func TestParseProject(t *testing.T) {
+	e := mustParse(t, "project(r, [a, b, c])")
+	pr := e.(*ra.Project)
+	if len(pr.Cols) != 3 || pr.Cols[2] != "c" {
+		t.Errorf("cols = %v", pr.Cols)
+	}
+	if e := mustParse(t, "project(r, [a])"); e.(*ra.Project).Cols[0] != "a" {
+		t.Error("single column project failed")
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	e := mustParse(t, "join(r, s, id = rid and a = b)")
+	j := e.(*ra.Join)
+	if len(j.On) != 2 || j.On[0].LeftCol != "id" || j.On[1].RightCol != "b" {
+		t.Errorf("on = %v", j.On)
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	if _, ok := mustParse(t, "union(r, s)").(*ra.Union); !ok {
+		t.Error("union")
+	}
+	if _, ok := mustParse(t, "diff(r, s)").(*ra.Difference); !ok {
+		t.Error("diff")
+	}
+	x := mustParse(t, "intersect(r, s, u)").(*ra.Intersect)
+	if len(x.Inputs) != 3 {
+		t.Errorf("intersect inputs = %d", len(x.Inputs))
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	src := "union(select(r, a < 5), join(project(s, [id, a]), u, id = k))"
+	e := mustParse(t, src)
+	if e.String() != src {
+		t.Errorf("round trip:\n in:  %s\n out: %s", src, e.String())
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	e := mustParse(t, "SELECT(r, a < 1 AND NOT b > 2)")
+	if _, ok := e.(*ra.Select); !ok {
+		t.Fatalf("got %T", e)
+	}
+}
+
+func TestParseTrue(t *testing.T) {
+	e := mustParse(t, "select(r, true)")
+	if _, ok := e.(*ra.Select).Pred.(ra.True); !ok {
+		t.Error("true predicate")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	p, err := ParsePred("a >= -42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := p.(*ra.Cmp)
+	if cmp.Right.(ra.Const).Value != int64(-42) {
+		t.Errorf("const = %#v", cmp.Right)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	p, err := ParsePred(`name = "a\"b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(*ra.Cmp).Right.(ra.Const).Value != `a"b` {
+		t.Errorf("escaped string: %#v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select(r a < 1)",
+		"select(r, )",
+		"select(r, a < )",
+		"project(r, [])",
+		"project(r, [a)",
+		"join(r, s)",
+		"join(r, s, a)",
+		"join(r, s, a = )",
+		"union(r)",
+		"union(r, s, u)",
+		"diff(r)",
+		"intersect(r)",
+		"frobnicate(r, s)",
+		"select(r, a < 1) trailing",
+		`select(r, a = "unterminated)`,
+		"select(r, a ! 1)",
+		"r $",
+		"select(r, a < 1.2.3.4e)", // bad float is caught by strconv
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParsePredErrors(t *testing.T) {
+	bad := []string{"", "a <", "< 1", "a < 1 extra", "(a < 1", "not"}
+	for _, s := range bad {
+		if _, err := ParsePred(s); err == nil {
+			t.Errorf("ParsePred(%q) should fail", s)
+		}
+	}
+}
+
+// randomExpr mirrors the generator in ra's tests to fuzz round-trips.
+func randomExpr(rng *rand.Rand, depth int) ra.Expr {
+	if depth <= 0 {
+		return &ra.Base{Name: []string{"a", "b", "c"}[rng.Intn(3)]}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return &ra.Select{Input: randomExpr(rng, depth-1),
+			Pred: &ra.Cmp{Left: ra.Col{Name: "v"}, Op: ra.CmpOp(rng.Intn(6)), Right: ra.Const{Value: int64(rng.Intn(40))}}}
+	case 1:
+		return &ra.Union{Left: randomExpr(rng, depth-1), Right: randomExpr(rng, depth-1)}
+	case 2:
+		return &ra.Difference{Left: randomExpr(rng, depth-1), Right: randomExpr(rng, depth-1)}
+	case 3:
+		return &ra.Intersect{Inputs: []ra.Expr{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}}
+	case 4:
+		return &ra.Project{Input: randomExpr(rng, depth-1), Cols: []string{"id", "v"}}
+	default:
+		return &ra.Join{Left: randomExpr(rng, depth-1), Right: randomExpr(rng, depth-1),
+			On: []ra.JoinCond{{LeftCol: "id", RightCol: "id"}}}
+	}
+}
+
+// TestRoundTripProperty: Parse(e.String()).String() == e.String() for
+// random expression trees.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		e := randomExpr(rng, 1+rng.Intn(3))
+		src := e.String()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, src, err)
+		}
+		if parsed.String() != src {
+			t.Fatalf("trial %d round trip:\n in:  %s\n out: %s", trial, src, parsed.String())
+		}
+	}
+}
+
+func TestLexerOffsets(t *testing.T) {
+	_, err := Parse("select(r, a @ 1)")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("lex error should mention the offset: %v", err)
+	}
+}

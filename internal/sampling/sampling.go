@@ -1,0 +1,239 @@
+// Package sampling implements the sampling plans of the paper: cluster
+// sampling with disk blocks as sample units (the implemented default)
+// and simple random sampling of points (used by the variance
+// approximation and the estimator tests).
+//
+// A BlockSampler draws blocks without replacement from one relation,
+// stage by stage; a SampleSet tracks, per relation, what every stage
+// drew, which is exactly the SAMPLE-SET / NEW-SAMPLE-SET bookkeeping of
+// the paper's Figure 3.1. Point-space arithmetic for the cluster plan
+// (space blocks, evaluated points under full or partial fulfillment)
+// lives here too.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BlockSampler draws disk-block indices without replacement from a
+// relation of D blocks. The draw order is a seeded random permutation,
+// materialised lazily with a partial Fisher–Yates shuffle so that huge
+// relations do not cost O(D) memory until sampled.
+type BlockSampler struct {
+	d    int
+	rng  *rand.Rand
+	perm map[int]int // sparse Fisher–Yates state
+	next int         // number of indices already drawn
+}
+
+// NewBlockSampler creates a sampler over block indices [0, d).
+func NewBlockSampler(d int, rng *rand.Rand) *BlockSampler {
+	return &BlockSampler{d: d, rng: rng, perm: make(map[int]int)}
+}
+
+// Remaining returns how many blocks have not been drawn yet.
+func (b *BlockSampler) Remaining() int { return b.d - b.next }
+
+// Drawn returns how many blocks have been drawn so far.
+func (b *BlockSampler) Drawn() int { return b.next }
+
+// Draw returns the next k undrawn block indices, uniformly at random
+// without replacement. It returns fewer than k (possibly zero) when the
+// relation is exhausted.
+func (b *BlockSampler) Draw(k int) []int {
+	if k > b.Remaining() {
+		k = b.Remaining()
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		j := b.next + b.rng.Intn(b.d-b.next)
+		vj, ok := b.perm[j]
+		if !ok {
+			vj = j
+		}
+		vn, ok := b.perm[b.next]
+		if !ok {
+			vn = b.next
+		}
+		b.perm[j] = vn
+		b.perm[b.next] = vj
+		out = append(out, vj)
+		b.next++
+	}
+	return out
+}
+
+// StageDraw records one stage's sample from one relation.
+type StageDraw struct {
+	Blocks []int // block indices drawn this stage
+	Tuples int   // tuples contained in those blocks (filled by the executor)
+}
+
+// RelationSample tracks the cumulative sample of one relation across
+// stages.
+type RelationSample struct {
+	Name    string
+	DTotal  int   // total disk blocks in the relation
+	NTotal  int64 // total tuples in the relation
+	Stages  []StageDraw
+	sampler *BlockSampler
+}
+
+// NewRelationSample builds the bookkeeping for one relation.
+func NewRelationSample(name string, dTotal int, nTotal int64, rng *rand.Rand) *RelationSample {
+	return &RelationSample{
+		Name:    name,
+		DTotal:  dTotal,
+		NTotal:  nTotal,
+		sampler: NewBlockSampler(dTotal, rng),
+	}
+}
+
+// Draw samples k more blocks for a new stage and records them. The
+// returned slice is the NEW-SAMPLE-SET of Figure 3.1 for this relation.
+func (r *RelationSample) Draw(k int) []int {
+	blocks := r.sampler.Draw(k)
+	r.Stages = append(r.Stages, StageDraw{Blocks: blocks})
+	return blocks
+}
+
+// SetStageTuples records how many tuples stage i's blocks contained.
+func (r *RelationSample) SetStageTuples(stage, tuples int) error {
+	if stage < 0 || stage >= len(r.Stages) {
+		return fmt.Errorf("sampling: stage %d out of range", stage)
+	}
+	r.Stages[stage].Tuples = tuples
+	return nil
+}
+
+// CumBlocks returns the number of blocks drawn in stages [0, upto].
+// Pass upto = len(Stages)-1 (or simply a large number) for the total.
+func (r *RelationSample) CumBlocks(upto int) int {
+	total := 0
+	for i, s := range r.Stages {
+		if i > upto {
+			break
+		}
+		total += len(s.Blocks)
+	}
+	return total
+}
+
+// CumTuples returns the number of tuples drawn in stages [0, upto].
+func (r *RelationSample) CumTuples(upto int) int64 {
+	var total int64
+	for i, s := range r.Stages {
+		if i > upto {
+			break
+		}
+		total += int64(s.Tuples)
+	}
+	return total
+}
+
+// Remaining returns how many blocks are still undrawn.
+func (r *RelationSample) Remaining() int { return r.sampler.Remaining() }
+
+// Fraction returns the cumulative sample fraction f = d/D.
+func (r *RelationSample) Fraction() float64 {
+	if r.DTotal == 0 {
+		return 0
+	}
+	return float64(r.CumBlocks(len(r.Stages))) / float64(r.DTotal)
+}
+
+// PointSpace describes the point space of a Select-Join-Intersect
+// expression over n operand relations (Section 2 of the paper): each
+// relation is one dimension; the space has Π|r_i| points and Π D_i
+// space blocks.
+type PointSpace struct {
+	TupleCounts []int64 // |r_i| per dimension
+	BlockCounts []int   // D_i per dimension
+}
+
+// TotalPoints returns Π |r_i| as float64 (counts overflow int64 for
+// multi-way joins of large relations).
+func (p PointSpace) TotalPoints() float64 {
+	total := 1.0
+	for _, n := range p.TupleCounts {
+		total *= float64(n)
+	}
+	return total
+}
+
+// TotalSpaceBlocks returns Π D_i as float64.
+func (p PointSpace) TotalSpaceBlocks() float64 {
+	total := 1.0
+	for _, d := range p.BlockCounts {
+		total *= float64(d)
+	}
+	return total
+}
+
+// FullFulfillmentPoints returns the number of points covered after each
+// relation has contributed cumTuples[i] sample tuples under the full
+// fulfillment plan (every cross combination of sampled tuples).
+func FullFulfillmentPoints(cumTuples []int64) float64 {
+	total := 1.0
+	for _, n := range cumTuples {
+		total *= float64(n)
+	}
+	return total
+}
+
+// PartialFulfillmentPoints returns the points covered under the partial
+// fulfillment plan, where only same-stage samples are combined:
+// Σ_stages Π_i tuples[i][stage].
+func PartialFulfillmentPoints(stageTuples [][]int64) float64 {
+	if len(stageTuples) == 0 {
+		return 0
+	}
+	nStages := len(stageTuples[0])
+	total := 0.0
+	for s := 0; s < nStages; s++ {
+		prod := 1.0
+		for _, rel := range stageTuples {
+			if s >= len(rel) {
+				return total
+			}
+			prod *= float64(rel[s])
+		}
+		total += prod
+	}
+	return total
+}
+
+// NewStagePoints returns how many new points stage s (0-based) covers
+// under full fulfillment, given per-relation cumulative tuple counts
+// before the stage (prev) and the stage's new tuples (cur):
+//
+//	Π(prev_i + cur_i) − Π prev_i
+//
+// which for two relations reduces to the paper's
+// n1s·n2s + N1,s-1·n2s + n1s·N2,s-1 (Section 4).
+func NewStagePoints(prev, cur []int64) float64 {
+	after := 1.0
+	before := 1.0
+	for i := range prev {
+		after *= float64(prev[i] + cur[i])
+		before *= float64(prev[i])
+	}
+	return after - before
+}
+
+// SampleInts draws m distinct integers uniformly from [0, n) using a
+// sparse Fisher–Yates shuffle; order is the draw order.
+func SampleInts(rng *rand.Rand, n, m int) []int {
+	if m > n {
+		m = n
+	}
+	if m <= 0 {
+		return nil
+	}
+	s := NewBlockSampler(n, rng)
+	return s.Draw(m)
+}

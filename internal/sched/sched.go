@@ -1,0 +1,224 @@
+// Package sched implements a real-time transaction scheduler on top of
+// the time-constrained query engine — the application the paper's
+// introduction motivates: "By precisely fixing the execution times of
+// database queries in a transaction, accurate estimates for transaction
+// execution times becomes possible. This in turn plays an important
+// role in minimizing the number of transactions that miss their
+// deadlines [AbMo 88]."
+//
+// The scheduler executes transactions serially (the prototype is a
+// single-user DBMS) in earliest-deadline-first order, with admission
+// control: a transaction is dispatched only if its worst-case duration
+// — the sum of its query quotas (bounded by the engine's hard
+// deadlines) plus its fixed application work — fits before its
+// deadline. With time-constrained queries the worst case is known a
+// priori; with exact queries it is not, and the same scheduler degrades
+// to best-effort (the ExactQueries mode, used as a baseline).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tcq/internal/core"
+	"tcq/internal/ra"
+	"tcq/internal/storage"
+	"tcq/internal/vclock"
+)
+
+// QueryStep is one aggregate query inside a transaction.
+type QueryStep struct {
+	// Expr is the COUNT(E) query.
+	Expr ra.Expr
+	// Quota bounds the query's execution time (ignored in ExactQueries
+	// mode).
+	Quota time.Duration
+	// Options tunes the estimate (DBeta etc.); Quota and Mode are set
+	// by the scheduler.
+	Options core.Options
+}
+
+// Txn is one transaction: queries plus fixed application work, due by
+// an absolute deadline on the session clock.
+type Txn struct {
+	ID       int
+	Deadline time.Duration // absolute clock reading
+	Queries  []QueryStep
+	AppWork  time.Duration // non-query work, charged after the queries
+}
+
+// wcet returns the transaction's worst-case execution time under
+// quota-bounded queries, with the given per-query overrun slack.
+func (t Txn) wcet(slack float64) time.Duration {
+	total := t.AppWork
+	for _, q := range t.Queries {
+		total += time.Duration(float64(q.Quota) * (1 + slack))
+	}
+	return total
+}
+
+// QueryOutcome reports one query's result inside a transaction.
+type QueryOutcome struct {
+	Estimate float64
+	StdErr   float64
+	Spent    time.Duration
+	Exact    bool // true in ExactQueries mode
+}
+
+// TxnResult reports one transaction's fate.
+type TxnResult struct {
+	ID       int
+	Admitted bool // dispatched (admission control passed)
+	Met      bool // finished at or before its deadline
+	Started  time.Duration
+	Finished time.Duration
+	Queries  []QueryOutcome
+}
+
+// Policy selects how the scheduler runs query steps.
+type Policy int
+
+const (
+	// QuotaQueries runs every query under its hard time quota — the
+	// paper's approach: transaction durations are predictable.
+	QuotaQueries Policy = iota
+	// ExactQueries runs full evaluations (charged census scans) — the
+	// baseline with unpredictable durations; admission control is
+	// disabled because no worst case is known.
+	ExactQueries
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == ExactQueries {
+		return "exact"
+	}
+	return "quota"
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Policy selects quota-bounded or exact query execution.
+	Policy Policy
+	// Slack is the per-query overrun allowance used in admission
+	// control (hard deadlines can overshoot by one poll granule);
+	// default 0.05.
+	Slack float64
+	// Seed seeds the engines' block samplers.
+	Seed int64
+}
+
+// Scheduler runs transactions against one store.
+type Scheduler struct {
+	store *storage.Store
+	eng   *core.Engine
+	opts  Options
+}
+
+// New creates a scheduler over a store.
+func New(store *storage.Store, opts Options) *Scheduler {
+	if opts.Slack <= 0 {
+		opts.Slack = 0.05
+	}
+	return &Scheduler{store: store, eng: core.NewEngine(store), opts: opts}
+}
+
+// Run executes the transactions in earliest-deadline-first order and
+// returns one result per transaction (in EDF order). Admission control
+// (quota policy only) rejects transactions whose worst case cannot fit
+// before their deadline at dispatch time; rejected transactions are
+// reported with Admitted=false and never consume clock time.
+func (s *Scheduler) Run(txns []Txn) ([]TxnResult, error) {
+	if len(txns) == 0 {
+		return nil, errors.New("sched: no transactions")
+	}
+	order := append([]Txn{}, txns...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Deadline < order[j].Deadline })
+
+	clock := s.store.Clock()
+	results := make([]TxnResult, 0, len(order))
+	for _, tx := range order {
+		res := TxnResult{ID: tx.ID, Started: clock.Now()}
+		if s.opts.Policy == QuotaQueries {
+			// Admission control: the worst case must fit.
+			if clock.Now()+tx.wcet(s.opts.Slack) > tx.Deadline {
+				res.Admitted = false
+				results = append(results, res)
+				continue
+			}
+		}
+		res.Admitted = true
+		if err := s.execute(tx, &res); err != nil {
+			return nil, fmt.Errorf("sched: txn %d: %w", tx.ID, err)
+		}
+		res.Finished = clock.Now()
+		res.Met = res.Finished <= tx.Deadline
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func (s *Scheduler) execute(tx Txn, res *TxnResult) error {
+	clock := s.store.Clock()
+	for qi, step := range tx.Queries {
+		t0 := clock.Now()
+		switch s.opts.Policy {
+		case ExactQueries:
+			n, err := s.eng.FullScanCount(step.Expr)
+			if err != nil {
+				return err
+			}
+			res.Queries = append(res.Queries, QueryOutcome{
+				Estimate: float64(n), Exact: true, Spent: clock.Now() - t0,
+			})
+		default:
+			opts := step.Options
+			opts.Quota = step.Quota
+			opts.Mode = core.HardDeadline
+			if opts.Seed == 0 {
+				opts.Seed = s.opts.Seed + int64(tx.ID*100+qi)
+			}
+			r, err := s.eng.Count(step.Expr, opts)
+			if err != nil {
+				return err
+			}
+			res.Queries = append(res.Queries, QueryOutcome{
+				Estimate: r.Estimate.Value,
+				StdErr:   r.Estimate.StdErr(),
+				Spent:    clock.Now() - t0,
+			})
+		}
+	}
+	if tx.AppWork > 0 {
+		s.store.ChargeCPU(tx.AppWork)
+	}
+	return nil
+}
+
+// MissCount counts admitted transactions that missed their deadlines.
+func MissCount(results []TxnResult) int {
+	n := 0
+	for _, r := range results {
+		if r.Admitted && !r.Met {
+			n++
+		}
+	}
+	return n
+}
+
+// RejectCount counts transactions refused by admission control.
+func RejectCount(results []TxnResult) int {
+	n := 0
+	for _, r := range results {
+		if !r.Admitted {
+			n++
+		}
+	}
+	return n
+}
+
+// Clock exposes the scheduler's session clock (for building absolute
+// deadlines).
+func (s *Scheduler) Clock() vclock.Clock { return s.store.Clock() }

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tcq/internal/core"
+	"tcq/internal/ra"
+	"tcq/internal/storage"
+	"tcq/internal/timectrl"
+	"tcq/internal/vclock"
+	"tcq/internal/workload"
+)
+
+// batchFixture builds a store with two relations and a standard
+// transaction batch whose deadlines are feasible under quotas but not
+// under full scans.
+func batchFixture(t *testing.T, seed int64) (*storage.Store, []Txn) {
+	t.Helper()
+	clk := vclock.NewSim(seed, 0.02)
+	st := storage.NewStore(clk, storage.SunProfile(), storage.DefaultBlockSize)
+	rng := rand.New(rand.NewSource(seed))
+	if _, err := workload.SelectRelation(st, "inv", 2000, 500, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := workload.JoinPair(st, "ord", "itm", 2000, 14000, rng); err != nil {
+		t.Fatal(err)
+	}
+	selQ := QueryStep{
+		Expr: &ra.Select{Input: &ra.Base{Name: "inv"},
+			Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(500)}}},
+		Quota: 2 * time.Second,
+	}
+	joinQ := QueryStep{
+		Expr: &ra.Join{Left: &ra.Base{Name: "ord"}, Right: &ra.Base{Name: "itm"},
+			On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}},
+		Quota:   2 * time.Second,
+		Options: core.Options{Initial: timectrl.Initials{Select: 1, Join: 0.1, Project: 1}},
+	}
+	txns := []Txn{
+		{ID: 1, Deadline: 5 * time.Second, Queries: []QueryStep{selQ}, AppWork: time.Second},
+		{ID: 2, Deadline: 12 * time.Second, Queries: []QueryStep{joinQ}, AppWork: time.Second},
+		{ID: 3, Deadline: 18 * time.Second, Queries: []QueryStep{selQ, selQ}, AppWork: time.Second},
+	}
+	return st, txns
+}
+
+func TestQuotaPolicyMeetsDeadlines(t *testing.T) {
+	st, txns := batchFixture(t, 1)
+	s := New(st, Options{Policy: QuotaQueries, Seed: 1})
+	results, err := s.Run(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if MissCount(results) != 0 {
+		t.Errorf("quota policy missed deadlines: %+v", results)
+	}
+	for _, r := range results {
+		if !r.Admitted {
+			t.Errorf("txn %d rejected despite feasible deadline", r.ID)
+		}
+		for _, q := range r.Queries {
+			if q.Exact {
+				t.Error("quota policy ran an exact query")
+			}
+			if q.Estimate <= 0 {
+				t.Errorf("txn %d produced empty estimate", r.ID)
+			}
+		}
+	}
+}
+
+func TestExactPolicyMissesDeadlines(t *testing.T) {
+	st, txns := batchFixture(t, 1)
+	s := New(st, Options{Policy: ExactQueries, Seed: 1})
+	results, err := s.Run(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full scans of 400-block relations take far longer than the
+	// deadlines allow.
+	if MissCount(results) == 0 {
+		t.Error("exact policy unexpectedly met every deadline")
+	}
+	for _, r := range results {
+		if !r.Admitted {
+			t.Error("exact policy has no admission control")
+		}
+		for _, q := range r.Queries {
+			if !q.Exact {
+				t.Error("exact policy should mark outcomes exact")
+			}
+		}
+	}
+}
+
+func TestAdmissionControlRejectsInfeasible(t *testing.T) {
+	st, txns := batchFixture(t, 2)
+	// Make the second transaction's deadline impossible: its own worst
+	// case exceeds the remaining time after txn 1.
+	txns[1].Deadline = 3 * time.Second
+	s := New(st, Options{Policy: QuotaQueries, Seed: 2})
+	results, err := s.Run(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RejectCount(results) == 0 {
+		t.Fatal("expected at least one rejection")
+	}
+	// EDF order: deadlines ascending in the result list.
+	for i := 1; i < len(results); i++ {
+		// Results are in EDF order; rejected transactions consume no time.
+		if results[i].Started < results[i-1].Started {
+			t.Error("results not in dispatch order")
+		}
+	}
+	// A rejected transaction consumes no clock time and keeps later
+	// transactions feasible.
+	if MissCount(results) != 0 {
+		t.Errorf("admitted transactions missed deadlines: %+v", results)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	st, _ := batchFixture(t, 3)
+	s := New(st, Options{})
+	if _, err := s.Run(nil); err == nil {
+		t.Error("empty batch should error")
+	}
+	// Unknown relation inside a transaction surfaces as an error.
+	bad := []Txn{{ID: 1, Deadline: time.Minute, Queries: []QueryStep{{
+		Expr: &ra.Base{Name: "missing"}, Quota: time.Second,
+	}}}}
+	if _, err := s.Run(bad); err == nil {
+		t.Error("unknown relation should error")
+	}
+}
+
+func TestEDFOrdering(t *testing.T) {
+	st, txns := batchFixture(t, 4)
+	// Shuffle deadlines so EDF must reorder.
+	txns[0].Deadline = 30 * time.Second
+	txns[2].Deadline = 6 * time.Second
+	s := New(st, Options{Policy: QuotaQueries, Seed: 4})
+	results, err := s.Run(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First dispatched must be the earliest deadline (txn 3 at 6s).
+	if results[0].ID != 3 {
+		t.Errorf("EDF should dispatch txn 3 first, got %d", results[0].ID)
+	}
+	if MissCount(results) != 0 {
+		t.Errorf("feasible EDF batch missed deadlines")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if QuotaQueries.String() != "quota" || ExactQueries.String() != "exact" {
+		t.Error("policy names wrong")
+	}
+}

@@ -1,0 +1,140 @@
+// Package sortx implements the external merge sort used by the sample
+// executors (step 2 of the paper's Intersect/Join/Project algorithms,
+// Figs. 4.4, 4.6, 4.7; cost formula 4.3: C·n·log n + C·n + C).
+//
+// The sort is run-based: the input is cut into bounded runs, each run is
+// sorted in memory, and the runs are merged with a k-way heap merge —
+// the classical external sorting structure, even though the "files" are
+// in-memory slices in this reproduction. Comparison counts are returned
+// so callers can charge CPU cost to the session clock in one step.
+package sortx
+
+import (
+	"container/heap"
+	"sort"
+
+	"tcq/internal/tuple"
+)
+
+// DefaultRunSize is the default number of tuples per initial run,
+// modelling the sort buffer of the prototype DBMS.
+const DefaultRunSize = 512
+
+// Cmp orders two tuples; negative means a < b.
+type Cmp func(a, b tuple.Tuple) int
+
+// Result reports the outcome of an external sort.
+type Result struct {
+	Sorted      []tuple.Tuple // sorted copy of the input
+	Comparisons int64         // comparisons performed (for cost charging)
+	Runs        int           // number of initial runs generated
+}
+
+// Sort externally sorts ts with the comparator, using runs of at most
+// runSize tuples (DefaultRunSize when runSize <= 0). The input slice is
+// not modified.
+func Sort(ts []tuple.Tuple, cmp Cmp, runSize int) Result {
+	if runSize <= 0 {
+		runSize = DefaultRunSize
+	}
+	n := len(ts)
+	if n == 0 {
+		return Result{Sorted: nil, Runs: 0}
+	}
+	var comparisons int64
+	counting := func(a, b tuple.Tuple) int {
+		comparisons++
+		return cmp(a, b)
+	}
+
+	// Phase 1: run generation.
+	runs := make([][]tuple.Tuple, 0, (n+runSize-1)/runSize)
+	for lo := 0; lo < n; lo += runSize {
+		hi := lo + runSize
+		if hi > n {
+			hi = n
+		}
+		run := make([]tuple.Tuple, hi-lo)
+		copy(run, ts[lo:hi])
+		sort.SliceStable(run, func(i, j int) bool { return counting(run[i], run[j]) < 0 })
+		runs = append(runs, run)
+	}
+	if len(runs) == 1 {
+		return Result{Sorted: runs[0], Comparisons: comparisons, Runs: 1}
+	}
+
+	// Phase 2: k-way heap merge.
+	out := make([]tuple.Tuple, 0, n)
+	h := &mergeHeap{cmp: counting}
+	for i, r := range runs {
+		h.items = append(h.items, mergeItem{run: i, tuple: r[0]})
+	}
+	heap.Init(h)
+	pos := make([]int, len(runs))
+	for h.Len() > 0 {
+		it := h.items[0]
+		out = append(out, it.tuple)
+		pos[it.run]++
+		if p := pos[it.run]; p < len(runs[it.run]) {
+			h.items[0].tuple = runs[it.run][p]
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return Result{Sorted: out, Comparisons: comparisons, Runs: len(runs)}
+}
+
+type mergeItem struct {
+	run   int
+	tuple tuple.Tuple
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	cmp   Cmp
+}
+
+func (h *mergeHeap) Len() int           { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool { return h.cmp(h.items[i].tuple, h.items[j].tuple) < 0 }
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// MergeSorted merges two sorted slices into one sorted slice, returning
+// the merged slice and the number of comparisons. Neither input is
+// modified. Ties take the left element first (stable).
+func MergeSorted(a, b []tuple.Tuple, cmp Cmp) ([]tuple.Tuple, int64) {
+	out := make([]tuple.Tuple, 0, len(a)+len(b))
+	var comparisons int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		comparisons++
+		if cmp(a[i], b[j]) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out, comparisons
+}
+
+// IsSorted reports whether ts is sorted under cmp.
+func IsSorted(ts []tuple.Tuple, cmp Cmp) bool {
+	for i := 1; i < len(ts); i++ {
+		if cmp(ts[i-1], ts[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,345 @@
+// Package sqlparse provides a small SQL front-end over the tcq
+// relational algebra: single-block aggregate queries of the form
+//
+//	SELECT COUNT(*) | COUNT(DISTINCT col) | SUM(col) | AVG(col)
+//	FROM rel [JOIN rel2 ON a = b [AND c = d ...]]...
+//	[WHERE predicate]
+//	[GROUP BY col]
+//
+// Keywords are case-insensitive. The WHERE predicate uses the same
+// comparison syntax as the RA language (delegated to raparse), e.g.
+// `amount < 100 and region = "north"`. COUNT(DISTINCT col) maps to a
+// projection (Goodman-estimated); GROUP BY is supported for COUNT(*).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"tcq/internal/ra"
+	"tcq/internal/raparse"
+)
+
+// AggKind is the requested aggregate.
+type AggKind int
+
+// Aggregates.
+const (
+	Count AggKind = iota
+	CountDistinct
+	Sum
+	Avg
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case CountDistinct:
+		return "count distinct"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	default:
+		return "count"
+	}
+}
+
+// Statement is a parsed aggregate query.
+type Statement struct {
+	// Agg is the aggregate function.
+	Agg AggKind
+	// Col is the aggregated column (empty for COUNT(*)).
+	Col string
+	// Expr is the relational algebra input of the aggregate
+	// (select/join tree; for COUNT(DISTINCT col) the projection is
+	// already applied).
+	Expr ra.Expr
+	// GroupBy is the grouping column, or empty.
+	GroupBy string
+}
+
+// token kinds for the SQL lexer.
+type tkind int
+
+const (
+	tEOF tkind = iota
+	tWord
+	tPunct // ( ) , *
+	tOther // anything the predicate parser will handle
+)
+
+type tok struct {
+	kind tkind
+	text string
+	pos  int
+}
+
+// lex splits the input into words, punctuation and opaque runs; it
+// keeps byte offsets so the WHERE clause can be sliced out verbatim for
+// the predicate parser.
+func lex(src string) ([]tok, error) {
+	var toks []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '*':
+			toks = append(toks, tok{tPunct, string(c), i})
+			i++
+		case c == '"':
+			start := i
+			i++
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+			}
+			i++
+			toks = append(toks, tok{tOther, src[start:i], start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) {
+				r := rune(src[i])
+				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' {
+					i++
+					continue
+				}
+				break
+			}
+			toks = append(toks, tok{tWord, src[start:i], start})
+		default:
+			// Numbers, comparison operators, etc. — opaque to the SQL
+			// layer, meaningful to the predicate parser.
+			start := i
+			for i < len(src) {
+				b := src[i]
+				if b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '(' || b == ')' || b == ',' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, tok{tOther, src[start:i], start})
+		}
+	}
+	toks = append(toks, tok{tEOF, "", len(src)})
+	return toks, nil
+}
+
+func isKw(t tok, kw string) bool { return t.kind == tWord && strings.EqualFold(t.text, kw) }
+
+type parser struct {
+	src  string
+	toks []tok
+	i    int
+}
+
+func (p *parser) peek() tok { return p.toks[p.i] }
+func (p *parser) next() tok {
+	t := p.toks[p.i]
+	if t.kind != tEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKw(kw string) error {
+	t := p.next()
+	if !isKw(t, kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %q", strings.ToUpper(kw), t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tPunct || t.text != s {
+		return fmt.Errorf("sqlparse: expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tWord {
+		return "", fmt.Errorf("sqlparse: expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+// Parse parses one aggregate SQL statement.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	stmt := &Statement{}
+	if err := p.parseAgg(stmt); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	expr, err := p.parseFrom()
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE clause: slice the raw text between WHERE and GROUP/EOF and
+	// delegate to the RA predicate parser.
+	if isKw(p.peek(), "where") {
+		p.next()
+		start := p.peek().pos
+		end := len(p.src)
+		for j := p.i; j < len(p.toks); j++ {
+			if isKw(p.toks[j], "group") {
+				end = p.toks[j].pos
+				p.i = j
+				break
+			}
+			if p.toks[j].kind == tEOF {
+				p.i = j
+				break
+			}
+		}
+		predSrc := strings.TrimSpace(p.src[start:end])
+		if predSrc == "" {
+			return nil, fmt.Errorf("sqlparse: empty WHERE clause")
+		}
+		pred, err := raparse.ParsePred(predSrc)
+		if err != nil {
+			return nil, err
+		}
+		expr = &ra.Select{Input: expr, Pred: pred}
+	}
+
+	if isKw(p.peek(), "group") {
+		p.next()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if stmt.Agg != Count {
+			return nil, fmt.Errorf("sqlparse: GROUP BY is supported for COUNT(*) only")
+		}
+		stmt.GroupBy = col
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, fmt.Errorf("sqlparse: unexpected %q after statement", t.text)
+	}
+
+	if stmt.Agg == CountDistinct {
+		expr = &ra.Project{Input: expr, Cols: []string{stmt.Col}}
+	}
+	stmt.Expr = expr
+	return stmt, nil
+}
+
+func (p *parser) parseAgg(stmt *Statement) error {
+	t := p.next()
+	switch {
+	case isKw(t, "count"):
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		if p.peek().kind == tPunct && p.peek().text == "*" {
+			p.next()
+			stmt.Agg = Count
+		} else if isKw(p.peek(), "distinct") {
+			p.next()
+			col, err := p.ident()
+			if err != nil {
+				return err
+			}
+			stmt.Agg = CountDistinct
+			stmt.Col = col
+		} else {
+			return fmt.Errorf("sqlparse: expected * or DISTINCT col in COUNT")
+		}
+		return p.expectPunct(")")
+	case isKw(t, "sum"), isKw(t, "avg"):
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		if isKw(t, "sum") {
+			stmt.Agg = Sum
+		} else {
+			stmt.Agg = Avg
+		}
+		stmt.Col = col
+		return nil
+	default:
+		return fmt.Errorf("sqlparse: expected COUNT/SUM/AVG, got %q", t.text)
+	}
+}
+
+// parseFrom parses "rel [JOIN rel ON a = b [AND c = d]...]...".
+func (p *parser) parseFrom() (ra.Expr, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var expr ra.Expr = &ra.Base{Name: name}
+	for isKw(p.peek(), "join") {
+		p.next()
+		right, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		var on []ra.JoinCond
+		for {
+			lc, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			eq := p.next()
+			if eq.kind != tOther || (eq.text != "=" && eq.text != "==") {
+				return nil, fmt.Errorf("sqlparse: expected '=', got %q", eq.text)
+			}
+			rc, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			on = append(on, ra.JoinCond{LeftCol: lc, RightCol: rc})
+			if isKw(p.peek(), "and") {
+				// Lookahead: "AND x = y" continues the join condition;
+				// anything else belongs to a later clause. A join
+				// condition is ident '=' ident.
+				if p.i+3 < len(p.toks) &&
+					p.toks[p.i+1].kind == tWord &&
+					p.toks[p.i+2].kind == tOther && (p.toks[p.i+2].text == "=" || p.toks[p.i+2].text == "==") &&
+					p.toks[p.i+3].kind == tWord {
+					p.next()
+					continue
+				}
+			}
+			break
+		}
+		expr = &ra.Join{Left: expr, Right: &ra.Base{Name: right}, On: on}
+	}
+	return expr, nil
+}

@@ -1,0 +1,159 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"tcq/internal/ra"
+)
+
+func mustParse(t *testing.T, src string) *Statement {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseCountStar(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM orders")
+	if s.Agg != Count || s.Col != "" || s.GroupBy != "" {
+		t.Fatalf("stmt = %+v", s)
+	}
+	if b, ok := s.Expr.(*ra.Base); !ok || b.Name != "orders" {
+		t.Fatalf("expr = %s", s.Expr)
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	s := mustParse(t, `select count(*) from orders where amount < 100 and region = "north"`)
+	sel, ok := s.Expr.(*ra.Select)
+	if !ok {
+		t.Fatalf("expr = %T", s.Expr)
+	}
+	if sel.String() != `select(orders, (amount < 100 and region = "north"))` {
+		t.Errorf("expr = %s", sel)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM orders JOIN items ON id = oid WHERE qty > 2")
+	sel := s.Expr.(*ra.Select)
+	j, ok := sel.Input.(*ra.Join)
+	if !ok {
+		t.Fatalf("input = %T", sel.Input)
+	}
+	if len(j.On) != 1 || j.On[0].LeftCol != "id" || j.On[0].RightCol != "oid" {
+		t.Errorf("on = %v", j.On)
+	}
+}
+
+func TestParseMultiJoinConditionsAndChains(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM a JOIN b ON x = y AND u = v JOIN c ON p = q")
+	outer := s.Expr.(*ra.Join)
+	if outer.On[0].LeftCol != "p" {
+		t.Errorf("outer join on %v", outer.On)
+	}
+	inner := outer.Left.(*ra.Join)
+	if len(inner.On) != 2 || inner.On[1].LeftCol != "u" {
+		t.Errorf("inner join on %v", inner.On)
+	}
+}
+
+func TestParseJoinThenWhereWithAnd(t *testing.T) {
+	// The AND after the join condition belongs to WHERE, not the join.
+	s := mustParse(t, "SELECT COUNT(*) FROM a JOIN b ON x = y WHERE u < 1 AND w > 2")
+	sel, ok := s.Expr.(*ra.Select)
+	if !ok {
+		t.Fatalf("expr = %T", s.Expr)
+	}
+	if _, ok := sel.Pred.(*ra.And); !ok {
+		t.Errorf("pred = %T", sel.Pred)
+	}
+	j := sel.Input.(*ra.Join)
+	if len(j.On) != 1 {
+		t.Errorf("join swallowed the WHERE: %v", j.On)
+	}
+}
+
+func TestParseSumAvg(t *testing.T) {
+	s := mustParse(t, "SELECT SUM(revenue) FROM sales WHERE region = 3")
+	if s.Agg != Sum || s.Col != "revenue" {
+		t.Fatalf("stmt = %+v", s)
+	}
+	a := mustParse(t, "select avg(revenue) from sales")
+	if a.Agg != Avg || a.Col != "revenue" {
+		t.Fatalf("stmt = %+v", a)
+	}
+	if Sum.String() != "sum" || Avg.String() != "avg" || Count.String() != "count" ||
+		CountDistinct.String() != "count distinct" {
+		t.Error("AggKind names wrong")
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(DISTINCT region) FROM sales WHERE revenue > 100")
+	if s.Agg != CountDistinct || s.Col != "region" {
+		t.Fatalf("stmt = %+v", s)
+	}
+	p, ok := s.Expr.(*ra.Project)
+	if !ok || p.Cols[0] != "region" {
+		t.Fatalf("expr = %s", s.Expr)
+	}
+	if _, ok := p.Input.(*ra.Select); !ok {
+		t.Error("projection should wrap the filtered input")
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM sales WHERE revenue > 100 GROUP BY region")
+	if s.GroupBy != "region" {
+		t.Fatalf("group by = %q", s.GroupBy)
+	}
+	// The grouped input keeps the filter.
+	if !strings.Contains(s.Expr.String(), "revenue > 100") {
+		t.Errorf("expr = %s", s.Expr)
+	}
+	// GROUP BY without WHERE.
+	s2 := mustParse(t, "SELECT COUNT(*) FROM sales GROUP BY region")
+	if s2.GroupBy != "region" {
+		t.Fatalf("group by = %q", s2.GroupBy)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROM x",
+		"SELECT MAX(a) FROM x",
+		"SELECT COUNT(a) FROM x", // bare column: must be * or DISTINCT
+		"SELECT COUNT(*)",
+		"SELECT COUNT(*) FROM",
+		"SELECT COUNT(*) FROM x WHERE",
+		"SELECT COUNT(*) FROM x WHERE a <",
+		"SELECT COUNT(*) FROM x GROUP region",
+		"SELECT COUNT(*) FROM x GROUP BY",
+		"SELECT SUM(revenue) FROM x GROUP BY region", // group by only for count(*)
+		"SELECT COUNT(*) FROM x JOIN",
+		"SELECT COUNT(*) FROM x JOIN y",
+		"SELECT COUNT(*) FROM x JOIN y ON a",
+		"SELECT COUNT(*) FROM x JOIN y ON a = ",
+		"SELECT COUNT(*) FROM x trailing garbage",
+		`SELECT COUNT(*) FROM x WHERE a = "unterminated`,
+		"SELECT SUM() FROM x",
+		"SELECT SUM(a FROM x",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	s := mustParse(t, "SeLeCt CoUnT(*) FrOm r WhErE a < 5 GrOuP bY a")
+	if s.GroupBy != "a" {
+		t.Fatalf("stmt = %+v", s)
+	}
+}

@@ -1,0 +1,320 @@
+// Package stats provides the statistics kernel used throughout tcq:
+// streaming moment accumulators, normal quantiles, hypergeometric and
+// binomial helpers, and the sampling-variance formulas from the paper
+// ("Processing Aggregate Relational Queries with Hard Time Constraints",
+// SIGMOD 1989) and its companion estimator paper [HoOT 88].
+//
+// Everything here is pure computation over float64 and is safe for
+// concurrent use as long as each Accumulator is confined to one goroutine.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadArgument reports an out-of-domain argument to a stats function.
+var ErrBadArgument = errors.New("stats: bad argument")
+
+// Accumulator accumulates streaming first and second moments using
+// Welford's algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations added.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the sample mean, or 0 if no observations were added.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance (divisor n-1), or 0 when
+// fewer than two observations were added.
+func (a *Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// PopVar returns the population variance (divisor n), or 0 when empty.
+func (a *Accumulator) PopVar() float64 {
+	if a.n < 1 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Var()) }
+
+// Merge folds another accumulator into a (parallel Welford merge).
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	a.n = n
+}
+
+// CoAccumulator accumulates streaming covariance of paired observations.
+// The zero value is ready to use.
+type CoAccumulator struct {
+	n     int64
+	meanX float64
+	meanY float64
+	coMom float64
+	m2x   float64
+	m2y   float64
+}
+
+// Add incorporates one (x, y) pair.
+func (c *CoAccumulator) Add(x, y float64) {
+	c.n++
+	dx := x - c.meanX
+	c.meanX += dx / float64(c.n)
+	dy := y - c.meanY
+	c.meanY += dy / float64(c.n)
+	c.coMom += dx * (y - c.meanY)
+	c.m2x += dx * (x - c.meanX)
+	c.m2y += dy * (y - c.meanY)
+}
+
+// N returns the number of pairs added.
+func (c *CoAccumulator) N() int64 { return c.n }
+
+// Cov returns the unbiased sample covariance, or 0 with fewer than 2 pairs.
+func (c *CoAccumulator) Cov() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	return c.coMom / float64(c.n-1)
+}
+
+// Corr returns the Pearson correlation coefficient, or 0 when undefined.
+func (c *CoAccumulator) Corr() float64 {
+	if c.n < 2 || c.m2x == 0 || c.m2y == 0 {
+		return 0
+	}
+	return c.coMom / math.Sqrt(c.m2x*c.m2y)
+}
+
+// Mean computes the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance computes the unbiased sample variance of xs, or 0 when
+// len(xs) < 2.
+func Variance(xs []float64) float64 {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Var()
+}
+
+// Covariance computes the unbiased sample covariance of equal-length
+// slices xs and ys. It returns an error if the lengths differ.
+func Covariance(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrBadArgument
+	}
+	var c CoAccumulator
+	for i := range xs {
+		c.Add(xs[i], ys[i])
+	}
+	return c.Cov(), nil
+}
+
+// NormalCDF returns P(Z <= x) for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns the p-quantile of the standard normal
+// distribution using Acklam's rational approximation (relative error
+// below 1.15e-9 over the open unit interval). It returns ±Inf for
+// p = 0 or 1 and NaN outside [0, 1].
+func NormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+	// Coefficients for Acklam's algorithm.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step for extra accuracy.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// LogFactorial returns ln(n!) using the log-gamma function.
+// It panics for negative n.
+func LogFactorial(n int64) float64 {
+	if n < 0 {
+		panic("stats: LogFactorial of negative number")
+	}
+	v, _ := math.Lgamma(float64(n) + 1)
+	return v
+}
+
+// LogBinomial returns ln(C(n, k)), or -Inf when the coefficient is zero
+// (k < 0 or k > n).
+func LogBinomial(n, k int64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// HypergeomZeroProb returns the probability of drawing zero marked
+// elements in a sample of size m drawn without replacement from a
+// population of N elements of which K are marked:
+//
+//	P = C(N-K, m) / C(N, m)
+//
+// It returns an error for inconsistent arguments.
+func HypergeomZeroProb(N, K, m int64) (float64, error) {
+	if N < 0 || K < 0 || m < 0 || K > N || m > N {
+		return 0, ErrBadArgument
+	}
+	if K == 0 {
+		return 1, nil
+	}
+	if m > N-K {
+		return 0, nil
+	}
+	return math.Exp(LogBinomial(N-K, m) - LogBinomial(N, m)), nil
+}
+
+// SRSProportionVariance returns the variance of a sample proportion under
+// simple random sampling without replacement:
+//
+//	Var(s) = S(1-S)(N-m) / (m(N-1))
+//
+// where S is the population proportion, N the population size and m the
+// sample size. This is the approximation the paper uses in Fig. 3.5 for
+// Var(sel_i). It returns 0 when m == 0 or N <= 1.
+func SRSProportionVariance(S float64, N, m int64) float64 {
+	if m <= 0 || N <= 1 {
+		return 0
+	}
+	if S < 0 {
+		S = 0
+	}
+	if S > 1 {
+		S = 1
+	}
+	return S * (1 - S) * float64(N-m) / (float64(m) * float64(N-1))
+}
+
+// FPC returns the finite population correction factor (N-m)/(N-1), or 0
+// when N <= 1.
+func FPC(N, m int64) float64 {
+	if N <= 1 {
+		return 0
+	}
+	if m > N {
+		m = N
+	}
+	return float64(N-m) / float64(N-1)
+}
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Center float64
+	Half   float64 // half-width; Lo = Center-Half, Hi = Center+Half
+	Level  float64 // confidence level in (0,1), e.g. 0.95
+}
+
+// Lo returns the lower bound of the interval.
+func (iv Interval) Lo() float64 { return iv.Center - iv.Half }
+
+// Hi returns the upper bound of the interval.
+func (iv Interval) Hi() float64 { return iv.Center + iv.Half }
+
+// Contains reports whether x lies inside the interval (inclusive).
+func (iv Interval) Contains(x float64) bool {
+	return x >= iv.Lo() && x <= iv.Hi()
+}
+
+// NormalInterval builds a normal-approximation confidence interval for a
+// point estimate with the given variance at the given confidence level.
+// A non-positive variance yields a zero-width interval.
+func NormalInterval(estimate, variance, level float64) Interval {
+	iv := Interval{Center: estimate, Level: level}
+	if variance > 0 && level > 0 && level < 1 {
+		z := NormalQuantile(0.5 + level/2)
+		iv.Half = z * math.Sqrt(variance)
+	}
+	return iv
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

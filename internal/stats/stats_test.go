@@ -1,0 +1,377 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Var() != 0 || a.N() != 0 {
+		t.Fatalf("zero accumulator not zero: %+v", a)
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", a.Mean())
+	}
+	// Population variance of this classic sequence is 4.
+	if !almostEqual(a.PopVar(), 4, 1e-12) {
+		t.Errorf("PopVar = %g, want 4", a.PopVar())
+	}
+	if !almostEqual(a.Var(), 32.0/7.0, 1e-12) {
+		t.Errorf("Var = %g, want %g", a.Var(), 32.0/7.0)
+	}
+	if !almostEqual(a.StdDev(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %g", a.StdDev())
+	}
+}
+
+func TestAccumulatorSingleObservation(t *testing.T) {
+	var a Accumulator
+	a.Add(42)
+	if a.Mean() != 42 {
+		t.Errorf("Mean = %g, want 42", a.Mean())
+	}
+	if a.Var() != 0 {
+		t.Errorf("Var of single observation = %g, want 0", a.Var())
+	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n1, n2 := rng.Intn(20), rng.Intn(20)
+		var whole, left, right Accumulator
+		for i := 0; i < n1; i++ {
+			x := rng.NormFloat64() * 10
+			whole.Add(x)
+			left.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := rng.NormFloat64()*3 + 5
+			whole.Add(x)
+			right.Add(x)
+		}
+		left.Merge(&right)
+		if left.N() != whole.N() {
+			t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+		}
+		if !almostEqual(left.Mean(), whole.Mean(), 1e-9) {
+			t.Fatalf("merged mean %g != %g", left.Mean(), whole.Mean())
+		}
+		if !almostEqual(left.Var(), whole.Var(), 1e-9) {
+			t.Fatalf("merged var %g != %g", left.Var(), whole.Var())
+		}
+	}
+}
+
+func TestCoAccumulator(t *testing.T) {
+	var c CoAccumulator
+	// Perfectly correlated data: y = 2x + 1.
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		c.Add(x, 2*x+1)
+	}
+	if !almostEqual(c.Corr(), 1, 1e-12) {
+		t.Errorf("Corr = %g, want 1", c.Corr())
+	}
+	// Cov(x, 2x+1) = 2 Var(x); Var{1..5} (sample) = 2.5.
+	if !almostEqual(c.Cov(), 5, 1e-12) {
+		t.Errorf("Cov = %g, want 5", c.Cov())
+	}
+}
+
+func TestCoAccumulatorIndependent(t *testing.T) {
+	var c CoAccumulator
+	c.Add(1, 5)
+	if c.Cov() != 0 {
+		t.Errorf("Cov of single pair = %g, want 0", c.Cov())
+	}
+	if c.Corr() != 0 {
+		t.Errorf("Corr of single pair = %g, want 0", c.Corr())
+	}
+}
+
+func TestMeanVarianceSlices(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of singleton != 0")
+	}
+	xs := []float64{1, 2, 3, 4}
+	if !almostEqual(Mean(xs), 2.5, 1e-12) {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if !almostEqual(Variance(xs), 5.0/3.0, 1e-12) {
+		t.Errorf("Variance = %g", Variance(xs))
+	}
+}
+
+func TestCovarianceErrors(t *testing.T) {
+	if _, err := Covariance([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Covariance with mismatched lengths should error")
+	}
+	cv, err := Covariance([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(cv, 2, 1e-12) {
+		t.Errorf("Cov = %g, want 2", cv)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.841344746068543, 1}, // Phi(1)
+		{0.999, 3.090232306167813},
+		{0.001, -3.090232306167813},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("NormalQuantile(%g) = %.12f, want %.12f", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile at 0/1 should be -Inf/+Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("quantile outside [0,1] should be NaN")
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		if p < 1e-6 || p > 1-1e-6 {
+			return true
+		}
+		x := NormalQuantile(p)
+		return almostEqual(NormalCDF(x), p, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDFSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 30 {
+			return true
+		}
+		return almostEqual(NormalCDF(x)+NormalCDF(-x), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogFactorial(t *testing.T) {
+	fact := 1.0
+	for n := int64(0); n <= 20; n++ {
+		if n > 0 {
+			fact *= float64(n)
+		}
+		if !almostEqual(LogFactorial(n), math.Log(fact), 1e-9) {
+			t.Errorf("LogFactorial(%d) = %g, want %g", n, LogFactorial(n), math.Log(fact))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LogFactorial(-1) should panic")
+		}
+	}()
+	LogFactorial(-1)
+}
+
+func TestLogBinomial(t *testing.T) {
+	if !math.IsInf(LogBinomial(5, -1), -1) || !math.IsInf(LogBinomial(5, 6), -1) {
+		t.Error("out-of-range binomial should be -Inf")
+	}
+	// C(10, 3) = 120.
+	if !almostEqual(math.Exp(LogBinomial(10, 3)), 120, 1e-9) {
+		t.Errorf("C(10,3) = %g", math.Exp(LogBinomial(10, 3)))
+	}
+	// Symmetry C(n,k) = C(n,n-k).
+	f := func(n, k uint8) bool {
+		nn, kk := int64(n%50), int64(k)
+		if kk > nn {
+			return true
+		}
+		return almostEqual(LogBinomial(nn, kk), LogBinomial(nn, nn-kk), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypergeomZeroProb(t *testing.T) {
+	// No marked elements: always probability 1.
+	p, err := HypergeomZeroProb(100, 0, 10)
+	if err != nil || p != 1 {
+		t.Errorf("K=0: p=%g err=%v", p, err)
+	}
+	// Sample bigger than unmarked population: probability 0.
+	p, err = HypergeomZeroProb(10, 5, 6)
+	if err != nil || p != 0 {
+		t.Errorf("m > N-K: p=%g err=%v", p, err)
+	}
+	// Small exact case: N=5, K=2, m=2: C(3,2)/C(5,2) = 3/10.
+	p, err = HypergeomZeroProb(5, 2, 2)
+	if err != nil || !almostEqual(p, 0.3, 1e-12) {
+		t.Errorf("exact: p=%g err=%v", p, err)
+	}
+	if _, err := HypergeomZeroProb(5, 6, 1); err == nil {
+		t.Error("K > N should error")
+	}
+	if _, err := HypergeomZeroProb(5, 1, 6); err == nil {
+		t.Error("m > N should error")
+	}
+	if _, err := HypergeomZeroProb(-1, 0, 0); err == nil {
+		t.Error("negative N should error")
+	}
+}
+
+func TestHypergeomZeroProbMatchesEnumeration(t *testing.T) {
+	// Brute-force check against enumeration for a small population.
+	const N, K, m = 8, 3, 4
+	// Count m-subsets of {0..7} avoiding the first K elements.
+	choose := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	want := float64(choose(N-K, m)) / float64(choose(N, m))
+	got, err := HypergeomZeroProb(N, K, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("got %g want %g", got, want)
+	}
+}
+
+func TestSRSProportionVariance(t *testing.T) {
+	// Full census: variance must be 0.
+	if v := SRSProportionVariance(0.3, 100, 100); v != 0 {
+		t.Errorf("census variance = %g, want 0", v)
+	}
+	// Degenerate proportions: variance 0.
+	if v := SRSProportionVariance(0, 100, 10); v != 0 {
+		t.Errorf("S=0 variance = %g", v)
+	}
+	if v := SRSProportionVariance(1, 100, 10); v != 0 {
+		t.Errorf("S=1 variance = %g", v)
+	}
+	// Out-of-range S is clamped rather than producing negative variance.
+	if v := SRSProportionVariance(-0.5, 100, 10); v != 0 {
+		t.Errorf("clamped S variance = %g", v)
+	}
+	// Known value: S=0.5, N=101, m=50 -> 0.25*51/(50*100).
+	want := 0.25 * 51 / (50 * 100.0)
+	if v := SRSProportionVariance(0.5, 101, 50); !almostEqual(v, want, 1e-15) {
+		t.Errorf("variance = %g, want %g", v, want)
+	}
+	if v := SRSProportionVariance(0.5, 1, 0); v != 0 {
+		t.Errorf("empty sample variance = %g", v)
+	}
+}
+
+func TestSRSVarianceMonotoneInSampleSize(t *testing.T) {
+	// Larger samples never increase the variance.
+	prev := math.Inf(1)
+	for m := int64(1); m <= 100; m++ {
+		v := SRSProportionVariance(0.2, 100, m)
+		if v > prev+1e-15 {
+			t.Fatalf("variance increased at m=%d: %g > %g", m, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFPC(t *testing.T) {
+	if FPC(1, 0) != 0 {
+		t.Error("FPC with N<=1 should be 0")
+	}
+	if !almostEqual(FPC(101, 1), 1, 1e-12) {
+		t.Errorf("FPC(101,1) = %g", FPC(101, 1))
+	}
+	if FPC(100, 100) != 0 {
+		t.Error("census FPC should be 0")
+	}
+	if FPC(100, 200) != 0 {
+		t.Error("oversample FPC should clamp to 0")
+	}
+}
+
+func TestNormalInterval(t *testing.T) {
+	iv := NormalInterval(10, 4, 0.95)
+	if !almostEqual(iv.Half, 2*1.959963984540054, 1e-6) {
+		t.Errorf("half-width = %g", iv.Half)
+	}
+	if !iv.Contains(10) || !iv.Contains(iv.Lo()) || !iv.Contains(iv.Hi()) {
+		t.Error("interval should contain its center and bounds")
+	}
+	if iv.Contains(iv.Hi() + 1) {
+		t.Error("interval should not contain points beyond Hi")
+	}
+	zero := NormalInterval(5, 0, 0.95)
+	if zero.Half != 0 {
+		t.Errorf("zero-variance interval half = %g", zero.Half)
+	}
+	neg := NormalInterval(5, -1, 0.95)
+	if neg.Half != 0 {
+		t.Errorf("negative-variance interval half = %g", neg.Half)
+	}
+}
+
+func TestIntervalCoverageSimulation(t *testing.T) {
+	// Empirical check that a 95% normal interval on a sample mean covers
+	// the true mean about 95% of the time.
+	rng := rand.New(rand.NewSource(42))
+	const trials, n = 2000, 50
+	covered := 0
+	for i := 0; i < trials; i++ {
+		var a Accumulator
+		for j := 0; j < n; j++ {
+			a.Add(rng.NormFloat64()*2 + 7)
+		}
+		iv := NormalInterval(a.Mean(), a.Var()/float64(n), 0.95)
+		if iv.Contains(7) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Errorf("coverage = %.3f, want ~0.95", rate)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,497 @@
+// Package timectrl implements the time-control machinery of the paper's
+// Section 3: run-time sample-selectivity estimation and improvement
+// (Revise-Selectivities, Fig. 3.3), the inflated per-operator
+// selectivity sel⁺ (ComputeSel⁺, Fig. 3.5, using the simple-random-
+// sampling variance approximation), the zero-selectivity combinatorial
+// fix (§3.4), the Sample-Size-Determine binary search (Fig. 3.4), the
+// statistical time-control strategies (Single-Interval and
+// One-at-a-Time-Interval, §3.3.1–3.3.2) and a heuristic strategy, plus
+// the stopping criteria of §3.2.
+package timectrl
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tcq/internal/cost"
+	"tcq/internal/estimator"
+	"tcq/internal/exec"
+	"tcq/internal/stats"
+)
+
+// Initials holds the first-stage selectivity assumptions (Fig. 3.3
+// assigns the maximum selectivity before any sample exists). The
+// paper's experiments use Select/Project/Join = 1 (except the join
+// experiment, which assumes 0.1 to get a measurable first stage) and
+// Intersect = 1/max(|r1|, |r2|).
+type Initials struct {
+	Select    float64
+	Join      float64
+	Project   float64
+	Intersect float64 // <= 0 means "use 1/max(|r1|,|r2|)" per the paper
+}
+
+// DefaultInitials returns the paper's Figure 3.3 defaults.
+func DefaultInitials() Initials {
+	return Initials{Select: 1, Join: 1, Project: 1, Intersect: 0}
+}
+
+// Selectivity returns the operator's current sample selectivity
+// estimate sel^{i-1} (Fig. 3.3): the ratio of cumulative output tuples
+// to cumulative covered points, the first-stage assumption before any
+// points were covered, and the §3.4 combinatorial zero fix when the
+// sample produced no output tuples.
+func Selectivity(n *exec.NodeInfo, init Initials) float64 {
+	if n.CumPoints <= 0 {
+		switch n.Op {
+		case exec.OpSelect:
+			return clamp01(init.Select)
+		case exec.OpJoin:
+			return clamp01(init.Join)
+		case exec.OpProject:
+			return clamp01(init.Project)
+		case exec.OpIntersect:
+			if init.Intersect > 0 {
+				return clamp01(init.Intersect)
+			}
+			return intersectInitial(n)
+		default:
+			return 1
+		}
+	}
+	if n.CumOut == 0 {
+		return ZeroSelectivityFix(n.CumPoints)
+	}
+	return clamp01(float64(n.CumOut) / n.CumPoints)
+}
+
+// intersectInitial implements the paper's 1/max(|r1|, |r2|) first-stage
+// assumption, generalised to subexpressions by taking each operand's
+// base point-space size.
+func intersectInitial(n *exec.NodeInfo) float64 {
+	maxOperand := 1.0
+	for _, c := range n.Children {
+		if s := basePoints(c); s > maxOperand {
+			maxOperand = s
+		}
+	}
+	return clamp01(1 / maxOperand)
+}
+
+// basePoints returns the product of base relation sizes under a node.
+func basePoints(n *exec.NodeInfo) float64 {
+	if n.Op == exec.OpBase {
+		return float64(n.BaseTuples)
+	}
+	p := 1.0
+	for _, c := range n.Children {
+		p *= basePoints(c)
+	}
+	return p
+}
+
+// ZeroSelectivityFix returns a plausible positive selectivity after m
+// covered points produced zero output tuples (§3.4). The paper's
+// closed-form combinatorial formula lives in an unavailable tech
+// report; we use the hypergeometric plausibility bound — the selectivity
+// S at which an all-zero sample of m points has probability ½:
+//
+//	(1−S)^m = ½  ⇒  S = 1 − 2^(−1/m)
+//
+// which is closed, easy to compute, positive, and shrinks as the sample
+// grows — the behaviour §3.4 requires.
+func ZeroSelectivityFix(m float64) float64 {
+	if m < 1 {
+		m = 1
+	}
+	return 1 - math.Exp2(-1/m)
+}
+
+// ComputeSelPlus implements Fig. 3.5: the inflated selectivity
+//
+//	sel⁺ = sel^{i-1} + d_β·√Var(sel_i)
+//
+// with the SRS variance approximation Var = sel(1−sel)·fpc/m_i, where
+// m_i is the number of new points the candidate stage would cover and
+// fpc ≈ (1 − coveredFrac) approximates (N_i − m_i)/(N_i − 1) for the
+// not-yet-covered point space. The result is clamped to [sel, 1].
+func ComputeSelPlus(sel, dBeta, newPoints, coveredFrac float64) float64 {
+	sel = clamp01(sel)
+	if dBeta <= 0 || newPoints < 1 {
+		return sel
+	}
+	fpc := 1 - coveredFrac
+	if fpc < 0 {
+		fpc = 0
+	}
+	v := sel * (1 - sel) * fpc / newPoints
+	plus := sel + dBeta*math.Sqrt(v)
+	return stats.Clamp(plus, sel, 1)
+}
+
+func clamp01(x float64) float64 { return stats.Clamp(x, 0, 1) }
+
+// PlanInput is everything a strategy needs to size the next stage.
+type PlanInput struct {
+	// Roots are snapshots of each term's executor tree.
+	Roots []*exec.NodeInfo
+	// Model is the (adaptive) cost model evaluating QCOST.
+	Model *cost.Model
+	// Remaining is T_i, the quota left for this and later stages.
+	Remaining time.Duration
+	// Stage is the upcoming stage number (1-based).
+	Stage int
+	// CoveredFrac is the fraction of the point space covered so far
+	// (the cumulative sample fraction drives the fpc approximation).
+	CoveredFrac float64
+	// MaxFraction is the largest admissible stage fraction (bounded by
+	// the blocks still undrawn in the most-depleted relation).
+	MaxFraction float64
+	// Initial holds first-stage selectivity assumptions.
+	Initial Initials
+	// Oracle, when non-nil, supplies prestored exact selectivities per
+	// node id (the §3.1 alternative to run-time estimation). Oracle
+	// values are used as-is — a known selectivity needs no d_β
+	// inflation.
+	Oracle map[int]float64
+}
+
+// Plan is a strategy's decision for the next stage.
+type Plan struct {
+	// Fraction is the stage sample fraction f_i (0 means: no further
+	// stage is affordable or possible).
+	Fraction float64
+	// Predicted is QCOST(f_i, SEL⁺), the stage's planned duration.
+	Predicted time.Duration
+}
+
+// Strategy decides each stage's sample fraction and learns from the
+// realised stage durations.
+type Strategy interface {
+	// Name identifies the strategy in results and benches.
+	Name() string
+	// PlanStage sizes the next stage.
+	PlanStage(in PlanInput) Plan
+	// ObserveStage reports a finished stage's predicted and actual
+	// durations (for strategies that track prediction error).
+	ObserveStage(predicted, actual time.Duration)
+}
+
+// selPlusFunc builds the cost.SelPlusFunc for a given d_β.
+func selPlusFunc(in PlanInput, dBeta float64) cost.SelPlusFunc {
+	return func(n *exec.NodeInfo, newPoints float64) float64 {
+		if n.Op == exec.OpBase {
+			return 1
+		}
+		if in.Oracle != nil {
+			if sel, ok := in.Oracle[n.ID]; ok {
+				return clamp01(sel) // prestored: exact, no inflation
+			}
+		}
+		sel := Selectivity(n, in.Initial)
+		return ComputeSelPlus(sel, dBeta, newPoints, in.CoveredFrac)
+	}
+}
+
+// SampleSizeDetermine is the Fig. 3.4 binary search: the largest
+// fraction f ∈ (0, maxF] whose predicted stage cost fits target. It
+// returns (0, cost(minF)) when even the smallest admissible stage
+// (minF) does not fit.
+func SampleSizeDetermine(in PlanInput, target time.Duration, dBeta, minF float64) Plan {
+	if target <= 0 || in.MaxFraction <= 0 {
+		return Plan{}
+	}
+	sel := selPlusFunc(in, dBeta)
+	predict := func(f float64) time.Duration {
+		return in.Model.PredictStage(in.Roots, f, sel).Duration
+	}
+	if minF > in.MaxFraction {
+		minF = in.MaxFraction
+	}
+	if minF > 0 {
+		if c := predict(minF); c > target {
+			return Plan{Fraction: 0, Predicted: c}
+		}
+	}
+	hi := in.MaxFraction
+	if c := predict(hi); c <= target {
+		return Plan{Fraction: hi, Predicted: c}
+	}
+	lo := minF
+	eps := target / 256
+	if eps < time.Millisecond {
+		eps = time.Millisecond
+	}
+	var cMid time.Duration
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		cMid = predict(mid)
+		diff := cMid - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= eps {
+			return Plan{Fraction: mid, Predicted: cMid}
+		}
+		if cMid < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return Plan{Fraction: lo, Predicted: predict(lo)}
+}
+
+// OneAtATime is the One-at-a-Time-Interval strategy (§3.3.2, the
+// implemented default of the paper's prototype): each operator's
+// selectivity is individually inflated to sel⁺ with risk knob d_β, and
+// the stage is sized to spend the whole remaining quota under SEL⁺.
+type OneAtATime struct {
+	// DBeta is d_β of eq. 3.3; 0 plans at the estimated selectivities
+	// (≈50% overspend risk), larger values are more conservative. The
+	// paper's experiments sweep {0, 12, 24, 48, 72}.
+	DBeta float64
+	// MinFraction is the smallest admissible stage fraction (one block
+	// of the largest relation, set by the engine).
+	MinFraction float64
+}
+
+// Name implements Strategy.
+func (s *OneAtATime) Name() string { return fmt.Sprintf("one-at-a-time(dβ=%g)", s.DBeta) }
+
+// PlanStage implements Strategy.
+func (s *OneAtATime) PlanStage(in PlanInput) Plan {
+	return SampleSizeDetermine(in, in.Remaining, s.DBeta, s.MinFraction)
+}
+
+// ObserveStage implements Strategy (stateless).
+func (s *OneAtATime) ObserveStage(predicted, actual time.Duration) {}
+
+// SingleInterval is the Single-Interval strategy (§3.3.1): instead of
+// inflating each operator's selectivity, it reserves time for the
+// whole-query cost uncertainty: solve μ_t + d_α·σ_t = T_i. The paper
+// notes the exact Var(QCOST) (with covariances of all sel terms) is
+// "very expensive"; like the paper we plug in previous-stage values —
+// here, the observed distribution of actual/predicted stage-cost
+// ratios.
+type SingleInterval struct {
+	// DAlpha is d_α: the number of cost standard deviations reserved.
+	DAlpha float64
+	// MinFraction is the smallest admissible stage fraction.
+	MinFraction float64
+	// PriorRelSD seeds σ_t/μ_t before two stages have been observed.
+	PriorRelSD float64
+
+	ratios stats.Accumulator
+}
+
+// Name implements Strategy.
+func (s *SingleInterval) Name() string { return fmt.Sprintf("single-interval(dα=%g)", s.DAlpha) }
+
+// PlanStage implements Strategy.
+func (s *SingleInterval) PlanStage(in PlanInput) Plan {
+	relSD := s.PriorRelSD
+	if relSD <= 0 {
+		relSD = 0.25
+	}
+	if s.ratios.N() >= 2 {
+		relSD = s.ratios.StdDev()
+	}
+	// μ_t(1 + d_α·relSD) = T_i  ⇒  μ_t = T_i / (1 + d_α·relSD).
+	denom := 1 + s.DAlpha*relSD
+	if denom < 1 {
+		denom = 1
+	}
+	target := time.Duration(float64(in.Remaining) / denom)
+	return SampleSizeDetermine(in, target, 0, s.MinFraction)
+}
+
+// ObserveStage implements Strategy: records actual/predicted ratios.
+func (s *SingleInterval) ObserveStage(predicted, actual time.Duration) {
+	if predicted > 0 {
+		s.ratios.Add(actual.Seconds() / predicted.Seconds())
+	}
+}
+
+// Heuristic is a reconstruction of the paper's (unspecified) heuristic
+// strategy: spend a fixed share γ of the remaining quota each stage,
+// committing the whole remainder once it drops below the commit
+// threshold. It needs no variance machinery at all.
+type Heuristic struct {
+	// Gamma is the share of the remaining quota spent per stage.
+	Gamma float64
+	// CommitBelow spends everything once remaining < CommitBelow.
+	CommitBelow time.Duration
+	// MinFraction is the smallest admissible stage fraction.
+	MinFraction float64
+}
+
+// Name implements Strategy.
+func (s *Heuristic) Name() string { return fmt.Sprintf("heuristic(γ=%g)", s.Gamma) }
+
+// PlanStage implements Strategy.
+func (s *Heuristic) PlanStage(in PlanInput) Plan {
+	gamma := s.Gamma
+	if gamma <= 0 || gamma > 1 {
+		gamma = 0.5
+	}
+	target := time.Duration(float64(in.Remaining) * gamma)
+	if s.CommitBelow > 0 && in.Remaining < s.CommitBelow {
+		target = in.Remaining
+	}
+	return SampleSizeDetermine(in, target, 0, s.MinFraction)
+}
+
+// ObserveStage implements Strategy (stateless).
+func (s *Heuristic) ObserveStage(predicted, actual time.Duration) {}
+
+// StopState is the engine state a stopping criterion examines after
+// each completed stage.
+type StopState struct {
+	Stage     int           // completed stages
+	Elapsed   time.Duration // time spent so far
+	Quota     time.Duration
+	Estimate  estimator.Estimate
+	History   []float64 // per-stage estimates, oldest first
+	Exhausted bool      // no blocks left to draw
+}
+
+// Criterion is a stopping criterion (§3.2). The engine always stops on
+// quota exhaustion and sample exhaustion; criteria add precision-based
+// or custom conditions.
+type Criterion interface {
+	// Done reports whether processing should stop, with a reason.
+	Done(s StopState) (bool, string)
+}
+
+// ErrorTarget stops once the estimate's relative confidence-interval
+// half-width reaches the target — the second criterion type of §3.2
+// (error-constrained evaluation).
+type ErrorTarget struct {
+	RelHalfWidth float64 // e.g. 0.05 for ±5%
+	Level        float64 // confidence level, e.g. 0.95
+	MinStages    int     // require at least this many stages (default 1)
+}
+
+// Done implements Criterion.
+func (c ErrorTarget) Done(s StopState) (bool, string) {
+	min := c.MinStages
+	if min < 1 {
+		min = 1
+	}
+	if s.Stage < min {
+		return false, ""
+	}
+	rhw := s.Estimate.RelHalfWidth(c.Level)
+	if rhw <= c.RelHalfWidth {
+		return true, fmt.Sprintf("error target reached (±%.1f%% at %.0f%%)", rhw*100, c.Level*100)
+	}
+	return false, ""
+}
+
+// NoImprovement stops when the estimate has not moved by more than Tol
+// (relative) over the last K stages — "the estimation does not improve
+// much over the last few stages" (§3.2).
+type NoImprovement struct {
+	K   int     // window size (stages)
+	Tol float64 // relative movement threshold
+}
+
+// Done implements Criterion.
+func (c NoImprovement) Done(s StopState) (bool, string) {
+	k := c.K
+	if k < 2 {
+		k = 2
+	}
+	if len(s.History) < k {
+		return false, ""
+	}
+	win := s.History[len(s.History)-k:]
+	lo, hi := win[0], win[0]
+	for _, v := range win {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := math.Abs(hi)
+	if scale == 0 {
+		scale = 1
+	}
+	if (hi-lo)/scale <= c.Tol {
+		return true, fmt.Sprintf("estimate stable over last %d stages", k)
+	}
+	return false, ""
+}
+
+// MaxStages stops after N completed stages.
+type MaxStages struct{ N int }
+
+// Done implements Criterion.
+func (c MaxStages) Done(s StopState) (bool, string) {
+	if c.N > 0 && s.Stage >= c.N {
+		return true, fmt.Sprintf("max stages (%d) reached", c.N)
+	}
+	return false, ""
+}
+
+// Any combines criteria: stop when any fires.
+type Any []Criterion
+
+// Done implements Criterion.
+func (cs Any) Done(s StopState) (bool, string) {
+	for _, c := range cs {
+		if done, why := c.Done(s); done {
+			return true, why
+		}
+	}
+	return false, ""
+}
+
+// ValueFunction implements §3.2's soft-time-constraint variation: "by
+// defining a value function for the completion time of a query, the
+// system decides when to stop processing the query to get a higher
+// value". Value combines precision and timeliness:
+//
+//	value(t) = (1 − relHalfWidth) · decay(t)
+//
+// with exponential time decay of scale Decay. After each stage the
+// criterion compares the realised value against the previous stage's;
+// it stops at the first decline (a greedy peak detector): past that
+// point, additional precision is no longer worth the time it costs.
+type ValueFunction struct {
+	// Decay is the time scale of the value decay (required; larger
+	// means a more patient user).
+	Decay time.Duration
+	// Level is the confidence level of the precision term (default 0.95).
+	Level float64
+
+	prev    float64
+	started bool
+}
+
+// Done implements Criterion.
+func (c *ValueFunction) Done(s StopState) (bool, string) {
+	if c.Decay <= 0 {
+		return false, ""
+	}
+	level := c.Level
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	rhw := s.Estimate.RelHalfWidth(level)
+	precision := 1 - rhw
+	if precision < 0 {
+		precision = 0
+	}
+	value := precision * math.Exp(-s.Elapsed.Seconds()/c.Decay.Seconds())
+	if c.started && value < c.prev {
+		return true, fmt.Sprintf("value function peaked (%.3f after %.3f)", value, c.prev)
+	}
+	c.started = true
+	c.prev = value
+	return false, ""
+}

@@ -1,0 +1,428 @@
+package timectrl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tcq/internal/cost"
+	"tcq/internal/estimator"
+	"tcq/internal/exec"
+	"tcq/internal/ra"
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+	"tcq/internal/vclock"
+)
+
+// planFixture builds a select query over a 10-block relation, runs one
+// stage, and returns the plan input pieces.
+func planFixture(t *testing.T, runStage1 bool) PlanInput {
+	t.Helper()
+	clk := vclock.NewSim(1, 0)
+	st := storage.NewStore(clk, storage.SunProfile(), storage.DefaultBlockSize)
+	sch := tuple.MustSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "a", Type: tuple.Int},
+	)
+	r, _ := st.CreateRelation("r", sch)
+	for i := int64(0); i < 640; i++ {
+		r.Append(tuple.Tuple{i, i % 10})
+	}
+	e := &ra.Select{Input: &ra.Base{Name: "r"},
+		Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(3)}}}
+	env := exec.NewEnv(st)
+	q, err := exec.NewQuery(e, env, exec.StoreCatalog{Store: st}, exec.FullFulfillment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.NewModel(cost.DefaultCoefficients(st.Costs(), 64), true)
+	covered := 0.0
+	if runStage1 {
+		for _, f := range q.Feeds {
+			if err := f.LoadStage([]int{0, 1, 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := q.AdvanceStage(0); err != nil {
+			t.Fatal(err)
+		}
+		model.Observe(env.TakeTimings())
+		covered = 0.3
+	}
+	var roots []*exec.NodeInfo
+	for _, te := range q.Terms {
+		roots = append(roots, exec.Snapshot(te.Root))
+	}
+	return PlanInput{
+		Roots:       roots,
+		Model:       model,
+		Remaining:   10 * time.Second,
+		Stage:       1,
+		CoveredFrac: covered,
+		MaxFraction: 1 - covered,
+		Initial:     DefaultInitials(),
+	}
+}
+
+func infoOf(op exec.OpKind, points, out float64) *exec.NodeInfo {
+	return &exec.NodeInfo{Op: op, CumPoints: points, CumOut: int64(out)}
+}
+
+func TestSelectivityFirstStageDefaults(t *testing.T) {
+	init := DefaultInitials()
+	if s := Selectivity(infoOf(exec.OpSelect, 0, 0), init); s != 1 {
+		t.Errorf("select initial = %g, want 1", s)
+	}
+	if s := Selectivity(infoOf(exec.OpJoin, 0, 0), init); s != 1 {
+		t.Errorf("join initial = %g, want 1", s)
+	}
+	// Join experiment override (Fig. 5.3 assumes 0.1).
+	init.Join = 0.1
+	if s := Selectivity(infoOf(exec.OpJoin, 0, 0), init); s != 0.1 {
+		t.Errorf("join override = %g, want 0.1", s)
+	}
+}
+
+func TestSelectivityIntersectInitialUsesMaxOperand(t *testing.T) {
+	// intersect of bases with 100 and 400 tuples: initial = 1/400.
+	n := &exec.NodeInfo{
+		Op: exec.OpIntersect,
+		Children: []*exec.NodeInfo{
+			{Op: exec.OpBase, BaseTuples: 100},
+			{Op: exec.OpBase, BaseTuples: 400},
+		},
+	}
+	if s := Selectivity(n, DefaultInitials()); math.Abs(s-1.0/400) > 1e-12 {
+		t.Errorf("intersect initial = %g, want 1/400", s)
+	}
+	// Explicit override wins.
+	init := DefaultInitials()
+	init.Intersect = 0.5
+	if s := Selectivity(n, init); s != 0.5 {
+		t.Errorf("intersect override = %g", s)
+	}
+}
+
+func TestSelectivityFromSamples(t *testing.T) {
+	if s := Selectivity(infoOf(exec.OpSelect, 200, 50), DefaultInitials()); s != 0.25 {
+		t.Errorf("sampled selectivity = %g, want 0.25", s)
+	}
+}
+
+func TestSelectivityZeroFix(t *testing.T) {
+	s := Selectivity(infoOf(exec.OpJoin, 10000, 0), DefaultInitials())
+	if s <= 0 {
+		t.Fatal("zero-output selectivity must be positive (§3.4)")
+	}
+	want := 1 - math.Exp2(-1.0/10000)
+	if math.Abs(s-want) > 1e-15 {
+		t.Errorf("zero fix = %g, want %g", s, want)
+	}
+}
+
+func TestZeroSelectivityFixShrinksWithSample(t *testing.T) {
+	prev := 1.0
+	for _, m := range []float64{1, 10, 100, 1000, 1e6} {
+		v := ZeroSelectivityFix(m)
+		if v <= 0 || v >= prev {
+			t.Fatalf("zero fix not positive/decreasing at m=%g: %g (prev %g)", m, v, prev)
+		}
+		prev = v
+	}
+	// Degenerate m.
+	if ZeroSelectivityFix(0) != ZeroSelectivityFix(1) {
+		t.Error("m<1 should clamp to 1")
+	}
+}
+
+func TestComputeSelPlus(t *testing.T) {
+	// dβ = 0: sel unchanged.
+	if s := ComputeSelPlus(0.2, 0, 1000, 0.1); s != 0.2 {
+		t.Errorf("dβ=0 changed sel: %g", s)
+	}
+	// Inflation grows with dβ.
+	s12 := ComputeSelPlus(0.2, 12, 1000, 0.1)
+	s48 := ComputeSelPlus(0.2, 48, 1000, 0.1)
+	if !(s12 > 0.2 && s48 > s12) {
+		t.Errorf("inflation not monotone: %g, %g", s12, s48)
+	}
+	// Clamped at 1.
+	if s := ComputeSelPlus(0.9, 1000, 10, 0); s != 1 {
+		t.Errorf("clamp failed: %g", s)
+	}
+	// Larger samples inflate less.
+	big := ComputeSelPlus(0.2, 12, 1e6, 0.1)
+	if big >= s12 {
+		t.Errorf("more points should shrink inflation: %g vs %g", big, s12)
+	}
+	// Full coverage: no variance left.
+	if s := ComputeSelPlus(0.2, 12, 1000, 1); s != 0.2 {
+		t.Errorf("covered=1 should not inflate: %g", s)
+	}
+	// Degenerate sel values.
+	if s := ComputeSelPlus(-0.5, 12, 1000, 0); s < 0 {
+		t.Errorf("negative sel should clamp: %g", s)
+	}
+}
+
+func TestSampleSizeDetermineFitsTarget(t *testing.T) {
+	in := planFixture(t, true)
+	// 2.5s cannot buy the whole remaining sample (~4.7s), so the binary
+	// search must land on an interior fraction near the target.
+	plan := SampleSizeDetermine(in, 2500*time.Millisecond, 0, 0.001)
+	if plan.Fraction <= 0 || plan.Fraction >= in.MaxFraction {
+		t.Fatalf("fraction = %g", plan.Fraction)
+	}
+	diff := plan.Predicted - 2500*time.Millisecond
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 100*time.Millisecond {
+		t.Errorf("predicted %v misses 2.5s target by %v", plan.Predicted, diff)
+	}
+}
+
+func TestSampleSizeDetermineTakesEverythingWhenCheap(t *testing.T) {
+	in := planFixture(t, true)
+	plan := SampleSizeDetermine(in, time.Hour, 0, 0.001)
+	if plan.Fraction != in.MaxFraction {
+		t.Errorf("huge budget should take MaxFraction, got %g", plan.Fraction)
+	}
+}
+
+func TestSampleSizeDetermineRefusesUnaffordableStage(t *testing.T) {
+	in := planFixture(t, true)
+	plan := SampleSizeDetermine(in, 10*time.Millisecond, 0, 0.1)
+	if plan.Fraction != 0 {
+		t.Errorf("unaffordable stage should return 0, got %g", plan.Fraction)
+	}
+	if plan.Predicted == 0 {
+		t.Error("refusal should report the minimum stage's cost")
+	}
+}
+
+func TestSampleSizeDetermineDegenerateInputs(t *testing.T) {
+	in := planFixture(t, true)
+	if p := SampleSizeDetermine(in, 0, 0, 0.01); p.Fraction != 0 {
+		t.Error("zero target should refuse")
+	}
+	in.MaxFraction = 0
+	if p := SampleSizeDetermine(in, time.Second, 0, 0.01); p.Fraction != 0 {
+		t.Error("exhausted sample should refuse")
+	}
+}
+
+func TestDBetaShrinksPlannedFraction(t *testing.T) {
+	// Larger dβ assumes larger selectivities, so the same budget buys a
+	// smaller stage.
+	in := planFixture(t, true)
+	f0 := SampleSizeDetermine(in, 2500*time.Millisecond, 0, 0.001).Fraction
+	f48 := SampleSizeDetermine(in, 2500*time.Millisecond, 48, 0.001).Fraction
+	if !(f48 < f0) {
+		t.Errorf("dβ=48 fraction %g not below dβ=0 fraction %g", f48, f0)
+	}
+}
+
+func TestOneAtATimeStrategy(t *testing.T) {
+	in := planFixture(t, true)
+	in.Remaining = 3 * time.Second
+	s := &OneAtATime{DBeta: 12, MinFraction: 0.001}
+	plan := s.PlanStage(in)
+	if plan.Fraction <= 0 {
+		t.Fatal("strategy refused an affordable stage")
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+	s.ObserveStage(time.Second, time.Second) // must not panic
+}
+
+func TestSingleIntervalReservesTime(t *testing.T) {
+	in := planFixture(t, true)
+	// Make the remaining quota binding (the whole sample costs ~4.7s).
+	in.Remaining = 3 * time.Second
+	plain := &SingleInterval{DAlpha: 0, MinFraction: 0.001}
+	cautious := &SingleInterval{DAlpha: 3, MinFraction: 0.001}
+	f0 := plain.PlanStage(in).Fraction
+	f3 := cautious.PlanStage(in).Fraction
+	if !(f3 < f0) {
+		t.Errorf("dα=3 fraction %g not below dα=0 fraction %g", f3, f0)
+	}
+	// After observing consistent ratios, the reserve shrinks.
+	for i := 0; i < 5; i++ {
+		cautious.ObserveStage(time.Second, time.Second) // perfect predictions
+	}
+	f3after := cautious.PlanStage(in).Fraction
+	if !(f3after > f3) {
+		t.Errorf("consistent history should shrink the reserve: %g -> %g", f3, f3after)
+	}
+	if cautious.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestHeuristicSplitsRemaining(t *testing.T) {
+	in := planFixture(t, true)
+	in.Remaining = 3 * time.Second
+	half := &Heuristic{Gamma: 0.5, MinFraction: 0.001}
+	full := &Heuristic{Gamma: 1.0, MinFraction: 0.001}
+	fh := half.PlanStage(in).Fraction
+	ff := full.PlanStage(in).Fraction
+	if !(fh < ff) {
+		t.Errorf("γ=0.5 fraction %g not below γ=1 fraction %g", fh, ff)
+	}
+	// Below the commit threshold the whole remainder is spent.
+	commit := &Heuristic{Gamma: 0.25, CommitBelow: time.Hour, MinFraction: 0.001}
+	fc := commit.PlanStage(in).Fraction
+	if !(fc > fh) {
+		t.Errorf("commit threshold should spend everything: %g vs %g", fc, fh)
+	}
+	// Invalid gamma falls back to 0.5.
+	bad := &Heuristic{Gamma: -1, MinFraction: 0.001}
+	if f := bad.PlanStage(in).Fraction; math.Abs(f-fh) > 0.02 {
+		t.Errorf("gamma fallback fraction %g, want about %g", f, fh)
+	}
+	if half.Name() == "" {
+		t.Error("empty name")
+	}
+	half.ObserveStage(time.Second, time.Second)
+}
+
+func TestErrorTargetCriterion(t *testing.T) {
+	c := ErrorTarget{RelHalfWidth: 0.1, Level: 0.95}
+	tight := StopState{Stage: 2, Estimate: estimator.Estimate{Value: 1000, Variance: 1}}
+	if done, why := c.Done(tight); !done || why == "" {
+		t.Error("tight estimate should stop")
+	}
+	loose := StopState{Stage: 2, Estimate: estimator.Estimate{Value: 1000, Variance: 1e6}}
+	if done, _ := c.Done(loose); done {
+		t.Error("loose estimate should continue")
+	}
+	early := StopState{Stage: 0, Estimate: estimator.Estimate{Value: 1000, Variance: 0}}
+	if done, _ := c.Done(early); done {
+		t.Error("must not stop before any stage completed")
+	}
+}
+
+func TestNoImprovementCriterion(t *testing.T) {
+	c := NoImprovement{K: 3, Tol: 0.01}
+	flat := StopState{History: []float64{100, 100.1, 100.2, 100.1}}
+	if done, _ := c.Done(flat); !done {
+		t.Error("flat history should stop")
+	}
+	moving := StopState{History: []float64{100, 150, 200}}
+	if done, _ := c.Done(moving); done {
+		t.Error("moving history should continue")
+	}
+	short := StopState{History: []float64{100}}
+	if done, _ := c.Done(short); done {
+		t.Error("short history should continue")
+	}
+	zero := StopState{History: []float64{0, 0, 0}}
+	if done, _ := c.Done(zero); !done {
+		t.Error("all-zero history is stable")
+	}
+}
+
+func TestMaxStagesAndAny(t *testing.T) {
+	c := Any{MaxStages{N: 3}, ErrorTarget{RelHalfWidth: 0.01, Level: 0.95}}
+	if done, _ := c.Done(StopState{Stage: 2, Estimate: estimator.Estimate{Value: 1, Variance: 100}}); done {
+		t.Error("neither criterion should fire")
+	}
+	if done, why := c.Done(StopState{Stage: 3, Estimate: estimator.Estimate{Value: 1, Variance: 100}}); !done || why == "" {
+		t.Error("MaxStages should fire")
+	}
+	if done, _ := (MaxStages{N: 0}).Done(StopState{Stage: 100}); done {
+		t.Error("disabled MaxStages should not fire")
+	}
+}
+
+func TestValueFunctionCriterion(t *testing.T) {
+	c := &ValueFunction{Decay: 10 * time.Second}
+	// Improving precision faster than decay: keep going.
+	s1 := StopState{Stage: 1, Elapsed: time.Second,
+		Estimate: estimator.Estimate{Value: 100, Variance: 900}} // wide
+	if done, _ := c.Done(s1); done {
+		t.Fatal("first stage should never stop")
+	}
+	s2 := StopState{Stage: 2, Elapsed: 2 * time.Second,
+		Estimate: estimator.Estimate{Value: 100, Variance: 25}} // tighter
+	if done, _ := c.Done(s2); done {
+		t.Fatal("improving value should continue")
+	}
+	// Barely-improving precision at great time cost: value declines.
+	s3 := StopState{Stage: 3, Elapsed: 30 * time.Second,
+		Estimate: estimator.Estimate{Value: 100, Variance: 24}}
+	if done, why := c.Done(s3); !done || why == "" {
+		t.Fatal("declining value should stop")
+	}
+}
+
+func TestValueFunctionDisabledWithoutDecay(t *testing.T) {
+	c := &ValueFunction{}
+	s := StopState{Stage: 5, Elapsed: time.Hour}
+	if done, _ := c.Done(s); done {
+		t.Error("zero decay should disable the criterion")
+	}
+}
+
+func TestValueFunctionZeroEstimate(t *testing.T) {
+	// Zero estimate with variance has infinite relative width: precision
+	// clamps to 0 and the criterion must not panic or stop prematurely
+	// on the first stage.
+	c := &ValueFunction{Decay: time.Second}
+	s := StopState{Stage: 1, Elapsed: time.Second,
+		Estimate: estimator.Estimate{Value: 0, Variance: 10}}
+	if done, _ := c.Done(s); done {
+		t.Error("first observation should not stop")
+	}
+}
+
+// TestSampleSizeDetermineNeverOvercommits is a property check: across
+// random targets, an interior solution's predicted cost never exceeds
+// the target by more than the binary-search tolerance.
+func TestSampleSizeDetermineNeverOvercommits(t *testing.T) {
+	in := planFixture(t, true)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		target := time.Duration(50+rng.Intn(6000)) * time.Millisecond
+		dBeta := float64(rng.Intn(80))
+		plan := SampleSizeDetermine(in, target, dBeta, 0.001)
+		if plan.Fraction == 0 {
+			continue // refused: leftover too small for the minimum stage
+		}
+		eps := target / 256
+		if eps < time.Millisecond {
+			eps = time.Millisecond
+		}
+		if plan.Fraction < in.MaxFraction && plan.Predicted > target+2*eps {
+			t.Fatalf("trial %d: predicted %v exceeds target %v (dβ=%g, f=%g)",
+				trial, plan.Predicted, target, dBeta, plan.Fraction)
+		}
+	}
+}
+
+// TestOracleBypassesInflation verifies prestored selectivities are used
+// as-is regardless of d_β.
+func TestOracleBypassesInflation(t *testing.T) {
+	in := planFixture(t, true)
+	nodeID := -1
+	exec.WalkInfo(in.Roots[0], func(n *exec.NodeInfo) {
+		if n.Op == exec.OpSelect {
+			nodeID = n.ID
+		}
+	})
+	if nodeID < 0 {
+		t.Fatal("no select node in fixture")
+	}
+	in.Oracle = map[int]float64{nodeID: 0.3}
+	f := selPlusFunc(in, 72) // huge dβ must be ignored for oracle nodes
+	exec.WalkInfo(in.Roots[0], func(n *exec.NodeInfo) {
+		if n.ID == nodeID {
+			if got := f(n, 100); got != 0.3 {
+				t.Errorf("oracle sel = %g, want 0.3", got)
+			}
+		}
+	})
+}

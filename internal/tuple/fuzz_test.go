@@ -1,0 +1,41 @@
+package tuple
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks that Decode never panics on arbitrary bytes and
+// that successful decodes re-encode to the same bytes (canonical
+// encoding), modulo string truncation at NUL.
+func FuzzDecode(f *testing.F) {
+	s := MustSchema(
+		Column{Name: "a", Type: Int},
+		Column{Name: "b", Type: Float},
+		Column{Name: "c", Type: String, Size: 6},
+	)
+	f.Add((Tuple{int64(1), 2.5, "hey"}).Encode(s, nil))
+	f.Add(make([]byte, s.TupleSize()))
+	f.Add([]byte("short"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, rest, err := Decode(s, data)
+		if err != nil {
+			if len(data) >= s.TupleSize() {
+				t.Fatalf("decode failed on %d bytes: %v", len(data), err)
+			}
+			return
+		}
+		if len(rest) != len(data)-s.TupleSize() {
+			t.Fatalf("rest length %d", len(rest))
+		}
+		if err := tp.Validate(s); err != nil {
+			t.Fatalf("decoded tuple invalid: %v", err)
+		}
+		// Re-encode: must round-trip except for string bytes after an
+		// embedded NUL (decode truncates there by design).
+		re := tp.Encode(s, nil)
+		if !bytes.Equal(re[:16], data[:16]) {
+			t.Fatalf("numeric fields not canonical")
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimChargeNoJitter(t *testing.T) {
+	c := NewSim(1, 0)
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v, want 0", c.Now())
+	}
+	c.Charge(10 * time.Millisecond)
+	c.Charge(5 * time.Millisecond)
+	if c.Now() != 15*time.Millisecond {
+		t.Errorf("Now = %v, want 15ms", c.Now())
+	}
+	c.Charge(-time.Second) // ignored
+	c.Charge(0)            // ignored
+	if c.Now() != 15*time.Millisecond {
+		t.Errorf("negative/zero charge changed time: %v", c.Now())
+	}
+}
+
+func TestSimJitterDeterministicPerSeed(t *testing.T) {
+	a := NewSim(42, 0.1)
+	b := NewSim(42, 0.1)
+	for i := 0; i < 100; i++ {
+		a.Charge(time.Millisecond)
+		b.Charge(time.Millisecond)
+	}
+	if a.Now() != b.Now() {
+		t.Errorf("same seed diverged: %v vs %v", a.Now(), b.Now())
+	}
+	c := NewSim(43, 0.1)
+	for i := 0; i < 100; i++ {
+		c.Charge(time.Millisecond)
+	}
+	if c.Now() == a.Now() {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestSimJitterStaysPositive(t *testing.T) {
+	c := NewSim(7, 5) // absurdly large jitter to hit the floor
+	for i := 0; i < 1000; i++ {
+		before := c.Now()
+		c.Charge(time.Millisecond)
+		if c.Now() <= before {
+			t.Fatal("charge with jitter must still advance the clock")
+		}
+	}
+}
+
+func TestSimJitterMeanRoughlyUnbiased(t *testing.T) {
+	c := NewSim(99, 0.05)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		c.Charge(time.Millisecond)
+	}
+	got := c.Now().Seconds()
+	want := (n * time.Millisecond).Seconds()
+	if got < want*0.99 || got > want*1.01 {
+		t.Errorf("jittered total %.4fs, want about %.4fs", got, want)
+	}
+}
+
+func TestSimAdvanceAndReset(t *testing.T) {
+	c := NewSim(1, 0.5)
+	c.Advance(time.Second)
+	if c.Now() != time.Second {
+		t.Errorf("Advance should be exact, got %v", c.Now())
+	}
+	c.Advance(-time.Second)
+	if c.Now() != time.Second {
+		t.Errorf("negative Advance should be ignored, got %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("Reset should rewind to 0, got %v", c.Now())
+	}
+}
+
+func TestSimConcurrentCharges(t *testing.T) {
+	c := NewSim(1, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Charge(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8000*time.Microsecond {
+		t.Errorf("concurrent total = %v, want 8ms", c.Now())
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := NewReal()
+	c.Charge(time.Hour) // must be a no-op
+	d := c.Now()
+	if d < 0 || d > time.Minute {
+		t.Errorf("real clock elapsed %v looks wrong", d)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if c.Now() <= d {
+		t.Error("real clock should advance with wall time")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	c := NewSim(1, 0)
+	d := NewDeadline(c, 100*time.Millisecond)
+	if !d.Armed() {
+		t.Fatal("deadline should be armed")
+	}
+	if d.Expired() {
+		t.Fatal("fresh deadline should not be expired")
+	}
+	if d.Remaining() != 100*time.Millisecond {
+		t.Errorf("Remaining = %v", d.Remaining())
+	}
+	c.Charge(100 * time.Millisecond)
+	if d.Expired() {
+		t.Error("deadline exactly reached should not count as expired")
+	}
+	c.Charge(time.Nanosecond)
+	if !d.Expired() {
+		t.Error("deadline passed should be expired")
+	}
+	if d.Remaining() >= 0 {
+		t.Errorf("Remaining after expiry = %v, want negative", d.Remaining())
+	}
+}
+
+func TestUnarmedDeadline(t *testing.T) {
+	d := Unarmed()
+	if d.Armed() || d.Expired() {
+		t.Error("unarmed deadline must never expire")
+	}
+	if d.Remaining() < time.Hour {
+		t.Errorf("unarmed Remaining = %v, want huge", d.Remaining())
+	}
+}
+
+func TestLoadFactor(t *testing.T) {
+	c := NewSim(5, 0)
+	if c.LoadFactor() != 1 {
+		t.Fatalf("initial load = %g, want 1", c.LoadFactor())
+	}
+	// Without sigma, resampling keeps load at 1.
+	c.ResampleLoad()
+	if c.LoadFactor() != 1 {
+		t.Errorf("load without sigma = %g", c.LoadFactor())
+	}
+	c.SetLoadSigma(0.5)
+	seen := map[float64]bool{}
+	for i := 0; i < 50; i++ {
+		c.ResampleLoad()
+		lf := c.LoadFactor()
+		if lf <= 0 {
+			t.Fatalf("load factor %g not positive", lf)
+		}
+		seen[lf] = true
+	}
+	if len(seen) < 10 {
+		t.Error("load factors should vary across resamples")
+	}
+	// Charges scale with the load factor.
+	c.SetLoadSigma(0)
+	c.ResampleLoad()
+	c.Reset()
+	c.Charge(time.Millisecond)
+	base := c.Now()
+	if base != time.Millisecond {
+		t.Errorf("nominal charge = %v", base)
+	}
+	// Negative sigma clamps to 0.
+	c.SetLoadSigma(-1)
+	c.ResampleLoad()
+	if c.LoadFactor() != 1 {
+		t.Errorf("negative sigma load = %g", c.LoadFactor())
+	}
+}

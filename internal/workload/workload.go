@@ -1,0 +1,264 @@
+// Package workload generates the synthetic relations of the paper's
+// Section 5 experiments: artificial relation instances of 10,000 tuples
+// of 200 bytes each — 2,000 disk blocks of 1 KB holding 5 tuples — with
+// tuples randomly distributed across blocks, and with attribute values
+// constructed so that each experiment's query has a chosen exact output
+// cardinality (1,000/5,000 output tuples for selection, 10,000 for
+// intersection, 70,000 for the join).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+)
+
+// PaperTuples is the relation cardinality used throughout Section 5.
+const PaperTuples = 10000
+
+// PaperTupleSize is the tuple width (bytes) used throughout Section 5,
+// giving 5 tuples per 1 KB block and 2,000 blocks per relation.
+const PaperTupleSize = 200
+
+// Schema returns the experiment schema: (id int, a int, padded to
+// PaperTupleSize bytes).
+func Schema() *tuple.Schema {
+	s := tuple.MustSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "a", Type: tuple.Int},
+	)
+	padded, err := s.WithPadding(PaperTupleSize)
+	if err != nil {
+		panic(err)
+	}
+	return padded
+}
+
+// SelectRelation builds a relation of n tuples in which exactly k
+// satisfy the one-comparison predicate a < k: attribute a is a random
+// permutation of 0..n-1, so selecting a < k yields exactly k tuples
+// while the matching tuples are randomly spread over the blocks.
+func SelectRelation(st *storage.Store, name string, n, k int, rng *rand.Rand) (*storage.Relation, error) {
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("workload: k=%d out of range [0,%d]", k, n)
+	}
+	rel, err := st.CreateRelation(name, Schema())
+	if err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		if err := rel.Append(tuple.Tuple{int64(i), int64(perm[i]), ""}); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// IntersectPair builds two relations of n tuples sharing exactly common
+// identical tuples (ids 0..common-1 appear verbatim in both; the rest
+// are disjoint). Both relations are duplicate-free and randomly
+// shuffled into blocks. COUNT(r1 ∩ r2) = common.
+func IntersectPair(st *storage.Store, name1, name2 string, n, common int, rng *rand.Rand) (*storage.Relation, *storage.Relation, error) {
+	if common < 0 || common > n {
+		return nil, nil, fmt.Errorf("workload: common=%d out of range [0,%d]", common, n)
+	}
+	mk := func(name string, offset int) (*storage.Relation, error) {
+		rel, err := st.CreateRelation(name, Schema())
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]int64, n)
+		for i := 0; i < common; i++ {
+			ids[i] = int64(i) // shared tuples
+		}
+		for i := common; i < n; i++ {
+			ids[i] = int64(offset + i) // disjoint tail
+		}
+		rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids {
+			if err := rel.Append(tuple.Tuple{id, id % 97, ""}); err != nil {
+				return nil, err
+			}
+		}
+		return rel, nil
+	}
+	r1, err := mk(name1, 1_000_000)
+	if err != nil {
+		return nil, nil, err
+	}
+	r2, err := mk(name2, 2_000_000)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r1, r2, nil
+}
+
+// JoinPair builds two relations of n tuples whose equijoin on attribute
+// a has exactly outputTuples matching pairs, mimicking the Section 5
+// join workload (70,000 output tuples over 10,000-tuple relations, one
+// join attribute). Values 0..values-1 appear perLeft times in r1; in r2
+// enough tuples carry matching values so that Σ perLeft·perRight =
+// outputTuples; remaining r2 tuples get non-matching values. It returns
+// an error when the target is not achievable with the chosen shape.
+func JoinPair(st *storage.Store, name1, name2 string, n, outputTuples int, rng *rand.Rand) (*storage.Relation, *storage.Relation, error) {
+	// One join value per 10 left tuples, matching the paper's shape
+	// (10,000 tuples over 1,000 join values).
+	if n%10 != 0 {
+		return nil, nil, fmt.Errorf("workload: n=%d must be a multiple of 10", n)
+	}
+	values := n / 10
+	const perLeft = 10 // each value appears this often in r1
+	if outputTuples%perLeft != 0 {
+		return nil, nil, fmt.Errorf("workload: outputTuples=%d not divisible by %d", outputTuples, perLeft)
+	}
+	matchRight := outputTuples / perLeft // matching tuples needed in r2
+	if matchRight > n {
+		return nil, nil, fmt.Errorf("workload: outputTuples=%d needs %d matching right tuples > n=%d",
+			outputTuples, matchRight, n)
+	}
+
+	r1, err := st.CreateRelation(name1, Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	left := make([]int64, 0, n)
+	for v := 0; v < values; v++ {
+		for c := 0; c < perLeft; c++ {
+			left = append(left, int64(v))
+		}
+	}
+	rng.Shuffle(len(left), func(i, j int) { left[i], left[j] = left[j], left[i] })
+	for i, v := range left {
+		if err := r1.Append(tuple.Tuple{int64(i), v, ""}); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	r2, err := st.CreateRelation(name2, Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	right := make([]int64, 0, n)
+	for i := 0; i < matchRight; i++ {
+		right = append(right, int64(i%values)) // uniform over join values
+	}
+	for i := matchRight; i < n; i++ {
+		right = append(right, int64(values+i)) // never matches
+	}
+	rng.Shuffle(len(right), func(i, j int) { right[i], right[j] = right[j], right[i] })
+	for i, v := range right {
+		if err := r2.Append(tuple.Tuple{int64(n + i), v, ""}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return r1, r2, nil
+}
+
+// ProjectRelation builds a relation of n tuples whose attribute a has
+// exactly distinct different values, spread as evenly as possible.
+// COUNT(project(r, [a])) = distinct.
+func ProjectRelation(st *storage.Store, name string, n, distinct int, rng *rand.Rand) (*storage.Relation, error) {
+	if distinct < 1 || distinct > n {
+		return nil, fmt.Errorf("workload: distinct=%d out of range [1,%d]", distinct, n)
+	}
+	rel, err := st.CreateRelation(name, Schema())
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % distinct)
+	}
+	rng.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for i, v := range vals {
+		if err := rel.Append(tuple.Tuple{int64(i), v, ""}); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// UniformRelation builds a relation of n tuples with attribute a drawn
+// uniformly from [0, maxA) — a general-purpose relation for examples.
+func UniformRelation(st *storage.Store, name string, n int, maxA int64, rng *rand.Rand) (*storage.Relation, error) {
+	rel, err := st.CreateRelation(name, Schema())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := rel.Append(tuple.Tuple{int64(i), rng.Int63n(maxA), ""}); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// ZipfRelation builds a relation whose attribute a follows a zipfian
+// distribution over [0, values) with exponent s > 1 — a skewed workload
+// for estimator stress tests and examples.
+func ZipfRelation(st *storage.Store, name string, n int, values uint64, s float64, rng *rand.Rand) (*storage.Relation, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent must be > 1, got %g", s)
+	}
+	if values < 1 {
+		return nil, fmt.Errorf("workload: zipf needs at least one value")
+	}
+	rel, err := st.CreateRelation(name, Schema())
+	if err != nil {
+		return nil, err
+	}
+	z := rand.NewZipf(rng, s, 1, values-1)
+	for i := 0; i < n; i++ {
+		if err := rel.Append(tuple.Tuple{int64(i), int64(z.Uint64()), ""}); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// SkewedJoinPair builds two relations of n tuples whose join attribute
+// follows a zipfian distribution (exponent s > 1) over values
+// [0, values): a heavy-hitter join whose output is dominated by a few
+// values — the workload shape that stresses cluster-sampling estimators
+// (per-block variance is much higher than under uniform data). The
+// exact join cardinality is returned.
+func SkewedJoinPair(st *storage.Store, name1, name2 string, n int, values uint64, s float64, rng *rand.Rand) (int64, error) {
+	if s <= 1 {
+		return 0, fmt.Errorf("workload: zipf exponent must be > 1, got %g", s)
+	}
+	if values < 1 {
+		return 0, fmt.Errorf("workload: need at least one join value")
+	}
+	mk := func(name string, idBase int) (map[int64]int64, error) {
+		rel, err := st.CreateRelation(name, Schema())
+		if err != nil {
+			return nil, err
+		}
+		z := rand.NewZipf(rng, s, 1, values-1)
+		counts := map[int64]int64{}
+		for i := 0; i < n; i++ {
+			v := int64(z.Uint64())
+			counts[v]++
+			if err := rel.Append(tuple.Tuple{int64(idBase + i), v, ""}); err != nil {
+				return nil, err
+			}
+		}
+		return counts, nil
+	}
+	c1, err := mk(name1, 0)
+	if err != nil {
+		return 0, err
+	}
+	c2, err := mk(name2, n)
+	if err != nil {
+		return 0, err
+	}
+	var out int64
+	for v, a := range c1 {
+		out += a * c2[v]
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcq/internal/exec"
+	"tcq/internal/ra"
+	"tcq/internal/storage"
+	"tcq/internal/vclock"
+)
+
+func newStore() *storage.Store {
+	return storage.NewStore(vclock.NewSim(1, 0), storage.SunProfile(), storage.DefaultBlockSize)
+}
+
+func count(t *testing.T, st *storage.Store, e ra.Expr) int64 {
+	t.Helper()
+	c, err := ra.CountExact(e, exec.StoreCatalog{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSchemaMatchesPaperGeometry(t *testing.T) {
+	s := Schema()
+	if s.TupleSize() != PaperTupleSize {
+		t.Fatalf("tuple size = %d, want %d", s.TupleSize(), PaperTupleSize)
+	}
+	st := newStore()
+	rel, err := SelectRelation(st, "r", PaperTuples, 1000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumBlocks() != 2000 {
+		t.Errorf("blocks = %d, want 2000", rel.NumBlocks())
+	}
+	if rel.BlockingFactor() != 5 {
+		t.Errorf("blocking factor = %d, want 5", rel.BlockingFactor())
+	}
+}
+
+func TestSelectRelationExactOutput(t *testing.T) {
+	st := newStore()
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{0, 1, 1000, 5000, 10000} {
+		name := "r" + string(rune('a'+k%26)) + string(rune('a'+k/26%26))
+		if _, err := SelectRelation(st, name, PaperTuples, k, rng); err != nil {
+			t.Fatal(err)
+		}
+		e := &ra.Select{Input: &ra.Base{Name: name},
+			Pred: &ra.Cmp{Left: ra.Col{Name: "a"}, Op: ra.Lt, Right: ra.Const{Value: int64(k)}}}
+		if got := count(t, st, e); got != int64(k) {
+			t.Errorf("k=%d: exact output = %d", k, got)
+		}
+	}
+	if _, err := SelectRelation(st, "bad", 10, 11, rng); err == nil {
+		t.Error("k > n should fail")
+	}
+}
+
+func TestIntersectPairExactOverlap(t *testing.T) {
+	st := newStore()
+	rng := rand.New(rand.NewSource(3))
+	r1, r2, err := IntersectPair(st, "x", "y", 2000, 700, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.NumTuples() != 2000 || r2.NumTuples() != 2000 {
+		t.Fatal("wrong cardinalities")
+	}
+	e := &ra.Intersect{Inputs: []ra.Expr{&ra.Base{Name: "x"}, &ra.Base{Name: "y"}}}
+	if got := count(t, st, e); got != 700 {
+		t.Errorf("intersection = %d, want 700", got)
+	}
+	// Full overlap, as in Fig. 5.2 (10,000 output tuples of 10,000).
+	_, _, err = IntersectPair(st, "x2", "y2", 500, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := &ra.Intersect{Inputs: []ra.Expr{&ra.Base{Name: "x2"}, &ra.Base{Name: "y2"}}}
+	if got := count(t, st, e2); got != 500 {
+		t.Errorf("full intersection = %d, want 500", got)
+	}
+	if _, _, err := IntersectPair(st, "b1", "b2", 10, 11, rng); err == nil {
+		t.Error("common > n should fail")
+	}
+}
+
+func TestJoinPairExactOutput(t *testing.T) {
+	st := newStore()
+	rng := rand.New(rand.NewSource(4))
+	// The paper's workload: 10,000-tuple relations, 70,000 output tuples.
+	_, _, err := JoinPair(st, "j1", "j2", PaperTuples, 70000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &ra.Join{Left: &ra.Base{Name: "j1"}, Right: &ra.Base{Name: "j2"},
+		On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	if got := count(t, st, e); got != 70000 {
+		t.Errorf("join output = %d, want 70000", got)
+	}
+}
+
+func TestJoinPairValidation(t *testing.T) {
+	st := newStore()
+	rng := rand.New(rand.NewSource(5))
+	if _, _, err := JoinPair(st, "a1", "a2", 1001, 1000, rng); err == nil {
+		t.Error("n not multiple of values should fail")
+	}
+	if _, _, err := JoinPair(st, "a3", "a4", 2000, 1, rng); err == nil {
+		t.Error("indivisible output target should fail")
+	}
+	if _, _, err := JoinPair(st, "a5", "a6", 1000, 10_000_000, rng); err == nil {
+		t.Error("unachievable output target should fail")
+	}
+}
+
+func TestProjectRelationExactDistinct(t *testing.T) {
+	st := newStore()
+	rng := rand.New(rand.NewSource(6))
+	if _, err := ProjectRelation(st, "p", 5000, 123, rng); err != nil {
+		t.Fatal(err)
+	}
+	e := &ra.Project{Input: &ra.Base{Name: "p"}, Cols: []string{"a"}}
+	if got := count(t, st, e); got != 123 {
+		t.Errorf("distinct = %d, want 123", got)
+	}
+	if _, err := ProjectRelation(st, "bad", 10, 0, rng); err == nil {
+		t.Error("distinct=0 should fail")
+	}
+	if _, err := ProjectRelation(st, "bad2", 10, 11, rng); err == nil {
+		t.Error("distinct>n should fail")
+	}
+}
+
+func TestUniformAndZipfRelations(t *testing.T) {
+	st := newStore()
+	rng := rand.New(rand.NewSource(7))
+	u, err := UniformRelation(st, "u", 3000, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumTuples() != 3000 {
+		t.Errorf("uniform tuples = %d", u.NumTuples())
+	}
+	for _, tp := range u.AllTuples()[:100] {
+		if a := tp[1].(int64); a < 0 || a >= 50 {
+			t.Fatalf("uniform value %d out of range", a)
+		}
+	}
+	z, err := ZipfRelation(st, "z", 3000, 100, 1.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipf should be heavily skewed toward value 0.
+	zero := 0
+	for _, tp := range z.AllTuples() {
+		if tp[1].(int64) == 0 {
+			zero++
+		}
+	}
+	if zero < 1000 {
+		t.Errorf("zipf skew looks wrong: %d zeros of 3000", zero)
+	}
+	if _, err := ZipfRelation(st, "bad", 10, 100, 0.5, rng); err == nil {
+		t.Error("zipf exponent <= 1 should fail")
+	}
+	if _, err := ZipfRelation(st, "bad2", 10, 0, 1.5, rng); err == nil {
+		t.Error("zipf with no values should fail")
+	}
+}
+
+func TestGeneratorsAreDeterministicPerSeed(t *testing.T) {
+	st1, st2 := newStore(), newStore()
+	r1, _ := SelectRelation(st1, "r", 1000, 100, rand.New(rand.NewSource(42)))
+	r2, _ := SelectRelation(st2, "r", 1000, 100, rand.New(rand.NewSource(42)))
+	a, b := r1.AllTuples(), r2.AllTuples()
+	for i := range a {
+		if a[i][1] != b[i][1] {
+			t.Fatal("same seed should generate identical relations")
+		}
+	}
+}
+
+func TestSkewedJoinPair(t *testing.T) {
+	st := newStore()
+	rng := rand.New(rand.NewSource(8))
+	want, err := SkewedJoinPair(st, "z1", "z2", 1000, 200, 1.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &ra.Join{Left: &ra.Base{Name: "z1"}, Right: &ra.Base{Name: "z2"},
+		On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+	got := count(t, st, e)
+	if got != want {
+		t.Errorf("skewed join = %d, generator reported %d", got, want)
+	}
+	// Skew: the output should be far larger than a uniform join of the
+	// same shape (1000²/200 = 5000 pairs).
+	if want < 20000 {
+		t.Errorf("join output %d suggests no skew", want)
+	}
+	if _, err := SkewedJoinPair(st, "b1", "b2", 10, 10, 0.9, rng); err == nil {
+		t.Error("bad exponent should fail")
+	}
+	if _, err := SkewedJoinPair(st, "b3", "b4", 10, 0, 1.4, rng); err == nil {
+		t.Error("zero values should fail")
+	}
+}

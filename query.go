@@ -1,0 +1,220 @@
+package tcq
+
+import (
+	"tcq/internal/ra"
+	"tcq/internal/raparse"
+)
+
+// Query is a relational algebra expression under construction. Queries
+// are immutable values: each builder method returns a new Query.
+// Construction errors are deferred to execution (Count/CountEstimate),
+// so builder chains stay fluent.
+type Query struct {
+	expr ra.Expr
+	err  error
+}
+
+// Rel starts a query from a stored relation.
+func Rel(name string) Query { return Query{expr: &ra.Base{Name: name}} }
+
+// Parse parses the textual RA syntax, e.g.
+//
+//	select(r, a < 10 and b = "x")
+//	join(r, s, id = rid)
+//	union(project(r, [a]), project(s, [a]))
+func Parse(src string) (Query, error) {
+	e, err := raparse.Parse(src)
+	if err != nil {
+		return Query{err: err}, err
+	}
+	return Query{expr: e}, nil
+}
+
+// String renders the query in the parseable RA syntax.
+func (q Query) String() string {
+	if q.err != nil {
+		return "<invalid query: " + q.err.Error() + ">"
+	}
+	return q.expr.String()
+}
+
+// Err returns any construction error accumulated so far.
+func (q Query) Err() error { return q.err }
+
+// Where filters the query by a predicate.
+func (q Query) Where(p Pred) Query {
+	if q.err != nil {
+		return q
+	}
+	if p.err != nil {
+		return Query{err: p.err}
+	}
+	return Query{expr: &ra.Select{Input: q.expr, Pred: p.pred}}
+}
+
+// Project keeps only the named columns, with set (distinct) semantics.
+func (q Query) Project(cols ...string) Query {
+	if q.err != nil {
+		return q
+	}
+	return Query{expr: &ra.Project{Input: q.expr, Cols: cols}}
+}
+
+// Join equijoins the query with another on one column pair.
+func (q Query) Join(other Query, leftCol, rightCol string) Query {
+	return q.JoinOn(other, JoinCond{leftCol, rightCol})
+}
+
+// JoinCond equates a left column with a right column.
+type JoinCond struct {
+	LeftCol  string
+	RightCol string
+}
+
+// JoinOn equijoins on multiple column pairs.
+func (q Query) JoinOn(other Query, conds ...JoinCond) Query {
+	if q.err != nil {
+		return q
+	}
+	if other.err != nil {
+		return other
+	}
+	on := make([]ra.JoinCond, len(conds))
+	for i, c := range conds {
+		on[i] = ra.JoinCond{LeftCol: c.LeftCol, RightCol: c.RightCol}
+	}
+	return Query{expr: &ra.Join{Left: q.expr, Right: other.expr, On: on}}
+}
+
+// Union is the set union with another (union-compatible) query.
+func (q Query) Union(other Query) Query {
+	if q.err != nil {
+		return q
+	}
+	if other.err != nil {
+		return other
+	}
+	return Query{expr: &ra.Union{Left: q.expr, Right: other.expr}}
+}
+
+// Minus is the set difference (q − other).
+func (q Query) Minus(other Query) Query {
+	if q.err != nil {
+		return q
+	}
+	if other.err != nil {
+		return other
+	}
+	return Query{expr: &ra.Difference{Left: q.expr, Right: other.expr}}
+}
+
+// Intersect is the set intersection with another query.
+func (q Query) Intersect(other Query) Query {
+	if q.err != nil {
+		return q
+	}
+	if other.err != nil {
+		return other
+	}
+	return Query{expr: &ra.Intersect{Inputs: []ra.Expr{q.expr, other.expr}}}
+}
+
+// Pred is a selection predicate under construction.
+type Pred struct {
+	pred ra.Pred
+	err  error
+}
+
+// TruePred is the always-true predicate.
+func TruePred() Pred { return Pred{pred: ra.True{}} }
+
+// And conjoins two predicates.
+func (p Pred) And(o Pred) Pred {
+	if p.err != nil {
+		return p
+	}
+	if o.err != nil {
+		return o
+	}
+	return Pred{pred: &ra.And{L: p.pred, R: o.pred}}
+}
+
+// Or disjoins two predicates.
+func (p Pred) Or(o Pred) Pred {
+	if p.err != nil {
+		return p
+	}
+	if o.err != nil {
+		return o
+	}
+	return Pred{pred: &ra.Or{L: p.pred, R: o.pred}}
+}
+
+// Not negates a predicate.
+func Not(p Pred) Pred {
+	if p.err != nil {
+		return p
+	}
+	return Pred{pred: &ra.Not{P: p.pred}}
+}
+
+// Operand is a column reference or constant in a comparison.
+type Operand struct {
+	op  ra.Operand
+	err error
+}
+
+// Col references a column by name.
+func Col(name string) Operand { return Operand{op: ra.Col{Name: name}} }
+
+// Val wraps a constant (int, int64, float64 or string).
+func Val(v interface{}) Operand {
+	switch x := v.(type) {
+	case int:
+		return Operand{op: ra.Const{Value: int64(x)}}
+	case int64, float64, string:
+		return Operand{op: ra.Const{Value: x}}
+	default:
+		return Operand{err: errBadConst(v)}
+	}
+}
+
+type badConstError struct{ v interface{} }
+
+func (e badConstError) Error() string { return "tcq: unsupported constant type" }
+
+func errBadConst(v interface{}) error { return badConstError{v} }
+
+func (o Operand) cmp(op ra.CmpOp, rhs interface{}) Pred {
+	if o.err != nil {
+		return Pred{err: o.err}
+	}
+	var right Operand
+	if r, ok := rhs.(Operand); ok {
+		right = r
+	} else {
+		right = Val(rhs)
+	}
+	if right.err != nil {
+		return Pred{err: right.err}
+	}
+	return Pred{pred: &ra.Cmp{Left: o.op, Op: op, Right: right.op}}
+}
+
+// Lt builds "o < rhs" (rhs: constant or Col(...)).
+func (o Operand) Lt(rhs interface{}) Pred { return o.cmp(ra.Lt, rhs) }
+
+// Le builds "o <= rhs".
+func (o Operand) Le(rhs interface{}) Pred { return o.cmp(ra.Le, rhs) }
+
+// Eq builds "o = rhs".
+func (o Operand) Eq(rhs interface{}) Pred { return o.cmp(ra.Eq, rhs) }
+
+// Ne builds "o != rhs".
+func (o Operand) Ne(rhs interface{}) Pred { return o.cmp(ra.Ne, rhs) }
+
+// Ge builds "o >= rhs".
+func (o Operand) Ge(rhs interface{}) Pred { return o.cmp(ra.Ge, rhs) }
+
+// Gt builds "o > rhs".
+func (o Operand) Gt(rhs interface{}) Pred { return o.cmp(ra.Gt, rhs) }

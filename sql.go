@@ -1,0 +1,158 @@
+package tcq
+
+import (
+	"fmt"
+
+	"tcq/internal/sqlparse"
+)
+
+// SQLResult is the outcome of a SQL aggregate query.
+type SQLResult struct {
+	// Kind names the aggregate ("count", "sum", "avg", "count distinct").
+	Kind string
+	// Value is the scalar answer (exact, or the estimate's point value).
+	Value float64
+	// Estimate carries the full estimate (nil for exact execution and
+	// for pure GROUP BY results without a scalar).
+	Estimate *Estimate
+	// Groups holds per-group counts for GROUP BY queries (exact counts
+	// have zero Interval).
+	Groups []GroupCount
+}
+
+// parseSQL parses an aggregate SQL statement against this database.
+func parseSQL(sql string) (*sqlparse.Statement, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// ExecSQL runs an aggregate SQL statement exactly (full evaluation, no
+// time constraint). Supported form:
+//
+//	SELECT COUNT(*) | COUNT(DISTINCT col) | SUM(col) | AVG(col)
+//	FROM rel [JOIN rel2 ON a = b]... [WHERE pred] [GROUP BY col]
+func (db *DB) ExecSQL(sql string) (*SQLResult, error) {
+	stmt, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	q := Query{expr: stmt.Expr}
+	res := &SQLResult{Kind: stmt.Agg.String()}
+	if stmt.GroupBy != "" {
+		groups, err := db.GroupCount(q, stmt.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range groups {
+			res.Groups = append(res.Groups, GroupCount{Key: k, Value: float64(v)})
+			res.Value += float64(v)
+		}
+		sortGroups(res.Groups)
+		return res, nil
+	}
+	switch stmt.Agg {
+	case sqlparse.Sum:
+		v, err := db.Sum(q, stmt.Col)
+		if err != nil {
+			return nil, err
+		}
+		res.Value = v
+	case sqlparse.Avg:
+		v, err := db.Avg(q, stmt.Col)
+		if err != nil {
+			return nil, err
+		}
+		res.Value = v
+	default: // Count and CountDistinct (the projection is in the expr)
+		n, err := db.Count(q)
+		if err != nil {
+			return nil, err
+		}
+		res.Value = float64(n)
+	}
+	return res, nil
+}
+
+// EstimateSQL runs an aggregate SQL statement under the time-constrained
+// engine (same statement form as ExecSQL).
+func (db *DB) EstimateSQL(sql string, opts EstimateOptions) (*SQLResult, error) {
+	stmt, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	q := Query{expr: stmt.Expr}
+	res := &SQLResult{Kind: stmt.Agg.String()}
+	if stmt.GroupBy != "" {
+		groups, overall, err := db.GroupCountEstimate(q, stmt.GroupBy, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = groups
+		res.Value = overall.Value
+		res.Estimate = overall
+		return res, nil
+	}
+	var est *Estimate
+	switch stmt.Agg {
+	case sqlparse.Sum:
+		est, err = db.SumEstimate(q, stmt.Col, opts)
+	case sqlparse.Avg:
+		est, err = db.AvgEstimate(q, stmt.Col, opts)
+	default:
+		est, err = db.CountEstimate(q, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Value = est.Value
+	res.Estimate = est
+	return res, nil
+}
+
+// String renders the result compactly.
+func (r *SQLResult) String() string {
+	if len(r.Groups) > 0 {
+		s := fmt.Sprintf("%s by group (%d groups, total %.1f)", r.Kind, len(r.Groups), r.Value)
+		return s
+	}
+	if r.Estimate != nil {
+		return fmt.Sprintf("%s ≈ %.1f ± %.1f", r.Kind, r.Value, r.Estimate.Interval)
+	}
+	return fmt.Sprintf("%s = %.1f", r.Kind, r.Value)
+}
+
+// sortGroups orders groups by key for deterministic output.
+func sortGroups(gs []GroupCount) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && lessKey(gs[j].Key, gs[j-1].Key); j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+func lessKey(a, b interface{}) bool {
+	switch av := a.(type) {
+	case int64:
+		if bv, ok := b.(int64); ok {
+			return av < bv
+		}
+		return true
+	case float64:
+		if bv, ok := b.(float64); ok {
+			return av < bv
+		}
+		if _, ok := b.(string); ok {
+			return true
+		}
+		return false
+	case string:
+		if bv, ok := b.(string); ok {
+			return av < bv
+		}
+		return false
+	}
+	return false
+}

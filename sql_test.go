@@ -1,0 +1,177 @@
+package tcq
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sqlDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(WithSimulatedClock(9))
+	sales, err := db.CreateRelation("sales", []Column{
+		{Name: "id", Type: Int},
+		{Name: "region", Type: Int},
+		{Name: "revenue", Type: Int},
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1200 rows: region = i%4, revenue = i%100.
+	for i := 0; i < 1200; i++ {
+		if err := sales.Insert(i, i%4, i%100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestExecSQLCount(t *testing.T) {
+	db := sqlDB(t)
+	res, err := db.ExecSQL("SELECT COUNT(*) FROM sales WHERE revenue < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 600 || res.Kind != "count" {
+		t.Errorf("result = %+v", res)
+	}
+	if !strings.Contains(res.String(), "count = 600") {
+		t.Errorf("String = %q", res.String())
+	}
+}
+
+func TestExecSQLSumAvg(t *testing.T) {
+	db := sqlDB(t)
+	sum, err := db.ExecSQL("SELECT SUM(revenue) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ i%100 over 1200 rows = 12 × Σ0..99 = 12 × 4950.
+	if sum.Value != 12*4950 {
+		t.Errorf("sum = %g", sum.Value)
+	}
+	avg, err := db.ExecSQL("SELECT AVG(revenue) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg.Value-49.5) > 1e-9 {
+		t.Errorf("avg = %g", avg.Value)
+	}
+}
+
+func TestExecSQLCountDistinct(t *testing.T) {
+	db := sqlDB(t)
+	res, err := db.ExecSQL("SELECT COUNT(DISTINCT region) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 4 || res.Kind != "count distinct" {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestExecSQLGroupBy(t *testing.T) {
+	db := sqlDB(t)
+	res, err := db.ExecSQL("SELECT COUNT(*) FROM sales GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 4 {
+		t.Fatalf("groups = %+v", res.Groups)
+	}
+	prev := int64(-1)
+	for _, g := range res.Groups {
+		k := g.Key.(int64)
+		if k <= prev {
+			t.Error("groups not sorted")
+		}
+		prev = k
+		if g.Value != 300 {
+			t.Errorf("group %v = %g, want 300", g.Key, g.Value)
+		}
+	}
+	if res.Value != 1200 {
+		t.Errorf("total = %g", res.Value)
+	}
+	if !strings.Contains(res.String(), "4 groups") {
+		t.Errorf("String = %q", res.String())
+	}
+}
+
+func TestExecSQLJoin(t *testing.T) {
+	db := sqlDB(t)
+	regions, err := db.CreateRelation("regions", []Column{
+		{Name: "rid", Type: Int},
+		{Name: "active", Type: Int},
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := regions.Insert(i, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.ExecSQL("SELECT COUNT(*) FROM sales JOIN regions ON region = rid WHERE active = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regions 1 and 3 are active: 600 sales rows.
+	if res.Value != 600 {
+		t.Errorf("join count = %g", res.Value)
+	}
+}
+
+func TestEstimateSQL(t *testing.T) {
+	db := sqlDB(t)
+	opts := EstimateOptions{Quota: 8 * time.Second, Seed: 3}
+	res, err := db.EstimateSQL("SELECT COUNT(*) FROM sales WHERE revenue < 50", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate == nil || res.Estimate.Stages < 1 {
+		t.Fatalf("estimate missing: %+v", res)
+	}
+	if res.Value <= 0 || math.Abs(res.Value-600)/600 > 1 {
+		t.Errorf("estimate = %g (exact 600)", res.Value)
+	}
+	if !strings.Contains(res.String(), "±") {
+		t.Errorf("String = %q", res.String())
+	}
+	// SUM / AVG / GROUP BY paths.
+	if _, err := db.EstimateSQL("SELECT SUM(revenue) FROM sales", opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.EstimateSQL("SELECT AVG(revenue) FROM sales", opts); err != nil {
+		t.Fatal(err)
+	}
+	g, err := db.EstimateSQL("SELECT COUNT(*) FROM sales GROUP BY region", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Groups) != 4 {
+		t.Errorf("estimated groups = %d", len(g.Groups))
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	db := sqlDB(t)
+	bad := []string{
+		"SELECT MAX(x) FROM sales",
+		"SELECT COUNT(*) FROM missing",
+		"SELECT SUM(zz) FROM sales",
+		"SELECT COUNT(*) FROM sales WHERE zz < 1",
+	}
+	for _, s := range bad {
+		if _, err := db.ExecSQL(s); err == nil {
+			t.Errorf("ExecSQL(%q) should fail", s)
+		}
+		if _, err := db.EstimateSQL(s, EstimateOptions{Quota: time.Second}); err == nil {
+			t.Errorf("EstimateSQL(%q) should fail", s)
+		}
+	}
+	if _, err := db.EstimateSQL("SELECT COUNT(*) FROM sales", EstimateOptions{}); err == nil {
+		t.Error("missing quota should fail")
+	}
+}

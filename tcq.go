@@ -1,0 +1,393 @@
+// Package tcq is a time-constrained aggregate query processor: a Go
+// reproduction of "Processing Aggregate Relational Queries with Hard
+// Time Constraints" (Hou, Ozsoyoglu, Taneja; SIGMOD 1989).
+//
+// Given COUNT(E) for an arbitrary relational algebra expression E and a
+// time quota T, tcq returns a statistical estimate of the count within
+// T by iteratively cluster-sampling disk blocks from the operand
+// relations, evaluating the estimator stage by stage, and sizing each
+// stage with adaptive time-cost formulas and a risk-controlled
+// time-control strategy.
+//
+// Quick start:
+//
+//	db := tcq.Open(tcq.WithSimulatedClock(42))
+//	rel, _ := db.CreateRelation("orders", []tcq.Column{
+//		{Name: "id", Type: tcq.Int},
+//		{Name: "amount", Type: tcq.Int},
+//	}, 200)
+//	// ... rel.Insert(...) ...
+//	q := tcq.Rel("orders").Where(tcq.Col("amount").Lt(100))
+//	est, _ := db.CountEstimate(q, tcq.EstimateOptions{Quota: 100 * time.Millisecond})
+//	fmt.Printf("count ≈ %.0f ± %.0f (spent %v)\n", est.Value, est.Interval, est.Elapsed)
+//
+// The package runs against either a simulated machine (a virtual clock
+// with a 1989-calibrated cost profile — deterministic and fast, used by
+// the experiment harness) or the real clock (in-memory evaluation with
+// millisecond quotas, as in the examples).
+package tcq
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tcq/internal/core"
+	"tcq/internal/exec"
+	"tcq/internal/histogram"
+	"tcq/internal/ra"
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+	"tcq/internal/vclock"
+)
+
+// ColType enumerates the supported column types.
+type ColType int
+
+const (
+	// Int is a 64-bit signed integer column.
+	Int ColType = iota
+	// Float is a 64-bit floating point column.
+	Float
+	// String is a fixed-width string column (set Column.Size).
+	String
+)
+
+// Column declares one attribute of a relation.
+type Column struct {
+	Name string
+	Type ColType
+	Size int // byte width for String columns
+}
+
+// config collects Open options.
+type config struct {
+	clock     vclock.Clock
+	simClock  *vclock.Sim
+	profile   storage.CostProfile
+	blockSize int
+	loadSigma float64
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithSimulatedClock runs the database against a deterministic virtual
+// clock seeded with seed: all I/O and CPU work is charged per the cost
+// profile instead of taking real time. This is the default (seed 1).
+func WithSimulatedClock(seed int64) Option {
+	return func(c *config) {
+		sim := vclock.NewSim(seed, 0.03)
+		c.simClock = sim
+		c.clock = sim
+	}
+}
+
+// WithRealClock runs the database against the wall clock: queries do
+// their work in memory and quotas are real durations.
+func WithRealClock() Option {
+	return func(c *config) {
+		c.simClock = nil
+		c.clock = vclock.NewReal()
+	}
+}
+
+// WithCostProfile overrides the simulated machine's cost profile
+// (ignored under a real clock).
+func WithCostProfile(p storage.CostProfile) Option {
+	return func(c *config) { c.profile = p }
+}
+
+// WithFastMachine switches the simulated machine to a memory-resident,
+// modern-era cost profile (microsecond block access), suiting
+// millisecond quotas — the paper's real-time database setting.
+func WithFastMachine() Option {
+	return func(c *config) { c.profile = storage.FastProfile() }
+}
+
+// WithBlockSize overrides the disk block size (default 1 KB).
+func WithBlockSize(bytes int) Option {
+	return func(c *config) { c.blockSize = bytes }
+}
+
+// WithLoadNoise enables per-stage system-load variability on the
+// simulated clock (lognormal sigma; the experiment harness uses 0.12).
+func WithLoadNoise(sigma float64) Option {
+	return func(c *config) { c.loadSigma = sigma }
+}
+
+// DB is a tcq database instance: a catalog of relations plus the
+// time-constrained query engine.
+type DB struct {
+	store  *storage.Store
+	clock  vclock.Clock
+	engine *core.Engine
+	stats  *histogram.Catalog
+}
+
+// Open creates a database. With no options it uses a simulated clock
+// (seed 1) and the SUN-3/60-calibrated cost profile.
+func Open(opts ...Option) *DB {
+	cfg := config{profile: storage.SunProfile(), blockSize: storage.DefaultBlockSize}
+	WithSimulatedClock(1)(&cfg)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.simClock != nil && cfg.loadSigma > 0 {
+		cfg.simClock.SetLoadSigma(cfg.loadSigma)
+	}
+	store := storage.NewStore(cfg.clock, cfg.profile, cfg.blockSize)
+	return &DB{store: store, clock: cfg.clock, engine: core.NewEngine(store)}
+}
+
+// Store exposes the underlying storage engine (for advanced use and the
+// workload generators).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// CreateRelation registers a new relation. padToBytes, when positive,
+// pads each tuple to the given size (e.g. 200 for the paper's 5-tuples-
+// per-block geometry); pass 0 for no padding.
+func (db *DB) CreateRelation(name string, cols []Column, padToBytes int) (*Relation, error) {
+	tcols := make([]tuple.Column, len(cols))
+	for i, c := range cols {
+		var tt tuple.ColType
+		switch c.Type {
+		case Int:
+			tt = tuple.Int
+		case Float:
+			tt = tuple.Float
+		case String:
+			tt = tuple.String
+		default:
+			return nil, fmt.Errorf("tcq: column %q has unknown type", c.Name)
+		}
+		tcols[i] = tuple.Column{Name: c.Name, Type: tt, Size: c.Size}
+	}
+	schema, err := tuple.NewSchema(tcols...)
+	if err != nil {
+		return nil, err
+	}
+	padded := false
+	if padToBytes > schema.TupleSize() {
+		schema, err = schema.WithPadding(padToBytes)
+		if err != nil {
+			return nil, err
+		}
+		padded = true
+	}
+	rel, err := db.store.CreateRelation(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{rel: rel, arity: len(cols), padded: padded}, nil
+}
+
+// Relation returns a handle to an existing relation.
+func (db *DB) Relation(name string) (*Relation, error) {
+	rel, err := db.store.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{rel: rel, arity: rel.Schema().NumCols()}, nil
+}
+
+// Relations lists the catalog's relation names.
+func (db *DB) Relations() []string { return db.store.RelationNames() }
+
+// DropRelation removes a relation from the catalog.
+func (db *DB) DropRelation(name string) error { return db.store.DropRelation(name) }
+
+// Relation is a handle to a stored relation.
+type Relation struct {
+	rel    *storage.Relation
+	arity  int // user-visible columns (excludes padding)
+	padded bool
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.rel.Name() }
+
+// NumTuples returns the tuple count.
+func (r *Relation) NumTuples() int64 { return r.rel.NumTuples() }
+
+// NumBlocks returns the disk block count.
+func (r *Relation) NumBlocks() int { return r.rel.NumBlocks() }
+
+// Columns returns the relation's user-visible columns (the internal
+// padding column, if any, is omitted).
+func (r *Relation) Columns() []Column {
+	sch := r.rel.Schema()
+	out := make([]Column, 0, r.arity)
+	for i := 0; i < r.arity; i++ {
+		c := sch.Col(i)
+		col := Column{Name: c.Name, Size: c.Size}
+		switch c.Type {
+		case tuple.Int:
+			col.Type = Int
+		case tuple.Float:
+			col.Type = Float
+		case tuple.String:
+			col.Type = String
+		}
+		out = append(out, col)
+	}
+	return out
+}
+
+// Insert appends one tuple. Values must match the declared columns
+// (int/int64 for Int, float64 for Float, string for String); the
+// padding column, if any, is filled automatically.
+func (r *Relation) Insert(values ...interface{}) error {
+	if len(values) != r.arity {
+		return fmt.Errorf("tcq: %s wants %d values, got %d", r.Name(), r.arity, len(values))
+	}
+	t := make(tuple.Tuple, 0, r.arity+1)
+	for _, v := range values {
+		switch x := v.(type) {
+		case int:
+			t = append(t, int64(x))
+		case int64:
+			t = append(t, x)
+		case float64:
+			t = append(t, x)
+		case string:
+			t = append(t, x)
+		default:
+			return fmt.Errorf("tcq: unsupported value type %T", v)
+		}
+	}
+	if r.padded {
+		t = append(t, "")
+	}
+	return r.rel.Append(t)
+}
+
+// Save writes the relation in the tcq binary format.
+func (r *Relation) Save(w io.Writer) error { return r.rel.Save(w) }
+
+// SaveFile writes the relation to a host file.
+func (r *Relation) SaveFile(path string) error { return r.rel.SaveFile(path) }
+
+// Close releases a file-backed relation's file handle (no-op for
+// in-memory relations).
+func (r *Relation) Close() error { return r.rel.Close() }
+
+// LoadRelation reads a relation in the tcq binary format into the
+// catalog under the given name.
+func (db *DB) LoadRelation(name string, rd io.Reader) (*Relation, error) {
+	rel, err := db.store.LoadRelation(name, rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{rel: rel, arity: rel.Schema().NumCols()}, nil
+}
+
+// LoadRelationFile reads a relation from a host file into memory.
+func (db *DB) LoadRelationFile(name, path string) (*Relation, error) {
+	rel, err := db.store.LoadRelationFile(name, path)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{rel: rel, arity: rel.Schema().NumCols()}, nil
+}
+
+// OpenRelationFile registers a relation backed by the named tcq file,
+// reading blocks on demand instead of loading them — the way to attach
+// a large relation without holding it in memory. The returned relation
+// is read-only; call Close when done.
+func (db *DB) OpenRelationFile(name, path string) (*Relation, error) {
+	rel, err := db.store.OpenRelationFile(name, path)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{rel: rel, arity: rel.Schema().NumCols()}, nil
+}
+
+// Count evaluates COUNT(q) exactly (full scan, no time constraint).
+func (db *DB) Count(q Query) (int64, error) {
+	if q.err != nil {
+		return 0, q.err
+	}
+	return db.engine.ExactCount(q.expr)
+}
+
+// BuildStatistics builds equi-depth histograms (bucketCount buckets, 32
+// when <= 0) over every numeric column of every relation — the ANALYZE
+// step of the §3.1 prestored-statistics approach. Estimates can then
+// opt in via EstimateOptions.UseStatistics. Re-run after bulk loads;
+// stale statistics mis-size stages exactly as the paper warns.
+func (db *DB) BuildStatistics(bucketCount int) error {
+	if bucketCount <= 0 {
+		bucketCount = 32
+	}
+	cat, err := core.BuildHistograms(db.store, bucketCount)
+	if err != nil {
+		return err
+	}
+	db.stats = cat
+	return nil
+}
+
+// GroupCount evaluates per-group COUNTs of q's output over the named
+// column, exactly (full scan, no time constraint). Keys are int64,
+// float64 or string values of the column.
+func (db *DB) GroupCount(q Query, col string) (map[interface{}]int64, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	m, err := ra.GroupCountExact(q.expr, col, db.catalog())
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[interface{}]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Sum evaluates SUM(q.col) exactly (full scan, no time constraint).
+func (db *DB) Sum(q Query, col string) (float64, error) {
+	if q.err != nil {
+		return 0, q.err
+	}
+	return db.engine.ExactSum(q.expr, col)
+}
+
+// Avg evaluates AVG(q.col) exactly (0 for an empty result).
+func (db *DB) Avg(q Query, col string) (float64, error) {
+	if q.err != nil {
+		return 0, q.err
+	}
+	return db.engine.ExactAvg(q.expr, col)
+}
+
+// Now returns the session clock's current reading (virtual time under a
+// simulated clock).
+func (db *DB) Now() time.Duration { return db.clock.Now() }
+
+// IOStats reports the physical work done so far in this session.
+type IOStats struct {
+	BlocksRead    int64
+	PagesWritten  int64
+	TuplesRead    int64
+	TuplesWritten int64
+}
+
+// IOStats returns the session's cumulative physical work counters.
+func (db *DB) IOStats() IOStats {
+	c := db.store.Counters()
+	return IOStats{
+		BlocksRead:    c.BlocksRead,
+		PagesWritten:  c.PagesWritten,
+		TuplesRead:    c.TuplesRead,
+		TuplesWritten: c.TuplesWritten,
+	}
+}
+
+// catalog adapts the store for query validation.
+func (db *DB) catalog() exec.StoreCatalog { return exec.StoreCatalog{Store: db.store} }
+
+// errNoQuota is returned by CountEstimate without a quota or stop rule.
+var errNoQuota = errors.New("tcq: CountEstimate needs a positive Quota")

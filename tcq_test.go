@@ -1,0 +1,726 @@
+package tcq
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// demoDB builds a database with an "orders" relation of n tuples where
+// exactly k have amount < k (amount is a permutation of 0..n-1, id
+// unique).
+func demoDB(t *testing.T, n, k int) *DB {
+	t.Helper()
+	db := Open(WithSimulatedClock(7))
+	rel, err := db.CreateRelation("orders", []Column{
+		{Name: "id", Type: Int},
+		{Name: "amount", Type: Int},
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic permutation via multiplication by a unit mod n
+	// would be overkill; shifted identity suffices for exact counts.
+	for i := 0; i < n; i++ {
+		if err := rel.Insert(i, (i*7919+3)%n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = k
+	return db
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db := Open()
+	if db.Now() != 0 {
+		t.Error("simulated clock should start at 0")
+	}
+	if len(db.Relations()) != 0 {
+		t.Error("fresh catalog should be empty")
+	}
+}
+
+func TestCreateRelationAndInsert(t *testing.T) {
+	db := Open()
+	rel, err := db.CreateRelation("t", []Column{
+		{Name: "a", Type: Int},
+		{Name: "b", Type: Float},
+		{Name: "c", Type: String, Size: 8},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Insert(1, 2.5, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Insert(int64(2), 3.5, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumTuples() != 2 {
+		t.Errorf("tuples = %d", rel.NumTuples())
+	}
+	// Arity and type errors.
+	if err := rel.Insert(1, 2.5); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := rel.Insert(1, 2.5, []byte("x")); err == nil {
+		t.Error("unsupported type should fail")
+	}
+	// Bad column type.
+	if _, err := db.CreateRelation("bad", []Column{{Name: "x", Type: ColType(9)}}, 0); err == nil {
+		t.Error("unknown column type should fail")
+	}
+	// Duplicate name.
+	if _, err := db.CreateRelation("t", []Column{{Name: "a", Type: Int}}, 0); err == nil {
+		t.Error("duplicate relation should fail")
+	}
+}
+
+func TestPaddingGeometry(t *testing.T) {
+	db := Open()
+	rel, err := db.CreateRelation("p", []Column{{Name: "a", Type: Int}}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := rel.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 200-byte tuples, 1 KB blocks: 5 per block -> 2 blocks.
+	if rel.NumBlocks() != 2 {
+		t.Errorf("blocks = %d, want 2", rel.NumBlocks())
+	}
+}
+
+func TestExactCountViaBuilder(t *testing.T) {
+	db := demoDB(t, 1000, 100)
+	q := Rel("orders").Where(Col("amount").Lt(100))
+	got, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("count = %d, want 100", got)
+	}
+}
+
+func TestBuilderOperators(t *testing.T) {
+	db := demoDB(t, 500, 0)
+	cases := []struct {
+		q    Query
+		want int64
+	}{
+		{Rel("orders").Where(Col("amount").Lt(50)), 50},
+		{Rel("orders").Where(Col("amount").Ge(450)), 50},
+		{Rel("orders").Where(Col("amount").Eq(7)), 1},
+		{Rel("orders").Where(Col("amount").Ne(7)), 499},
+		{Rel("orders").Where(Col("amount").Le(0)), 1},
+		{Rel("orders").Where(Col("amount").Gt(498)), 1},
+		{Rel("orders").Where(Col("id").Eq(Col("id"))), 500},
+		{Rel("orders").Where(Col("amount").Lt(50).And(Col("amount").Ge(25))), 25},
+		{Rel("orders").Where(Col("amount").Lt(10).Or(Col("amount").Ge(490))), 20},
+		{Rel("orders").Where(Not(Col("amount").Lt(10))), 490},
+		{Rel("orders").Where(TruePred()), 500},
+		{Rel("orders").Project("amount"), 500},
+		{Rel("orders").Union(Rel("orders")), 500},
+		{Rel("orders").Minus(Rel("orders")), 0},
+		{Rel("orders").Intersect(Rel("orders")), 500},
+	}
+	for i, c := range cases {
+		got, err := db.Count(c.q)
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", i, c.q, err)
+		}
+		if got != c.want {
+			t.Errorf("case %d (%s): got %d, want %d", i, c.q, got, c.want)
+		}
+	}
+}
+
+func TestBuilderJoin(t *testing.T) {
+	db := demoDB(t, 200, 0)
+	rel, err := db.CreateRelation("customers", []Column{
+		{Name: "cid", Type: Int},
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := rel.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Rel("orders").Join(Rel("customers"), "id", "cid")
+	got, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Errorf("join count = %d, want 50", got)
+	}
+}
+
+func TestQueryErrorsPropagate(t *testing.T) {
+	db := demoDB(t, 100, 0)
+	bad := Rel("orders").Where(Pred{err: errNoQuota})
+	if _, err := db.Count(bad); err == nil {
+		t.Error("predicate error should propagate")
+	}
+	if bad.Err() == nil {
+		t.Error("Err should expose the error")
+	}
+	if !strings.Contains(bad.String(), "invalid") {
+		t.Errorf("String of invalid query: %q", bad.String())
+	}
+	badVal := Rel("orders").Where(Col("amount").Lt([]int{1}))
+	if _, err := db.Count(badVal); err == nil {
+		t.Error("bad constant should propagate")
+	}
+	// Error absorbs further building.
+	chained := badVal.Project("amount").Union(Rel("orders")).Minus(Rel("orders")).Intersect(Rel("orders"))
+	if chained.Err() == nil {
+		t.Error("chained building should keep the error")
+	}
+	if q := Rel("orders").Union(badVal); q.Err() == nil {
+		t.Error("right-side error should propagate")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	db := demoDB(t, 100, 0)
+	if err := db.Validate(Rel("orders").Where(Col("amount").Lt(1))); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := db.Validate(Rel("missing")); err == nil {
+		t.Error("unknown relation should fail validation")
+	}
+	if err := db.Validate(Rel("orders").Where(Col("zz").Lt(1))); err == nil {
+		t.Error("unknown column should fail validation")
+	}
+}
+
+func TestParseIntegration(t *testing.T) {
+	db := demoDB(t, 300, 0)
+	q, err := Parse("select(orders, amount < 30)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Errorf("parsed count = %d, want 30", got)
+	}
+	if _, err := Parse("select(orders,"); err == nil {
+		t.Error("bad syntax should fail")
+	}
+	if q.String() != "select(orders, amount < 30)" {
+		t.Errorf("String = %q", q.String())
+	}
+}
+
+func TestCountEstimateBasic(t *testing.T) {
+	db := demoDB(t, 2000, 0)
+	q := Rel("orders").Where(Col("amount").Lt(200)) // exact: 200
+	est, err := db.CountEstimate(q, EstimateOptions{Quota: 5 * time.Second, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stages < 1 || est.Blocks < 1 {
+		t.Fatalf("estimate ran nothing: %+v", est)
+	}
+	if est.Value <= 0 {
+		t.Errorf("estimate = %g", est.Value)
+	}
+	if rel := math.Abs(est.Value-200) / 200; rel > 1.0 {
+		t.Errorf("estimate %g too far from 200", est.Value)
+	}
+	if est.Lo() > est.Value || est.Hi() < est.Value {
+		t.Error("CI must bracket the estimate")
+	}
+	if est.Utilization < 0 || est.Utilization > 1 {
+		t.Errorf("utilization = %g", est.Utilization)
+	}
+	if est.StopReason == "" {
+		t.Error("missing stop reason")
+	}
+	if est.Confidence != 0.95 {
+		t.Errorf("default confidence = %g", est.Confidence)
+	}
+}
+
+func TestCountEstimateRequiresQuota(t *testing.T) {
+	db := demoDB(t, 100, 0)
+	if _, err := db.CountEstimate(Rel("orders"), EstimateOptions{}); err == nil {
+		t.Error("missing quota should fail")
+	}
+	bad := Rel("orders").Where(Col("zz").Lt(1))
+	if _, err := db.CountEstimate(bad, EstimateOptions{Quota: time.Second}); err == nil {
+		t.Error("invalid query should fail")
+	}
+}
+
+func TestCountEstimateStrategies(t *testing.T) {
+	for _, k := range []StrategyKind{OneAtATime, SingleInterval, Heuristic} {
+		db := demoDB(t, 1000, 0)
+		est, err := db.CountEstimate(Rel("orders").Where(Col("amount").Lt(100)),
+			EstimateOptions{Quota: 3 * time.Second, Strategy: k, Seed: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if est.Stages < 1 {
+			t.Errorf("%v: no stages", k)
+		}
+		if k.String() == "" {
+			t.Errorf("empty name for %d", int(k))
+		}
+	}
+}
+
+func TestCountEstimateProgressCallback(t *testing.T) {
+	db := demoDB(t, 1000, 0)
+	var stages []Progress
+	_, err := db.CountEstimate(Rel("orders").Where(Col("amount").Lt(100)),
+		EstimateOptions{
+			Quota:      4 * time.Second,
+			OnProgress: func(p Progress) { stages = append(stages, p) },
+			Seed:       5,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) < 1 {
+		t.Fatal("no progress callbacks")
+	}
+	for i, p := range stages {
+		if p.Stage != i+1 || p.Blocks < 1 || p.Spent <= 0 {
+			t.Errorf("progress %d looks wrong: %+v", i, p)
+		}
+	}
+}
+
+func TestCountEstimateErrorTarget(t *testing.T) {
+	db := demoDB(t, 2000, 0)
+	est, err := db.CountEstimate(Rel("orders").Where(Col("amount").Lt(1000)),
+		EstimateOptions{Quota: time.Hour, TargetRelError: 0.25, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value == 0 {
+		t.Fatal("no estimate")
+	}
+	if est.Interval/est.Value > 0.25+1e-9 {
+		t.Errorf("stopped with rel error %.3f > 0.25", est.Interval/est.Value)
+	}
+}
+
+func TestCountEstimateHardDeadline(t *testing.T) {
+	db := demoDB(t, 2000, 0)
+	quota := 2 * time.Second
+	before := db.Now()
+	est, err := db.CountEstimate(Rel("orders").Where(Col("amount").Lt(100)),
+		EstimateOptions{Quota: quota, HardDeadline: true, DBeta: 0.0001, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := db.Now() - before
+	if elapsed > quota+200*time.Millisecond {
+		t.Errorf("hard deadline exceeded: %v > %v", elapsed, quota)
+	}
+	_ = est
+}
+
+func TestCountEstimatePartialPlan(t *testing.T) {
+	db := demoDB(t, 1000, 0)
+	// A second relation sharing half of orders' tuples, so the
+	// intersection is a genuine two-relation merge.
+	rel, err := db.CreateRelation("archive", []Column{
+		{Name: "id", Type: Int},
+		{Name: "amount", Type: Int},
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		v := (i*7919 + 3) % 1000
+		if i%2 == 1 {
+			v = 1000 + i // non-matching tail
+		}
+		if err := rel.Insert(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := db.CountEstimate(Rel("orders").Intersect(Rel("archive")),
+		EstimateOptions{Quota: 6 * time.Second, Plan: PartialFulfillment, DBeta: 24, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stages < 1 {
+		t.Error("partial plan ran no stages")
+	}
+}
+
+func TestSaveLoadRoundTripPublicAPI(t *testing.T) {
+	db := demoDB(t, 120, 0)
+	rel, err := db.Relation("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rel.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open(WithSimulatedClock(9))
+	rel2, err := db2.LoadRelation("orders", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.NumTuples() != 120 {
+		t.Errorf("loaded %d tuples", rel2.NumTuples())
+	}
+	c1, _ := db.Count(Rel("orders").Where(Col("amount").Lt(60)))
+	c2, _ := db2.Count(Rel("orders").Where(Col("amount").Lt(60)))
+	if c1 != c2 {
+		t.Errorf("counts differ after round trip: %d vs %d", c1, c2)
+	}
+}
+
+func TestDropRelation(t *testing.T) {
+	db := demoDB(t, 10, 0)
+	if err := db.DropRelation("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Relation("orders"); err == nil {
+		t.Error("dropped relation should be gone")
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	db := Open(WithRealClock())
+	rel, err := db.CreateRelation("r", []Column{{Name: "a", Type: Int}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := rel.Insert(i % 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := db.CountEstimate(Rel("r").Where(Col("a").Lt(10)),
+		EstimateOptions{Quota: 50 * time.Millisecond, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stages < 1 {
+		t.Errorf("real-clock run completed no stages: %+v", est)
+	}
+	// Exact answer is 500; a real-clock estimate should be in the right
+	// ballpark (wide tolerance: timing-dependent sample sizes).
+	if est.Value < 50 || est.Value > 5000 {
+		t.Errorf("real-clock estimate %g wildly off (exact 500)", est.Value)
+	}
+}
+
+func TestWithLoadNoiseAndCostProfile(t *testing.T) {
+	db := Open(WithSimulatedClock(3), WithLoadNoise(0.1), WithBlockSize(2048))
+	rel, err := db.CreateRelation("r", []Column{{Name: "a", Type: Int}}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rel.Insert(i)
+	}
+	// 2 KB blocks, 200-byte tuples: 10 per block.
+	if rel.NumBlocks() != 10 {
+		t.Errorf("blocks = %d, want 10", rel.NumBlocks())
+	}
+	if _, err := db.CountEstimate(Rel("r"), EstimateOptions{Quota: time.Second, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumAvgPublicAPI(t *testing.T) {
+	db := demoDB(t, 1000, 0)
+	q := Rel("orders").Where(Col("amount").Lt(100))
+	wantSum, err := db.Sum(q, "amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// amounts 0..99 each exactly once: 4950.
+	if wantSum != 4950 {
+		t.Fatalf("exact sum = %g, want 4950", wantSum)
+	}
+	wantAvg, err := db.Avg(q, "amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantAvg != 49.5 {
+		t.Fatalf("exact avg = %g, want 49.5", wantAvg)
+	}
+	sumEst, err := db.SumEstimate(q, "amount", EstimateOptions{Quota: 5 * time.Second, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumEst.Value <= 0 || math.Abs(sumEst.Value-wantSum)/wantSum > 1.2 {
+		t.Errorf("sum estimate = %g (exact %g)", sumEst.Value, wantSum)
+	}
+	avgEst, err := db.AvgEstimate(q, "amount", EstimateOptions{Quota: 5 * time.Second, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgEst.Value <= 0 || math.Abs(avgEst.Value-wantAvg)/wantAvg > 1.0 {
+		t.Errorf("avg estimate = %g (exact %g)", avgEst.Value, wantAvg)
+	}
+	// Errors propagate.
+	if _, err := db.SumEstimate(q, "zz", EstimateOptions{Quota: time.Second}); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := db.Sum(Rel("missing"), "amount"); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	bad := Rel("orders").Where(Pred{err: errNoQuota})
+	if _, err := db.Sum(bad, "amount"); err == nil {
+		t.Error("query error should propagate to Sum")
+	}
+	if _, err := db.Avg(bad, "amount"); err == nil {
+		t.Error("query error should propagate to Avg")
+	}
+}
+
+func TestUseStatisticsPublicAPI(t *testing.T) {
+	db := demoDB(t, 2000, 0)
+	q := Rel("orders").Where(Col("amount").Lt(200))
+	// Without BuildStatistics, UseStatistics silently falls back to
+	// run-time estimation.
+	if _, err := db.CountEstimate(q, EstimateOptions{
+		Quota: 3 * time.Second, UseStatistics: true, Seed: 2,
+	}); err != nil {
+		t.Fatalf("UseStatistics without stats should fall back, got %v", err)
+	}
+	if err := db.BuildStatistics(0); err != nil {
+		t.Fatal(err)
+	}
+	est, err := db.CountEstimate(q, EstimateOptions{
+		Quota: 3 * time.Second, UseStatistics: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stages < 1 || est.Value <= 0 {
+		t.Errorf("statistics-assisted estimate: %+v", est)
+	}
+}
+
+func TestStableStagesStop(t *testing.T) {
+	db := demoDB(t, 2000, 0)
+	est, err := db.CountEstimate(Rel("orders").Where(Col("amount").Lt(1000)),
+		EstimateOptions{
+			// A binding quota with a small per-stage share forces many
+			// small stages; the estimate stabilises long before census.
+			Quota:        120 * time.Second,
+			Strategy:     Heuristic,
+			Gamma:        0.02,
+			StableStages: 3,
+			StableTol:    0.1,
+			Seed:         12,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(est.StopReason, "stable") {
+		t.Errorf("stop reason = %q, want stability stop", est.StopReason)
+	}
+	if est.Stages < 3 {
+		t.Errorf("stability stop needs at least 3 stages, got %d", est.Stages)
+	}
+}
+
+func TestSimpleRandomSamplingPublicAPI(t *testing.T) {
+	db := demoDB(t, 1000, 0)
+	est, err := db.CountEstimate(Rel("orders").Where(Col("amount").Lt(100)),
+		EstimateOptions{Quota: 3 * time.Second, SimpleRandomSampling: true, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stages < 1 || est.Value <= 0 {
+		t.Errorf("SRS estimate: %+v", est)
+	}
+}
+
+func TestOpenRelationFilePublicAPI(t *testing.T) {
+	db := demoDB(t, 200, 0)
+	rel, err := db.Relation("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/orders.tcq"
+	if err := rel.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open(WithSimulatedClock(3))
+	fb, err := db2.OpenRelationFile("orders", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	if fb.NumTuples() != 200 {
+		t.Errorf("tuples = %d", fb.NumTuples())
+	}
+	// Exact and estimated counts work against the file-backed relation.
+	q := Rel("orders").Where(Col("amount").Lt(60))
+	c1, _ := db.Count(q)
+	c2, err := db2.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Errorf("file-backed count %d != in-memory %d", c2, c1)
+	}
+	est, err := db2.CountEstimate(q, EstimateOptions{Quota: 3 * time.Second, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stages < 1 {
+		t.Error("file-backed estimate ran no stages")
+	}
+}
+
+func TestGroupCountPublicAPI(t *testing.T) {
+	db := Open(WithSimulatedClock(5))
+	rel, err := db.CreateRelation("ev", []Column{
+		{Name: "id", Type: Int},
+		{Name: "kind", Type: String, Size: 8},
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []string{"warn", "error", "info", "info", "info"}
+	for i := 0; i < 2000; i++ {
+		if err := rel.Insert(i, kinds[i%len(kinds)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Rel("ev")
+	exact, err := db.GroupCount(q, "kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact["info"] != 1200 || exact["warn"] != 400 || exact["error"] != 400 {
+		t.Fatalf("exact groups: %v", exact)
+	}
+	groups, overall, err := db.GroupCountEstimate(q, "kind", EstimateOptions{
+		Quota: 10 * time.Second, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall.Value <= 0 {
+		t.Fatal("no overall estimate")
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d: %+v", len(groups), groups)
+	}
+	var total float64
+	for _, g := range groups {
+		if g.Value <= 0 {
+			t.Errorf("group %v estimate %g", g.Key, g.Value)
+		}
+		total += g.Value
+	}
+	// Group estimates partition the overall estimate.
+	if math.Abs(total-overall.Value) > 1e-6 {
+		t.Errorf("group sum %g != overall %g", total, overall.Value)
+	}
+	// Error paths.
+	if _, _, err := db.GroupCountEstimate(q, "zz", EstimateOptions{Quota: time.Second}); err == nil {
+		t.Error("unknown group column should fail")
+	}
+	if _, _, err := db.GroupCountEstimate(q, "kind", EstimateOptions{}); err == nil {
+		t.Error("missing quota should fail")
+	}
+	if _, err := db.GroupCount(Rel("missing"), "kind"); err == nil {
+		t.Error("unknown relation should fail")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := demoDB(t, 100, 0)
+	db.CreateRelation("archive2", []Column{
+		{Name: "id", Type: Int},
+		{Name: "amount", Type: Int},
+	}, 200)
+	q := Rel("orders").Where(Col("amount").Lt(10)).Union(Rel("archive2"))
+	out, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"inclusion–exclusion over 3 terms",
+		"term 1 (+1)",
+		"(-1)",
+		"scan orders (100 tuples, 20 blocks)",
+		"select amount < 10",
+		"sort-merge intersect",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Join + project rendering (clashing columns are disambiguated as
+	// l.amount / r.amount in the joined schema).
+	out2, err := db.Explain(Rel("orders").Join(Rel("archive2"), "id", "id").Project("l.amount"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sort-merge join on id = id", "project [l.amount]"} {
+		if !strings.Contains(out2, want) {
+			t.Errorf("explain missing %q:\n%s", want, out2)
+		}
+	}
+	// Errors.
+	if _, err := db.Explain(Rel("missing")); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	bad := Rel("orders").Where(Pred{err: errNoQuota})
+	if _, err := db.Explain(bad); err == nil {
+		t.Error("query error should propagate")
+	}
+}
+
+func TestIntrospection(t *testing.T) {
+	db := demoDB(t, 50, 0)
+	rel, err := db.Relation("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handle from db.Relation reflects the stored schema including
+	// padding; CreateRelation's handle hides it. Check the creation-time
+	// view via a fresh relation.
+	fresh, err := db.CreateRelation("t2", []Column{
+		{Name: "x", Type: Int},
+		{Name: "s", Type: String, Size: 4},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := fresh.Columns()
+	if len(cols) != 2 || cols[0].Name != "x" || cols[0].Type != Int ||
+		cols[1].Type != String || cols[1].Size != 4 {
+		t.Errorf("columns = %+v", cols)
+	}
+	_ = rel
+
+	// IO counters accumulate through estimates.
+	before := db.IOStats()
+	if _, err := db.CountEstimate(Rel("orders"), EstimateOptions{Quota: time.Second, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := db.IOStats()
+	if after.BlocksRead <= before.BlocksRead {
+		t.Error("estimate should read blocks")
+	}
+}
