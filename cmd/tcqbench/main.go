@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"tcq/internal/bench"
@@ -35,15 +36,19 @@ func run(args []string, out io.Writer) error {
 	flag := flag.NewFlagSet("tcqbench", flag.ContinueOnError)
 	flag.SetOutput(out)
 	var (
-		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		trials  = flag.Int("trials", 200, "independent trials per table row (the paper uses 200)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		jitter  = flag.Float64("jitter", 0.03, "per-charge clock jitter (stddev)")
-		load    = flag.Float64("load", 0.12, "per-stage system-load lognormal sigma")
-		compare = flag.Bool("compare", false, "print the paper's reported numbers after each table")
-		quality = flag.Bool("quality", false, "run the estimator-quality sweep instead of the tables")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		md      = flag.Bool("md", false, "render tables as markdown (for EXPERIMENTS.md)")
+		expID    = flag.String("exp", "all", "experiment id(s), comma-separated (see -list), or 'all'")
+		trials   = flag.Int("trials", 200, "independent trials per table row (the paper uses 200)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		jitter   = flag.Float64("jitter", 0.03, "per-charge clock jitter (stddev)")
+		load     = flag.Float64("load", 0.12, "per-stage system-load lognormal sigma")
+		compare  = flag.Bool("compare", false, "print the paper's reported numbers after each table")
+		quality  = flag.Bool("quality", false, "run the estimator-quality sweep instead of the tables")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		md       = flag.Bool("md", false, "render tables as markdown (for EXPERIMENTS.md)")
+		perf     = flag.Bool("perf", false, "profile host-side cost per experiment row instead of printing tables")
+		perfOut  = flag.String("perfout", "BENCH_exec.json", "with -perf: write the JSON report here ('' to skip)")
+		perfBase = flag.String("perfbase", "", "with -perf: compare against this baseline report and fail on regressions")
+		perfTol  = flag.Float64("perftol", 10, "with -perf -perfbase: ns-per-trial regression tolerance (percent)")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -71,11 +76,17 @@ func run(args []string, out io.Writer) error {
 	if *expID == "all" {
 		exps = bench.AllExperiments()
 	} else {
-		e, ok := bench.ByID(*expID)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (try -list)", *expID)
+		for _, id := range strings.Split(*expID, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			exps = append(exps, e)
 		}
-		exps = []bench.Experiment{e}
+	}
+
+	if *perf {
+		return runPerf(exps, opts, out, *perfOut, *perfBase, *perfTol)
 	}
 
 	for i, e := range exps {
@@ -98,4 +109,39 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runPerf profiles the host-side cost of the selected experiments,
+// optionally writing BENCH_exec.json and diffing it against a committed
+// baseline. Regressions beyond the tolerance are an error so the perf
+// gate can run in CI (same machine as the baseline only — the absolute
+// numbers do not transfer between hosts).
+func runPerf(exps []bench.Experiment, opts bench.RunOptions, out io.Writer, outPath, basePath string, tolPct float64) error {
+	rep, err := bench.PerfProfile(exps, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, bench.RenderPerf(rep))
+	if outPath != "" {
+		if err := bench.WritePerf(outPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	if basePath == "" {
+		return nil
+	}
+	base, err := bench.ReadPerf(basePath)
+	if err != nil {
+		return err
+	}
+	regs := bench.ComparePerf(base, rep, tolPct)
+	if len(regs) == 0 {
+		fmt.Fprintf(out, "no ns-per-trial regressions beyond %.0f%% vs %s\n", tolPct, basePath)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(out, "REGRESSION:", r)
+	}
+	return fmt.Errorf("%d perf regression(s) vs %s", len(regs), basePath)
 }

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// PerfRow is the host-side cost of regenerating one experiment row
+// (one variant of one table): wall-clock nanoseconds, heap bytes and
+// allocations per trial. The simulated results themselves are
+// deterministic and covered by the golden tables; these numbers track
+// how much real CPU the executor burns to produce them, which is what
+// the incremental-merge work optimises.
+type PerfRow struct {
+	Exp            string `json:"exp"`
+	Label          string `json:"label"`
+	Trials         int    `json:"trials"`
+	NsPerTrial     int64  `json:"ns_per_trial"`
+	BytesPerTrial  int64  `json:"bytes_per_trial"`
+	AllocsPerTrial int64  `json:"allocs_per_trial"`
+}
+
+// PerfReport is the serialized form of a perf run (BENCH_exec.json).
+type PerfReport struct {
+	Note string    `json:"note"`
+	Rows []PerfRow `json:"rows"`
+}
+
+// perfRepeats is how many times each row is measured; the fastest
+// repeat is reported, which suppresses scheduler and GC noise the same
+// way benchstat's min does.
+const perfRepeats = 3
+
+// PerfProfile times every variant of the given experiments. Trials run
+// on a single worker so wall time is not confounded by scheduling, each
+// variant is measured in isolation (its own Experiment.Run call), and
+// each measurement is the best of perfRepeats repeats.
+func PerfProfile(exps []Experiment, opts RunOptions) (PerfReport, error) {
+	opts = opts.withDefaults()
+	opts.Parallel = 1
+	rep := PerfReport{
+		Note: "host-side cost per simulated trial, best of repeated runs; compare with ComparePerf (machine-dependent, same-machine diffs only)",
+	}
+	for _, e := range exps {
+		for _, v := range e.Variants {
+			one := e
+			one.Variants = []Variant{v}
+			row := PerfRow{Exp: e.ID, Label: v.Label, Trials: opts.Trials}
+			n := int64(opts.Trials)
+			for attempt := 0; attempt < perfRepeats; attempt++ {
+				var msBefore, msAfter runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&msBefore)
+				start := time.Now()
+				if _, err := one.Run(opts); err != nil {
+					return PerfReport{}, err
+				}
+				wall := time.Since(start)
+				runtime.ReadMemStats(&msAfter)
+				ns := wall.Nanoseconds() / n
+				if attempt == 0 || ns < row.NsPerTrial {
+					row.NsPerTrial = ns
+					row.BytesPerTrial = int64(msAfter.TotalAlloc-msBefore.TotalAlloc) / n
+					row.AllocsPerTrial = int64(msAfter.Mallocs-msBefore.Mallocs) / n
+				}
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// WritePerf writes the report as indented JSON.
+func WritePerf(path string, rep PerfReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadPerf loads a report written by WritePerf.
+func ReadPerf(path string) (PerfReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return PerfReport{}, err
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return PerfReport{}, fmt.Errorf("perf baseline %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// ComparePerf flags rows of cur whose ns-per-trial regressed more than
+// tolPct percent against the matching row of base (matched by
+// experiment id and variant label; rows missing from base are skipped).
+// It returns one human-readable line per regression.
+func ComparePerf(base, cur PerfReport, tolPct float64) []string {
+	baseline := map[string]PerfRow{}
+	for _, r := range base.Rows {
+		baseline[r.Exp+"/"+r.Label] = r
+	}
+	var regressions []string
+	for _, r := range cur.Rows {
+		b, ok := baseline[r.Exp+"/"+r.Label]
+		if !ok || b.NsPerTrial <= 0 {
+			continue
+		}
+		deltaPct := 100 * (float64(r.NsPerTrial) - float64(b.NsPerTrial)) / float64(b.NsPerTrial)
+		if deltaPct > tolPct {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: %.2fms -> %.2fms per trial (+%.1f%%, tolerance %.0f%%)",
+				r.Exp, r.Label,
+				float64(b.NsPerTrial)/1e6, float64(r.NsPerTrial)/1e6,
+				deltaPct, tolPct))
+		}
+	}
+	return regressions
+}
+
+// RenderPerf formats a report as a text table.
+func RenderPerf(rep PerfReport) string {
+	out := fmt.Sprintf("%-22s %-16s %8s %12s %12s %12s\n",
+		"experiment", "variant", "trials", "ms/trial", "MB/trial", "allocs/trial")
+	for _, r := range rep.Rows {
+		out += fmt.Sprintf("%-22s %-16s %8d %12.2f %12.2f %12d\n",
+			r.Exp, r.Label, r.Trials,
+			float64(r.NsPerTrial)/1e6, float64(r.BytesPerTrial)/(1<<20), r.AllocsPerTrial)
+	}
+	return out
+}

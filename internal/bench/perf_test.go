@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestComparePerf(t *testing.T) {
+	base := PerfReport{Rows: []PerfRow{
+		{Exp: "fig5.2", Label: "dβ=0", NsPerTrial: 1000},
+		{Exp: "fig5.2", Label: "dβ=12", NsPerTrial: 1000},
+		{Exp: "fig5.3", Label: "x", NsPerTrial: 500},
+	}}
+	cur := PerfReport{Rows: []PerfRow{
+		{Exp: "fig5.2", Label: "dβ=0", NsPerTrial: 1099},  // +9.9%: within tolerance
+		{Exp: "fig5.2", Label: "dβ=12", NsPerTrial: 1200}, // +20%: regression
+		{Exp: "fig5.3", Label: "x", NsPerTrial: 400},      // improvement
+		{Exp: "fig5.1", Label: "new", NsPerTrial: 9999},   // no baseline: skipped
+	}}
+	regs := ComparePerf(base, cur, 10)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions (%v), want 1", len(regs), regs)
+	}
+}
+
+func TestPerfReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perf.json")
+	rep := PerfReport{Note: "n", Rows: []PerfRow{
+		{Exp: "fig5.1", Label: "v", Trials: 3, NsPerTrial: 7, BytesPerTrial: 8, AllocsPerTrial: 9},
+	}}
+	if err := WritePerf(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerf(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0] != rep.Rows[0] || got.Note != rep.Note {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}

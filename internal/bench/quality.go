@@ -104,7 +104,8 @@ func EstimatorQuality(opts RunOptions, fractions []float64) ([]QualityRow, error
 				if err != nil {
 					return nil, err
 				}
-				for _, f := range q.Feeds {
+				for _, name := range q.FeedNames() {
+					f := q.Feeds[name]
 					k := int(math.Round(frac * float64(f.Rel.NumBlocks())))
 					if k < 1 {
 						k = 1

@@ -274,10 +274,15 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 	// Per-relation samplers (equal sample fractions across relations).
 	// Under cluster sampling the units are disk blocks; under SRS they
 	// are individual tuples.
+	// Feeds are iterated in sorted name order wherever the shared RNG
+	// is consumed or the session clock is charged: Go's randomized map
+	// order would otherwise make identically-seeded runs diverge.
+	feedNames := q.FeedNames()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	samplers := map[string]*sampling.RelationSample{}
 	minBlocks, maxBlocks := math.MaxInt32, 0
-	for name, f := range q.Feeds {
+	for _, name := range feedNames {
+		f := q.Feeds[name]
 		units := f.Rel.NumBlocks()
 		if opts.Sampling == SimpleRandomSampling {
 			units = int(f.Rel.NumTuples())
@@ -390,7 +395,8 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		stageStart := clock.Now()
 		stageBlocks := 0
 		aborted := false
-		for name, f := range q.Feeds {
+		for _, name := range feedNames {
+			f := q.Feeds[name]
 			s := samplers[name]
 			k := int(math.Round(plan.Fraction * float64(s.DTotal)))
 			if k < opts.MinStageBlocks {
@@ -415,7 +421,8 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		if !aborted {
 			// Feeds that drew nothing this stage (exhausted relations)
 			// still need a stage entry so term stage indices align.
-			for _, f := range q.Feeds {
+			for _, name := range feedNames {
+				f := q.Feeds[name]
 				for f.Stages() < stageIdx {
 					if err := f.LoadStage(nil); err != nil {
 						return nil, err
@@ -690,10 +697,13 @@ func setMinFraction(s timectrl.Strategy, f float64) {
 }
 
 func firstKey(m map[string]*exec.Feed) string {
+	first := ""
 	for k := range m {
-		return k
+		if first == "" || k < first {
+			first = k
+		}
 	}
-	return ""
+	return first
 }
 
 // FullScanCount evaluates COUNT(e) exactly WITH full cost accounting:
@@ -708,7 +718,8 @@ func (g *Engine) FullScanCount(e ra.Expr) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	for _, f := range q.Feeds {
+	for _, name := range q.FeedNames() {
+		f := q.Feeds[name]
 		blocks := make([]int, f.Rel.NumBlocks())
 		for i := range blocks {
 			blocks[i] = i

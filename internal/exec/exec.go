@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -489,7 +490,7 @@ func newSelectNode(env *Env, child Node, pred ra.Pred, src ra.Expr) (Node, error
 		predSize: size,
 		src:      src,
 		env:      env,
-		out:      env.Store.NewTempFile(child.Schema()),
+		out:      env.Store.NewScratchFile(child.Schema()),
 	}, nil
 }
 
@@ -509,9 +510,17 @@ func (n *selectNode) Advance(stage int) ([]tuple.Tuple, error) {
 	clock := n.env.Store.Clock()
 	costs := n.env.Store.Costs()
 
-	// Scan + check each input tuple (cost c1·n of eq. 4.1).
+	// Scan + check each input tuple (cost c1·n of eq. 4.1). Pre-size
+	// the output from the cumulative selectivity observed so far.
 	t0 := clock.Now()
-	var out []tuple.Tuple
+	hint := len(in)
+	if n.stats.CumPoints > 0 {
+		hint = int(float64(len(in))*n.stats.CumOut/n.stats.CumPoints) + 16
+		if hint > len(in) {
+			hint = len(in)
+		}
+	}
+	out := make([]tuple.Tuple, 0, hint)
 	for _, t := range in {
 		if err := n.env.checkDeadline(); err != nil {
 			return nil, err
@@ -543,14 +552,17 @@ func (n *selectNode) Advance(stage int) ([]tuple.Tuple, error) {
 // Project node (Fig. 4.7)
 
 type projectNode struct {
-	id        int
-	child     Node
-	idx       []int
-	schema    *tuple.Schema
-	src       ra.Expr
-	env       *Env
-	temp      *storage.TempFile
-	out       *storage.TempFile
+	id     int
+	child  Node
+	idx    []int
+	schema *tuple.Schema
+	src    ra.Expr
+	env    *Env
+	temp   *storage.TempFile
+	out    *storage.TempFile
+	// keyed selects normalized-byte-key dedup: map operations happen
+	// once per equal-key group of the sorted run instead of per tuple.
+	keyed     bool
 	occupancy map[string]int
 	stats     Stats
 }
@@ -567,8 +579,9 @@ func newProjectNode(env *Env, child Node, cols []string, src ra.Expr) (Node, err
 		schema:    schema,
 		src:       src,
 		env:       env,
-		temp:      env.Store.NewTempFile(schema),
-		out:       env.Store.NewTempFile(schema),
+		temp:      env.Store.NewScratchFile(schema),
+		out:       env.Store.NewScratchFile(schema),
+		keyed:     tuple.CanNormalizeKeys(schema, nil),
 		occupancy: make(map[string]int),
 	}, nil
 }
@@ -622,31 +635,66 @@ func (n *projectNode) Advance(stage int) ([]tuple.Tuple, error) {
 
 	// Step 2: sort the temporary file (this stage's run).
 	t0 = clock.Now()
-	res := sortx.Sort(projected, func(a, b tuple.Tuple) int {
-		return tuple.Compare(a, b, nil, nil)
-	}, 0)
-	if err := n.env.chargeChunked(res.Comparisons, costs.TupleCompare); err != nil {
+	var sorted []tuple.Tuple
+	var keys [][]byte
+	var comps int64
+	if n.keyed {
+		keys = buildNormKeys(projected, n.schema, nil)
+		res := sortx.SortKeyed(projected, keys, 0)
+		sorted, keys, comps = res.Sorted, res.Keys, res.Comparisons
+	} else {
+		res := sortx.Sort(projected, func(a, b tuple.Tuple) int {
+			return tuple.Compare(a, b, nil, nil)
+		}, 0)
+		sorted, comps = res.Sorted, res.Comparisons
+	}
+	if err := n.env.chargeChunked(comps, costs.TupleCompare); err != nil {
 		return nil, err
 	}
 	n.env.record(n.id, OpProject, StepSort, nLogN(len(projected)), clock.Now()-t0)
 
-	// Step 3: scan, count occupancies, emit newly distinct tuples.
+	// Step 3: scan, count occupancies, emit newly distinct tuples. The
+	// keyed path walks the sorted run group by group so the occupancy
+	// map is consulted once per distinct value, not once per tuple; the
+	// per-tuple check charge and deadline poll are unchanged.
 	t0 = clock.Now()
 	var out []tuple.Tuple
-	for _, t := range res.Sorted {
-		if err := n.env.checkDeadline(); err != nil {
-			return nil, err
+	if n.keyed {
+		for i := 0; i < len(sorted); {
+			j := i + 1
+			for j < len(sorted) && bytes.Equal(keys[j], keys[i]) {
+				j++
+			}
+			prior := n.occupancy[string(keys[i])]
+			for idx := i; idx < j; idx++ {
+				if err := n.env.checkDeadline(); err != nil {
+					return nil, err
+				}
+				clock.Charge(costs.TupleCheck)
+				if prior == 0 && idx == i {
+					out = append(out, sorted[idx])
+					n.out.Write(sorted[idx])
+				}
+			}
+			n.occupancy[string(keys[i])] = prior + (j - i)
+			i = j
 		}
-		clock.Charge(costs.TupleCheck)
-		k := t.Key(n.schema, nil)
-		if n.occupancy[k] == 0 {
-			out = append(out, t)
-			n.out.Write(t)
+	} else {
+		for _, t := range sorted {
+			if err := n.env.checkDeadline(); err != nil {
+				return nil, err
+			}
+			clock.Charge(costs.TupleCheck)
+			k := t.Key(n.schema, nil)
+			if n.occupancy[k] == 0 {
+				out = append(out, t)
+				n.out.Write(t)
+			}
+			n.occupancy[k]++
 		}
-		n.occupancy[k]++
 	}
 	n.out.Flush()
-	n.env.record(n.id, OpProject, StepScan, float64(len(res.Sorted)), clock.Now()-t0)
+	n.env.record(n.id, OpProject, StepScan, float64(len(sorted)), clock.Now()-t0)
 
 	n.stats.CumPoints += float64(len(in))
 	n.stats.CumOut += float64(len(out))
@@ -672,12 +720,27 @@ type mergeNode struct {
 	emit   func(l, r tuple.Tuple) tuple.Tuple
 	env    *Env
 	plan   Plan
-	lruns  [][]tuple.Tuple // sorted runs per stage, left side
-	rruns  [][]tuple.Tuple
-	lcum   int64
-	rcum   int64
-	out    *storage.TempFile
-	stats  Stats
+	stages int // stages advanced (= per-stage runs held on each side)
+
+	// keyed selects the normalized-byte-key fast path (merge.go); runs
+	// with Float key columns use the legacy tuple.Compare path.
+	keyed bool
+	// Fast-path state: per-stage run summaries + cumulative sorted runs.
+	lside mergeSide
+	rside mergeSide
+	// Reusable stage-tag output buckets of the cumulative plan.
+	bucketsA [][]tuple.Tuple
+	bucketsB [][]tuple.Tuple
+	// arena is the block allocator behind emitConcat (join nodes only).
+	arena []tuple.Value
+	// Legacy-path state: retained sorted runs per stage.
+	lruns [][]tuple.Tuple
+	rruns [][]tuple.Tuple
+
+	lcum  int64
+	rcum  int64
+	out   *storage.TempFile
+	stats Stats
 }
 
 func newJoinNode(env *Env, left, right Node, on []ra.JoinCond, plan Plan, src ra.Expr) (Node, error) {
@@ -689,12 +752,34 @@ func newJoinNode(env *Env, left, right Node, on []ra.JoinCond, plan Plan, src ra
 	if err != nil {
 		return nil, err
 	}
-	return &mergeNode{
+	n := &mergeNode{
 		id: env.newID(), op: OpJoin, src: src, left: left, right: right,
 		lcols: lcols, rcols: rcols, schema: schema,
-		emit: func(l, r tuple.Tuple) tuple.Tuple { return l.Concat(r) },
-		env:  env, plan: plan, out: env.Store.NewTempFile(schema),
-	}, nil
+		env: env, plan: plan, out: env.Store.NewScratchFile(schema),
+		keyed: tuple.KeysComparable(left.Schema(), lcols, right.Schema(), rcols),
+	}
+	n.emit = n.emitConcat
+	return n, nil
+}
+
+// emitConcat builds the joined output tuple l∘r, carving its value
+// slice out of a block arena so a join's emissions cost one allocation
+// per block instead of one per tuple. Blocks are only ever appended to
+// through n.arena and each returned tuple is capacity-clamped, so the
+// shared backing is invisible to callers.
+func (n *mergeNode) emitConcat(l, r tuple.Tuple) tuple.Tuple {
+	need := len(l) + len(r)
+	if cap(n.arena)-len(n.arena) < need {
+		size := 1 << 13
+		if size < need {
+			size = need
+		}
+		n.arena = make([]tuple.Value, 0, size)
+	}
+	start := len(n.arena)
+	n.arena = append(n.arena, l...)
+	n.arena = append(n.arena, r...)
+	return tuple.Tuple(n.arena[start:len(n.arena):len(n.arena)])
 }
 
 func newIntersectNode(env *Env, left, right Node, plan Plan, src ra.Expr) (Node, error) {
@@ -710,7 +795,8 @@ func newIntersectNode(env *Env, left, right Node, plan Plan, src ra.Expr) (Node,
 		id: env.newID(), op: OpIntersect, src: src, left: left, right: right,
 		lcols: all, rcols: all, schema: ls,
 		emit: func(l, r tuple.Tuple) tuple.Tuple { return l },
-		env:  env, plan: plan, out: env.Store.NewTempFile(ls),
+		env:  env, plan: plan, out: env.Store.NewScratchFile(ls),
+		keyed: tuple.KeysComparable(ls, all, rs, all),
 	}, nil
 }
 
@@ -738,9 +824,10 @@ func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
 	clock := n.env.Store.Clock()
 	costs := n.env.Store.Costs()
 
-	// Step 1: write sample tuples to temporary files (eq. 4.2).
+	// Step 1: write sample tuples to temporary files (eq. 4.2). The
+	// files are charge-only: both samples are already in memory.
 	t0 := clock.Now()
-	lTemp := n.env.Store.NewTempFile(n.left.Schema())
+	lTemp := n.env.Store.NewScratchFile(n.left.Schema())
 	for _, t := range newL {
 		if err := n.env.checkDeadline(); err != nil {
 			return nil, err
@@ -748,7 +835,7 @@ func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
 		lTemp.Write(t)
 	}
 	lTemp.Flush()
-	rTemp := n.env.Store.NewTempFile(n.right.Schema())
+	rTemp := n.env.Store.NewScratchFile(n.right.Schema())
 	for _, t := range newR {
 		if err := n.env.checkDeadline(); err != nil {
 			return nil, err
@@ -763,53 +850,35 @@ func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
 
 	// Step 2: sort both temporary files (eq. 4.3).
 	t0 = clock.Now()
-	lSorted := sortx.Sort(newL, func(a, b tuple.Tuple) int {
-		return tuple.Compare(a, b, n.lcols, n.lcols)
-	}, 0)
-	rSorted := sortx.Sort(newR, func(a, b tuple.Tuple) int {
-		return tuple.Compare(a, b, n.rcols, n.rcols)
-	}, 0)
-	if err := n.env.chargeChunked(lSorted.Comparisons+rSorted.Comparisons, costs.TupleCompare); err != nil {
+	lRun, rRun, comps := n.sortNewRuns(newL, newR)
+	if err := n.env.chargeChunked(comps, costs.TupleCompare); err != nil {
 		return nil, err
 	}
 	n.env.record(n.id, n.op, StepSort, nLogN(len(newL))+nLogN(len(newR)), clock.Now()-t0)
 
-	n.lruns = append(n.lruns, lSorted.Sorted)
-	n.rruns = append(n.rruns, rSorted.Sorted)
+	n.stages++
 
-	// Step 3: merge per the fulfillment plan (eq. 4.4, Fig. 4.5).
+	// Step 3: merge per the fulfillment plan (eq. 4.4, Fig. 4.5). The
+	// fast path evaluates the full-fulfillment pair set incrementally
+	// against cumulative runs (merge.go); charges are identical.
 	t0 = clock.Now()
 	var out []tuple.Tuple
 	var mergeUnits float64
-	mergePair := func(l, r []tuple.Tuple) error {
-		matched, comps, err := n.mergeJoin(l, r)
-		if err != nil {
-			return err
+	switch {
+	case !n.keyed:
+		out, mergeUnits, err = n.advanceLegacy(lRun.ts, rRun.ts)
+	case n.plan == FullFulfillment:
+		out, mergeUnits, err = n.advanceCumulative(lRun, rRun)
+	default:
+		var pc int64
+		out, pc, err = n.keyedMergeJoin(lRun, rRun)
+		if err == nil {
+			err = n.env.chargeChunked(pc, costs.TupleCompare)
+			mergeUnits = float64(len(lRun.ts) + len(rRun.ts))
 		}
-		if err := n.env.chargeChunked(comps, costs.TupleCompare); err != nil {
-			return err
-		}
-		mergeUnits += float64(len(l) + len(r))
-		out = append(out, matched...)
-		return nil
 	}
-	s := len(n.lruns) - 1
-	if n.plan == FullFulfillment {
-		// New-left × every right run, then old-left runs × new-right.
-		for i := 0; i <= s; i++ {
-			if err := mergePair(n.lruns[s], n.rruns[i]); err != nil {
-				return nil, err
-			}
-		}
-		for i := 0; i < s; i++ {
-			if err := mergePair(n.lruns[i], n.rruns[s]); err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		if err := mergePair(n.lruns[s], n.rruns[s]); err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	n.env.record(n.id, n.op, StepMerge, mergeUnits, clock.Now()-t0)
 
@@ -837,49 +906,6 @@ func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
 	n.stats.CumPoints += newPoints
 	n.stats.CumOut += float64(len(out))
 	return out, nil
-}
-
-// mergeJoin merges two key-sorted runs, emitting n.emit(l, r) for each
-// key-equal pair (group-wise cross product for duplicate keys). It
-// returns the matches and the number of comparisons performed.
-func (n *mergeNode) mergeJoin(l, r []tuple.Tuple) ([]tuple.Tuple, int64, error) {
-	var out []tuple.Tuple
-	var comps int64
-	i, j := 0, 0
-	for i < len(l) && j < len(r) {
-		if (i+j)%16 == 0 {
-			if err := n.env.checkDeadline(); err != nil {
-				return nil, comps, err
-			}
-		}
-		comps++
-		c := n.keyCmpLR(l[i], r[j])
-		switch {
-		case c < 0:
-			i++
-		case c > 0:
-			j++
-		default:
-			// Find the extent of the equal-key groups on both sides.
-			i2 := i + 1
-			for i2 < len(l) && tuple.Compare(l[i2], l[i], n.lcols, n.lcols) == 0 {
-				comps++
-				i2++
-			}
-			j2 := j + 1
-			for j2 < len(r) && tuple.Compare(r[j2], r[j], n.rcols, n.rcols) == 0 {
-				comps++
-				j2++
-			}
-			for a := i; a < i2; a++ {
-				for b := j; b < j2; b++ {
-					out = append(out, n.emit(l[a], r[b]))
-				}
-			}
-			i, j = i2, j2
-		}
-	}
-	return out, comps, nil
 }
 
 // nLogN returns n·log₂(n) (0 for n <= 1), the sort-step unit measure.

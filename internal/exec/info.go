@@ -75,7 +75,7 @@ func Snapshot(n Node) *NodeInfo {
 		info.Src = v.src
 	case *mergeNode:
 		info.Plan = v.plan
-		info.NumRuns = len(v.lruns)
+		info.NumRuns = v.stages
 		info.Src = v.src
 	}
 	return info

@@ -1,0 +1,552 @@
+package exec
+
+// Incremental evaluation of the full-fulfillment merge plan.
+//
+// The paper's Fig. 4.5 plan combines stage s's new runs with every
+// previous stage's runs: 2s+1 independent two-run merge-joins. Executed
+// literally, the host-side work per stage grows linearly in s (and
+// quadratically over a query), even though the *logical* result is just
+// "new left × all right so far, plus all previous left × new right".
+//
+// This file evaluates the same plan with two physical merge-joins per
+// stage against cumulative sorted runs:
+//
+//	newL × (cumR ∪ newR)    and    cumL × newR
+//
+// where cumL/cumR are each side's samples from all previous stages kept
+// merged in one sorted sequence. Per-stage runs are immutable once
+// sorted; the cumulative sequence is a slice of packed (stage, index)
+// references into them — pointer-free, so folding a new stage in is a
+// write-barrier-free merge of int64s rather than a rewrite of tuple and
+// key slices. Match emissions are bucketed by the cumulative element's
+// stage and the buckets concatenated in the Fig. 4.5 pair order, so the
+// output slice is identical — element for element — to the per-pair
+// plan's output. Comparisons compare cached normalized byte keys
+// (internal/tuple) instead of re-walking []Value columns.
+//
+// The simulated cost model is charged exactly as the per-pair plan
+// charges it: per logical pair (in Fig. 4.5 order) the executor charges
+// the number of comparisons the per-pair merge-join would have
+// performed, computed in O(distinct keys) from per-run group summaries,
+// with the same deadline-poll points. Merge step units remain
+// Σ(len(l)+len(r)) over logical pairs (eq. 4.4). Only host CPU time and
+// allocations change.
+//
+// Runs whose key columns contain Float attributes fall back to the
+// legacy per-pair path: CompareValues orders NaN equal to everything,
+// which admits no total byte order (and makes group summaries
+// ill-defined), so the cumulative-run transformation is not sound
+// there.
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"tcq/internal/sortx"
+	"tcq/internal/tuple"
+)
+
+// mergePollInterval is the emit/walk granularity of hard-deadline polls
+// inside merge loops. Polls read the clock without charging it, so the
+// interval trades interrupt latency against host overhead only.
+const mergePollInterval = 1024
+
+// sortedRun is one stage's sorted new sample; keys[i] is the normalized
+// key of ts[i] (nil on the legacy path) and pres[i] its abbreviation.
+type sortedRun struct {
+	ts   []tuple.Tuple
+	keys [][]byte
+	pres []uint64
+}
+
+// keyPrefix abbreviates a normalized key to its first eight bytes as a
+// big-endian integer, zero-padded. Zero padding is order-preserving
+// against bytes.Compare (no key byte sorts below 0x00), so unequal
+// prefixes decide the comparison and equal prefixes fall back to the
+// full keys.
+func keyPrefix(k []byte) uint64 {
+	var b [8]byte
+	copy(b[:], k)
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// makePres builds the abbreviation array for a key array.
+func makePres(keys [][]byte) []uint64 {
+	if len(keys) == 0 {
+		return nil
+	}
+	pres := make([]uint64, len(keys))
+	for i, k := range keys {
+		pres[i] = keyPrefix(k)
+	}
+	return pres
+}
+
+// cmpKeys compares two normalized keys through their abbreviations.
+func cmpKeys(pa uint64, ka []byte, pb uint64, kb []byte) int {
+	if pa != pb {
+		if pa < pb {
+			return -1
+		}
+		return 1
+	}
+	return bytes.Compare(ka, kb)
+}
+
+// eqKeys reports key equality through the abbreviations.
+func eqKeys(pa uint64, ka []byte, pb uint64, kb []byte) bool {
+	return pa == pb && bytes.Equal(ka, kb)
+}
+
+// keyGroup summarises one equal-key group of a sorted run.
+type keyGroup struct {
+	key []byte
+	pre uint64
+	cnt int
+}
+
+// groupsOf builds the group summary of a key-sorted run. The summary is
+// retained for the query's lifetime, so it is sized exactly (count
+// pass, then fill) rather than grown by append.
+func groupsOf(keys [][]byte, pres []uint64) []keyGroup {
+	if len(keys) == 0 {
+		return nil
+	}
+	n := 1
+	for i := 1; i < len(keys); i++ {
+		if !eqKeys(pres[i], keys[i], pres[i-1], keys[i-1]) {
+			n++
+		}
+	}
+	gs := make([]keyGroup, 0, n)
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && eqKeys(pres[j], keys[j], pres[i], keys[i]) {
+			j++
+		}
+		gs = append(gs, keyGroup{key: keys[i], pre: pres[i], cnt: j - i})
+		i = j
+	}
+	return gs
+}
+
+// pairComps returns the number of comparisons mergeJoin performs on two
+// key-sorted runs with the given group summaries. The count mirrors the
+// element-level walk exactly: a group that sorts below the other side's
+// current key costs one comparison per element (each element advances
+// through the main loop singly); an equal-key pair of groups costs one
+// main-loop comparison plus cnt−1 successful extent comparisons per
+// side (the failing boundary comparison of the extent scan is executed
+// but never counted); the loop stops when either run is exhausted,
+// leaving the tail uncompared.
+func pairComps(gl, gr []keyGroup) int64 {
+	var comps int64
+	i, j := 0, 0
+	for i < len(gl) && j < len(gr) {
+		switch c := cmpKeys(gl[i].pre, gl[i].key, gr[j].pre, gr[j].key); {
+		case c < 0:
+			comps += int64(gl[i].cnt)
+			i++
+		case c > 0:
+			comps += int64(gr[j].cnt)
+			j++
+		default:
+			comps += 1 + int64(gl[i].cnt-1) + int64(gr[j].cnt-1)
+			i++
+			j++
+		}
+	}
+	return comps
+}
+
+// buildNormKeys encodes the normalized key of every tuple on the given
+// columns, packing all keys into one arena allocation.
+func buildNormKeys(ts []tuple.Tuple, s *tuple.Schema, cols []int) [][]byte {
+	if len(ts) == 0 {
+		return nil
+	}
+	arena := make([]byte, 0, len(ts)*tuple.NormKeySizeHint(s, cols))
+	keys := make([][]byte, len(ts))
+	for i, t := range ts {
+		start := len(arena)
+		arena = tuple.AppendNormKey(arena, t, cols)
+		keys[i] = arena[start:len(arena):len(arena)]
+	}
+	return keys
+}
+
+// cumRef packs the position of one cumulative-run element: the stage
+// whose run it belongs to and its index within that run.
+type cumRef int64
+
+func makeRef(stage, idx int) cumRef { return cumRef(int64(stage)<<32 | int64(idx)) }
+func (r cumRef) stage() int         { return int(int64(r) >> 32) }
+func (r cumRef) idx() int           { return int(int32(int64(r))) }
+
+// mergeSide is one side's incremental state: the immutable per-stage
+// sorted runs with their group summaries, and the cumulative key order
+// over all of them as a pointer-free reference sequence. Within an
+// equal-key range of cum, elements are ordered by stage, then by
+// position within their stage's run (the order a stage-by-stage stable
+// merge produces).
+type mergeSide struct {
+	runs      []sortedRun
+	runGroups [][]keyGroup
+	cum       []cumRef
+	spare     []cumRef // double-buffer target for the next merge
+}
+
+func (s *mergeSide) key(r cumRef) []byte      { return s.runs[r.stage()].keys[r.idx()] }
+func (s *mergeSide) pre(r cumRef) uint64      { return s.runs[r.stage()].pres[r.idx()] }
+func (s *mergeSide) tup(r cumRef) tuple.Tuple { return s.runs[r.stage()].ts[r.idx()] }
+
+// addRun appends a stage's sorted run and folds it into the cumulative
+// order, old elements winning key ties (stage-stable).
+func (s *mergeSide) addRun(r sortedRun) {
+	stage := len(s.runs)
+	s.runs = append(s.runs, r)
+	s.runGroups = append(s.runGroups, groupsOf(r.keys, r.pres))
+	if len(r.ts) == 0 {
+		return
+	}
+	need := len(s.cum) + len(r.ts)
+	out := s.spare[:0]
+	if cap(out) < need {
+		// Overallocate so the buffer survives several generations of
+		// the double-buffer swap instead of reallocating every stage.
+		out = make([]cumRef, 0, need+need/2)
+	}
+	i, j := 0, 0
+	for i < len(s.cum) && j < len(r.ts) {
+		c := s.cum[i]
+		if cmpKeys(s.pre(c), s.key(c), r.pres[j], r.keys[j]) <= 0 {
+			out = append(out, c)
+			i++
+		} else {
+			out = append(out, makeRef(stage, j))
+			j++
+		}
+	}
+	out = append(out, s.cum[i:]...)
+	for ; j < len(r.ts); j++ {
+		out = append(out, makeRef(stage, j))
+	}
+	s.spare = s.cum
+	s.cum = out
+}
+
+// resetBuckets returns buf resized to n empty buckets, reusing backing
+// arrays from previous stages.
+func resetBuckets(buf [][]tuple.Tuple, n int) [][]tuple.Tuple {
+	for i := range buf {
+		buf[i] = buf[i][:0]
+	}
+	for len(buf) < n {
+		buf = append(buf, nil)
+	}
+	return buf[:n]
+}
+
+// bucketJoin merge-joins a new run against a side's cumulative run,
+// appending emit(new, cum-element) — or emit(cum-element, new) when
+// newIsLeft is false — to buckets[stage of the cum element]. Because an
+// equal-key range of the cumulative run is ordered stage-major with
+// within-run order preserved, bucket t receives exactly the output the
+// per-pair plan's merge-join of (new × run_t) would emit, in the same
+// order: keys ascending, left-major within a key.
+func (n *mergeNode) bucketJoin(nw sortedRun, side *mergeSide, newIsLeft bool, buckets [][]tuple.Tuple) error {
+	cum := side.cum
+	i, j := 0, 0
+	ops := 0
+	for i < len(nw.ts) && j < len(cum) {
+		if ops++; ops%mergePollInterval == 0 {
+			if err := n.env.checkDeadline(); err != nil {
+				return err
+			}
+		}
+		c := cmpKeys(nw.pres[i], nw.keys[i], side.pre(cum[j]), side.key(cum[j]))
+		if c < 0 {
+			i++
+			continue
+		}
+		if c > 0 {
+			j++
+			continue
+		}
+		i2 := i + 1
+		for i2 < len(nw.ts) && eqKeys(nw.pres[i2], nw.keys[i2], nw.pres[i], nw.keys[i]) {
+			i2++
+		}
+		j2 := j + 1
+		for j2 < len(cum) && eqKeys(side.pre(cum[j2]), side.key(cum[j2]), side.pre(cum[j]), side.key(cum[j])) {
+			j2++
+		}
+		if newIsLeft {
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					if ops++; ops%mergePollInterval == 0 {
+						if err := n.env.checkDeadline(); err != nil {
+							return err
+						}
+					}
+					tg := cum[b].stage()
+					buckets[tg] = append(buckets[tg], n.emit(nw.ts[a], side.tup(cum[b])))
+				}
+			}
+		} else {
+			for b := j; b < j2; b++ {
+				tg := cum[b].stage()
+				ct := side.tup(cum[b])
+				for a := i; a < i2; a++ {
+					if ops++; ops%mergePollInterval == 0 {
+						if err := n.env.checkDeadline(); err != nil {
+							return err
+						}
+					}
+					buckets[tg] = append(buckets[tg], n.emit(ct, nw.ts[a]))
+				}
+			}
+		}
+		i, j = i2, j2
+	}
+	return nil
+}
+
+// chargePair charges the simulated cost of one logical Fig. 4.5 pair
+// exactly as the per-pair plan does: a merge-join of two non-empty runs
+// polls the deadline on its first iteration before any comparison (and,
+// with no clock charges inside the walk, can only abort there), then
+// the comparison count is charged in deadline-polled chunks.
+func (n *mergeNode) chargePair(lLen, rLen int, comps int64) error {
+	if lLen > 0 && rLen > 0 {
+		if err := n.env.checkDeadline(); err != nil {
+			return err
+		}
+	}
+	return n.env.chargeChunked(comps, n.env.Store.Costs().TupleCompare)
+}
+
+// advanceCumulative runs step 3 of the full-fulfillment plan over the
+// cumulative runs: two physical merge-joins, per-pair charges, and the
+// Fig. 4.5-ordered output assembly. Returns the stage output and the
+// merge step units.
+func (n *mergeNode) advanceCumulative(lRun, rRun sortedRun) ([]tuple.Tuple, float64, error) {
+	s := n.stages - 1 // 0-based index of this stage
+
+	// Physical work: newL × (cumR ∪ newR), then cumL_old × newR.
+	n.rside.addRun(rRun)
+	n.bucketsA = resetBuckets(n.bucketsA, s+1)
+	if err := n.bucketJoin(lRun, &n.rside, true, n.bucketsA); err != nil {
+		return nil, 0, err
+	}
+	n.bucketsB = resetBuckets(n.bucketsB, s)
+	if err := n.bucketJoin(rRun, &n.lside, false, n.bucketsB); err != nil {
+		return nil, 0, err
+	}
+	n.lside.addRun(lRun)
+
+	// Simulated charges, in the per-pair plan's order.
+	lg := groupsOf(lRun.keys, lRun.pres)
+	rg := n.rside.runGroups[s]
+	var mergeUnits float64
+	for i := 0; i <= s; i++ {
+		rLen := len(n.rside.runs[i].ts)
+		if err := n.chargePair(len(lRun.ts), rLen, pairComps(lg, n.rside.runGroups[i])); err != nil {
+			return nil, 0, err
+		}
+		mergeUnits += float64(len(lRun.ts) + rLen)
+	}
+	for i := 0; i < s; i++ {
+		lLen := len(n.lside.runs[i].ts)
+		if err := n.chargePair(lLen, len(rRun.ts), pairComps(n.lside.runGroups[i], rg)); err != nil {
+			return nil, 0, err
+		}
+		mergeUnits += float64(lLen + len(rRun.ts))
+	}
+
+	// Assemble the output in pair order: A_0..A_s (newL × run_i of the
+	// right side, the new right run last), then B_0..B_{s-1}.
+	total := 0
+	for _, b := range n.bucketsA {
+		total += len(b)
+	}
+	for _, b := range n.bucketsB {
+		total += len(b)
+	}
+	out := make([]tuple.Tuple, 0, total)
+	for _, b := range n.bucketsA {
+		out = append(out, b...)
+	}
+	for _, b := range n.bucketsB {
+		out = append(out, b...)
+	}
+	return out, mergeUnits, nil
+}
+
+// keyedMergeJoin is the cached-key twin of mergeJoin, used by the
+// partial-fulfillment plan's single same-stage pair. Walk, comparison
+// accounting, and deadline polling match mergeJoin exactly.
+func (n *mergeNode) keyedMergeJoin(l, r sortedRun) ([]tuple.Tuple, int64, error) {
+	var out []tuple.Tuple
+	var comps int64
+	i, j := 0, 0
+	for i < len(l.ts) && j < len(r.ts) {
+		if (i+j)%16 == 0 {
+			if err := n.env.checkDeadline(); err != nil {
+				return nil, comps, err
+			}
+		}
+		comps++
+		c := cmpKeys(l.pres[i], l.keys[i], r.pres[j], r.keys[j])
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			i2 := i + 1
+			for i2 < len(l.ts) && eqKeys(l.pres[i2], l.keys[i2], l.pres[i], l.keys[i]) {
+				comps++
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(r.ts) && eqKeys(r.pres[j2], r.keys[j2], r.pres[j], r.keys[j]) {
+				comps++
+				j2++
+			}
+			emitted := 0
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					if emitted%mergePollInterval == 0 {
+						if err := n.env.checkDeadline(); err != nil {
+							return nil, comps, err
+						}
+					}
+					emitted++
+					out = append(out, n.emit(l.ts[a], r.ts[b]))
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out, comps, nil
+}
+
+// advanceLegacy runs step 3 as the literal per-pair plan over retained
+// physical runs. It is both the Float-key fallback (no sound normalized
+// byte order exists under NaN semantics) and the reference
+// implementation the equivalence tests compare against.
+func (n *mergeNode) advanceLegacy(lSorted, rSorted []tuple.Tuple) ([]tuple.Tuple, float64, error) {
+	n.lruns = append(n.lruns, lSorted)
+	n.rruns = append(n.rruns, rSorted)
+
+	var out []tuple.Tuple
+	var mergeUnits float64
+	mergePair := func(l, r []tuple.Tuple) error {
+		matched, comps, err := n.mergeJoin(l, r)
+		if err != nil {
+			return err
+		}
+		if err := n.env.chargeChunked(comps, n.env.Store.Costs().TupleCompare); err != nil {
+			return err
+		}
+		mergeUnits += float64(len(l) + len(r))
+		out = append(out, matched...)
+		return nil
+	}
+	s := len(n.lruns) - 1
+	if n.plan == FullFulfillment {
+		// New-left × every right run, then old-left runs × new-right.
+		for i := 0; i <= s; i++ {
+			if err := mergePair(n.lruns[s], n.rruns[i]); err != nil {
+				return nil, 0, err
+			}
+		}
+		for i := 0; i < s; i++ {
+			if err := mergePair(n.lruns[i], n.rruns[s]); err != nil {
+				return nil, 0, err
+			}
+		}
+	} else {
+		if err := mergePair(n.lruns[s], n.rruns[s]); err != nil {
+			return nil, 0, err
+		}
+	}
+	return out, mergeUnits, nil
+}
+
+// mergeJoin merges two key-sorted runs, emitting n.emit(l, r) for each
+// key-equal pair (group-wise cross product for duplicate keys). It
+// returns the matches and the number of comparisons performed.
+func (n *mergeNode) mergeJoin(l, r []tuple.Tuple) ([]tuple.Tuple, int64, error) {
+	var out []tuple.Tuple
+	var comps int64
+	i, j := 0, 0
+	for i < len(l) && j < len(r) {
+		if (i+j)%16 == 0 {
+			if err := n.env.checkDeadline(); err != nil {
+				return nil, comps, err
+			}
+		}
+		comps++
+		c := n.keyCmpLR(l[i], r[j])
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Find the extent of the equal-key groups on both sides.
+			i2 := i + 1
+			for i2 < len(l) && tuple.Compare(l[i2], l[i], n.lcols, n.lcols) == 0 {
+				comps++
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(r) && tuple.Compare(r[j2], r[j], n.rcols, n.rcols) == 0 {
+				comps++
+				j2++
+			}
+			// Emit the group cross product, polling the deadline at
+			// block granularity: a skewed key can make this loop the
+			// longest uninterruptible stretch of a stage.
+			emitted := 0
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					if emitted%mergePollInterval == 0 {
+						if err := n.env.checkDeadline(); err != nil {
+							return nil, comps, err
+						}
+					}
+					emitted++
+					out = append(out, n.emit(l[a], r[b]))
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out, comps, nil
+}
+
+// sortNewRuns sorts both sides' new samples (step 2), caching normalized
+// keys on the fast path, and returns the runs plus the comparison count
+// to charge.
+func (n *mergeNode) sortNewRuns(newL, newR []tuple.Tuple) (lRun, rRun sortedRun, comps int64) {
+	if n.keyed {
+		lKeys := buildNormKeys(newL, n.left.Schema(), n.lcols)
+		rKeys := buildNormKeys(newR, n.right.Schema(), n.rcols)
+		lres := sortx.SortKeyed(newL, lKeys, 0)
+		rres := sortx.SortKeyed(newR, rKeys, 0)
+		return sortedRun{lres.Sorted, lres.Keys, makePres(lres.Keys)},
+			sortedRun{rres.Sorted, rres.Keys, makePres(rres.Keys)},
+			lres.Comparisons + rres.Comparisons
+	}
+	lres := sortx.Sort(newL, func(a, b tuple.Tuple) int {
+		return tuple.Compare(a, b, n.lcols, n.lcols)
+	}, 0)
+	rres := sortx.Sort(newR, func(a, b tuple.Tuple) int {
+		return tuple.Compare(a, b, n.rcols, n.rcols)
+	}, 0)
+	return sortedRun{ts: lres.Sorted}, sortedRun{ts: rres.Sorted},
+		lres.Comparisons + rres.Comparisons
+}

@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tcq/internal/ra"
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+	"tcq/internal/vclock"
+)
+
+// perfStore builds a store with two relations of n tuples each whose
+// join/intersect attribute takes values in [0, card), giving controlled
+// duplicate-key group sizes on the merge path.
+func perfStore(n int, card int64) *storage.Store {
+	clk := vclock.NewSim(1, 0)
+	st := storage.NewStore(clk, storage.FastProfile(), storage.DefaultBlockSize)
+	sch := tuple.MustSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "a", Type: tuple.Int},
+	)
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range []string{"r1", "r2"} {
+		rel, err := st.CreateRelation(name, sch)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := rel.Append(tuple.Tuple{int64(i), rng.Int63n(card)}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return st
+}
+
+// runStages advances a freshly built executor tree through `stages`
+// equal slices of both relations' blocks (full fulfillment), i.e. the
+// paper's Fig. 4.1/4.5 plan with a growing run history.
+func runStages(b *testing.B, st *storage.Store, e ra.Expr, stages int) {
+	env := NewEnv(st)
+	q, err := NewQuery(e, env, StoreCatalog{st}, FullFulfillment)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range q.Feeds {
+		total := f.Rel.NumBlocks()
+		per := total / stages
+		next := 0
+		for s := 0; s < stages; s++ {
+			hi := next + per
+			if s == stages-1 {
+				hi = total
+			}
+			blocks := make([]int, 0, hi-next)
+			for ; next < hi; next++ {
+				blocks = append(blocks, next)
+			}
+			if err := f.LoadStage(blocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for s := 0; s < stages; s++ {
+		if err := q.AdvanceStage(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	env.TakeTimings()
+}
+
+// BenchmarkFullFulfillmentStages measures host wall-clock of the full
+// fulfillment plan as the stage count grows: the old per-pair Fig. 4.5
+// evaluation does 2s+1 merge-joins at stage s (quadratic total), the
+// incremental cumulative-run evaluation does two.
+func BenchmarkFullFulfillmentStages(b *testing.B) {
+	for _, stages := range []int{2, 8, 16} {
+		for _, op := range []string{"intersect", "join"} {
+			b.Run(fmt.Sprintf("%s/stages=%d", op, stages), func(b *testing.B) {
+				var e ra.Expr
+				if op == "intersect" {
+					e = &ra.Intersect{Inputs: []ra.Expr{&ra.Base{Name: "r1"}, &ra.Base{Name: "r2"}}}
+				} else {
+					e = &ra.Join{Left: &ra.Base{Name: "r1"}, Right: &ra.Base{Name: "r2"},
+						On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}}
+				}
+				st := perfStore(4000, 500)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runStages(b, st, e, stages)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMergeAdvance measures a single high-stage-count Advance in
+// isolation: 8 stages of history already accumulated, then one more.
+func BenchmarkMergeAdvance(b *testing.B) {
+	e := &ra.Intersect{Inputs: []ra.Expr{&ra.Base{Name: "r1"}, &ra.Base{Name: "r2"}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := perfStore(4000, 500)
+		runStages(b, st, e, 9)
+	}
+}
+
+// BenchmarkProjectStages measures the projection hot path (sort +
+// occupancy dedup) over 6 stages.
+func BenchmarkProjectStages(b *testing.B) {
+	e := &ra.Project{Input: &ra.Base{Name: "r1"}, Cols: []string{"a"}}
+	st := perfStore(6000, 700)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runStages(b, st, e, 6)
+	}
+}

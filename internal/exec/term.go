@@ -213,6 +213,19 @@ type Query struct {
 	Plan  Plan
 }
 
+// FeedNames returns the feed relation names in sorted order. Callers
+// that draw from a shared RNG or charge the session clock per feed must
+// iterate feeds in this order, not Go's randomized map order, or
+// identical seeds produce different runs.
+func (q *Query) FeedNames() []string {
+	names := make([]string, 0, len(q.Feeds))
+	for name := range q.Feeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // NewQuery decomposes COUNT(e) into signed terms and builds an executor
 // per term, with one shared Feed per distinct base relation.
 func NewQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan) (*Query, error) {

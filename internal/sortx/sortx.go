@@ -7,11 +7,20 @@
 // the classical external sorting structure, even though the "files" are
 // in-memory slices in this reproduction. Comparison counts are returned
 // so callers can charge CPU cost to the session clock in one step.
+//
+// Two entry points share one generic core: Sort orders tuples with a
+// caller comparator; SortKeyed orders tuples by cached normalized byte
+// keys (internal/tuple), comparing with bytes.Compare instead of
+// re-walking []Value columns. Both perform identical comparator-call
+// sequences for equivalent orderings, so charged comparison counts are
+// independent of the entry point used.
 package sortx
 
 import (
+	"bytes"
 	"container/heap"
-	"sort"
+	"slices"
+	"sync"
 
 	"tcq/internal/tuple"
 )
@@ -30,6 +39,67 @@ type Result struct {
 	Runs        int           // number of initial runs generated
 }
 
+// counter tallies comparator invocations without a capturing closure
+// per run: one counter per sort call, its method bound once.
+type counter[T any] struct {
+	cmp func(a, b T) int
+	n   int64
+}
+
+func (c *counter[T]) compare(a, b T) int {
+	c.n++
+	return c.cmp(a, b)
+}
+
+// sortCore externally sorts items (copied into a contiguous run arena)
+// and returns the sorted slice, the comparison count and the number of
+// initial runs. The input slice is not modified.
+func sortCore[T any](items []T, cmp func(a, b T) int, runSize int) ([]T, int64, int) {
+	n := len(items)
+	if n == 0 {
+		return nil, 0, 0
+	}
+	c := &counter[T]{cmp: cmp}
+	counting := c.compare
+
+	// Phase 1: run generation. Runs are contiguous chunks of one arena,
+	// each sorted in place.
+	arena := make([]T, n)
+	copy(arena, items)
+	nRuns := (n + runSize - 1) / runSize
+	runs := make([][]T, 0, nRuns)
+	for lo := 0; lo < n; lo += runSize {
+		hi := min(lo+runSize, n)
+		run := arena[lo:hi:hi]
+		slices.SortStableFunc(run, counting)
+		runs = append(runs, run)
+	}
+	if len(runs) == 1 {
+		return arena, c.n, 1
+	}
+
+	// Phase 2: k-way heap merge.
+	out := make([]T, 0, n)
+	h := &mergeHeap[T]{cmp: counting}
+	for i, r := range runs {
+		h.items = append(h.items, mergeItem[T]{run: i, item: r[0]})
+	}
+	heap.Init(h)
+	pos := make([]int, len(runs))
+	for h.Len() > 0 {
+		it := h.items[0]
+		out = append(out, it.item)
+		pos[it.run]++
+		if p := pos[it.run]; p < len(runs[it.run]) {
+			h.items[0].item = runs[it.run][p]
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out, c.n, len(runs)
+}
+
 // Sort externally sorts ts with the comparator, using runs of at most
 // runSize tuples (DefaultRunSize when runSize <= 0). The input slice is
 // not modified.
@@ -37,69 +107,73 @@ func Sort(ts []tuple.Tuple, cmp Cmp, runSize int) Result {
 	if runSize <= 0 {
 		runSize = DefaultRunSize
 	}
+	sorted, comps, runs := sortCore(ts, cmp, runSize)
+	return Result{Sorted: sorted, Comparisons: comps, Runs: runs}
+}
+
+// KeyedResult reports the outcome of a key-cached external sort: the
+// sorted tuples with their normalized keys aligned index-for-index.
+type KeyedResult struct {
+	Sorted      []tuple.Tuple
+	Keys        [][]byte
+	Comparisons int64
+	Runs        int
+}
+
+// idxPool recycles the index arenas of SortKeyed (the hot path of the
+// executors: one argsort per side per stage).
+var idxPool = sync.Pool{New: func() any { return []int32(nil) }}
+
+// SortKeyed externally sorts ts by the cached normalized keys (keys[i]
+// is ts[i]'s key; len(keys) must equal len(ts)), comparing keys with
+// bytes.Compare. The comparator-call sequence — and therefore the
+// comparison count — is identical to Sort with a comparator that orders
+// tuples the way the keys do. Neither input slice is modified.
+func SortKeyed(ts []tuple.Tuple, keys [][]byte, runSize int) KeyedResult {
+	if runSize <= 0 {
+		runSize = DefaultRunSize
+	}
 	n := len(ts)
 	if n == 0 {
-		return Result{Sorted: nil, Runs: 0}
+		return KeyedResult{}
 	}
-	var comparisons int64
-	counting := func(a, b tuple.Tuple) int {
-		comparisons++
-		return cmp(a, b)
+	// Argsort: order indices by key, then gather. Index moves are 4
+	// bytes instead of a tuple header + key header per swap.
+	idx := idxPool.Get().([]int32)
+	if cap(idx) < n {
+		idx = make([]int32, n)
 	}
-
-	// Phase 1: run generation.
-	runs := make([][]tuple.Tuple, 0, (n+runSize-1)/runSize)
-	for lo := 0; lo < n; lo += runSize {
-		hi := lo + runSize
-		if hi > n {
-			hi = n
-		}
-		run := make([]tuple.Tuple, hi-lo)
-		copy(run, ts[lo:hi])
-		sort.SliceStable(run, func(i, j int) bool { return counting(run[i], run[j]) < 0 })
-		runs = append(runs, run)
+	idx = idx[:n]
+	for i := range idx {
+		idx[i] = int32(i)
 	}
-	if len(runs) == 1 {
-		return Result{Sorted: runs[0], Comparisons: comparisons, Runs: 1}
+	cmp := func(a, b int32) int { return bytes.Compare(keys[a], keys[b]) }
+	sortedIdx, comps, runs := sortCore(idx, cmp, runSize)
+	outT := make([]tuple.Tuple, n)
+	outK := make([][]byte, n)
+	for i, j := range sortedIdx {
+		outT[i] = ts[j]
+		outK[i] = keys[j]
 	}
-
-	// Phase 2: k-way heap merge.
-	out := make([]tuple.Tuple, 0, n)
-	h := &mergeHeap{cmp: counting}
-	for i, r := range runs {
-		h.items = append(h.items, mergeItem{run: i, tuple: r[0]})
-	}
-	heap.Init(h)
-	pos := make([]int, len(runs))
-	for h.Len() > 0 {
-		it := h.items[0]
-		out = append(out, it.tuple)
-		pos[it.run]++
-		if p := pos[it.run]; p < len(runs[it.run]) {
-			h.items[0].tuple = runs[it.run][p]
-			heap.Fix(h, 0)
-		} else {
-			heap.Pop(h)
-		}
-	}
-	return Result{Sorted: out, Comparisons: comparisons, Runs: len(runs)}
+	idxPool.Put(idx[:0])
+	return KeyedResult{Sorted: outT, Keys: outK, Comparisons: comps, Runs: runs}
 }
 
-type mergeItem struct {
-	run   int
-	tuple tuple.Tuple
+type mergeItem[T any] struct {
+	run  int
+	item T
 }
 
-type mergeHeap struct {
-	items []mergeItem
-	cmp   Cmp
+type mergeHeap[T any] struct {
+	items []mergeItem[T]
+	cmp   func(a, b T) int
 }
 
-func (h *mergeHeap) Len() int           { return len(h.items) }
-func (h *mergeHeap) Less(i, j int) bool { return h.cmp(h.items[i].tuple, h.items[j].tuple) < 0 }
-func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
-func (h *mergeHeap) Pop() interface{} {
+func (h *mergeHeap[T]) Len() int           { return len(h.items) }
+func (h *mergeHeap[T]) Less(i, j int) bool { return h.cmp(h.items[i].item, h.items[j].item) < 0 }
+func (h *mergeHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap[T]) Push(x interface{}) { h.items = append(h.items, x.(mergeItem[T])) }
+func (h *mergeHeap[T]) Pop() interface{} {
 	old := h.items
 	n := len(old)
 	it := old[n-1]

@@ -317,7 +317,9 @@ type TempFile struct {
 	store          *Store
 	schema         *tuple.Schema
 	blockingFactor int
+	scratch        bool // charge-only: tuples are not retained
 	tuples         []tuple.Tuple
+	count          int
 	pending        int // tuples buffered since the last page flush
 	pages          int64
 }
@@ -331,12 +333,27 @@ func (s *Store) NewTempFile(schema *tuple.Schema) *TempFile {
 	return &TempFile{store: s, schema: schema, blockingFactor: bf}
 }
 
+// NewScratchFile creates a charge-only temp file: Write and Flush charge
+// exactly like a regular temp file (one tuple-write per tuple, one
+// page-write per filled page) but the tuples themselves are discarded.
+// The executors use this for intermediate files whose contents they
+// already hold in memory, so the simulated I/O cost is preserved without
+// duplicating every intermediate result on the host heap.
+func (s *Store) NewScratchFile(schema *tuple.Schema) *TempFile {
+	f := s.NewTempFile(schema)
+	f.scratch = true
+	return f
+}
+
 // Write appends a tuple, charging tuple-write cost and a page-write each
 // time a page fills.
 func (f *TempFile) Write(t tuple.Tuple) {
 	f.store.clock.Charge(f.store.costs.TupleWrite)
 	f.store.counters.TuplesWritten++
-	f.tuples = append(f.tuples, t)
+	if !f.scratch {
+		f.tuples = append(f.tuples, t)
+	}
+	f.count++
 	f.pending++
 	if f.pending >= f.blockingFactor {
 		f.flushPage()
@@ -359,10 +376,11 @@ func (f *TempFile) flushPage() {
 
 // Tuples returns the file contents (no read charge: the executors hold
 // intermediate results in temp files and account for reads explicitly).
+// Scratch files retain nothing and return nil.
 func (f *TempFile) Tuples() []tuple.Tuple { return f.tuples }
 
 // Len returns the number of tuples written.
-func (f *TempFile) Len() int { return len(f.tuples) }
+func (f *TempFile) Len() int { return f.count }
 
 // Pages returns the number of pages flushed so far.
 func (f *TempFile) Pages() int64 { return f.pages }

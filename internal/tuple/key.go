@@ -1,0 +1,138 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// Normalized sort keys: a one-pass, memcmp-able byte encoding of a
+// tuple's join/sort/dedup columns. For column sets where normalization
+// is supported (see CanNormalizeKeys), bytes.Compare over two tuples'
+// normalized keys returns exactly Compare(a, b, cols, cols), and equal
+// keys identify equal column value lists (the encoding is injective).
+// The executors cache one key per tuple per stage so that sorting,
+// merge-joining and deduplication compare cached bytes instead of
+// re-walking []Value columns through interface dispatch on every
+// comparison.
+//
+// Encoding, per column:
+//
+//   - Int: 8 bytes big-endian with the sign bit flipped, so unsigned
+//     byte order equals signed integer order.
+//   - String: the raw bytes with every 0x00 escaped as 0x00 0xFF,
+//     terminated by 0x00 0x00. The terminator sorts below any escaped
+//     or plain content byte, which preserves lexicographic order across
+//     column boundaries even for values that are prefixes of each other
+//     or contain embedded NULs.
+//
+// Float columns are excluded: CompareValues orders NaN as equal to
+// everything (a non-transitive relation no total byte order can
+// reproduce), and mixed int/float comparisons promote through float64.
+// Callers must fall back to Compare for such column sets.
+
+// CanNormalizeKeys reports whether the given columns of the schema
+// (all columns when cols is nil) support normalized key encoding.
+func CanNormalizeKeys(s *Schema, cols []int) bool {
+	if cols == nil {
+		for _, c := range s.cols {
+			if c.Type != Int && c.Type != String {
+				return false
+			}
+		}
+		return true
+	}
+	for _, i := range cols {
+		if i < 0 || i >= len(s.cols) {
+			return false
+		}
+		if t := s.cols[i].Type; t != Int && t != String {
+			return false
+		}
+	}
+	return true
+}
+
+// KeysComparable reports whether normalized keys built from colsA of
+// schema a compare consistently with keys built from colsB of schema b:
+// both column lists must be normalizable and pairwise of equal type.
+func KeysComparable(a *Schema, colsA []int, b *Schema, colsB []int) bool {
+	if len(colsA) != len(colsB) {
+		return false
+	}
+	if !CanNormalizeKeys(a, colsA) || !CanNormalizeKeys(b, colsB) {
+		return false
+	}
+	for i := range colsA {
+		if a.cols[colsA[i]].Type != b.cols[colsB[i]].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendNormKey appends the normalized key of t's values on the given
+// columns (all columns when cols is nil) to dst and returns the
+// extended slice. The caller must have checked CanNormalizeKeys; the
+// encoder panics on unsupported value types.
+func AppendNormKey(dst []byte, t Tuple, cols []int) []byte {
+	if cols == nil {
+		for i := range t {
+			dst = appendNormValue(dst, t[i])
+		}
+		return dst
+	}
+	for _, i := range cols {
+		dst = appendNormValue(dst, t[i])
+	}
+	return dst
+}
+
+func appendNormValue(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case int64:
+		return binary.BigEndian.AppendUint64(dst, uint64(x)^(1<<63))
+	case string:
+		for {
+			j := strings.IndexByte(x, 0)
+			if j < 0 {
+				dst = append(dst, x...)
+				break
+			}
+			dst = append(dst, x[:j]...)
+			dst = append(dst, 0x00, 0xFF)
+			x = x[j+1:]
+		}
+		return append(dst, 0x00, 0x00)
+	default:
+		panic("tuple: AppendNormKey on unsupported value type")
+	}
+}
+
+// NormKeySizeHint returns a per-tuple capacity estimate for normalized
+// keys over the given columns of the schema (all columns when nil),
+// used to pre-size key arenas.
+func NormKeySizeHint(s *Schema, cols []int) int {
+	size := 0
+	add := func(c Column) {
+		switch c.Type {
+		case Int:
+			size += 8
+		case String:
+			size += c.Size + 2
+		default:
+			size += 8
+		}
+	}
+	if cols == nil {
+		for _, c := range s.cols {
+			add(c)
+		}
+		return size
+	}
+	for _, i := range cols {
+		if i >= 0 && i < len(s.cols) {
+			add(s.cols[i])
+		}
+	}
+	return size
+}

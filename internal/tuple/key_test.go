@@ -1,0 +1,154 @@
+package tuple
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanNormalizeKeys(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "i", Type: Int},
+		Column{Name: "f", Type: Float},
+		Column{Name: "s", Type: String, Size: 8},
+	)
+	if !CanNormalizeKeys(s, []int{0, 2}) {
+		t.Error("int+string columns must normalize")
+	}
+	if CanNormalizeKeys(s, []int{0, 1}) {
+		t.Error("float column must not normalize")
+	}
+	if CanNormalizeKeys(s, nil) {
+		t.Error("nil cols over a schema with a float column must not normalize")
+	}
+	allInt := MustSchema(Column{Name: "a", Type: Int}, Column{Name: "b", Type: Int})
+	if !CanNormalizeKeys(allInt, nil) {
+		t.Error("all-int schema must normalize on nil cols")
+	}
+	if CanNormalizeKeys(s, []int{99}) {
+		t.Error("out-of-range column must not normalize")
+	}
+}
+
+func TestKeysComparable(t *testing.T) {
+	a := MustSchema(Column{Name: "x", Type: Int}, Column{Name: "y", Type: String, Size: 4})
+	b := MustSchema(Column{Name: "p", Type: String, Size: 9}, Column{Name: "q", Type: Int})
+	if !KeysComparable(a, []int{0}, b, []int{1}) {
+		t.Error("int vs int keys must be comparable")
+	}
+	if KeysComparable(a, []int{0}, b, []int{0}) {
+		t.Error("int vs string keys must not be comparable")
+	}
+	if KeysComparable(a, []int{0, 1}, b, []int{1}) {
+		t.Error("length mismatch must not be comparable")
+	}
+	// String widths may differ: the encoding is width-independent.
+	if !KeysComparable(a, []int{1}, b, []int{0}) {
+		t.Error("string keys of different widths must be comparable")
+	}
+}
+
+// TestNormKeyMatchesCompare is the load-bearing property: byte order of
+// normalized keys equals Compare on the key columns, including strings
+// with embedded NULs, shared prefixes and empty values.
+func TestNormKeyMatchesCompare(t *testing.T) {
+	f := func(ai int64, as string, bi int64, bs string) bool {
+		ta := Tuple{ai, as}
+		tb := Tuple{bi, bs}
+		cols := []int{1, 0} // string-major to stress cross-column boundaries
+		ka := AppendNormKey(nil, ta, cols)
+		kb := AppendNormKey(nil, tb, cols)
+		want := Compare(ta, tb, cols, cols)
+		return sign(bytes.Compare(ka, kb)) == sign(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNormKeyEmbeddedNulBoundary pins the classic multi-column
+// ambiguity: a string that is a NUL-extended prefix of another must not
+// let the next column's bytes flip the order.
+func TestNormKeyEmbeddedNulBoundary(t *testing.T) {
+	// ("a", high) vs ("a\x00", low): column-wise "a" < "a\x00".
+	ta := Tuple{"a", int64(1 << 40)}
+	tb := Tuple{"a\x00", int64(-5)}
+	ka := AppendNormKey(nil, ta, nil)
+	kb := AppendNormKey(nil, tb, nil)
+	if bytes.Compare(ka, kb) >= 0 {
+		t.Errorf("embedded-NUL boundary broken: %q vs %q", ka, kb)
+	}
+	if c := Compare(ta, tb, nil, nil); c >= 0 {
+		t.Fatalf("reference Compare = %d, want < 0", c)
+	}
+}
+
+func TestNormKeyInjective(t *testing.T) {
+	// Distinct value lists must get distinct keys (dedup correctness).
+	vals := []Tuple{
+		{int64(0), ""},
+		{int64(0), "\x00"},
+		{int64(0), "\x00\x00"},
+		{int64(0), "\xff"},
+		{int64(-1), ""},
+		{int64(1), ""},
+	}
+	seen := map[string]int{}
+	for i, v := range vals {
+		k := string(AppendNormKey(nil, v, nil))
+		if j, dup := seen[k]; dup {
+			t.Errorf("tuples %d and %d collide on key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestNormKeySortMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []string{"", "a", "ab", "a\x00", "a\x00b", "b", "\x00", "zz"}
+	n := 200
+	ts := make([]Tuple, n)
+	keys := make([][]byte, n)
+	for i := range ts {
+		ts[i] = Tuple{rng.Int63n(8) - 4, alphabet[rng.Intn(len(alphabet))]}
+		keys[i] = AppendNormKey(nil, ts[i], nil)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := sign(Compare(ts[i], ts[j], nil, nil))
+			got := sign(bytes.Compare(keys[i], keys[j]))
+			if want != got {
+				t.Fatalf("order mismatch %v vs %v: key %d, ref %d", ts[i], ts[j], got, want)
+			}
+		}
+	}
+}
+
+func TestNormKeySizeHint(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "i", Type: Int},
+		Column{Name: "s", Type: String, Size: 10},
+	)
+	if h := NormKeySizeHint(s, nil); h != 8+12 {
+		t.Errorf("hint = %d, want 20", h)
+	}
+	if h := NormKeySizeHint(s, []int{0}); h != 8 {
+		t.Errorf("hint = %d, want 8", h)
+	}
+	// A NUL-free string of exactly Size bytes must fit the hint.
+	k := AppendNormKey(nil, Tuple{int64(1), "0123456789"}, nil)
+	if len(k) > 8+12 {
+		t.Errorf("key len %d exceeds hint", len(k))
+	}
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}

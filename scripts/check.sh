@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Repo-wide CI gate: formatting, vet, build, race tests, and the
+# simulated-determinism golden. Run from anywhere; optional flags:
+#
+#   scripts/check.sh          # the standard gate
+#   scripts/check.sh -perf    # additionally diff host perf against the
+#                             # committed BENCH_exec.json baseline
+#                             # (meaningful on the baseline machine only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_perf=0
+for arg in "$@"; do
+  case "$arg" in
+    -perf) run_perf=1 ;;
+    *) echo "usage: scripts/check.sh [-perf]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+# The experiment tables are a deterministic function of the seed: any
+# change to the executor that perturbs the sequence of simulated-clock
+# charges shows up as a diff here. Host-side performance work must keep
+# this byte-identical (the "(N trials/row, X.Xs wall)" line is wall
+# time and is filtered out).
+echo "== determinism golden (fig5.2, 8 trials)"
+got=$(go run ./cmd/tcqbench -exp fig5.2 -trials 8 | grep -v 'trials/row')
+if ! diff <(cat testdata/golden_fig52_t8.txt) <(echo "$got"); then
+  echo "simulated results diverged from testdata/golden_fig52_t8.txt" >&2
+  exit 1
+fi
+
+if [ "$run_perf" = 1 ]; then
+  echo "== host perf vs BENCH_exec.json (tolerance 10%)"
+  go run ./cmd/tcqbench -perf -exp fig5.1-1000,fig5.1-5000,fig5.2,fig5.3 -trials 8 \
+    -perfout '' -perfbase BENCH_exec.json
+fi
+
+echo "OK"
