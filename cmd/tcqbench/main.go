@@ -18,9 +18,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"tcq/internal/bench"
+	"tcq/internal/trace"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func run(args []string, out io.Writer) error {
 		perfOut  = flag.String("perfout", "BENCH_exec.json", "with -perf: write the JSON report here ('' to skip)")
 		perfBase = flag.String("perfbase", "", "with -perf: compare against this baseline report and fail on regressions")
 		perfTol  = flag.Float64("perftol", 10, "with -perf -perfbase: ns-per-trial regression tolerance (percent)")
+		traceOut = flag.String("trace", "", "write a JSON-lines stage trace of every trial to this file ('-' for stdout)")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -89,6 +92,23 @@ func run(args []string, out io.Writer) error {
 		return runPerf(exps, opts, out, *perfOut, *perfBase, *perfTol)
 	}
 
+	// With -trace, every trial records into its own collector; after the
+	// (concurrent) runs the collectors are replayed in deterministic
+	// order — experiment, then variant, then trial — so the output is
+	// byte-identical for a given seed.
+	var collectors map[string]*trace.Collector
+	var mu sync.Mutex
+	if *traceOut != "" {
+		collectors = make(map[string]*trace.Collector)
+		opts.TraceSink = func(exp, label string, trial int) trace.Tracer {
+			c := trace.NewCollector()
+			mu.Lock()
+			collectors[traceKey(exp, label, trial)] = c
+			mu.Unlock()
+			return c
+		}
+	}
+
 	for i, e := range exps {
 		start := time.Now()
 		rows, err := e.Run(opts)
@@ -107,6 +127,53 @@ func run(args []string, out io.Writer) error {
 		if i < len(exps)-1 {
 			fmt.Fprintln(out)
 		}
+	}
+	if *traceOut != "" {
+		if err := writeTraces(*traceOut, exps, *trials, collectors, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func traceKey(exp, label string, trial int) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", exp, label, trial)
+}
+
+// writeTraces replays the per-trial collectors into one JSON-lines file
+// in experiment → variant → trial order.
+func writeTraces(path string, exps []bench.Experiment, trials int, collectors map[string]*trace.Collector, out io.Writer) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	jl := trace.NewJSONLines(w)
+	records := 0
+	for _, e := range exps {
+		jl.Exp = e.ID
+		for _, v := range e.Variants {
+			jl.Label = v.Label
+			for trial := 0; trial < trials; trial++ {
+				c := collectors[traceKey(e.ID, v.Label, trial)]
+				if c == nil {
+					continue
+				}
+				jl.Trial = trial
+				c.Trace().Replay(jl)
+				records++
+			}
+		}
+	}
+	if err := jl.Err(); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(out, "wrote %d query traces to %s\n", records, path)
 	}
 	return nil
 }

@@ -26,6 +26,9 @@
 //	estsql DUR SELECT ...                                  time-constrained SQL aggregate
 //	analyze [BUCKETS]                                      build equi-depth statistics
 //	set dbeta|strategy|seed|stats VALUE                    session settings
+//	\trace on|off                                          per-stage trace lines for estimates
+//	\timing on|off                                         stages/elapsed in result lines (on by default)
+//	\metrics                                               session-wide metrics snapshot
 //	help, quit
 package main
 
@@ -50,16 +53,22 @@ type session struct {
 	seed     int64
 	useStats bool
 	analyzed bool
-	out      *bufio.Writer
+	// timing appends stages/elapsed to estimate result lines (default
+	// on; `\timing off` keeps scripted output golden-stable).
+	timing bool
+	// traceOn streams a per-stage trace line for every estimate.
+	traceOn bool
+	out     *bufio.Writer
 }
 
 // newSession builds a shell session writing to out.
 func newSession(out io.Writer) *session {
 	return &session{
-		db:    tcq.Open(tcq.WithSimulatedClock(1), tcq.WithLoadNoise(0.12)),
-		dBeta: 12,
-		seed:  1,
-		out:   bufio.NewWriter(out),
+		db:     tcq.Open(tcq.WithSimulatedClock(1), tcq.WithLoadNoise(0.12)),
+		dBeta:  12,
+		seed:   1,
+		timing: true,
+		out:    bufio.NewWriter(out),
 	}
 }
 
@@ -99,7 +108,32 @@ func (s *session) dispatch(line string) error {
 	cmd, rest := splitWord(line)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, "commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, help, quit")
+		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, help, quit`)
+		return nil
+	case `\trace`:
+		switch strings.TrimSpace(rest) {
+		case "on":
+			s.traceOn = true
+		case "off":
+			s.traceOn = false
+		default:
+			return fmt.Errorf(`usage: \trace on|off`)
+		}
+		fmt.Fprintf(s.out, "trace %s\n", strings.TrimSpace(rest))
+		return nil
+	case `\timing`:
+		switch strings.TrimSpace(rest) {
+		case "on":
+			s.timing = true
+		case "off":
+			s.timing = false
+		default:
+			return fmt.Errorf(`usage: \timing on|off`)
+		}
+		fmt.Fprintf(s.out, "timing %s\n", strings.TrimSpace(rest))
+		return nil
+	case `\metrics`:
+		fmt.Fprint(s.out, s.db.Metrics().String())
 		return nil
 	case "rels":
 		names := s.db.Relations()
@@ -310,9 +344,15 @@ func (s *session) dispatch(line string) error {
 	}
 }
 
-// printSQL renders a SQL result, including group rows.
+// printSQL renders a SQL result, including group rows. Estimated
+// results carry stages/elapsed detail unless `\timing off`.
 func (s *session) printSQL(res *tcq.SQLResult) {
-	fmt.Fprintln(s.out, res.String())
+	line := res.String()
+	if est := res.Estimate; est != nil && s.timing {
+		line += fmt.Sprintf(" (%d stages, %d blocks, spent %.2fs)",
+			est.Stages, est.Blocks, est.Elapsed.Seconds())
+	}
+	fmt.Fprintln(s.out, line)
 	for _, g := range res.Groups {
 		if g.Interval > 0 {
 			fmt.Fprintf(s.out, "  %-12v %10.1f ± %.1f\n", g.Key, g.Value, g.Interval)
@@ -324,22 +364,29 @@ func (s *session) printSQL(res *tcq.SQLResult) {
 
 // estimateOptions assembles the session's estimate settings.
 func (s *session) estimateOptions(quota time.Duration) tcq.EstimateOptions {
-	return tcq.EstimateOptions{
+	opts := tcq.EstimateOptions{
 		Quota:         quota,
 		DBeta:         s.dBeta,
 		Strategy:      s.strategy,
 		Seed:          s.seed,
 		UseStatistics: s.useStats,
 	}
+	if s.traceOn {
+		opts.Trace = s.out
+	}
+	return opts
 }
 
 // printEstimate renders an estimate in the shell's one-line format.
 func (s *session) printEstimate(est *tcq.Estimate) {
-	fmt.Fprintf(s.out, "estimate: %.1f ± %.1f (%.0f%%), %d stages, %d blocks, spent %.2fs, util %.0f%%",
-		est.Value, est.Interval, est.Confidence*100, est.Stages, est.Blocks,
-		est.Elapsed.Seconds(), est.Utilization*100)
-	if est.Overspent {
-		fmt.Fprintf(s.out, ", OVERSPENT %.2fs", est.Overrun.Seconds())
+	fmt.Fprintf(s.out, "estimate: %.1f ± %.1f (%.0f%%)",
+		est.Value, est.Interval, est.Confidence*100)
+	if s.timing {
+		fmt.Fprintf(s.out, ", %d stages, %d blocks, spent %.2fs, util %.0f%%",
+			est.Stages, est.Blocks, est.Elapsed.Seconds(), est.Utilization*100)
+		if est.Overspent {
+			fmt.Fprintf(s.out, ", OVERSPENT %.2fs", est.Overrun.Seconds())
+		}
 	}
 	fmt.Fprintf(s.out, "\n  [%s]\n", est.StopReason)
 }

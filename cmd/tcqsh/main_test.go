@@ -230,6 +230,60 @@ func TestShellSQL(t *testing.T) {
 	}
 }
 
+func TestShellTraceAndMetrics(t *testing.T) {
+	out := runLines(t,
+		"gen select r 1000 100",
+		`\trace on`,
+		"estimate 3s select(r, a < 100)",
+		`\trace off`,
+		`\metrics`,
+	)
+	for _, want := range []string{
+		"trace on",
+		"stage 1:", // the per-stage trace line
+		"sel=",
+		"trace off",
+		"counter", // metrics snapshot
+		"queries",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellTimingToggle(t *testing.T) {
+	on := runLines(t,
+		"gen select r 1000 100",
+		"estsql 3s SELECT COUNT(*) FROM r WHERE a < 100",
+	)
+	if !strings.Contains(on, "stages") || !strings.Contains(on, "spent") {
+		t.Errorf("estsql with timing on should report stages and elapsed:\n%s", on)
+	}
+	off := runLines(t,
+		"gen select r 1000 100",
+		`\timing off`,
+		"estsql 3s SELECT COUNT(*) FROM r WHERE a < 100",
+		"estimate 3s select(r, a < 100)",
+	)
+	if strings.Contains(off, "stages") || strings.Contains(off, "spent") {
+		t.Errorf("\\timing off should suppress stages/elapsed:\n%s", off)
+	}
+	if !strings.Contains(off, "±") {
+		t.Errorf("\\timing off should still print the estimate:\n%s", off)
+	}
+}
+
+func TestShellTraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSession(&buf)
+	for _, line := range []string{`\trace`, `\trace maybe`, `\timing`, `\timing maybe`} {
+		if err := s.dispatch(line); err == nil {
+			t.Errorf("dispatch(%q) should fail", line)
+		}
+	}
+}
+
 func TestShellSQLErrors(t *testing.T) {
 	var buf bytes.Buffer
 	s := newSession(&buf)

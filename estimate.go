@@ -9,6 +9,7 @@ import (
 	"tcq/internal/exec"
 	"tcq/internal/histogram"
 	"tcq/internal/timectrl"
+	"tcq/internal/trace"
 )
 
 // StrategyKind selects the time-control strategy of Section 3.3.
@@ -103,6 +104,14 @@ type EstimateOptions struct {
 	// decision (selectivities, planned fraction, predicted vs actual) —
 	// the debugging view of the time-control algorithm.
 	Trace io.Writer
+	// CollectTrace records a structured per-stage trace of the run and
+	// attaches it to Estimate.Trace (see ExplainAnalyze for a rendered
+	// view). Off by default: collection snapshots the operator tree
+	// after every stage.
+	CollectTrace bool
+	// Tracer, when non-nil, additionally streams trace events to a
+	// custom observer (see the trace package).
+	Tracer trace.Tracer
 }
 
 // Progress is a per-stage progressive estimate.
@@ -140,6 +149,9 @@ type Estimate struct {
 	Overrun   time.Duration
 	// StopReason explains why evaluation ended.
 	StopReason string
+	// Trace is the structured per-stage record of the run, present only
+	// when EstimateOptions.CollectTrace was set.
+	Trace *QueryTrace
 }
 
 // CountEstimate evaluates COUNT(q) within the time quota using the
@@ -279,9 +291,16 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 		Plan:       plan,
 		Sampling:   samplingPlan,
 		Trace:      opts.Trace,
+		Tracer:     opts.Tracer,
+		Metrics:    db.metrics,
 		Initial:    initial,
 		Confidence: opts.Confidence,
 		Seed:       opts.Seed,
+	}
+	var collector *trace.Collector
+	if opts.CollectTrace {
+		collector = trace.NewCollector()
+		coreOpts.Tracer = trace.Combine(collector, opts.Tracer)
 	}
 	if opts.OnProgress != nil {
 		cb := opts.OnProgress
@@ -304,6 +323,10 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 	if err != nil {
 		return nil, nil, err
 	}
+	var qt *QueryTrace
+	if collector != nil {
+		qt = collector.Trace()
+	}
 	return res, &Estimate{
 		Value:       res.Estimate.Value,
 		StdErr:      res.Estimate.StdErr(),
@@ -316,6 +339,7 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 		Overspent:   res.Overspent,
 		Overrun:     res.Overspend,
 		StopReason:  res.StopReason,
+		Trace:       qt,
 	}, nil
 }
 

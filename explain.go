@@ -70,6 +70,14 @@ func explainExpr(b *strings.Builder, e ra.Expr, depth int, db *DB) {
 		for _, in := range v.Inputs {
 			explainExpr(b, in, depth+1, db)
 		}
+	case *ra.Union:
+		fmt.Fprintf(b, "%sunion (inclusion–exclusion)\n", pad)
+		explainExpr(b, v.Left, depth+1, db)
+		explainExpr(b, v.Right, depth+1, db)
+	case *ra.Difference:
+		fmt.Fprintf(b, "%sdifference (inclusion–exclusion)\n", pad)
+		explainExpr(b, v.Left, depth+1, db)
+		explainExpr(b, v.Right, depth+1, db)
 	default:
 		fmt.Fprintf(b, "%s%s\n", pad, e)
 	}

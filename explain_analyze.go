@@ -1,0 +1,106 @@
+package tcq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tcq/internal/trace"
+)
+
+// ExplainAnalyze runs the time-constrained estimate and renders the
+// static plan annotated with per-stage actuals: each operator's
+// estimated selectivity and tuple flow from the final stage, followed
+// by the stage table (chosen fraction f_i, predicted vs actual QCOST,
+// overshoot, running estimate) and the run summary. The query is
+// actually executed under opts — the quota is spent.
+func (db *DB) ExplainAnalyze(q Query, opts EstimateOptions) (string, error) {
+	opts.CollectTrace = true
+	est, err := db.CountEstimate(q, opts)
+	if err != nil {
+		return "", err
+	}
+	return RenderAnalyze(est), nil
+}
+
+// RenderAnalyze renders an already-collected trace (Estimate.Trace must
+// be present) in the ExplainAnalyze format.
+func RenderAnalyze(est *Estimate) string {
+	var b strings.Builder
+	t := est.Trace
+	if t == nil {
+		b.WriteString("(no trace collected — set EstimateOptions.CollectTrace)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "count(%s)  quota=%v strategy=%s mode=%s plan=%s sampling=%s seed=%d\n",
+		t.Info.Query, t.Info.Quota, t.Info.Strategy, t.Info.Mode, t.Info.Plan,
+		t.Info.Sampling, t.Info.Seed)
+	if len(t.Stages) > 0 {
+		last := t.Stages[len(t.Stages)-1]
+		b.WriteString("operators (final-stage estimates):\n")
+		renderOpTree(&b, last.Operators)
+		if len(last.Relations) > 0 {
+			b.WriteString("relations sampled:\n")
+			for _, r := range last.Relations {
+				fmt.Fprintf(&b, "  %-12s %d blocks drawn (%.1f%% of relation)\n",
+					r.Relation, r.CumBlocks, 100*r.CumFraction)
+			}
+		}
+	}
+	b.WriteString("stages:\n")
+	b.WriteString(trace.RenderStages(t.Stages))
+	fmt.Fprintf(&b, "result: %.1f ± %.1f  stages=%d blocks=%d elapsed=%v utilization=%.0f%% stop=%s\n",
+		est.Value, est.Interval, est.Stages, est.Blocks, est.Elapsed,
+		100*est.Utilization, est.StopReason)
+	if est.Overspent {
+		fmt.Fprintf(&b, "overspent by %v\n", est.Overrun)
+	}
+	return b.String()
+}
+
+// renderOpTree reconstructs the operator forest from the flat OpStat
+// list (roots are nodes no other node lists as a child) and prints it
+// indented, one line per operator with its selectivity and tuple flow.
+func renderOpTree(b *strings.Builder, ops []trace.OpStat) {
+	byID := make(map[int]trace.OpStat, len(ops))
+	child := make(map[int]bool)
+	for _, o := range ops {
+		byID[o.Node] = o
+		for _, c := range o.Children {
+			child[c] = true
+		}
+	}
+	var roots []int
+	for _, o := range ops {
+		if !child[o.Node] {
+			roots = append(roots, o.Node)
+		}
+	}
+	sort.Ints(roots)
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		o, ok := byID[id]
+		if !ok {
+			return
+		}
+		pad := strings.Repeat("  ", depth+1)
+		line := fmt.Sprintf("%s%s", pad, o.Op)
+		if o.Expr != "" {
+			line += " " + o.Expr
+		}
+		line += fmt.Sprintf("  (sel=%.6f", o.Sel)
+		if o.SelPlus > 0 {
+			line += fmt.Sprintf(" sel⁺=%.6f", o.SelPlus)
+		}
+		line += fmt.Sprintf(", out=%d tuples)", o.CumOut)
+		b.WriteString(line + "\n")
+		kids := append([]int(nil), o.Children...)
+		sort.Ints(kids)
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"tcq/internal/stats"
 	"tcq/internal/storage"
 	"tcq/internal/timectrl"
+	"tcq/internal/trace"
 	"tcq/internal/vclock"
 	"tcq/internal/workload"
 )
@@ -76,6 +77,11 @@ type RunOptions struct {
 	// shows a gradual risk decline rather than a cliff.
 	LoadSigma float64
 	Profile   storage.CostProfile
+	// TraceSink, when non-nil, supplies a tracer for each trial (keyed
+	// by experiment ID, variant label and trial index). Trials run
+	// concurrently, so each call must return a distinct tracer; the
+	// caller replays or merges them in its own deterministic order.
+	TraceSink func(exp, label string, trial int) trace.Tracer
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -155,6 +161,9 @@ func (e Experiment) Run(opts RunOptions) ([]Row, error) {
 				if v.Model != nil {
 					bf := storage.DefaultBlockSize / workload.PaperTupleSize
 					engOpts.Model = v.Model(opts.Profile, bf)
+				}
+				if opts.TraceSink != nil {
+					engOpts.Tracer = opts.TraceSink(e.ID, v.Label, trial)
 				}
 				res, err := core.NewEngine(st).Count(expr, engOpts)
 				if err != nil {

@@ -33,6 +33,7 @@ import (
 	"tcq/internal/stats"
 	"tcq/internal/storage"
 	"tcq/internal/timectrl"
+	"tcq/internal/trace"
 	"tcq/internal/tuple"
 	"tcq/internal/vclock"
 )
@@ -155,8 +156,20 @@ type Options struct {
 	OnStage func(StageRecord)
 	// Trace, when non-nil, receives a human-readable line per stage
 	// decision (selectivities, planned fraction, predicted vs actual
-	// cost) — the debugging view of the time-control algorithm.
+	// cost) — the debugging view of the time-control algorithm. It is
+	// shorthand for a trace.Text tracer combined with Tracer.
 	Trace io.Writer
+	// Tracer observes the evaluation: one QueryInfo, one StageRecord
+	// per stage (selectivities, chosen fraction, predicted vs actual
+	// cost, per-relation draws, charge counters, estimator state) and
+	// one QueryEnd. Defaults to trace.Nop, whose Enabled() gate lets
+	// the engine skip all record construction.
+	Tracer trace.Tracer
+	// Metrics, when non-nil, aggregates cross-query observability
+	// counters (stages run, quota overruns, deadline polls, sort/merge
+	// comparisons, temp-file bytes, coverage fractions). It is touched
+	// once per query, at the end — never on the per-tuple hot path.
+	Metrics *trace.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -328,6 +341,25 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		env.SetDeadline(deadline)
 	}
 
+	// Tracing is read-only with respect to the simulation: it never
+	// charges the clock or consumes sampler randomness, so identically
+	// seeded runs produce identical results whether it is on or off.
+	tracer := trace.Combine(opts.Tracer, textTracer(opts.Trace))
+	tracing := tracer.Enabled()
+	startCharges := chargesSnapshot(g.store, env)
+	if tracing {
+		tracer.BeginQuery(trace.QueryInfo{
+			Query:    e.String(),
+			Quota:    opts.Quota,
+			Strategy: strategy.Name(),
+			Mode:     opts.Mode.String(),
+			Plan:     opts.Plan.String(),
+			Sampling: opts.Sampling.String(),
+			Seed:     opts.Seed,
+			Start:    start,
+		})
+	}
+
 	res := &Result{StopReason: "quota exhausted"}
 	var history []float64
 	lastGood := estimator.Estimate{}
@@ -369,7 +401,7 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		}
 		minFraction := float64(opts.MinStageBlocks) / float64(maxBlocks)
 		setMinFraction(strategy, minFraction)
-		plan := strategy.PlanStage(timectrl.PlanInput{
+		planIn := timectrl.PlanInput{
 			Roots:       roots,
 			Model:       model,
 			Remaining:   remaining,
@@ -378,7 +410,8 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 			MaxFraction: maxFraction,
 			Initial:     opts.Initial,
 			Oracle:      oracle,
-		})
+		}
+		plan := strategy.PlanStage(planIn)
 		if plan.Fraction <= 0 && stageIdx > 1 {
 			// Even the smallest stage does not fit the leftover quota —
 			// the paper terminates here (observed for join at high d_β).
@@ -389,6 +422,13 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 			// Stage 1 always runs at the minimum size: some answer beats
 			// none, and the paper's first stage is unconditional.
 			plan.Fraction = minFraction
+		}
+
+		var preCharges trace.Charges
+		var preCum map[int]int64
+		if tracing {
+			preCharges = chargesSnapshot(g.store, env)
+			preCum = cumOutByNode(roots)
 		}
 
 		// Draw the stage's blocks (equal fractions, ≥ MinStageBlocks).
@@ -440,21 +480,68 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		stageEnd := clock.Now()
 		stageDur := stageEnd - stageStart
 		inTime := stageEnd-start <= opts.Quota
-		if opts.Trace != nil {
-			fmt.Fprintf(opts.Trace,
-				"stage %d: f=%.4f blocks=%d predicted=%v actual=%v remaining=%v aborted=%v\n",
-				stageIdx, plan.Fraction, stageBlocks,
-				plan.Predicted.Round(time.Millisecond), stageDur.Round(time.Millisecond),
-				(opts.Quota - (stageEnd - start)).Round(time.Millisecond), aborted)
-			for _, root := range roots {
-				exec.WalkInfo(root, func(n *exec.NodeInfo) {
+
+		var trec trace.StageRecord
+		if tracing {
+			trec = trace.StageRecord{
+				Stage:       stageIdx,
+				Fraction:    plan.Fraction,
+				SearchIters: plan.Iterations,
+				DBeta:       plan.DBeta,
+				Predicted:   plan.Predicted,
+				Actual:      stageDur,
+				Overshoot:   overshoot(plan.Predicted, stageDur),
+				Remaining:   opts.Quota - (stageEnd - start),
+				Blocks:      stageBlocks,
+				Charges:     chargesSnapshot(g.store, env).Sub(preCharges),
+				Completed:   !aborted,
+				InTime:      !aborted && inTime,
+			}
+			for _, name := range feedNames {
+				s := samplers[name]
+				if len(s.Stages) < stageIdx {
+					continue
+				}
+				d := s.Stages[stageIdx-1]
+				trec.Relations = append(trec.Relations, trace.RelationDraw{
+					Relation:    name,
+					Blocks:      len(d.Blocks),
+					Tuples:      d.Tuples,
+					CumBlocks:   s.CumBlocks(stageIdx - 1),
+					CumFraction: s.Fraction(),
+				})
+			}
+			// Re-derive the sel⁺ values the stage was planned with (a
+			// pure re-prediction over the pre-stage snapshots), then
+			// pair them with the post-stage operator state.
+			planned := map[int]float64{}
+			for _, os := range timectrl.PlanSelectivities(planIn, plan.DBeta, plan.Fraction) {
+				planned[os.Node] = os.SelPlus
+			}
+			for _, te := range q.Terms {
+				exec.WalkInfo(exec.Snapshot(te.Root), func(n *exec.NodeInfo) {
 					if n.Op == exec.OpBase {
 						return
 					}
-					fmt.Fprintf(opts.Trace, "  node %d %s: sel=%.6f (out=%d points=%.0f)\n",
-						n.ID, n.Op, timectrl.Selectivity(n, opts.Initial), n.CumOut, n.CumPoints)
+					op := trace.OpStat{
+						Node:      n.ID,
+						Op:        n.Op.String(),
+						Sel:       timectrl.Selectivity(n, opts.Initial),
+						SelPlus:   planned[n.ID],
+						StageOut:  n.CumOut - preCum[n.ID],
+						CumOut:    n.CumOut,
+						CumPoints: n.CumPoints,
+					}
+					if n.Src != nil {
+						op.Expr = n.Src.String()
+					}
+					for _, c := range n.Children {
+						op.Children = append(op.Children, c.ID)
+					}
+					trec.Operators = append(trec.Operators, op)
 				})
 			}
+			trace.SortOps(trec.Operators)
 		}
 
 		rec := StageRecord{
@@ -473,6 +560,9 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 			res.Overspent = true
 			res.StageRecords = append(res.StageRecords, rec)
 			res.StopReason = "hard deadline: stage aborted"
+			if tracing {
+				tracer.StageDone(trec)
+			}
 			break
 		}
 
@@ -483,6 +573,12 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		rec.Estimate = est.Value
 		rec.Variance = est.Variance
 		res.StageRecords = append(res.StageRecords, rec)
+		if tracing {
+			trec.Estimate = est.Value
+			trec.StdErr = est.StdErr()
+			trec.Interval = est.Interval(opts.Confidence).Half
+			tracer.StageDone(trec)
+		}
 		if opts.OnStage != nil {
 			opts.OnStage(rec)
 		}
@@ -537,7 +633,90 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		// the overspend is the wasted in-quota time of the aborted stage.
 		res.Overspend = 0
 	}
+	if tracing {
+		tracer.EndQuery(trace.QueryEnd{
+			Stages:      res.Stages,
+			Blocks:      res.Blocks,
+			Elapsed:     res.Elapsed,
+			Successful:  res.Successful,
+			Utilization: res.Utilization,
+			Overspent:   res.Overspent,
+			Overspend:   res.Overspend,
+			StopReason:  res.StopReason,
+			Estimate:    res.Estimate.Value,
+			StdErr:      res.Estimate.StdErr(),
+			Interval:    res.Interval.Half,
+		})
+	}
+	if opts.Metrics != nil {
+		m := opts.Metrics
+		d := chargesSnapshot(g.store, env).Sub(startCharges)
+		m.Add("queries", 1)
+		m.Add("stages", int64(res.Stages))
+		if res.Overspent {
+			m.Add("quota_overruns", 1)
+		}
+		m.Add("blocks_read", d.BlocksRead)
+		m.Add("pages_written", d.PagesWritten)
+		m.Add("temp_bytes", d.TempBytes)
+		m.Add("comparisons", d.Comparisons)
+		m.Add("deadline_polls", d.DeadlinePolls)
+		coverage := 1.0
+		for _, s := range samplers {
+			if f := s.Fraction(); f < coverage {
+				coverage = f
+			}
+		}
+		m.Observe("coverage_fraction", coverage)
+		m.Observe("stages_per_query", float64(res.Stages))
+		m.Observe("blocks_per_query", float64(res.Blocks))
+		m.Observe("utilization", res.Utilization)
+	}
 	return res, nil
+}
+
+// textTracer wraps the legacy Options.Trace writer as a tracer (nil in,
+// nil out — Combine drops it).
+func textTracer(w io.Writer) trace.Tracer {
+	if w == nil {
+		return nil
+	}
+	return trace.NewText(w)
+}
+
+// chargesSnapshot copies the session's cumulative physical counters
+// into the trace representation; stage and query deltas come from
+// subtracting two snapshots.
+func chargesSnapshot(st *storage.Store, env *exec.Env) trace.Charges {
+	c := st.Counters()
+	return trace.Charges{
+		BlocksRead:    c.BlocksRead,
+		PagesWritten:  c.PagesWritten,
+		TuplesRead:    c.TuplesRead,
+		TuplesWritten: c.TuplesWritten,
+		TempBytes:     c.TempBytes,
+		Comparisons:   env.Comparisons,
+		DeadlinePolls: env.DeadlinePolls,
+	}
+}
+
+// cumOutByNode indexes a snapshot forest's cumulative output tuples by
+// node id (the baseline for per-stage tuple-flow deltas).
+func cumOutByNode(roots []*exec.NodeInfo) map[int]int64 {
+	out := map[int]int64{}
+	for _, root := range roots {
+		exec.WalkInfo(root, func(n *exec.NodeInfo) { out[n.ID] = n.CumOut })
+	}
+	return out
+}
+
+// overshoot is the risk margin Actual/Predicted − 1, 0 when no
+// prediction was made (guards the NaN/Inf that JSON cannot encode).
+func overshoot(predicted, actual time.Duration) float64 {
+	if predicted <= 0 {
+		return 0
+	}
+	return float64(actual)/float64(predicted) - 1
 }
 
 // ExactCount evaluates COUNT(e) exactly (no sampling, no time

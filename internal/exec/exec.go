@@ -111,10 +111,16 @@ type StepTiming struct {
 
 // Env is the shared execution environment of one query.
 type Env struct {
-	Store    *storage.Store
-	Timings  []StepTiming
-	nextID   int
-	deadline vclock.Deadline
+	Store   *storage.Store
+	Timings []StepTiming
+	// Comparisons counts sort/merge tuple comparisons charged so far;
+	// DeadlinePolls counts hard-deadline checks. Both are plain int64
+	// increments on the hot path, read by the observability layer as
+	// per-stage deltas (internal/core builds trace.Charges from them).
+	Comparisons   int64
+	DeadlinePolls int64
+	nextID        int
+	deadline      vclock.Deadline
 }
 
 // NewEnv creates an execution environment over a store.
@@ -161,6 +167,9 @@ func (e *Env) chargeInit(nodeID int, op OpKind) {
 // charge could overshoot the quota by the phase's whole duration).
 func (e *Env) chargeChunked(n int64, per time.Duration) error {
 	const chunk = 64
+	// Every chunked charge today is a batch of tuple comparisons
+	// (sort, merge, dedup scans), so the comparison counter lives here.
+	e.Comparisons += n
 	clock := e.Store.Clock()
 	for n > 0 {
 		c := n
@@ -178,6 +187,7 @@ func (e *Env) chargeChunked(n int64, per time.Duration) error {
 
 // checkDeadline returns ErrAborted when the hard deadline has passed.
 func (e *Env) checkDeadline() error {
+	e.DeadlinePolls++
 	if e.deadline.Expired() {
 		return fmt.Errorf("exec: stage aborted: %w", ErrAborted)
 	}

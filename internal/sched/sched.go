@@ -25,6 +25,7 @@ import (
 	"tcq/internal/core"
 	"tcq/internal/ra"
 	"tcq/internal/storage"
+	"tcq/internal/trace"
 	"tcq/internal/vclock"
 )
 
@@ -108,6 +109,13 @@ type Options struct {
 	Slack float64
 	// Seed seeds the engines' block samplers.
 	Seed int64
+	// Tracer, when set, observes every query step run by the scheduler
+	// (unless a step supplies its own tracer).
+	Tracer trace.Tracer
+	// Metrics, when set, aggregates engine counters across every query
+	// step plus scheduler-level txns_admitted / txns_rejected /
+	// txns_missed counters.
+	Metrics *trace.Registry
 }
 
 // Scheduler runs transactions against one store.
@@ -145,16 +153,21 @@ func (s *Scheduler) Run(txns []Txn) ([]TxnResult, error) {
 			// Admission control: the worst case must fit.
 			if clock.Now()+tx.wcet(s.opts.Slack) > tx.Deadline {
 				res.Admitted = false
+				s.opts.Metrics.Add("txns_rejected", 1)
 				results = append(results, res)
 				continue
 			}
 		}
 		res.Admitted = true
+		s.opts.Metrics.Add("txns_admitted", 1)
 		if err := s.execute(tx, &res); err != nil {
 			return nil, fmt.Errorf("sched: txn %d: %w", tx.ID, err)
 		}
 		res.Finished = clock.Now()
 		res.Met = res.Finished <= tx.Deadline
+		if !res.Met {
+			s.opts.Metrics.Add("txns_missed", 1)
+		}
 		results = append(results, res)
 	}
 	return results, nil
@@ -179,6 +192,12 @@ func (s *Scheduler) execute(tx Txn, res *TxnResult) error {
 			opts.Mode = core.HardDeadline
 			if opts.Seed == 0 {
 				opts.Seed = s.opts.Seed + int64(tx.ID*100+qi)
+			}
+			if opts.Tracer == nil {
+				opts.Tracer = s.opts.Tracer
+			}
+			if opts.Metrics == nil {
+				opts.Metrics = s.opts.Metrics
 			}
 			r, err := s.eng.Count(step.Expr, opts)
 			if err != nil {

@@ -83,6 +83,9 @@ type Counters struct {
 	PagesWritten  int64
 	TuplesRead    int64
 	TuplesWritten int64
+	// TempBytes is the bytes written to temp/output files (tuple size
+	// times tuples written, the paper's on-disk intermediate results).
+	TempBytes int64
 }
 
 // Store is a simulated disk: a catalog of relations plus cost charging.
@@ -350,6 +353,7 @@ func (s *Store) NewScratchFile(schema *tuple.Schema) *TempFile {
 func (f *TempFile) Write(t tuple.Tuple) {
 	f.store.clock.Charge(f.store.costs.TupleWrite)
 	f.store.counters.TuplesWritten++
+	f.store.counters.TempBytes += int64(f.schema.TupleSize())
 	if !f.scratch {
 		f.tuples = append(f.tuples, t)
 	}

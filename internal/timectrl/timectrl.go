@@ -12,6 +12,7 @@ package timectrl
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"tcq/internal/cost"
@@ -164,6 +165,12 @@ type Plan struct {
 	Fraction float64
 	// Predicted is QCOST(f_i, SEL⁺), the stage's planned duration.
 	Predicted time.Duration
+	// Iterations is how many bisection steps Sample-Size-Determine
+	// took to settle on Fraction (0 when an endpoint was accepted
+	// outright); DBeta is the sel⁺ risk knob the search planned with.
+	// Both are observability outputs consumed by the tracing layer.
+	Iterations int
+	DBeta      float64
 }
 
 // Strategy decides each stage's sample fraction and learns from the
@@ -200,7 +207,7 @@ func selPlusFunc(in PlanInput, dBeta float64) cost.SelPlusFunc {
 // (minF) does not fit.
 func SampleSizeDetermine(in PlanInput, target time.Duration, dBeta, minF float64) Plan {
 	if target <= 0 || in.MaxFraction <= 0 {
-		return Plan{}
+		return Plan{DBeta: dBeta}
 	}
 	sel := selPlusFunc(in, dBeta)
 	predict := func(f float64) time.Duration {
@@ -211,12 +218,12 @@ func SampleSizeDetermine(in PlanInput, target time.Duration, dBeta, minF float64
 	}
 	if minF > 0 {
 		if c := predict(minF); c > target {
-			return Plan{Fraction: 0, Predicted: c}
+			return Plan{Fraction: 0, Predicted: c, DBeta: dBeta}
 		}
 	}
 	hi := in.MaxFraction
 	if c := predict(hi); c <= target {
-		return Plan{Fraction: hi, Predicted: c}
+		return Plan{Fraction: hi, Predicted: c, DBeta: dBeta}
 	}
 	lo := minF
 	eps := target / 256
@@ -232,7 +239,7 @@ func SampleSizeDetermine(in PlanInput, target time.Duration, dBeta, minF float64
 			diff = -diff
 		}
 		if diff <= eps {
-			return Plan{Fraction: mid, Predicted: cMid}
+			return Plan{Fraction: mid, Predicted: cMid, Iterations: iter + 1, DBeta: dBeta}
 		}
 		if cMid < target {
 			lo = mid
@@ -240,7 +247,50 @@ func SampleSizeDetermine(in PlanInput, target time.Duration, dBeta, minF float64
 			hi = mid
 		}
 	}
-	return Plan{Fraction: lo, Predicted: predict(lo)}
+	return Plan{Fraction: lo, Predicted: predict(lo), Iterations: 60, DBeta: dBeta}
+}
+
+// OpSelectivity reports one operator's planning inputs for a candidate
+// stage: the current sample selectivity estimate (Fig. 3.3), the
+// inflated sel⁺ the stage cost was predicted with (Fig. 3.5), and the
+// new points the stage would cover for that operator.
+type OpSelectivity struct {
+	Node      int
+	Op        exec.OpKind
+	Sel       float64
+	SelPlus   float64
+	NewPoints float64
+}
+
+// PlanSelectivities re-derives the per-operator selectivities a stage
+// at the given fraction was planned with, by re-running the (pure)
+// QCOST prediction with a recording sel⁺ wrapper. It consumes no
+// randomness and charges nothing, so the tracing layer can call it
+// after the fact without perturbing the simulation. Results are sorted
+// by node id.
+func PlanSelectivities(in PlanInput, dBeta, fraction float64) []OpSelectivity {
+	if in.Model == nil || fraction <= 0 {
+		return nil
+	}
+	base := selPlusFunc(in, dBeta)
+	var out []OpSelectivity
+	rec := func(n *exec.NodeInfo, newPoints float64) float64 {
+		sp := base(n, newPoints)
+		if n.Op == exec.OpBase {
+			return sp
+		}
+		sel := Selectivity(n, in.Initial)
+		if in.Oracle != nil {
+			if s, ok := in.Oracle[n.ID]; ok {
+				sel = clamp01(s)
+			}
+		}
+		out = append(out, OpSelectivity{Node: n.ID, Op: n.Op, Sel: sel, SelPlus: sp, NewPoints: newPoints})
+		return sp
+	}
+	in.Model.PredictStage(in.Roots, fraction, rec)
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
 }
 
 // OneAtATime is the One-at-a-Time-Interval strategy (§3.3.2, the

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Record is one line of a JSON-lines trace stream: exactly one of
+// Query, Stage or End is set, discriminated by Type ("query", "stage",
+// "end"). Scope fields identify the originating run when several
+// queries share one stream (the bench harness sets experiment, variant
+// label and trial number).
+type Record struct {
+	Type  string `json:"type"`
+	Exp   string `json:"exp,omitempty"`
+	Label string `json:"label,omitempty"`
+	Trial int    `json:"trial"`
+
+	Query *QueryInfo   `json:"query,omitempty"`
+	Stage *StageRecord `json:"stage,omitempty"`
+	End   *QueryEnd    `json:"end,omitempty"`
+}
+
+// JSONLines is a Tracer emitting one JSON object per line. Encoding is
+// deterministic: struct field order is fixed, durations serialise as
+// int64 nanoseconds of the (virtual) clock, and float formatting is
+// stable for identical bit patterns — so an identically-seeded run
+// produces a byte-identical stream.
+type JSONLines struct {
+	w io.Writer
+	// Scope is stamped into every record (zero values are omitted).
+	Exp   string
+	Label string
+	Trial int
+
+	err error
+}
+
+// NewJSONLines creates a JSON-lines tracer writing to w.
+func NewJSONLines(w io.Writer) *JSONLines { return &JSONLines{w: w} }
+
+// Err returns the first write or marshal error encountered (the Tracer
+// interface has no error returns; check after the run).
+func (j *JSONLines) Err() error { return j.err }
+
+// Enabled implements Tracer.
+func (j *JSONLines) Enabled() bool { return j.w != nil }
+
+// BeginQuery implements Tracer.
+func (j *JSONLines) BeginQuery(q QueryInfo) {
+	j.emit(Record{Type: "query", Query: &q})
+}
+
+// StageDone implements Tracer.
+func (j *JSONLines) StageDone(s StageRecord) {
+	j.emit(Record{Type: "stage", Stage: &s})
+}
+
+// EndQuery implements Tracer.
+func (j *JSONLines) EndQuery(e QueryEnd) {
+	j.emit(Record{Type: "end", End: &e})
+}
+
+func (j *JSONLines) emit(r Record) {
+	if j.err != nil {
+		return
+	}
+	r.Exp, r.Label, r.Trial = j.Exp, j.Label, j.Trial
+	b, err := json.Marshal(r)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}

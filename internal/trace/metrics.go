@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a lightweight metrics registry aggregating observability
+// counters across queries of one session: monotonic counters, gauges
+// (last value wins) and log2-bucketed histograms. It is safe for
+// concurrent use; the engine only touches it once per query (at query
+// end), off the per-tuple hot path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histData
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histData),
+	}
+}
+
+// Add increments a counter by v.
+func (r *Registry) Add(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += v
+	r.mu.Unlock()
+}
+
+// SetGauge records a gauge's current value.
+func (r *Registry) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe adds one observation to a histogram.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histData{min: math.Inf(1), max: math.Inf(-1)}
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// histData accumulates one histogram: moments plus log2 buckets
+// (bucket k counts observations v with 2^(k-1) < v <= 2^k; k=0 counts
+// v <= 1, including zero and negatives).
+type histData struct {
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  map[int]int64
+}
+
+func (h *histData) observe(v float64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	k := 0
+	if v > 1 {
+		k = int(math.Ceil(math.Log2(v)))
+	}
+	if h.buckets == nil {
+		h.buckets = make(map[int]int64)
+	}
+	h.buckets[k]++
+}
+
+// HistogramStat is a histogram's snapshot.
+type HistogramStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Buckets maps an upper bound (rendered "le_<2^k>") to the number
+	// of observations at or below it and above the previous bound.
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a Registry, serialisable as a
+// struct or JSON. Map keys serialise sorted (encoding/json's map
+// behaviour), so snapshots of equal state are byte-identical.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]HistogramStat `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramStat),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		hs := HistogramStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			hs.Mean = h.sum / float64(h.count)
+		}
+		if len(h.buckets) > 0 {
+			hs.Buckets = make(map[string]int64, len(h.buckets))
+			for k2, n := range h.buckets {
+				hs.Buckets[fmt.Sprintf("le_%g", math.Exp2(float64(k2)))] = n
+			}
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// Reset clears all metrics.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters = make(map[string]int64)
+	r.gauges = make(map[string]float64)
+	r.hists = make(map[string]*histData)
+	r.mu.Unlock()
+}
+
+// JSON renders the snapshot as indented, deterministic JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// String renders the snapshot as sorted text lines.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter   %-28s %d\n", k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge     %-28s %g\n", k, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		fmt.Fprintf(&b, "histogram %-28s count=%d mean=%.3g min=%.3g max=%.3g\n",
+			k, h.Count, h.Mean, h.Min, h.Max)
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -46,6 +46,19 @@ if ! diff <(cat testdata/golden_fig52_t8.txt) <(echo "$got"); then
   exit 1
 fi
 
+# The stage trace is deterministic too: the same seed must produce a
+# byte-identical JSON-lines trace (field order is fixed by the struct
+# definitions, durations are integer nanoseconds, and tcqbench replays
+# collectors in experiment → variant → trial order).
+echo "== trace determinism golden (fig5.2, 8 trials)"
+trace_tmp=$(mktemp)
+trap 'rm -f "$trace_tmp"' EXIT
+go run ./cmd/tcqbench -exp fig5.2 -trials 8 -trace "$trace_tmp" > /dev/null
+if ! diff testdata/golden_trace_fig52_t8.jsonl "$trace_tmp"; then
+  echo "stage trace diverged from testdata/golden_trace_fig52_t8.jsonl" >&2
+  exit 1
+fi
+
 if [ "$run_perf" = 1 ]; then
   echo "== host perf vs BENCH_exec.json (tolerance 10%)"
   go run ./cmd/tcqbench -perf -exp fig5.1-1000,fig5.1-5000,fig5.2,fig5.3 -trials 8 \

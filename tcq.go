@@ -38,6 +38,7 @@ import (
 	"tcq/internal/histogram"
 	"tcq/internal/ra"
 	"tcq/internal/storage"
+	"tcq/internal/trace"
 	"tcq/internal/tuple"
 	"tcq/internal/vclock"
 )
@@ -120,10 +121,11 @@ func WithLoadNoise(sigma float64) Option {
 // DB is a tcq database instance: a catalog of relations plus the
 // time-constrained query engine.
 type DB struct {
-	store  *storage.Store
-	clock  vclock.Clock
-	engine *core.Engine
-	stats  *histogram.Catalog
+	store   *storage.Store
+	clock   vclock.Clock
+	engine  *core.Engine
+	stats   *histogram.Catalog
+	metrics *trace.Registry
 }
 
 // Open creates a database. With no options it uses a simulated clock
@@ -138,7 +140,12 @@ func Open(opts ...Option) *DB {
 		cfg.simClock.SetLoadSigma(cfg.loadSigma)
 	}
 	store := storage.NewStore(cfg.clock, cfg.profile, cfg.blockSize)
-	return &DB{store: store, clock: cfg.clock, engine: core.NewEngine(store)}
+	return &DB{
+		store:   store,
+		clock:   cfg.clock,
+		engine:  core.NewEngine(store),
+		metrics: trace.NewRegistry(),
+	}
 }
 
 // Store exposes the underlying storage engine (for advanced use and the
@@ -373,6 +380,7 @@ type IOStats struct {
 	PagesWritten  int64
 	TuplesRead    int64
 	TuplesWritten int64
+	TempBytes     int64
 }
 
 // IOStats returns the session's cumulative physical work counters.
@@ -383,8 +391,31 @@ func (db *DB) IOStats() IOStats {
 		PagesWritten:  c.PagesWritten,
 		TuplesRead:    c.TuplesRead,
 		TuplesWritten: c.TuplesWritten,
+		TempBytes:     c.TempBytes,
 	}
 }
+
+// StageTrace is one stage's structured trace record (the chosen sample
+// fraction, predicted vs actual cost, per-operator selectivities and
+// tuple flow, and the post-stage estimate).
+type StageTrace = trace.StageRecord
+
+// QueryTrace is a full structured trace of one estimate run.
+type QueryTrace = trace.QueryTrace
+
+// MetricsSnapshot is a point-in-time copy of the session's aggregate
+// metrics.
+type MetricsSnapshot = trace.Snapshot
+
+// Metrics returns a snapshot of the session-wide metrics registry:
+// counters (queries, stages, quota_overruns, blocks_read, comparisons,
+// deadline_polls, temp_bytes, ...) and histograms (stages_per_query,
+// utilization, coverage_fraction, ...) aggregated across every estimate
+// run on this DB.
+func (db *DB) Metrics() MetricsSnapshot { return db.metrics.Snapshot() }
+
+// ResetMetrics zeroes the session-wide metrics registry.
+func (db *DB) ResetMetrics() { db.metrics.Reset() }
 
 // catalog adapts the store for query validation.
 func (db *DB) catalog() exec.StoreCatalog { return exec.StoreCatalog{Store: db.store} }

@@ -1,0 +1,62 @@
+// Trace-overhead guard: a full CountEstimate run with tracing off must
+// cost the same as before the observability layer existed (the Nop
+// tracer's Enabled() gate skips all record construction), and the
+// collecting path should stay within a small constant factor. The
+// executor-level guard (join/8 ns/op and allocs/op) lives in
+// internal/exec's perf benchmarks and the tcqbench -perf gate against
+// BENCH_exec.json.
+//
+//	go test -bench=TraceOverhead -benchtime=200x
+package tcq_test
+
+import (
+	"testing"
+	"time"
+
+	"tcq"
+)
+
+// traceBenchDB builds the selection workload DB once per benchmark.
+func traceBenchDB(b *testing.B) (*tcq.DB, tcq.Query) {
+	b.Helper()
+	db := tcq.Open(tcq.WithSimulatedClock(7))
+	rel, err := db.CreateRelation("orders", []tcq.Column{
+		{Name: "id", Type: tcq.Int},
+		{Name: "amount", Type: tcq.Int},
+	}, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := rel.Insert(i, (i*7919+3)%10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, tcq.Rel("orders").Where(tcq.Col("amount").Lt(1000))
+}
+
+func benchCountEstimate(b *testing.B, collect bool) {
+	db, q := traceBenchDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := db.CountEstimate(q, tcq.EstimateOptions{
+			Quota:        10 * time.Second,
+			Seed:         int64(i + 1),
+			CollectTrace: collect,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if collect && est.Trace == nil {
+			b.Fatal("trace not collected")
+		}
+	}
+}
+
+// BenchmarkCountEstimateTraceOverhead/off is the production path: the
+// no-op tracer must add nothing but a handful of int64 increments.
+func BenchmarkCountEstimateTraceOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchCountEstimate(b, false) })
+	b.Run("collect", func(b *testing.B) { benchCountEstimate(b, true) })
+}
