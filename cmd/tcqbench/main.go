@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		perfBase = flag.String("perfbase", "", "with -perf: compare against this baseline report and fail on regressions")
 		perfTol  = flag.Float64("perftol", 10, "with -perf -perfbase: ns-per-trial regression tolerance (percent)")
 		traceOut = flag.String("trace", "", "write a JSON-lines stage trace of every trial to this file ('-' for stdout)")
+		parallel = flag.Int("parallel", 1, "per-query term-evaluation workers (byte-identical output for any value)")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -64,7 +65,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	opts := bench.RunOptions{Trials: *trials, BaseSeed: *seed, Jitter: *jitter, LoadSigma: *load}
+	opts := bench.RunOptions{Trials: *trials, BaseSeed: *seed, Jitter: *jitter, LoadSigma: *load, EngineParallel: *parallel}
 
 	if *quality {
 		rows, err := bench.EstimatorQuality(opts, nil)

@@ -28,6 +28,7 @@
 //	set dbeta|strategy|seed|stats VALUE                    session settings
 //	\trace on|off                                          per-stage trace lines for estimates
 //	\timing on|off                                         stages/elapsed in result lines (on by default)
+//	\parallel N                                            term-evaluation workers (0 = auto; results are identical)
 //	\metrics                                               session-wide metrics snapshot
 //	help, quit
 package main
@@ -58,7 +59,11 @@ type session struct {
 	timing bool
 	// traceOn streams a per-stage trace line for every estimate.
 	traceOn bool
-	out     *bufio.Writer
+	// parallelism is the term-evaluation worker count passed to
+	// estimates (0 = auto, negative = serial; the choice never changes
+	// results, only wall time).
+	parallelism int
+	out         *bufio.Writer
 }
 
 // newSession builds a shell session writing to out.
@@ -108,7 +113,15 @@ func (s *session) dispatch(line string) error {
 	cmd, rest := splitWord(line)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, help, quit`)
+		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, \parallel, help, quit`)
+		return nil
+	case `\parallel`:
+		n, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil {
+			return fmt.Errorf(`usage: \parallel N (0 = auto, negative = serial)`)
+		}
+		s.parallelism = n
+		fmt.Fprintf(s.out, "parallel %d\n", n)
 		return nil
 	case `\trace`:
 		switch strings.TrimSpace(rest) {
@@ -370,6 +383,7 @@ func (s *session) estimateOptions(quota time.Duration) tcq.EstimateOptions {
 		Strategy:      s.strategy,
 		Seed:          s.seed,
 		UseStatistics: s.useStats,
+		Parallelism:   s.parallelism,
 	}
 	if s.traceOn {
 		opts.Trace = s.out

@@ -3,6 +3,7 @@ package tcq
 import (
 	"io"
 	"math"
+	"runtime"
 	"time"
 
 	"tcq/internal/core"
@@ -95,6 +96,12 @@ type EstimateOptions struct {
 	// samples (operators the histograms cannot cover still use
 	// run-time estimation). Requires a prior BuildStatistics call.
 	UseStatistics bool
+	// Parallelism bounds the worker pool evaluating the query's signed
+	// SJIP terms within a stage (default GOMAXPROCS; set negative for
+	// serial evaluation). Any value yields bit-identical results: the
+	// per-term work is recorded on lanes and replayed in term order
+	// (see DESIGN.md §7). HardDeadline queries always run serially.
+	Parallelism int
 	// Seed drives block sampling (default 1).
 	Seed int64
 	// OnProgress, when non-nil, receives each completed stage's
@@ -279,23 +286,32 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 		samplingPlan = core.SimpleRandomSampling
 	}
 
+	workers := opts.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
 	coreOpts := core.Options{
-		Agg:        agg,
-		AggColumn:  col,
-		GroupBy:    groupBy,
-		Quota:      opts.Quota,
-		Histograms: histCat(db, opts.UseStatistics),
-		Strategy:   strategy,
-		Stop:       stop,
-		Mode:       mode,
-		Plan:       plan,
-		Sampling:   samplingPlan,
-		Trace:      opts.Trace,
-		Tracer:     opts.Tracer,
-		Metrics:    db.metrics,
-		Initial:    initial,
-		Confidence: opts.Confidence,
-		Seed:       opts.Seed,
+		Agg:         agg,
+		AggColumn:   col,
+		GroupBy:     groupBy,
+		Quota:       opts.Quota,
+		Histograms:  histCat(db, opts.UseStatistics),
+		Strategy:    strategy,
+		Stop:        stop,
+		Mode:        mode,
+		Plan:        plan,
+		Sampling:    samplingPlan,
+		Trace:       opts.Trace,
+		Tracer:      opts.Tracer,
+		Metrics:     db.metrics,
+		Initial:     initial,
+		Confidence:  opts.Confidence,
+		Seed:        opts.Seed,
+		Parallelism: workers,
 	}
 	var collector *trace.Collector
 	if opts.CollectTrace {
@@ -319,10 +335,16 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 		}
 	}
 
-	res, err := db.engine.Count(q.expr, coreOpts)
+	// Each estimate runs on its own session: a confined clock and
+	// counter view over the shared catalog, making concurrent calls
+	// independent (and bit-reproducible under a simulated clock).
+	sess, finish := db.session(opts.Seed)
+	res, err := core.NewEngine(sess).Count(q.expr, coreOpts)
 	if err != nil {
+		finish(0)
 		return nil, nil, err
 	}
+	finish(res.Elapsed)
 	var qt *QueryTrace
 	if collector != nil {
 		qt = collector.Trace()
@@ -363,6 +385,8 @@ func histCat(db *DB, use bool) *histogram.Catalog {
 	if !use {
 		return nil
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.stats
 }
 

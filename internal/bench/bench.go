@@ -71,6 +71,11 @@ type RunOptions struct {
 	// GOMAXPROCS). Results are deterministic regardless: every trial is
 	// seeded independently and reduced in trial order.
 	Parallel int
+	// EngineParallel bounds the per-query term-evaluation worker pool
+	// (core.Options.Parallelism; ≤ 1 = serial, the default). Engine
+	// results are byte-identical for any value — the determinism goldens
+	// are re-checked under EngineParallel=4 in CI.
+	EngineParallel int
 	// LoadSigma is the lognormal sigma of the per-stage system-load
 	// factor (default 0.12), modelling the timeshared prototype's
 	// between-stage variability — the reason the paper's d_β sweep
@@ -157,6 +162,7 @@ func (e Experiment) Run(opts RunOptions) ([]Row, error) {
 					Strategy:               v.Strategy(),
 					Seed:                   seed,
 					PrestoredSelectivities: v.Prestored,
+					Parallelism:            opts.EngineParallel,
 				}
 				if v.Model != nil {
 					bf := storage.DefaultBlockSize / workload.PaperTupleSize

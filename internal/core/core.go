@@ -170,6 +170,14 @@ type Options struct {
 	// comparisons, temp-file bytes, coverage fractions). It is touched
 	// once per query, at the end — never on the per-tuple hot path.
 	Metrics *trace.Registry
+	// Parallelism bounds the worker pool evaluating the signed SJIP
+	// terms of a stage (≤ 1 = serial). Results are byte-identical for
+	// any value: per-term work is recorded on lanes and replayed onto
+	// the session clock in term order (see internal/exec/lane.go).
+	// HardDeadline queries always run serially — their abort points
+	// depend on the global charge interleaving, which deferred lane
+	// charges cannot reproduce.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -251,9 +259,13 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 	if opts.Quota <= 0 {
 		return nil, errors.New("core: a positive time quota is required")
 	}
+	workers := opts.Parallelism
+	if workers < 1 || opts.Mode == HardDeadline {
+		workers = 1
+	}
 	cat := exec.StoreCatalog{Store: g.store}
 	env := exec.NewEnv(g.store)
-	q, err := exec.NewQuery(e, env, cat, opts.Plan)
+	q, err := exec.NewParallelQuery(e, env, cat, opts.Plan, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -649,28 +661,31 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		})
 	}
 	if opts.Metrics != nil {
-		m := opts.Metrics
 		d := chargesSnapshot(g.store, env).Sub(startCharges)
-		m.Add("queries", 1)
-		m.Add("stages", int64(res.Stages))
-		if res.Overspent {
-			m.Add("quota_overruns", 1)
-		}
-		m.Add("blocks_read", d.BlocksRead)
-		m.Add("pages_written", d.PagesWritten)
-		m.Add("temp_bytes", d.TempBytes)
-		m.Add("comparisons", d.Comparisons)
-		m.Add("deadline_polls", d.DeadlinePolls)
 		coverage := 1.0
 		for _, s := range samplers {
 			if f := s.Fraction(); f < coverage {
 				coverage = f
 			}
 		}
-		m.Observe("coverage_fraction", coverage)
-		m.Observe("stages_per_query", float64(res.Stages))
-		m.Observe("blocks_per_query", float64(res.Blocks))
-		m.Observe("utilization", res.Utilization)
+		// One atomic batch: a concurrent Snapshot must never see the
+		// query counted but its stage/charge totals missing.
+		opts.Metrics.Update(func(m trace.Tx) {
+			m.Add("queries", 1)
+			m.Add("stages", int64(res.Stages))
+			if res.Overspent {
+				m.Add("quota_overruns", 1)
+			}
+			m.Add("blocks_read", d.BlocksRead)
+			m.Add("pages_written", d.PagesWritten)
+			m.Add("temp_bytes", d.TempBytes)
+			m.Add("comparisons", d.Comparisons)
+			m.Add("deadline_polls", d.DeadlinePolls)
+			m.Observe("coverage_fraction", coverage)
+			m.Observe("stages_per_query", float64(res.Stages))
+			m.Observe("blocks_per_query", float64(res.Blocks))
+			m.Observe("utilization", res.Utilization)
+		})
 	}
 	return res, nil
 }

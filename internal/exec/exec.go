@@ -121,11 +121,43 @@ type Env struct {
 	DeadlinePolls int64
 	nextID        int
 	deadline      vclock.Deadline
+	// root/lane are set on per-term fork environments during parallel
+	// evaluation (see lane.go): node ids are allocated from the root so
+	// serial and parallel builds number nodes identically, and charges
+	// are recorded on the lane for ordered replay.
+	root *Env
+	lane *lane
 }
 
 // NewEnv creates an execution environment over a store.
 func NewEnv(store *storage.Store) *Env {
 	return &Env{Store: store}
+}
+
+// fork derives a per-term recording environment: same session store and
+// deadline, node ids allocated from the root, and all clock charges,
+// temp-file counters and step timings captured on a private lane until
+// replayLane folds them back in term order.
+func (e *Env) fork() *Env {
+	return &Env{Store: e.Store, root: e, lane: &lane{}}
+}
+
+// Clock returns the clock executors must charge: the per-term recording
+// lane during parallel evaluation, the session clock otherwise.
+func (e *Env) Clock() vclock.Clock {
+	if e.lane != nil {
+		return e.lane
+	}
+	return e.Store.Clock()
+}
+
+// NewScratchFile creates a charge-only temp file whose costs flow to
+// this environment's charge sink (lane or session store).
+func (e *Env) NewScratchFile(schema *tuple.Schema) *storage.TempFile {
+	if e.lane != nil {
+		return e.Store.NewScratchFileOn(schema, e.lane, &e.lane.counters)
+	}
+	return e.Store.NewScratchFile(schema)
 }
 
 // SetDeadline arms (or disarms, with vclock.Unarmed()) the hard
@@ -140,22 +172,31 @@ func (e *Env) TakeTimings() []StepTiming {
 }
 
 func (e *Env) newID() int {
+	if e.root != nil {
+		return e.root.newID()
+	}
 	e.nextID++
 	return e.nextID - 1
 }
 
-// record logs a step timing.
+// record logs a step timing. On a lane environment the duration argument
+// is a span over the lane's charge log (lane.Now() is an index), kept
+// pending until replay resolves it into the real jittered duration.
 func (e *Env) record(nodeID int, op OpKind, step StepKind, units float64, actual time.Duration) {
-	e.Timings = append(e.Timings, StepTiming{
-		NodeID: nodeID, Op: op, Step: step, Units: units, Actual: actual,
-	})
+	st := StepTiming{NodeID: nodeID, Op: op, Step: step, Units: units, Actual: actual}
+	if e.lane != nil {
+		end := int(e.lane.Now())
+		e.lane.pending = append(e.lane.pending, laneTiming{t: st, start: end - int(actual), end: end})
+		return
+	}
+	e.Timings = append(e.Timings, st)
 }
 
 // chargeInit charges the fixed per-stage initialisation overhead of one
 // operator and records it, modelling the paper's per-stage "overhead"
 // (the reason more stages cost more for the same overall sample size).
 func (e *Env) chargeInit(nodeID int, op OpKind) {
-	clock := e.Store.Clock()
+	clock := e.Clock()
 	t0 := clock.Now()
 	clock.Charge(e.Store.Costs().OpInit)
 	e.record(nodeID, op, StepInit, 1, clock.Now()-t0)
@@ -170,7 +211,7 @@ func (e *Env) chargeChunked(n int64, per time.Duration) error {
 	// Every chunked charge today is a batch of tuple comparisons
 	// (sort, merge, dedup scans), so the comparison counter lives here.
 	e.Comparisons += n
-	clock := e.Store.Clock()
+	clock := e.Clock()
 	for n > 0 {
 		c := n
 		if c > chunk {
@@ -186,9 +227,17 @@ func (e *Env) chargeChunked(n int64, per time.Duration) error {
 }
 
 // checkDeadline returns ErrAborted when the hard deadline has passed.
+// Fork environments consult the root's deadline: SetDeadline is called
+// between stages on the root, and hard-deadline queries always run
+// serially (an abort point depends on the global charge interleaving,
+// which deferred lane charges cannot reproduce).
 func (e *Env) checkDeadline() error {
 	e.DeadlinePolls++
-	if e.deadline.Expired() {
+	dl := e.deadline
+	if e.root != nil {
+		dl = e.root.deadline
+	}
+	if dl.Expired() {
 		return fmt.Errorf("exec: stage aborted: %w", ErrAborted)
 	}
 	return nil
@@ -269,11 +318,11 @@ func (f *Feed) LoadStage(indices []int) error {
 
 func (f *Feed) loadStageCluster(blocks []int) error {
 	f.env.chargeInit(f.nodeID, OpBase)
-	clock := f.env.Store.Clock()
+	clock := f.env.Clock()
 	t0 := clock.Now()
 	var ts []tuple.Tuple
 	for _, b := range blocks {
-		blk, err := f.Rel.ReadBlock(b, f.env.deadline)
+		blk, err := f.Rel.ReadBlockIn(f.env.Store, b, f.env.deadline)
 		if err != nil {
 			return err
 		}
@@ -290,12 +339,12 @@ func (f *Feed) loadStageCluster(blocks []int) error {
 // block read per tuple.
 func (f *Feed) loadStageSRS(tupleIdx []int) error {
 	f.env.chargeInit(f.nodeID, OpBase)
-	clock := f.env.Store.Clock()
+	clock := f.env.Clock()
 	t0 := clock.Now()
 	bf := f.Rel.BlockingFactor()
 	var ts []tuple.Tuple
 	for _, ti := range tupleIdx {
-		blk, err := f.Rel.ReadBlock(ti/bf, f.env.deadline)
+		blk, err := f.Rel.ReadBlockIn(f.env.Store, ti/bf, f.env.deadline)
 		if err != nil {
 			return err
 		}
@@ -500,7 +549,7 @@ func newSelectNode(env *Env, child Node, pred ra.Pred, src ra.Expr) (Node, error
 		predSize: size,
 		src:      src,
 		env:      env,
-		out:      env.Store.NewScratchFile(child.Schema()),
+		out:      env.NewScratchFile(child.Schema()),
 	}, nil
 }
 
@@ -517,7 +566,7 @@ func (n *selectNode) Advance(stage int) ([]tuple.Tuple, error) {
 		return nil, err
 	}
 	n.env.chargeInit(n.id, OpSelect)
-	clock := n.env.Store.Clock()
+	clock := n.env.Clock()
 	costs := n.env.Store.Costs()
 
 	// Scan + check each input tuple (cost c1·n of eq. 4.1). Pre-size
@@ -589,8 +638,8 @@ func newProjectNode(env *Env, child Node, cols []string, src ra.Expr) (Node, err
 		schema:    schema,
 		src:       src,
 		env:       env,
-		temp:      env.Store.NewScratchFile(schema),
-		out:       env.Store.NewScratchFile(schema),
+		temp:      env.NewScratchFile(schema),
+		out:       env.NewScratchFile(schema),
 		keyed:     tuple.CanNormalizeKeys(schema, nil),
 		occupancy: make(map[string]int),
 	}, nil
@@ -624,7 +673,7 @@ func (n *projectNode) Advance(stage int) ([]tuple.Tuple, error) {
 		return nil, err
 	}
 	n.env.chargeInit(n.id, OpProject)
-	clock := n.env.Store.Clock()
+	clock := n.env.Clock()
 	costs := n.env.Store.Costs()
 
 	// Step 1: write projected attributes to a temporary file.
@@ -765,7 +814,7 @@ func newJoinNode(env *Env, left, right Node, on []ra.JoinCond, plan Plan, src ra
 	n := &mergeNode{
 		id: env.newID(), op: OpJoin, src: src, left: left, right: right,
 		lcols: lcols, rcols: rcols, schema: schema,
-		env: env, plan: plan, out: env.Store.NewScratchFile(schema),
+		env: env, plan: plan, out: env.NewScratchFile(schema),
 		keyed: tuple.KeysComparable(left.Schema(), lcols, right.Schema(), rcols),
 	}
 	n.emit = n.emitConcat
@@ -805,7 +854,7 @@ func newIntersectNode(env *Env, left, right Node, plan Plan, src ra.Expr) (Node,
 		id: env.newID(), op: OpIntersect, src: src, left: left, right: right,
 		lcols: all, rcols: all, schema: ls,
 		emit: func(l, r tuple.Tuple) tuple.Tuple { return l },
-		env:  env, plan: plan, out: env.Store.NewScratchFile(ls),
+		env:  env, plan: plan, out: env.NewScratchFile(ls),
 		keyed: tuple.KeysComparable(ls, all, rs, all),
 	}, nil
 }
@@ -831,13 +880,13 @@ func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
 		return nil, err
 	}
 	n.env.chargeInit(n.id, n.op)
-	clock := n.env.Store.Clock()
+	clock := n.env.Clock()
 	costs := n.env.Store.Costs()
 
 	// Step 1: write sample tuples to temporary files (eq. 4.2). The
 	// files are charge-only: both samples are already in memory.
 	t0 := clock.Now()
-	lTemp := n.env.Store.NewScratchFile(n.left.Schema())
+	lTemp := n.env.NewScratchFile(n.left.Schema())
 	for _, t := range newL {
 		if err := n.env.checkDeadline(); err != nil {
 			return nil, err
@@ -845,7 +894,7 @@ func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
 		lTemp.Write(t)
 	}
 	lTemp.Flush()
-	rTemp := n.env.Store.NewScratchFile(n.right.Schema())
+	rTemp := n.env.NewScratchFile(n.right.Schema())
 	for _, t := range newR {
 		if err := n.env.checkDeadline(); err != nil {
 			return nil, err

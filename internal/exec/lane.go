@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"time"
+
+	"tcq/internal/storage"
+	"tcq/internal/vclock"
+)
+
+// Deterministic parallel term evaluation.
+//
+// The engine's determinism contract says a seeded run must be
+// byte-identical — estimates, tables and traces — no matter how many
+// workers evaluate it. The obstacle is the session clock: under a
+// simulated clock every Charge consumes seeded jitter randomness, so
+// the *order* of charges decides the virtual timeline. Letting worker
+// goroutines charge the shared clock directly would make that order a
+// scheduling accident.
+//
+// A lane solves this with record/replay: while a term executes on a
+// worker, its charges go to the lane (a recording clock), its temp-file
+// counters to the lane's private counter set, and its step timings are
+// kept as *spans over the charge log* rather than durations. After all
+// terms of a stage finish, the lanes are replayed onto the real clock
+// in fixed term order — exactly the sequence a serial run would have
+// produced — and the recorded spans are resolved into the same jittered
+// durations a serial run would have measured. Parallelism therefore
+// changes wall-clock speed only, never the simulation.
+type lane struct {
+	charges  []time.Duration // recorded positive charges, in order
+	pending  []laneTiming    // step timings as charge-log spans
+	counters storage.Counters
+}
+
+// laneTiming is a StepTiming whose Actual duration is still unresolved:
+// it covers charges [start, end) of the lane's log.
+type laneTiming struct {
+	t          StepTiming
+	start, end int
+}
+
+// Charge implements vclock.Clock by recording the nominal charge for
+// later replay. Non-positive charges are dropped, mirroring Sim.Charge
+// (which consumes no jitter randomness for them either).
+func (l *lane) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	l.charges = append(l.charges, d)
+}
+
+// Now implements vclock.Clock; on a lane it is a position in the charge
+// log, not a time. Executors only ever use Now to delimit spans
+// (t0 := Now(); ...; record(..., Now()-t0)), so index arithmetic is
+// exactly what resolves to real durations at replay.
+func (l *lane) Now() time.Duration { return time.Duration(len(l.charges)) }
+
+var _ vclock.Clock = (*lane)(nil)
+
+// replay applies the lane's charge log to the real clock, resolves the
+// pending timings against the resulting (jittered) timeline, folds the
+// lane's counters into the session store, and clears the lane for the
+// next stage. It must be called from the engine goroutine, in term
+// order.
+func (e *Env) replayLane(root *Env) {
+	l := e.lane
+	if l == nil || (len(l.charges) == 0 && len(l.pending) == 0 &&
+		e.Comparisons == 0 && e.DeadlinePolls == 0 && l.counters == (storage.Counters{})) {
+		return
+	}
+	clock := root.Store.Clock()
+	prefix := make([]time.Duration, len(l.charges)+1)
+	prefix[0] = clock.Now()
+	for i, d := range l.charges {
+		clock.Charge(d)
+		prefix[i+1] = clock.Now()
+	}
+	for _, lt := range l.pending {
+		st := lt.t
+		st.Actual = prefix[lt.end] - prefix[lt.start]
+		root.Timings = append(root.Timings, st)
+	}
+	root.Comparisons += e.Comparisons
+	root.DeadlinePolls += e.DeadlinePolls
+	root.Store.AddCounters(l.counters)
+
+	e.Comparisons, e.DeadlinePolls = 0, 0
+	l.charges = l.charges[:0]
+	l.pending = l.pending[:0]
+	l.counters = storage.Counters{}
+}

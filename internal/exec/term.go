@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"tcq/internal/estimator"
 	"tcq/internal/ra"
@@ -211,6 +212,13 @@ type Query struct {
 	Feeds map[string]*Feed
 	Env   *Env
 	Plan  Plan
+
+	// workers > 1 selects deterministic parallel stage evaluation: each
+	// term executes on its own lane environment (termEnvs[i]), and the
+	// recorded charges are replayed onto the session clock in term order
+	// after every stage (see lane.go).
+	workers  int
+	termEnvs []*Env
 }
 
 // FeedNames returns the feed relation names in sorted order. Callers
@@ -227,8 +235,20 @@ func (q *Query) FeedNames() []string {
 }
 
 // NewQuery decomposes COUNT(e) into signed terms and builds an executor
-// per term, with one shared Feed per distinct base relation.
+// per term, with one shared Feed per distinct base relation. Stages are
+// evaluated serially; see NewParallelQuery.
 func NewQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan) (*Query, error) {
+	return NewParallelQuery(e, env, cat, plan, 1)
+}
+
+// NewParallelQuery is NewQuery with a worker budget for stage
+// evaluation. With workers > 1 each term is built on a forked lane
+// environment so terms can execute concurrently; replaying the lanes in
+// term order afterwards reproduces the exact serial charge sequence, so
+// any worker count yields byte-identical estimates, timings and traces.
+// Feeds always belong to the root environment: samples are drawn and
+// loaded serially (they consume the query's seeded RNG stream).
+func NewParallelQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan, workers int) (*Query, error) {
 	terms, err := ra.Terms(e, cat)
 	if err != nil {
 		return nil, err
@@ -241,9 +261,17 @@ func NewQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan) (*Query, error) {
 		}
 		feeds[name] = NewFeed(env, rel)
 	}
-	q := &Query{Feeds: feeds, Env: env, Plan: plan}
+	if workers < 1 {
+		workers = 1
+	}
+	q := &Query{Feeds: feeds, Env: env, Plan: plan, workers: workers}
 	for _, t := range terms {
-		te, err := NewTermExec(t, env, cat, feeds, plan)
+		tenv := env
+		if workers > 1 {
+			tenv = env.fork()
+			q.termEnvs = append(q.termEnvs, tenv)
+		}
+		te, err := NewTermExec(t, tenv, cat, feeds, plan)
 		if err != nil {
 			return nil, err
 		}
@@ -253,10 +281,45 @@ func NewQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan) (*Query, error) {
 }
 
 // AdvanceStage evaluates stage over all terms (feeds must be loaded).
+// With a worker budget > 1 the terms run concurrently on their lane
+// environments and the recorded work is folded back in term order, so
+// the session clock, counters and timings end the stage in exactly the
+// state a serial evaluation would have produced.
 func (q *Query) AdvanceStage(stage int) error {
-	for _, te := range q.Terms {
-		if err := te.Advance(stage); err != nil {
-			return err
+	if q.workers <= 1 || len(q.termEnvs) == 0 {
+		for _, te := range q.Terms {
+			if err := te.Advance(stage); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(q.Terms))
+	if len(q.Terms) == 1 {
+		// A single term still runs through its lane (the record/replay
+		// path must not depend on term count), but needs no goroutine.
+		errs[0] = q.Terms[0].Advance(stage)
+	} else {
+		sem := make(chan struct{}, q.workers)
+		var wg sync.WaitGroup
+		for i, te := range q.Terms {
+			wg.Add(1)
+			go func(i int, te *TermExec) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				errs[i] = te.Advance(stage)
+			}(i, te)
+		}
+		wg.Wait()
+	}
+	// Replay in fixed term order — the serial charge sequence. On error,
+	// replay only the prefix a serial run would have executed (terms
+	// after the first failure never ran serially).
+	for i, tenv := range q.termEnvs {
+		tenv.replayLane(q.Env)
+		if errs[i] != nil {
+			return errs[i]
 		}
 	}
 	return nil

@@ -8,6 +8,7 @@ package ra
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"tcq/internal/tuple"
@@ -79,7 +80,31 @@ type Const struct{ Value tuple.Value }
 
 func (c Const) operandString() string {
 	if s, ok := c.Value.(string); ok {
-		return fmt.Sprintf("%q", s)
+		// Quote with the RA lexer's escape convention — a backslash
+		// makes the next byte literal — so rendering and re-parsing are
+		// inverses for every string. (%q would emit multi-byte escapes
+		// like \xf1 that the lexer reads as a literal 'x' plus "f1".)
+		var sb strings.Builder
+		sb.WriteByte('"')
+		for i := 0; i < len(s); i++ {
+			if s[i] == '"' || s[i] == '\\' {
+				sb.WriteByte('\\')
+			}
+			sb.WriteByte(s[i])
+		}
+		sb.WriteByte('"')
+		return sb.String()
+	}
+	if v, ok := c.Value.(float64); ok {
+		// Plain decimal with a mandatory fraction: the RA lexer has no
+		// exponent syntax, and a bare "-0" or "100" would re-parse as
+		// an integer. FormatFloat('f', -1) is the shortest decimal
+		// that round-trips the value exactly.
+		s := strconv.FormatFloat(v, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
 	}
 	return fmt.Sprintf("%v", c.Value)
 }

@@ -1,0 +1,77 @@
+package raparse
+
+import "testing"
+
+// FuzzParse checks that the RA parser never panics on arbitrary input
+// and that every accepted expression round-trips through its canonical
+// String rendering: Parse(e.String()) must succeed and re-render to
+// the same string (the grammar and the printer agree).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// README and shell examples.
+		`select(orders, amount < 100 and region = "north")`,
+		`select(orders, amount < 1000)`,
+		`select(r, a < 10)`,
+		`project(r, [a, b, c])`,
+		`join(r, s, id = rid and a = b)`,
+		`union(r, s)`,
+		`diff(r, s)`,
+		`intersect(r, s, u)`,
+		`union(select(r, a < 5), join(project(s, [id, a]), u, id = k))`,
+		`SELECT(r, a < 1 AND NOT b > 2)`,
+		`select(r, true)`,
+		// Malformed shapes the parser must reject gracefully.
+		`select(r a < 1)`,
+		`project(r, [a)`,
+		`join(r, s, a = )`,
+		`select(r, a @ 1)`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		first := e.String()
+		e2, err := Parse(first)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q: %v", first, err)
+		}
+		if second := e2.String(); second != first {
+			t.Fatalf("canonical form not a fixed point:\n first: %q\nsecond: %q", first, second)
+		}
+	})
+}
+
+// FuzzParsePred covers the standalone predicate entry point the same
+// way (it shares the lexer but has its own top-level production).
+func FuzzParsePred(f *testing.F) {
+	for _, s := range []string{
+		`a < 10`,
+		`amount < 100 and region = "north"`,
+		`a < 1 AND NOT b > 2`,
+		`not (a = 1 or b = 2)`,
+		`true`,
+		`a <`,
+		``,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePred(input)
+		if err != nil {
+			return
+		}
+		first := p.String()
+		p2, err := ParsePred(first)
+		if err != nil {
+			t.Fatalf("canonical predicate does not re-parse: %q: %v", first, err)
+		}
+		if second := p2.String(); second != first {
+			t.Fatalf("canonical predicate not a fixed point:\n first: %q\nsecond: %q", first, second)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tcq/internal/core"
+	"tcq/internal/storage"
+	"tcq/internal/trace"
+	"tcq/internal/vclock"
+)
+
+// ControllerOptions configures a concurrent admission Controller.
+type ControllerOptions struct {
+	Options
+	// MaxConcurrent bounds the number of transactions executing at
+	// once; default GOMAXPROCS.
+	MaxConcurrent int
+	// Jitter is the multiplicative noise of the per-transaction
+	// simulated clocks (used when the root store runs on a simulated
+	// clock); default 0.02.
+	Jitter float64
+}
+
+// Controller is the concurrent counterpart of Scheduler.Run: an
+// admission controller that accepts transactions as they arrive and
+// runs each admitted transaction on its own goroutine against a
+// private session of the store. Where Run simulates an EDF dispatch
+// loop on one shared clock, the Controller really is concurrent — it
+// is exercised under the race detector — so each transaction measures
+// time on its own session clock, with Deadline interpreted as a
+// per-transaction budget from dispatch.
+//
+// Admission uses the classic uniprocessor test, which is conservative
+// under concurrency: a transaction is admitted only if the worst-case
+// work already committed to in-flight transactions plus its own
+// worst case fits inside its budget. An admitted quota-policy
+// transaction therefore has wcet ≤ Deadline and can only miss by
+// overrunning its slack allowance.
+//
+// Submit and Wait are safe for concurrent use; Submit after Wait has
+// returned reports the transaction as rejected.
+type Controller struct {
+	store *storage.Store
+	opts  ControllerOptions
+
+	slots chan struct{} // bounds concurrently executing transactions
+
+	mu        sync.Mutex
+	committed time.Duration // worst-case work of admitted, unfinished txns
+	results   []TxnResult
+	err       error // first execution error
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewController creates a concurrent admission controller over a store.
+func NewController(store *storage.Store, opts ControllerOptions) *Controller {
+	if opts.Slack <= 0 {
+		opts.Slack = 0.05
+	}
+	if opts.MaxConcurrent < 1 {
+		opts.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if opts.Jitter <= 0 {
+		opts.Jitter = 0.02
+	}
+	return &Controller{
+		store: store,
+		opts:  opts,
+		slots: make(chan struct{}, opts.MaxConcurrent),
+	}
+}
+
+// Submit offers one transaction. It returns immediately: true means
+// the transaction was admitted and is (or will be) running on its own
+// goroutine; false means admission control rejected it and it consumed
+// no resources. Exact-policy controllers admit everything, mirroring
+// Scheduler.Run.
+func (c *Controller) Submit(tx Txn) bool {
+	wcet := tx.wcet(c.opts.Slack)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	if c.opts.Policy == QuotaQueries && c.committed+wcet > tx.Deadline {
+		c.results = append(c.results, TxnResult{ID: tx.ID})
+		c.mu.Unlock()
+		c.opts.Metrics.Add("txns_rejected", 1)
+		return false
+	}
+	c.committed += wcet
+	c.wg.Add(1)
+	c.mu.Unlock()
+	c.opts.Metrics.Add("txns_admitted", 1)
+	go c.run(tx, wcet)
+	return true
+}
+
+// Wait blocks until every admitted transaction has finished and
+// returns all results sorted by transaction ID (completion order is
+// nondeterministic), plus the first execution error if any. After
+// Wait returns, further Submits are rejected.
+func (c *Controller) Wait() ([]TxnResult, error) {
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	out := append([]TxnResult{}, c.results...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, c.err
+}
+
+// run executes one admitted transaction on a private session and
+// releases its committed capacity when done.
+func (c *Controller) run(tx Txn, wcet time.Duration) {
+	defer c.wg.Done()
+	c.slots <- struct{}{}
+	defer func() { <-c.slots }()
+
+	sess := c.store.Session(c.sessionClock(tx))
+	eng := core.NewEngine(sess)
+	res := TxnResult{ID: tx.ID, Admitted: true, Started: sess.Clock().Now()}
+	err := executeTxn(sess, eng, c.opts.Options, tx, &res)
+	res.Finished = sess.Clock().Now()
+	res.Met = err == nil && res.Finished-res.Started <= tx.Deadline
+	sess.MergeCounters()
+
+	c.opts.Metrics.Update(func(m trace.Tx) {
+		m.Add("txns_completed", 1)
+		if !res.Met {
+			m.Add("txns_missed", 1)
+		}
+		m.Observe("txn_seconds", (res.Finished - res.Started).Seconds())
+	})
+
+	c.mu.Lock()
+	c.committed -= wcet
+	c.results = append(c.results, res)
+	if err != nil && c.err == nil {
+		c.err = fmt.Errorf("sched: txn %d: %w", tx.ID, err)
+	}
+	c.mu.Unlock()
+}
+
+// sessionClock derives the private clock for one transaction: a
+// deterministically seeded simulated clock when the root store is
+// simulated (so results are reproducible regardless of goroutine
+// interleaving), the shared root clock otherwise.
+func (c *Controller) sessionClock(tx Txn) vclock.Clock {
+	if _, sim := c.store.Clock().(*vclock.Sim); !sim {
+		return nil
+	}
+	return vclock.NewSim(c.opts.Seed*1_000_003+int64(tx.ID), c.opts.Jitter)
+}

@@ -174,12 +174,19 @@ func (s *Scheduler) Run(txns []Txn) ([]TxnResult, error) {
 }
 
 func (s *Scheduler) execute(tx Txn, res *TxnResult) error {
-	clock := s.store.Clock()
+	return executeTxn(s.store, s.eng, s.opts, tx, res)
+}
+
+// executeTxn runs one transaction's query steps against the given store
+// view (a root store for the serial Scheduler, a private session for
+// the concurrent Controller) and appends their outcomes to res.
+func executeTxn(store *storage.Store, eng *core.Engine, sopts Options, tx Txn, res *TxnResult) error {
+	clock := store.Clock()
 	for qi, step := range tx.Queries {
 		t0 := clock.Now()
-		switch s.opts.Policy {
+		switch sopts.Policy {
 		case ExactQueries:
-			n, err := s.eng.FullScanCount(step.Expr)
+			n, err := eng.FullScanCount(step.Expr)
 			if err != nil {
 				return err
 			}
@@ -191,15 +198,15 @@ func (s *Scheduler) execute(tx Txn, res *TxnResult) error {
 			opts.Quota = step.Quota
 			opts.Mode = core.HardDeadline
 			if opts.Seed == 0 {
-				opts.Seed = s.opts.Seed + int64(tx.ID*100+qi)
+				opts.Seed = sopts.Seed + int64(tx.ID*100+qi)
 			}
 			if opts.Tracer == nil {
-				opts.Tracer = s.opts.Tracer
+				opts.Tracer = sopts.Tracer
 			}
 			if opts.Metrics == nil {
-				opts.Metrics = s.opts.Metrics
+				opts.Metrics = sopts.Metrics
 			}
-			r, err := s.eng.Count(step.Expr, opts)
+			r, err := eng.Count(step.Expr, opts)
 			if err != nil {
 				return err
 			}
@@ -211,7 +218,7 @@ func (s *Scheduler) execute(tx Txn, res *TxnResult) error {
 		}
 	}
 	if tx.AppWork > 0 {
-		s.store.ChargeCPU(tx.AppWork)
+		store.ChargeCPU(tx.AppWork)
 	}
 	return nil
 }

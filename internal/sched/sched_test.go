@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"tcq/internal/ra"
 	"tcq/internal/storage"
 	"tcq/internal/timectrl"
+	"tcq/internal/trace"
 	"tcq/internal/vclock"
 	"tcq/internal/workload"
 )
@@ -162,5 +164,136 @@ func TestEDFOrdering(t *testing.T) {
 func TestPolicyString(t *testing.T) {
 	if QuotaQueries.String() != "quota" || ExactQueries.String() != "exact" {
 		t.Error("policy names wrong")
+	}
+}
+
+func TestControllerAdmitsAndMeetsDeadlines(t *testing.T) {
+	st, txns := batchFixture(t, 5)
+	reg := trace.NewRegistry()
+	c := NewController(st, ControllerOptions{
+		Options:       Options{Policy: QuotaQueries, Seed: 5, Metrics: reg},
+		MaxConcurrent: 4,
+	})
+	// Submit from concurrent producers, as a real workload would.
+	var wg sync.WaitGroup
+	for _, tx := range txns {
+		wg.Add(1)
+		go func(tx Txn) { defer wg.Done(); c.Submit(tx) }(tx)
+	}
+	wg.Wait()
+	results, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.ID != i+1 {
+			t.Errorf("results not sorted by ID: %+v", results)
+		}
+		if !r.Admitted {
+			t.Errorf("txn %d rejected despite feasible budget", r.ID)
+		}
+		if !r.Met {
+			t.Errorf("txn %d missed its budget: ran %v of %v",
+				r.ID, r.Finished-r.Started, txns[i].Deadline)
+		}
+		for _, q := range r.Queries {
+			if q.Estimate <= 0 {
+				t.Errorf("txn %d produced empty estimate", r.ID)
+			}
+		}
+	}
+	s := reg.Snapshot()
+	if s.Counters["txns_admitted"] != 3 || s.Counters["txns_completed"] != 3 {
+		t.Errorf("metrics: %+v", s.Counters)
+	}
+	if s.Counters["txns_missed"] != 0 || s.Counters["txns_rejected"] != 0 {
+		t.Errorf("metrics: %+v", s.Counters)
+	}
+	if h := s.Histograms["txn_seconds"]; h.Count != 3 {
+		t.Errorf("txn_seconds histogram count = %d, want 3", h.Count)
+	}
+	if c.Submit(txns[0]) {
+		t.Error("Submit after Wait must be rejected")
+	}
+}
+
+// TestControllerDeterministicAcrossConcurrency: per-transaction session
+// clocks are seeded from the transaction ID, so outcomes do not depend
+// on goroutine interleaving or the concurrency bound.
+func TestControllerDeterministicAcrossConcurrency(t *testing.T) {
+	run := func(maxConc int) []TxnResult {
+		st, txns := batchFixture(t, 6)
+		c := NewController(st, ControllerOptions{
+			Options:       Options{Policy: QuotaQueries, Seed: 6},
+			MaxConcurrent: maxConc,
+		})
+		for _, tx := range txns {
+			if !c.Submit(tx) {
+				t.Fatalf("txn %d rejected", tx.ID)
+			}
+		}
+		results, err := c.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	serial, parallel := run(1), run(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.ID != b.ID || a.Finished != b.Finished || len(a.Queries) != len(b.Queries) {
+			t.Fatalf("txn results diverge:\n%+v\n%+v", a, b)
+		}
+		for qi := range a.Queries {
+			if a.Queries[qi] != b.Queries[qi] {
+				t.Errorf("txn %d query %d diverges: %+v vs %+v",
+					a.ID, qi, a.Queries[qi], b.Queries[qi])
+			}
+		}
+	}
+}
+
+func TestControllerRejectsInfeasible(t *testing.T) {
+	st, txns := batchFixture(t, 7)
+	reg := trace.NewRegistry()
+	c := NewController(st, ControllerOptions{
+		Options: Options{Policy: QuotaQueries, Seed: 7, Metrics: reg},
+	})
+	// A budget below the transaction's own worst case must be refused.
+	tight := txns[0]
+	tight.ID = 9
+	tight.Deadline = time.Second
+	if c.Submit(tight) {
+		t.Fatal("infeasible transaction admitted")
+	}
+	for _, tx := range txns {
+		c.Submit(tx)
+	}
+	results, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RejectCount(results) != 1 {
+		t.Errorf("rejections = %d, want 1", RejectCount(results))
+	}
+	if got := reg.Snapshot().Counters["txns_rejected"]; got != 1 {
+		t.Errorf("txns_rejected = %d, want 1", got)
+	}
+}
+
+func TestControllerSurfacesErrors(t *testing.T) {
+	st, _ := batchFixture(t, 8)
+	c := NewController(st, ControllerOptions{Options: Options{Policy: QuotaQueries, Seed: 8}})
+	c.Submit(Txn{ID: 1, Deadline: time.Minute, Queries: []QueryStep{{
+		Expr: &ra.Base{Name: "missing"}, Quota: time.Second,
+	}}})
+	if _, err := c.Wait(); err == nil {
+		t.Error("unknown relation should surface from Wait")
 	}
 }

@@ -1,0 +1,51 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"tcq/internal/raparse"
+)
+
+// FuzzParse checks that the SQL parser never panics on arbitrary input
+// and that every accepted statement lowers to a relational-algebra
+// tree whose canonical rendering re-parses under the RA grammar — the
+// two front ends must agree on the shared ra.Expr language.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// README example plus the statement shapes from the unit tests.
+		"SELECT COUNT(*) FROM orders JOIN items ON id = oid WHERE price > 10",
+		"SELECT COUNT(*) FROM orders",
+		"SELECT COUNT(*) FROM orders JOIN items ON id = oid WHERE qty > 2",
+		"SELECT COUNT(*) FROM a JOIN b ON x = y AND u = v JOIN c ON p = q",
+		"SELECT SUM(revenue) FROM sales WHERE region = 3",
+		"SELECT AVG(qty) FROM orders",
+		"SELECT COUNT(DISTINCT region) FROM sales WHERE revenue > 100",
+		"SELECT COUNT(*) FROM sales WHERE revenue > 100 GROUP BY region",
+		// Malformed shapes the parser must reject gracefully.
+		"FROM x",
+		"SELECT MAX(a) FROM x",
+		"SELECT COUNT(*) FROM",
+		"SELECT COUNT(*) FROM x WHERE",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if stmt.Expr == nil {
+			t.Fatalf("accepted statement has nil expression: %q", input)
+		}
+		rendered := stmt.Expr.String()
+		e2, err := raparse.Parse(rendered)
+		if err != nil {
+			t.Fatalf("lowered RA tree does not re-parse: %q: %v", rendered, err)
+		}
+		if again := e2.String(); again != rendered {
+			t.Fatalf("lowered RA tree not canonical:\n first: %q\nsecond: %q", rendered, again)
+		}
+	})
+}

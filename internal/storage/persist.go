@@ -26,8 +26,11 @@ const (
 )
 
 // Save writes the relation to w in the tcq binary format. File-backed
-// relations are copied block by block (uncharged).
+// relations are copied block by block (uncharged). Concurrent appends
+// are excluded for the duration of the save.
 func (r *Relation) Save(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(fileMagic); err != nil {
 		return err
@@ -47,7 +50,7 @@ func (r *Relation) Save(w io.Writer) error {
 		return err
 	}
 	buf := make([]byte, 0, r.schema.TupleSize())
-	for i := 0; i < r.NumBlocks(); i++ {
+	for i := 0; i < r.numBlocksLocked(); i++ {
 		var blk []tuple.Tuple
 		if r.backing != nil {
 			b, err := r.backing.readBlock(i)
@@ -259,6 +262,7 @@ func (s *Store) OpenRelationFile(name, path string) (*Relation, error) {
 		f.Close()
 		return nil, err
 	}
+	rel.mu.Lock()
 	rel.numTuples = int64(ntuples)
 	rel.backing = &filePager{
 		f:       f,
@@ -267,13 +271,17 @@ func (s *Store) OpenRelationFile(name, path string) (*Relation, error) {
 		ntuples: int64(ntuples),
 		bf:      rel.blockingFactor,
 	}
+	rel.mu.Unlock()
 	return rel, nil
 }
 
 // Close releases a file-backed relation's file handle (no-op for
 // in-memory relations).
 func (r *Relation) Close() error {
-	if p, ok := r.backing.(*filePager); ok {
+	r.mu.RLock()
+	p, ok := r.backing.(*filePager)
+	r.mu.RUnlock()
+	if ok {
 		return p.f.Close()
 	}
 	return nil

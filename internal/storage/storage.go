@@ -8,11 +8,20 @@
 // cost to the session clock through a CostProfile, so the same code path
 // serves both the simulated SUN-3/60-era experiments and in-memory
 // real-time use (where the clock is real and charges are no-ops).
+//
+// Concurrency model: the catalog (relation names → relations) and each
+// relation's data are guarded by RW locks, so any number of sessions may
+// read while loads/appends are serialised. Charging state — the clock
+// and the physical-work counters — is NOT shared between concurrent
+// queries: each query runs against a Session view of the store, whose
+// clock and counters are confined to that query, and whose counters are
+// folded into the parent's totals when the session ends.
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"tcq/internal/tuple"
@@ -76,8 +85,10 @@ func FastProfile() CostProfile {
 	}
 }
 
-// Counters tracks physical work done by a Store. It is not synchronised;
-// a Store is confined to one query session at a time.
+// Counters tracks physical work done through one Store view. Increments
+// are unsynchronised: a Store (root or session) must be charged from one
+// goroutine at a time. Cross-session aggregation happens through
+// MergeCounters, which locks the root's totals.
 type Counters struct {
 	BlocksRead    int64
 	PagesWritten  int64
@@ -88,13 +99,36 @@ type Counters struct {
 	TempBytes int64
 }
 
+// add folds o into c.
+func (c *Counters) add(o Counters) {
+	c.BlocksRead += o.BlocksRead
+	c.PagesWritten += o.PagesWritten
+	c.TuplesRead += o.TuplesRead
+	c.TuplesWritten += o.TuplesWritten
+	c.TempBytes += o.TempBytes
+}
+
+// catalog is the relation namespace shared by a root store and all of
+// its sessions, guarded by an RW lock: lookups (the query read path)
+// take the read lock; create/drop/load take the write lock.
+type catalog struct {
+	mu        sync.RWMutex
+	relations map[string]*Relation
+}
+
 // Store is a simulated disk: a catalog of relations plus cost charging.
+// The catalog may be shared by many sessions; the clock and counters of
+// one Store value are confined to a single query at a time (see
+// Session).
 type Store struct {
 	clock     vclock.Clock
 	costs     CostProfile
 	blockSize int
-	relations map[string]*Relation
-	counters  Counters
+	cat       *catalog
+	root      *Store // counters-aggregation target; self for a root store
+
+	cmu      sync.Mutex // guards counters against concurrent merges/reads
+	counters Counters
 }
 
 // NewStore creates a store charging work to clock using the given cost
@@ -103,12 +137,49 @@ func NewStore(clock vclock.Clock, costs CostProfile, blockSize int) *Store {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	return &Store{
+	s := &Store{
 		clock:     clock,
 		costs:     costs,
 		blockSize: blockSize,
-		relations: make(map[string]*Relation),
+		cat:       &catalog{relations: make(map[string]*Relation)},
 	}
+	s.root = s
+	return s
+}
+
+// Session derives a store view for one query: it shares the catalog and
+// cost profile with the receiver but has its own clock and zeroed
+// physical-work counters, so concurrent queries never observe each
+// other's charges. A nil clock shares the receiver's clock (the right
+// choice for a real clock, whose Charge is a no-op). Call MergeCounters
+// when the session's query is done to fold its counters into the root
+// totals.
+func (s *Store) Session(clock vclock.Clock) *Store {
+	if clock == nil {
+		clock = s.clock
+	}
+	return &Store{
+		clock:     clock,
+		costs:     s.costs,
+		blockSize: s.blockSize,
+		cat:       s.cat,
+		root:      s.root,
+	}
+}
+
+// MergeCounters folds a session's counters into the root store's totals
+// (and zeroes the session's). It is a no-op on a root store.
+func (s *Store) MergeCounters() {
+	if s.root == s {
+		return
+	}
+	s.cmu.Lock()
+	delta := s.counters
+	s.counters = Counters{}
+	s.cmu.Unlock()
+	s.root.cmu.Lock()
+	s.root.counters.add(delta)
+	s.root.cmu.Unlock()
 }
 
 // Clock returns the store's clock.
@@ -120,11 +191,30 @@ func (s *Store) Costs() CostProfile { return s.costs }
 // BlockSize returns the disk block size in bytes.
 func (s *Store) BlockSize() int { return s.blockSize }
 
-// Counters returns a snapshot of the physical work counters.
-func (s *Store) Counters() Counters { return s.counters }
+// Counters returns a snapshot of the physical work counters of this
+// store view (a session sees only its own work; the root sees its own
+// direct work plus every merged session).
+func (s *Store) Counters() Counters {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.counters
+}
 
 // ResetCounters zeroes the physical work counters.
-func (s *Store) ResetCounters() { s.counters = Counters{} }
+func (s *Store) ResetCounters() {
+	s.cmu.Lock()
+	s.counters = Counters{}
+	s.cmu.Unlock()
+}
+
+// AddCounters folds an externally accumulated counter delta into this
+// store view's totals (the executor lanes use it when replaying a term's
+// recorded work at the end of a parallel stage).
+func (s *Store) AddCounters(c Counters) {
+	s.cmu.Lock()
+	s.counters.add(c)
+	s.cmu.Unlock()
+}
 
 // ChargeCPU charges an arbitrary CPU cost to the clock (used by the
 // executors for predicate checks, comparisons and so on).
@@ -136,21 +226,25 @@ func (s *Store) CreateRelation(name string, schema *tuple.Schema) (*Relation, er
 	if name == "" {
 		return nil, errors.New("storage: empty relation name")
 	}
-	if _, dup := s.relations[name]; dup {
-		return nil, fmt.Errorf("storage: relation %q already exists", name)
-	}
 	bf := s.blockSize / schema.TupleSize()
 	if bf < 1 {
 		return nil, fmt.Errorf("storage: tuple size %d exceeds block size %d", schema.TupleSize(), s.blockSize)
 	}
-	r := &Relation{name: name, schema: schema, store: s, blockingFactor: bf}
-	s.relations[name] = r
+	r := &Relation{name: name, schema: schema, store: s.root, blockingFactor: bf}
+	s.cat.mu.Lock()
+	defer s.cat.mu.Unlock()
+	if _, dup := s.cat.relations[name]; dup {
+		return nil, fmt.Errorf("storage: relation %q already exists", name)
+	}
+	s.cat.relations[name] = r
 	return r, nil
 }
 
 // Relation returns the named relation, or an error if absent.
 func (s *Store) Relation(name string) (*Relation, error) {
-	r, ok := s.relations[name]
+	s.cat.mu.RLock()
+	r, ok := s.cat.relations[name]
+	s.cat.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown relation %q", name)
 	}
@@ -159,8 +253,10 @@ func (s *Store) Relation(name string) (*Relation, error) {
 
 // RelationNames returns the names of all relations (unsorted).
 func (s *Store) RelationNames() []string {
-	out := make([]string, 0, len(s.relations))
-	for n := range s.relations {
+	s.cat.mu.RLock()
+	defer s.cat.mu.RUnlock()
+	out := make([]string, 0, len(s.cat.relations))
+	for n := range s.cat.relations {
 		out = append(out, n)
 	}
 	return out
@@ -168,10 +264,12 @@ func (s *Store) RelationNames() []string {
 
 // DropRelation removes a relation from the catalog.
 func (s *Store) DropRelation(name string) error {
-	if _, ok := s.relations[name]; !ok {
+	s.cat.mu.Lock()
+	defer s.cat.mu.Unlock()
+	if _, ok := s.cat.relations[name]; !ok {
 		return fmt.Errorf("storage: unknown relation %q", name)
 	}
-	delete(s.relations, name)
+	delete(s.cat.relations, name)
 	return nil
 }
 
@@ -187,15 +285,20 @@ type pager interface {
 }
 
 // Relation is a heap file: an ordered list of blocks, each holding up to
-// blockingFactor tuples. Blocks are the cluster-sampling units.
+// blockingFactor tuples. Blocks are the cluster-sampling units. A
+// relation is shared by every session of its store; its data is guarded
+// by an RW lock (appends/loads exclude readers), while read charges are
+// routed to the session doing the reading (ReadBlockIn).
 type Relation struct {
 	name           string
 	schema         *tuple.Schema
-	store          *Store
+	store          *Store // the creating (root) store; default charge target
 	blockingFactor int
-	blocks         [][]tuple.Tuple
-	numTuples      int64
-	backing        pager // nil for in-memory relations
+
+	mu        sync.RWMutex
+	blocks    [][]tuple.Tuple
+	numTuples int64
+	backing   pager // nil for in-memory relations
 }
 
 // Name returns the relation name.
@@ -209,6 +312,12 @@ func (r *Relation) BlockingFactor() int { return r.blockingFactor }
 
 // NumBlocks returns the number of disk blocks.
 func (r *Relation) NumBlocks() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.numBlocksLocked()
+}
+
+func (r *Relation) numBlocksLocked() int {
 	if r.backing != nil {
 		return r.backing.numBlocks()
 	}
@@ -216,12 +325,18 @@ func (r *Relation) NumBlocks() int {
 }
 
 // NumTuples returns the total number of tuples.
-func (r *Relation) NumTuples() int64 { return r.numTuples }
+func (r *Relation) NumTuples() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.numTuples
+}
 
 // Append adds a tuple to the relation, filling the last block first.
 // Appending does not charge the clock: loading is setup, not query time.
 // File-backed relations are read-only.
 func (r *Relation) Append(t tuple.Tuple) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.backing != nil {
 		return fmt.Errorf("storage: relation %s is file-backed (read-only)", r.name)
 	}
@@ -248,30 +363,41 @@ func (r *Relation) AppendAll(ts []tuple.Tuple) error {
 }
 
 // ReadBlock returns the tuples of block i, charging one block-read to
-// the clock. It honours the deadline: if dl has expired the read fails
-// with ErrDeadline before any cost is charged (the paper's interrupt
-// aborts the stage at the next block boundary).
+// the creating store's clock. It honours the deadline: if dl has expired
+// the read fails with ErrDeadline before any cost is charged (the
+// paper's interrupt aborts the stage at the next block boundary).
 func (r *Relation) ReadBlock(i int, dl vclock.Deadline) ([]tuple.Tuple, error) {
-	if i < 0 || i >= r.NumBlocks() {
-		return nil, fmt.Errorf("storage: %s block %d out of range [0,%d)", r.name, i, r.NumBlocks())
-	}
+	return r.ReadBlockIn(r.store, i, dl)
+}
+
+// ReadBlockIn is ReadBlock with the charge routed to the given store
+// view — the way a query session reads shared relations without its
+// physical-work accounting bleeding into other sessions.
+func (r *Relation) ReadBlockIn(sess *Store, i int, dl vclock.Deadline) ([]tuple.Tuple, error) {
 	if dl.Expired() {
 		return nil, fmt.Errorf("storage: read %s block %d: %w", r.name, i, ErrDeadline)
+	}
+	r.mu.RLock()
+	if i < 0 || i >= r.numBlocksLocked() {
+		n := r.numBlocksLocked()
+		r.mu.RUnlock()
+		return nil, fmt.Errorf("storage: %s block %d out of range [0,%d)", r.name, i, n)
 	}
 	var blk []tuple.Tuple
 	if r.backing != nil {
 		var err error
 		blk, err = r.backing.readBlock(i)
 		if err != nil {
+			r.mu.RUnlock()
 			return nil, fmt.Errorf("storage: read %s block %d: %w", r.name, i, err)
 		}
 	} else {
 		blk = r.blocks[i]
 	}
-	s := r.store
-	s.clock.Charge(s.costs.BlockRead)
-	s.counters.BlocksRead++
-	s.counters.TuplesRead += int64(len(blk))
+	r.mu.RUnlock()
+	sess.clock.Charge(sess.costs.BlockRead)
+	sess.counters.BlocksRead++
+	sess.counters.TuplesRead += int64(len(blk))
 	return blk, nil
 }
 
@@ -296,8 +422,10 @@ func (r *Relation) Scan(dl vclock.Deadline, fn func(tuple.Tuple) error) error {
 // AllTuples returns every tuple without charging the clock; intended for
 // tests, exact (non-sampled) evaluation and data export.
 func (r *Relation) AllTuples() []tuple.Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]tuple.Tuple, 0, r.numTuples)
-	for i := 0; i < r.NumBlocks(); i++ {
+	for i := 0; i < r.numBlocksLocked(); i++ {
 		var blk []tuple.Tuple
 		if r.backing != nil {
 			b, err := r.backing.readBlock(i)
@@ -315,9 +443,14 @@ func (r *Relation) AllTuples() []tuple.Tuple {
 
 // TempFile is a cost-charged output/temporary file of tuples, modelling
 // the paper's on-disk intermediate relations. Writing charges one
-// tuple-write per tuple and one page-write per flushed page.
+// tuple-write per tuple and one page-write per flushed page. A temp file
+// is confined to one goroutine; its charges go to the sink it was
+// created with (the session store by default, a per-term lane under
+// parallel evaluation).
 type TempFile struct {
-	store          *Store
+	costs          CostProfile
+	clock          vclock.Clock
+	counters       *Counters
 	schema         *tuple.Schema
 	blockingFactor int
 	scratch        bool // charge-only: tuples are not retained
@@ -333,7 +466,13 @@ func (s *Store) NewTempFile(schema *tuple.Schema) *TempFile {
 	if bf < 1 {
 		bf = 1
 	}
-	return &TempFile{store: s, schema: schema, blockingFactor: bf}
+	return &TempFile{
+		costs:          s.costs,
+		clock:          s.clock,
+		counters:       &s.counters,
+		schema:         schema,
+		blockingFactor: bf,
+	}
 }
 
 // NewScratchFile creates a charge-only temp file: Write and Flush charge
@@ -348,12 +487,23 @@ func (s *Store) NewScratchFile(schema *tuple.Schema) *TempFile {
 	return f
 }
 
+// NewScratchFileOn is NewScratchFile with the charges routed to an
+// explicit clock and counter set instead of the store's own — the
+// executor lanes use it to confine per-term work during parallel
+// evaluation.
+func (s *Store) NewScratchFileOn(schema *tuple.Schema, clock vclock.Clock, counters *Counters) *TempFile {
+	f := s.NewScratchFile(schema)
+	f.clock = clock
+	f.counters = counters
+	return f
+}
+
 // Write appends a tuple, charging tuple-write cost and a page-write each
 // time a page fills.
 func (f *TempFile) Write(t tuple.Tuple) {
-	f.store.clock.Charge(f.store.costs.TupleWrite)
-	f.store.counters.TuplesWritten++
-	f.store.counters.TempBytes += int64(f.schema.TupleSize())
+	f.clock.Charge(f.costs.TupleWrite)
+	f.counters.TuplesWritten++
+	f.counters.TempBytes += int64(f.schema.TupleSize())
 	if !f.scratch {
 		f.tuples = append(f.tuples, t)
 	}
@@ -372,8 +522,8 @@ func (f *TempFile) Flush() {
 }
 
 func (f *TempFile) flushPage() {
-	f.store.clock.Charge(f.store.costs.PageWrite)
-	f.store.counters.PagesWritten++
+	f.clock.Charge(f.costs.PageWrite)
+	f.counters.PagesWritten++
 	f.pages++
 	f.pending = 0
 }

@@ -56,13 +56,48 @@ func (r *Registry) Observe(name string, v float64) {
 		return
 	}
 	r.mu.Lock()
+	r.observeLocked(name, v)
+	r.mu.Unlock()
+}
+
+func (r *Registry) observeLocked(name string, v float64) {
 	h := r.hists[name]
 	if h == nil {
 		h = &histData{min: math.Inf(1), max: math.Inf(-1)}
 		r.hists[name] = h
 	}
 	h.observe(v)
-	r.mu.Unlock()
+}
+
+// Tx mutates a registry inside one Update call. All writes issued
+// through a Tx land under a single lock acquisition, so a concurrent
+// Snapshot sees either none or all of them.
+type Tx struct {
+	r *Registry
+}
+
+// Add increments a counter by v.
+func (t Tx) Add(name string, v int64) { t.r.counters[name] += v }
+
+// SetGauge records a gauge's current value.
+func (t Tx) SetGauge(name string, v float64) { t.r.gauges[name] = v }
+
+// Observe adds one observation to a histogram.
+func (t Tx) Observe(name string, v float64) { t.r.observeLocked(name, v) }
+
+// Update applies fn's writes as one atomic batch. Individual Add/
+// SetGauge/Observe calls are safe concurrently but each is its own
+// critical section; related metrics written at a query boundary (e.g. a
+// counter and its histogram) must go through Update, or a concurrent
+// Snapshot can observe a torn pair — one updated, the other not. fn
+// must not call back into the registry's locking methods.
+func (r *Registry) Update(fn func(Tx)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(Tx{r})
 }
 
 // histData accumulates one histogram: moments plus log2 buckets

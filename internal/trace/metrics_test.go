@@ -90,6 +90,62 @@ func TestRegistryConcurrent(t *testing.T) {
 	}
 }
 
+// TestUpdateAtomicBatch is the torn-snapshot regression test: every
+// Update writes a counter, a gauge and a histogram observation that must
+// stay in lockstep. A snapshot taken between the individual writes of a
+// batch (the pre-Update behaviour: one lock acquisition per call) would
+// observe queries counted whose stages or histogram entry are missing.
+func TestUpdateAtomicBatch(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				r.Update(func(tx Tx) {
+					tx.Add("queries", 1)
+					tx.Add("stages", 3)
+					tx.Observe("stages_per_query", 3)
+					tx.SetGauge("last_stages", 3)
+				})
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	snaps := 0
+	for {
+		select {
+		case <-done:
+			if snaps == 0 {
+				t.Fatal("reader never snapshotted")
+			}
+			s := r.Snapshot()
+			if s.Counters["queries"] != 8000 || s.Counters["stages"] != 24000 {
+				t.Errorf("lost batched updates: %+v", s.Counters)
+			}
+			return
+		default:
+			s := r.Snapshot()
+			snaps++
+			q, st := s.Counters["queries"], s.Counters["stages"]
+			if st != 3*q {
+				t.Fatalf("torn snapshot: queries=%d stages=%d (want stages = 3*queries)", q, st)
+			}
+			if h := s.Histograms["stages_per_query"]; h.Count != q {
+				t.Fatalf("torn snapshot: queries=%d histogram count=%d", q, h.Count)
+			}
+		}
+	}
+}
+
+func TestUpdateNilSafe(t *testing.T) {
+	var r *Registry
+	r.Update(func(tx Tx) { tx.Add("x", 1) })
+	NewRegistry().Update(nil)
+}
+
 func TestResetClears(t *testing.T) {
 	r := NewRegistry()
 	r.Add("n", 5)

@@ -59,6 +59,21 @@ if ! diff testdata/golden_trace_fig52_t8.jsonl "$trace_tmp"; then
   exit 1
 fi
 
+# Parallel term evaluation must be invisible in the output: the lane
+# record/replay machinery guarantees byte-identical tables AND traces
+# for any worker count. Re-run both goldens with 4 workers.
+echo "== parallel determinism goldens (fig5.2, -parallel 4)"
+got=$(go run ./cmd/tcqbench -exp fig5.2 -trials 8 -parallel 4 | grep -v 'trials/row')
+if ! diff <(cat testdata/golden_fig52_t8.txt) <(echo "$got"); then
+  echo "-parallel 4 table diverged from testdata/golden_fig52_t8.txt" >&2
+  exit 1
+fi
+go run ./cmd/tcqbench -exp fig5.2 -trials 8 -parallel 4 -trace "$trace_tmp" > /dev/null
+if ! diff testdata/golden_trace_fig52_t8.jsonl "$trace_tmp"; then
+  echo "-parallel 4 stage trace diverged from testdata/golden_trace_fig52_t8.jsonl" >&2
+  exit 1
+fi
+
 if [ "$run_perf" = 1 ]; then
   echo "== host perf vs BENCH_exec.json (tolerance 10%)"
   go run ./cmd/tcqbench -perf -exp fig5.1-1000,fig5.1-5000,fig5.2,fig5.3 -trials 8 \

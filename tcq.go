@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"tcq/internal/core"
@@ -66,6 +67,8 @@ type Column struct {
 type config struct {
 	clock     vclock.Clock
 	simClock  *vclock.Sim
+	simSeed   int64
+	jitter    float64
 	profile   storage.CostProfile
 	blockSize int
 	loadSigma float64
@@ -81,6 +84,8 @@ func WithSimulatedClock(seed int64) Option {
 	return func(c *config) {
 		sim := vclock.NewSim(seed, 0.03)
 		c.simClock = sim
+		c.simSeed = seed
+		c.jitter = 0.03
 		c.clock = sim
 	}
 }
@@ -120,12 +125,24 @@ func WithLoadNoise(sigma float64) Option {
 
 // DB is a tcq database instance: a catalog of relations plus the
 // time-constrained query engine.
+//
+// A DB is safe for concurrent use. The catalog and relation data are
+// guarded by RW locks in the storage layer; every estimate call runs on
+// its own session — a private view of the store with a per-query clock
+// (derived deterministically from the query seed under a simulated
+// clock) and confined work counters, folded into the DB totals when the
+// query finishes. A query's result therefore depends only on the data
+// and its own options, never on what runs next to it: a concurrent call
+// returns exactly what the same call returns serially.
 type DB struct {
 	store   *storage.Store
 	clock   vclock.Clock
 	engine  *core.Engine
-	stats   *histogram.Catalog
 	metrics *trace.Registry
+	cfg     config
+
+	mu    sync.Mutex // guards stats
+	stats *histogram.Catalog
 }
 
 // Open creates a database. With no options it uses a simulated clock
@@ -145,6 +162,34 @@ func Open(opts ...Option) *DB {
 		clock:   cfg.clock,
 		engine:  core.NewEngine(store),
 		metrics: trace.NewRegistry(),
+		cfg:     cfg,
+	}
+}
+
+// session derives a per-query store view. Under a simulated clock the
+// session gets its own Sim seeded from the DB seed and the query seed,
+// so identically-seeded queries are bit-reproducible no matter how many
+// run concurrently; under a real clock the shared wall clock is used
+// (charges are no-ops). finish folds the session's work counters into
+// the DB totals and advances the DB's display clock by the query's
+// elapsed virtual time (a jitter-free, commutative addition — the final
+// reading is independent of completion order).
+func (db *DB) session(querySeed int64) (sess *storage.Store, finish func(elapsed time.Duration)) {
+	var clk vclock.Clock
+	var sim *vclock.Sim
+	if db.cfg.simClock != nil {
+		sim = vclock.NewSim(db.cfg.simSeed*1_000_003+querySeed, db.cfg.jitter)
+		if db.cfg.loadSigma > 0 {
+			sim.SetLoadSigma(db.cfg.loadSigma)
+		}
+		clk = sim
+	}
+	sess = db.store.Session(clk)
+	return sess, func(elapsed time.Duration) {
+		sess.MergeCounters()
+		if sim != nil {
+			db.cfg.simClock.Advance(elapsed)
+		}
 	}
 }
 
@@ -332,7 +377,9 @@ func (db *DB) BuildStatistics(bucketCount int) error {
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
 	db.stats = cat
+	db.mu.Unlock()
 	return nil
 }
 

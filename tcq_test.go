@@ -612,8 +612,11 @@ func TestGroupCountPublicAPI(t *testing.T) {
 	if exact["info"] != 1200 || exact["warn"] != 400 || exact["error"] != 400 {
 		t.Fatalf("exact groups: %v", exact)
 	}
+	// 12 s comfortably covers a census of the 400-block relation; a 10 s
+	// quota sits on the planner's knife edge (the stage is planned at
+	// ~99.9% of the quota and the jitter draw decides the overrun).
 	groups, overall, err := db.GroupCountEstimate(q, "kind", EstimateOptions{
-		Quota: 10 * time.Second, Seed: 4,
+		Quota: 12 * time.Second, Seed: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
