@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tcq/internal/bench"
+	"tcq/internal/telemetry"
 	"tcq/internal/trace"
 )
 
@@ -53,6 +54,7 @@ func run(args []string, out io.Writer) error {
 		perfTol  = flag.Float64("perftol", 10, "with -perf -perfbase: ns-per-trial regression tolerance (percent)")
 		traceOut = flag.String("trace", "", "write a JSON-lines stage trace of every trial to this file ('-' for stdout)")
 		parallel = flag.Int("parallel", 1, "per-query term-evaluation workers (byte-identical output for any value)")
+		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /queries, /history, pprof) on this address, e.g. :9100")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -108,6 +110,30 @@ func run(args []string, out io.Writer) error {
 			mu.Unlock()
 			return c
 		}
+	}
+
+	// With -serve, a telemetry server exports live harness state while
+	// the experiments run: aggregate engine counters on /metrics and a
+	// per-trial progress record (labelled exp/variant#trial) on /queries.
+	// Trial tracers are composed so -trace and -serve stack.
+	if *serve != "" {
+		metrics := trace.NewRegistry()
+		opts.Metrics = metrics
+		progress := telemetry.NewRegistry(256)
+		inner := opts.TraceSink
+		opts.TraceSink = func(exp, label string, trial int) trace.Tracer {
+			h := progress.Track(fmt.Sprintf("%s/%s#%d", exp, label, trial))
+			if inner == nil {
+				return h
+			}
+			return trace.Combine(inner(exp, label, trial), h)
+		}
+		srv, addr, err := telemetry.Serve(telemetry.Sources{Progress: progress, Reg: metrics}, *serve)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "telemetry: http://%s/ (metrics, queries, history, pprof)\n", addr)
 	}
 
 	for i, e := range exps {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 )
@@ -58,5 +60,93 @@ func TestBenchMarkdownFlag(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "| variant |") {
 		t.Errorf("markdown output:\n%s", buf.String())
+	}
+}
+
+// gateWriter captures run's output and pauses the run at the first
+// write after the telemetry address line (i.e. after the first
+// experiment finished, while the server is still up), so the test can
+// scrape live endpoints deterministically.
+type gateWriter struct {
+	buf     bytes.Buffer
+	addr    chan string // bound address, sent once
+	reached chan struct{}
+	resume  chan struct{}
+	gated   bool
+}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	g.buf.Write(p)
+	if !g.gated {
+		s := g.buf.String()
+		if i := strings.Index(s, "telemetry: http://"); i >= 0 {
+			rest := s[i+len("telemetry: http://"):]
+			if j := strings.Index(rest, "/"); j >= 0 {
+				g.gated = true
+				g.addr <- rest[:j]
+			}
+		}
+	} else if g.resume != nil {
+		close(g.reached)
+		<-g.resume
+		g.resume = nil
+	}
+	return len(p), nil
+}
+
+func TestBenchServeTelemetry(t *testing.T) {
+	g := &gateWriter{
+		addr:    make(chan string, 1),
+		reached: make(chan struct{}),
+		resume:  make(chan struct{}),
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-exp", "fig5.3", "-trials", "3", "-serve", "127.0.0.1:0"}, g)
+	}()
+	addr := <-g.addr
+	<-g.reached // first experiment done; server still serving
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	// fig5.3 has 5 variants x 3 trials = 15 engine queries.
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE tcq_queries_total counter",
+		"tcq_queries_total 15",
+		"tcq_telemetry_queries_in_flight 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	hist := get("/history")
+	if !strings.Contains(hist, `"fig5.3/dβ=0#0"`) {
+		t.Errorf("/history missing trial label:\n%s", hist)
+	}
+	if !strings.Contains(get("/queries"), `"queries"`) {
+		t.Error("/queries not serving JSON")
+	}
+
+	close(g.resume)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.buf.String(), "Fig 5.3") {
+		t.Errorf("run output missing table:\n%s", g.buf.String())
 	}
 }

@@ -30,6 +30,8 @@
 //	\timing on|off                                         stages/elapsed in result lines (on by default)
 //	\parallel N                                            term-evaluation workers (0 = auto; results are identical)
 //	\metrics                                               session-wide metrics snapshot
+//	\watch [DUR EXPR]                                      in-flight queries; with args, estimate with live progress
+//	\history                                               completed queries + per-shape stats
 //	help, quit
 package main
 
@@ -69,7 +71,7 @@ type session struct {
 // newSession builds a shell session writing to out.
 func newSession(out io.Writer) *session {
 	return &session{
-		db:     tcq.Open(tcq.WithSimulatedClock(1), tcq.WithLoadNoise(0.12)),
+		db:     tcq.Open(tcq.WithSimulatedClock(1), tcq.WithLoadNoise(0.12), tcq.WithTelemetry(64)),
 		dBeta:  12,
 		seed:   1,
 		timing: true,
@@ -113,7 +115,7 @@ func (s *session) dispatch(line string) error {
 	cmd, rest := splitWord(line)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, \parallel, help, quit`)
+		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, \parallel, \watch, \history, help, quit`)
 		return nil
 	case `\parallel`:
 		n, err := strconv.Atoi(strings.TrimSpace(rest))
@@ -148,6 +150,13 @@ func (s *session) dispatch(line string) error {
 	case `\metrics`:
 		fmt.Fprint(s.out, s.db.Metrics().String())
 		return nil
+	case `\watch`:
+		if strings.TrimSpace(rest) == "" {
+			return s.watchInFlight()
+		}
+		return s.watchEstimate(rest)
+	case `\history`:
+		return s.printHistory()
 	case "rels":
 		names := s.db.Relations()
 		if len(names) == 0 {
@@ -355,6 +364,83 @@ func (s *session) dispatch(line string) error {
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
+}
+
+// watchInFlight renders the queries currently evaluating. In the
+// serial shell this is normally empty; it is the same view a telemetry
+// server exports on /queries, useful when other goroutines (embedding
+// programs, the scheduler) share the session's DB.
+func (s *session) watchInFlight() error {
+	inflight := s.db.InFlight()
+	if len(inflight) == 0 {
+		fmt.Fprintln(s.out, "(no queries in flight)")
+		return nil
+	}
+	for _, p := range inflight {
+		fmt.Fprintf(s.out, "q%-3d stage %-2d est %.1f ± %.1f, spent %.0f%%, %d blocks  %s\n",
+			p.ID, p.Stages, p.Estimate, p.Interval, p.SpentFrac*100, p.Blocks, p.Query)
+	}
+	return nil
+}
+
+// watchEstimate runs `\watch DUR EXPR`: a time-constrained COUNT that
+// renders one live progress line per completed stage, read back from
+// the session's in-flight registry (the same records /queries serves).
+func (s *session) watchEstimate(rest string) error {
+	durStr, exprStr := splitWord(rest)
+	quota, err := time.ParseDuration(durStr)
+	if err != nil || exprStr == "" {
+		return fmt.Errorf(`usage: \watch DURATION EXPR`)
+	}
+	q, err := tcq.Parse(exprStr)
+	if err != nil {
+		return err
+	}
+	opts := s.estimateOptions(quota)
+	opts.OnProgress = func(tcq.Progress) {
+		for _, p := range s.db.InFlight() {
+			var rels strings.Builder
+			for _, r := range p.Relations {
+				fmt.Fprintf(&rels, ", %s %.1f%%", r.Relation, r.Coverage*100)
+			}
+			fmt.Fprintf(s.out, "stage %d: est %.1f ± %.1f, spent %.0f%%, %d blocks%s\n",
+				p.Stages, p.Estimate, p.Interval, p.SpentFrac*100, p.Blocks, rels.String())
+		}
+	}
+	est, err := s.db.CountEstimate(q, opts)
+	if err != nil {
+		return err
+	}
+	s.printEstimate(est)
+	s.seed++
+	return nil
+}
+
+// printHistory renders the completed-query ring and the per-shape
+// aggregates (the shell's pg_stat_statements).
+func (s *session) printHistory() error {
+	hist := s.db.History()
+	if len(hist) == 0 {
+		fmt.Fprintln(s.out, "(no completed queries)")
+		return nil
+	}
+	fmt.Fprintln(s.out, "recent queries (most recent first):")
+	fmt.Fprintf(s.out, "%4s %6s %6s %12s %10s %8s %5s  %-18s %s\n",
+		"id", "stages", "blocks", "estimate", "±ci", "spent(s)", "util%", "reason", "query")
+	for _, h := range hist {
+		fmt.Fprintf(s.out, "%4d %6d %6d %12.1f %10.1f %8.2f %5.0f  %-18s %s\n",
+			h.ID, h.Stages, h.Blocks, h.Estimate, h.Interval,
+			h.Elapsed.Seconds(), h.Utilization*100, h.StopReason, h.Query)
+	}
+	fmt.Fprintln(s.out, "query shapes:")
+	fmt.Fprintf(s.out, "%6s %7s %7s %9s %5s  %s\n",
+		"calls", "stages", "blocks", "mean-ci", "ovsp", "query")
+	for _, st := range s.db.QueryStats() {
+		fmt.Fprintf(s.out, "%6d %7.1f %7.1f %9.1f %5d  %s\n",
+			st.Calls, st.MeanStages, float64(st.TotalBlocks)/float64(st.Calls),
+			st.MeanCIWidth, st.Overspends, st.Query)
+	}
+	return nil
 }
 
 // printSQL renders a SQL result, including group rows. Estimated

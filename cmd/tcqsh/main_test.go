@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -295,5 +297,85 @@ func TestShellSQLErrors(t *testing.T) {
 		if err := s.dispatch(line); err == nil {
 			t.Errorf("dispatch(%q) should fail", line)
 		}
+	}
+}
+
+func TestShellWatchAndHistory(t *testing.T) {
+	out := runLines(t,
+		`\watch`,   // nothing running yet
+		`\history`, // nothing completed yet
+		"gen select r 1000 100",
+		`\watch 3s select(r, a < 100)`,
+		"estimate 3s select(r, a < 100)",
+		`\history`,
+	)
+	for _, want := range []string{
+		"(no queries in flight)",
+		"(no completed queries)",
+		"stage 1: est", // live per-stage line from the in-flight registry
+		", r ",         // relation coverage in the live line
+		"estimate:",    // final line still printed
+		"recent queries (most recent first):",
+		"query shapes:",
+		"select(r, a < 100)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both runs share one shape: \history must aggregate calls = 2.
+	if !regexp.MustCompile(`(?m)^\s+2\s`).MatchString(out[strings.Index(out, "query shapes:"):]) {
+		t.Errorf("shape stats should show 2 calls:\n%s", out)
+	}
+}
+
+func TestShellWatchErrors(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSession(&buf)
+	for _, line := range []string{`\watch nope select(r, true)`, `\watch 1s`, `\watch 1s select(r,`} {
+		if err := s.dispatch(line); err == nil {
+			t.Errorf("dispatch(%q) should fail", line)
+		}
+	}
+}
+
+// TestShellMetricsDeterministic: \metrics output is a regression
+// surface — two identically-driven sessions must render byte-identical,
+// lexically sorted snapshots (diff-stable for scripted use).
+func TestShellMetricsDeterministic(t *testing.T) {
+	script := []string{
+		"gen select r 1000 100",
+		"estimate 3s select(r, a < 100)",
+		"estimate 2s select(r, a < 50)",
+		"count select(r, a < 100)",
+		`\metrics`,
+	}
+	first := runLines(t, script...)
+	second := runLines(t, script...)
+	if first != second {
+		t.Errorf("\\metrics not deterministic:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	i := strings.Index(first, "counter")
+	if i < 0 {
+		t.Fatalf("no metrics in output:\n%s", first)
+	}
+	var keys []string
+	var kinds []string
+	for _, line := range strings.Split(strings.TrimSpace(first[i:]), "\n") {
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			continue
+		}
+		kinds = append(kinds, f[0])
+		keys = append(keys, f[0]+"\x00"+f[1])
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("metrics lines not sorted within kinds:\n%s", first[i:])
+	}
+	if len(kinds) == 0 || !sort.SliceIsSorted(kinds, func(a, b int) bool {
+		order := map[string]int{"counter": 0, "gauge": 1, "histogram": 2}
+		return order[kinds[a]] < order[kinds[b]]
+	}) {
+		t.Errorf("metrics kinds out of order:\n%s", first[i:])
 	}
 }

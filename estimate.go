@@ -9,6 +9,7 @@ import (
 	"tcq/internal/core"
 	"tcq/internal/exec"
 	"tcq/internal/histogram"
+	"tcq/internal/telemetry"
 	"tcq/internal/timectrl"
 	"tcq/internal/trace"
 )
@@ -318,6 +319,14 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 		collector = trace.NewCollector()
 		coreOpts.Tracer = trace.Combine(collector, opts.Tracer)
 	}
+	// The live telemetry handle rides the tracer chain: progress updates
+	// happen at stage boundaries under the tracing layer's read-only
+	// contract. With telemetry off this is a single nil check.
+	var handle *telemetry.Handle
+	if db.progress != nil {
+		handle = db.progress.Track("")
+		coreOpts.Tracer = trace.Combine(coreOpts.Tracer, handle)
+	}
 	if opts.OnProgress != nil {
 		cb := opts.OnProgress
 		coreOpts.OnStage = func(r core.StageRecord) {
@@ -341,6 +350,7 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 	sess, finish := db.session(opts.Seed)
 	res, err := core.NewEngine(sess).Count(q.expr, coreOpts)
 	if err != nil {
+		handle.Discard()
 		finish(0)
 		return nil, nil, err
 	}

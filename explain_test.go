@@ -109,6 +109,32 @@ func TestExplainAnalyze(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeParallelIdentical: the rendered plan-with-stages
+// report is built entirely from the collected trace, and the lane
+// record/replay machinery makes traces independent of the worker
+// count — so ExplainAnalyze output must be byte-identical between a
+// serial and a parallel run of the same seeded session.
+func TestExplainAnalyzeParallelIdentical(t *testing.T) {
+	render := func(workers int) string {
+		db := demoDB(t, 2000, 0)
+		q := Rel("orders").Where(Col("amount").Lt(500))
+		out, err := db.ExplainAnalyze(q, EstimateOptions{
+			Quota: 10 * time.Second, Seed: 1, Parallelism: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := render(0)
+	for _, workers := range []int{2, 4} {
+		if got := render(workers); got != serial {
+			t.Errorf("ExplainAnalyze diverges at Parallelism=%d:\n--- serial\n%s\n--- parallel\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
 func TestExplainAnalyzeError(t *testing.T) {
 	db := setDB(t)
 	bad, _ := Parse("count(")

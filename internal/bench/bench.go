@@ -87,6 +87,10 @@ type RunOptions struct {
 	// concurrently, so each call must return a distinct tracer; the
 	// caller replays or merges them in its own deterministic order.
 	TraceSink func(exp, label string, trial int) trace.Tracer
+	// Metrics, when set, aggregates engine counters across every trial
+	// (the registry is concurrency-safe); with it a live telemetry
+	// server can expose harness throughput while experiments run.
+	Metrics *trace.Registry
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -171,6 +175,7 @@ func (e Experiment) Run(opts RunOptions) ([]Row, error) {
 				if opts.TraceSink != nil {
 					engOpts.Tracer = opts.TraceSink(e.ID, v.Label, trial)
 				}
+				engOpts.Metrics = opts.Metrics
 				res, err := core.NewEngine(st).Count(expr, engOpts)
 				if err != nil {
 					outs[trial] = trialOut{err: fmt.Errorf("bench %s/%s trial %d: %w", e.ID, v.Label, trial, err)}

@@ -167,8 +167,9 @@ type Options struct {
 	Tracer trace.Tracer
 	// Metrics, when non-nil, aggregates cross-query observability
 	// counters (stages run, quota overruns, deadline polls, sort/merge
-	// comparisons, temp-file bytes, coverage fractions). It is touched
-	// once per query, at the end — never on the per-tuple hot path.
+	// comparisons, temp-file bytes, coverage fractions) plus the live
+	// queries_in_flight gauge. It is touched at query entry and exit
+	// only — never on the per-tuple hot path.
 	Metrics *trace.Registry
 	// Parallelism bounds the worker pool evaluating the signed SJIP
 	// terms of a stage (≤ 1 = serial). Results are byte-identical for
@@ -262,6 +263,13 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 	workers := opts.Parallelism
 	if workers < 1 || opts.Mode == HardDeadline {
 		workers = 1
+	}
+	if opts.Metrics != nil {
+		// Live occupancy gauge for the telemetry server: queries enter
+		// here and leave on every return path. Registry ops never touch
+		// the session clock, so determinism is unaffected.
+		opts.Metrics.AddGauge("queries_in_flight", 1)
+		defer opts.Metrics.AddGauge("queries_in_flight", -1)
 	}
 	cat := exec.StoreCatalog{Store: g.store}
 	env := exec.NewEnv(g.store)

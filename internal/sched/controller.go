@@ -91,12 +91,14 @@ func (c *Controller) Submit(tx Txn) bool {
 		c.results = append(c.results, TxnResult{ID: tx.ID})
 		c.mu.Unlock()
 		c.opts.Metrics.Add("txns_rejected", 1)
+		c.opts.Log.TxnRejected(tx.ID, wcet, tx.Deadline)
 		return false
 	}
 	c.committed += wcet
 	c.wg.Add(1)
 	c.mu.Unlock()
 	c.opts.Metrics.Add("txns_admitted", 1)
+	c.opts.Log.TxnAdmitted(tx.ID, wcet, tx.Deadline)
 	go c.run(tx, wcet)
 	return true
 }
@@ -122,6 +124,11 @@ func (c *Controller) run(tx Txn, wcet time.Duration) {
 	c.slots <- struct{}{}
 	defer func() { <-c.slots }()
 
+	// The live occupancy gauge pairs with queries_in_flight on the
+	// telemetry server's /metrics: admitted vs actually-executing.
+	c.opts.Metrics.AddGauge("txns_running", 1)
+	defer c.opts.Metrics.AddGauge("txns_running", -1)
+
 	sess := c.store.Session(c.sessionClock(tx))
 	eng := core.NewEngine(sess)
 	res := TxnResult{ID: tx.ID, Admitted: true, Started: sess.Clock().Now()}
@@ -137,6 +144,7 @@ func (c *Controller) run(tx Txn, wcet time.Duration) {
 		}
 		m.Observe("txn_seconds", (res.Finished - res.Started).Seconds())
 	})
+	c.opts.Log.TxnFinished(tx.ID, res.Met, res.Started, res.Finished, tx.Deadline)
 
 	c.mu.Lock()
 	c.committed -= wcet

@@ -25,6 +25,7 @@ import (
 	"tcq/internal/core"
 	"tcq/internal/ra"
 	"tcq/internal/storage"
+	"tcq/internal/telemetry"
 	"tcq/internal/trace"
 	"tcq/internal/vclock"
 )
@@ -114,8 +115,17 @@ type Options struct {
 	Tracer trace.Tracer
 	// Metrics, when set, aggregates engine counters across every query
 	// step plus scheduler-level txns_admitted / txns_rejected /
-	// txns_missed counters.
+	// txns_missed counters (and, in the concurrent Controller, the live
+	// txns_running gauge).
 	Metrics *trace.Registry
+	// Progress, when set, registers every query step with the live
+	// telemetry registry (labelled "txn ID qN"), so an attached
+	// telemetry server shows per-transaction progress while the
+	// scheduler runs.
+	Progress *telemetry.Registry
+	// Log, when set, emits structured admission/completion/deadline
+	// events. Nil-safe: a nil Logger costs one pointer check per event.
+	Log *telemetry.Logger
 }
 
 // Scheduler runs transactions against one store.
@@ -149,17 +159,20 @@ func (s *Scheduler) Run(txns []Txn) ([]TxnResult, error) {
 	results := make([]TxnResult, 0, len(order))
 	for _, tx := range order {
 		res := TxnResult{ID: tx.ID, Started: clock.Now()}
+		wcet := tx.wcet(s.opts.Slack)
 		if s.opts.Policy == QuotaQueries {
 			// Admission control: the worst case must fit.
-			if clock.Now()+tx.wcet(s.opts.Slack) > tx.Deadline {
+			if clock.Now()+wcet > tx.Deadline {
 				res.Admitted = false
 				s.opts.Metrics.Add("txns_rejected", 1)
+				s.opts.Log.TxnRejected(tx.ID, wcet, tx.Deadline)
 				results = append(results, res)
 				continue
 			}
 		}
 		res.Admitted = true
 		s.opts.Metrics.Add("txns_admitted", 1)
+		s.opts.Log.TxnAdmitted(tx.ID, wcet, tx.Deadline)
 		if err := s.execute(tx, &res); err != nil {
 			return nil, fmt.Errorf("sched: txn %d: %w", tx.ID, err)
 		}
@@ -168,6 +181,7 @@ func (s *Scheduler) Run(txns []Txn) ([]TxnResult, error) {
 		if !res.Met {
 			s.opts.Metrics.Add("txns_missed", 1)
 		}
+		s.opts.Log.TxnFinished(tx.ID, res.Met, res.Started, res.Finished, tx.Deadline)
 		results = append(results, res)
 	}
 	return results, nil
@@ -206,8 +220,14 @@ func executeTxn(store *storage.Store, eng *core.Engine, sopts Options, tx Txn, r
 			if opts.Metrics == nil {
 				opts.Metrics = sopts.Metrics
 			}
+			var handle *telemetry.Handle
+			if sopts.Progress != nil {
+				handle = sopts.Progress.Track(fmt.Sprintf("txn %d q%d", tx.ID, qi))
+				opts.Tracer = trace.Combine(opts.Tracer, handle)
+			}
 			r, err := eng.Count(step.Expr, opts)
 			if err != nil {
+				handle.Discard()
 				return err
 			}
 			res.Queries = append(res.Queries, QueryOutcome{

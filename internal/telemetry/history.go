@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// QuerySummary is one completed query's retained outcome — the history
+// ring's unit, a compact digest of a trace.QueryEnd plus identity.
+type QuerySummary struct {
+	ID          int64         `json:"id"`
+	Label       string        `json:"label,omitempty"`
+	Query       string        `json:"query"`
+	Quota       time.Duration `json:"quota_ns"`
+	Stages      int           `json:"stages"`
+	Blocks      int           `json:"blocks"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	Utilization float64       `json:"utilization"`
+	Estimate    float64       `json:"estimate"`
+	StdErr      float64       `json:"stderr"`
+	Interval    float64       `json:"interval"`
+	StopReason  string        `json:"stop_reason"`
+	Overspent   bool          `json:"overspent,omitempty"`
+	Overrun     time.Duration `json:"overrun_ns,omitempty"`
+}
+
+// ShapeStat aggregates every completed run of one query shape (keyed by
+// its RA text) — the pg_stat_statements view: how often the shape runs,
+// how many stages it takes, how far the cost predictor misses, and how
+// tight the CI is when it stops.
+type ShapeStat struct {
+	Query string `json:"query"`
+	// Calls counts completed runs; TotalStages their stage sum.
+	Calls       int64 `json:"calls"`
+	TotalStages int64 `json:"total_stages"`
+	TotalBlocks int64 `json:"total_blocks"`
+	// MeanStages is TotalStages/Calls.
+	MeanStages float64 `json:"mean_stages"`
+	// MeanOvershoot averages the per-stage risk margin
+	// actual/predicted − 1 across every predicted stage of every call.
+	MeanOvershoot float64 `json:"mean_overshoot"`
+	// MeanCIWidth averages the CI half-width at stop.
+	MeanCIWidth float64 `json:"mean_ci_width"`
+	// Overspends counts calls that exceeded their quota.
+	Overspends int64 `json:"overspends"`
+}
+
+// shapeAgg is the mutable accumulator behind a ShapeStat.
+type shapeAgg struct {
+	calls        int64
+	stages       int64
+	blocks       int64
+	overshootSum float64
+	overshootN   int64
+	ciWidthSum   float64
+	overspends   int64
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer of query summaries.
+type ring struct {
+	buf   []QuerySummary
+	next  int // insertion cursor
+	count int // valid entries (≤ len(buf))
+}
+
+func newRing(n int) ring { return ring{buf: make([]QuerySummary, n)} }
+
+func (r *ring) push(s QuerySummary) {
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// list returns the retained summaries, most recent first.
+func (r *ring) list() []QuerySummary {
+	out := make([]QuerySummary, 0, r.count)
+	for i := 1; i <= r.count; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// History returns the retained completed-query summaries, most recent
+// first (bounded by the registry's history size).
+func (r *Registry) History() []QuerySummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.history.list()
+}
+
+// QueryStats returns the per-query-shape aggregates, sorted by calls
+// descending then query text (a stable, diff-friendly order).
+func (r *Registry) QueryStats() []ShapeStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]ShapeStat, 0, len(r.shapes))
+	for q, a := range r.shapes {
+		s := ShapeStat{
+			Query:       q,
+			Calls:       a.calls,
+			TotalStages: a.stages,
+			TotalBlocks: a.blocks,
+			Overspends:  a.overspends,
+		}
+		if a.calls > 0 {
+			s.MeanStages = float64(a.stages) / float64(a.calls)
+			s.MeanCIWidth = a.ciWidthSum / float64(a.calls)
+		}
+		if a.overshootN > 0 {
+			s.MeanOvershoot = a.overshootSum / float64(a.overshootN)
+		}
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Calls != out[j].Calls {
+			return out[i].Calls > out[j].Calls
+		}
+		return out[i].Query < out[j].Query
+	})
+	return out
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Logger emits structured engine events through log/slog. Every method
+// is safe on a nil receiver and costs one nil check when logging is
+// disabled — the engine threads a *Logger unconditionally and pays
+// nothing unless one is attached.
+//
+// Events: query start/stage/finish (the admission-to-completion life
+// cycle of one estimate), transaction admission decisions, and deadline
+// misses.
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger wraps a slog logger; nil yields a disabled Logger.
+func NewLogger(s *slog.Logger) *Logger {
+	if s == nil {
+		return nil
+	}
+	return &Logger{s: s}
+}
+
+// Enabled reports whether events will actually be emitted.
+func (l *Logger) Enabled() bool { return l != nil && l.s != nil }
+
+// QueryStarted logs a query entering evaluation.
+func (l *Logger) QueryStarted(id int64, label, query string, quota time.Duration) {
+	if !l.Enabled() {
+		return
+	}
+	l.s.Info("query started", "id", id, "label", label, "query", query, "quota", quota)
+}
+
+// StageDone logs one completed stage of a running query.
+func (l *Logger) StageDone(id int64, stage int, estimate, interval float64, remaining time.Duration) {
+	if !l.Enabled() {
+		return
+	}
+	l.s.Debug("stage done", "id", id, "stage", stage,
+		"estimate", estimate, "interval", interval, "remaining", remaining)
+}
+
+// QueryFinished logs a query's final outcome; quota overruns log at
+// Warn so deadline trouble stands out of an Info-level stream.
+func (l *Logger) QueryFinished(id int64, stopReason string, estimate, interval float64,
+	stages int, elapsed time.Duration, overspent bool, overrun time.Duration) {
+	if !l.Enabled() {
+		return
+	}
+	if overspent {
+		l.s.Warn("query overspent", "id", id, "stop", stopReason,
+			"estimate", estimate, "interval", interval,
+			"stages", stages, "elapsed", elapsed, "overrun", overrun)
+		return
+	}
+	l.s.Info("query finished", "id", id, "stop", stopReason,
+		"estimate", estimate, "interval", interval,
+		"stages", stages, "elapsed", elapsed)
+}
+
+// TxnAdmitted logs a transaction passing admission control.
+func (l *Logger) TxnAdmitted(txn int, wcet, deadline time.Duration) {
+	if !l.Enabled() {
+		return
+	}
+	l.s.Info("txn admitted", "txn", txn, "wcet", wcet, "deadline", deadline)
+}
+
+// TxnRejected logs an admission-control rejection.
+func (l *Logger) TxnRejected(txn int, wcet, deadline time.Duration) {
+	if !l.Enabled() {
+		return
+	}
+	l.s.Warn("txn rejected", "txn", txn, "wcet", wcet, "deadline", deadline)
+}
+
+// TxnFinished logs a transaction's completion; deadline misses log at
+// Warn.
+func (l *Logger) TxnFinished(txn int, met bool, started, finished, deadline time.Duration) {
+	if !l.Enabled() {
+		return
+	}
+	if !met {
+		l.s.Warn("txn missed deadline", "txn", txn,
+			"started", started, "finished", finished, "deadline", deadline)
+		return
+	}
+	l.s.Info("txn finished", "txn", txn,
+		"started", started, "finished", finished, "deadline", deadline)
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tcq/internal/trace"
+)
+
+// Source is what the telemetry server exports: the aggregate metrics
+// registry plus the live progress registry's three views. tcq.DB
+// satisfies it, as does the Sources value combining a Registry with a
+// trace.Registry (the CLI path).
+type Source interface {
+	// Metrics snapshots the aggregate metrics registry.
+	Metrics() trace.Snapshot
+	// InFlight snapshots the queries currently evaluating.
+	InFlight() []QueryProgress
+	// History lists recently completed queries, most recent first.
+	History() []QuerySummary
+	// QueryStats lists per-query-shape aggregates.
+	QueryStats() []ShapeStat
+}
+
+// Sources pairs a progress Registry with a metrics registry to form a
+// Source (for servers not fronted by a tcq.DB, e.g. tcqbench).
+type Sources struct {
+	Progress *Registry
+	Reg      *trace.Registry
+}
+
+// Metrics implements Source.
+func (s Sources) Metrics() trace.Snapshot { return s.Reg.Snapshot() }
+
+// InFlight implements Source.
+func (s Sources) InFlight() []QueryProgress { return s.Progress.InFlight() }
+
+// History implements Source.
+func (s Sources) History() []QuerySummary { return s.Progress.History() }
+
+// QueryStats implements Source.
+func (s Sources) QueryStats() []ShapeStat { return s.Progress.QueryStats() }
+
+// Handler builds the telemetry HTTP handler:
+//
+//	/metrics   Prometheus text exposition (counters, gauges, histograms
+//	           from the metrics registry, plus queries_in_flight)
+//	/queries   JSON: queries currently in flight, stage-by-stage state
+//	/history   JSON: completed-query ring + per-shape aggregates
+//	/debug/pprof/...  the standard net/http/pprof handlers
+//	/          plain-text index of the above
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeProm(w, src.Metrics(), len(src.InFlight()))
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Queries []QueryProgress `json:"queries"`
+		}{src.InFlight()})
+	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			History []QuerySummary `json:"history"`
+			Shapes  []ShapeStat    `json:"shapes"`
+		}{src.History(), src.QueryStats()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "tcq telemetry")
+		fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
+		fmt.Fprintln(w, "  /queries       in-flight query progress (JSON)")
+		fmt.Fprintln(w, "  /history       completed queries + per-shape stats (JSON)")
+		fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
+	})
+	return mux
+}
+
+// Serve starts the telemetry server on addr (e.g. ":8080" or
+// "127.0.0.1:0") and returns the running server plus the bound address.
+// Shut it down with srv.Close or srv.Shutdown.
+func Serve(src Source, addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(src)}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return srv, ln.Addr().String(), nil
+}
+
+// writeJSON writes v as indented JSON (deterministic: struct field
+// order is fixed and map-free).
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone, nothing to do
+}
+
+// writeProm renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters become tcq_<name>_total,
+// gauges tcq_<name>, and the registry's log2-bucket histograms proper
+// Prometheus histograms with cumulative le buckets. Families are
+// emitted in lexical key order per kind, so output for equal state is
+// byte-identical. inflight is the progress registry's live occupancy,
+// exported as tcq_telemetry_queries_in_flight (distinct from any
+// engine-maintained queries_in_flight gauge in the snapshot).
+func writeProm(w io.Writer, snap trace.Snapshot, inflight int) {
+	for _, k := range sortedKeys(snap.Counters) {
+		name := promName(k) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[k])
+	}
+	fmt.Fprintf(w, "# TYPE tcq_telemetry_queries_in_flight gauge\n")
+	fmt.Fprintf(w, "tcq_telemetry_queries_in_flight %d\n", inflight)
+	for _, k := range sortedKeys(snap.Gauges) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %s\n", name, promFloat(snap.Gauges[k]))
+	}
+	for _, k := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[k]
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum int64
+		for _, b := range promBuckets(h.Buckets) {
+			cum += b.count
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b.le), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+// promName maps a registry key to a legal Prometheus metric name under
+// the tcq_ namespace.
+func promName(key string) string {
+	var b strings.Builder
+	b.WriteString("tcq_")
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the exposition format accepts.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+type promBucket struct {
+	le    float64
+	count int64
+}
+
+// promBuckets converts the registry's sparse "le_<bound>" bucket map to
+// ascending-bound order for cumulative rendering.
+func promBuckets(m map[string]int64) []promBucket {
+	out := make([]promBucket, 0, len(m))
+	for k, n := range m {
+		bound, err := strconv.ParseFloat(strings.TrimPrefix(k, "le_"), 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, promBucket{le: bound, count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].le < out[j].le })
+	return out
+}
+
+// sortedKeys returns m's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"tcq/internal/trace"
+)
+
+// testSource builds a Source with one in-flight query, one completed
+// query, and a populated metrics registry.
+func testSource() Sources {
+	metrics := trace.NewRegistry()
+	metrics.Add("queries", 3)
+	metrics.Add("blocks_read", 120)
+	metrics.SetGauge("queries_in_flight", 1)
+	metrics.Observe("stages_per_query", 2)
+	metrics.Observe("stages_per_query", 5)
+	metrics.Observe("utilization", 0.8)
+
+	reg := NewRegistry(8)
+	feedQuery(reg.Track("done"), "select(r, a < 10)", 100, false)
+	live := reg.Track("live")
+	live.BeginQuery(trace.QueryInfo{Query: "join(r, s, a = a)", Quota: 10 * time.Second})
+	live.StageDone(trace.StageRecord{
+		Stage: 1, Fraction: 0.1, Blocks: 20, Remaining: 6 * time.Second,
+		Relations: []trace.RelationDraw{{Relation: "r", Blocks: 20, Tuples: 100, CumBlocks: 20, CumFraction: 0.1}},
+		Estimate:  480, StdErr: 25, Interval: 50, Completed: true, InTime: true,
+	})
+	return Sources{Progress: reg, Reg: metrics}
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// promLine matches one sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? (NaN|[-+]?Inf|[-+]?[0-9.eE+-]+)$`)
+
+// checkPromExposition validates body against the Prometheus text
+// format: every line is a comment or a sample, histograms carry
+// cumulative le buckets closed by +Inf, and each family is typed.
+func checkPromExposition(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Errorf("malformed TYPE line: %q", line)
+				continue
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition sample line: %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, suffix); trimmed != name && typed[trimmed] == "histogram" {
+				base = trimmed
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Errorf("sample %q has no TYPE declaration", name)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	checkPromExposition(t, body)
+	for _, want := range []string{
+		"tcq_queries_total 3",
+		"tcq_blocks_read_total 120",
+		"tcq_queries_in_flight 1",
+		"tcq_telemetry_queries_in_flight 1",
+		"# TYPE tcq_stages_per_query histogram",
+		`tcq_stages_per_query_bucket{le="2"} 1`,
+		`tcq_stages_per_query_bucket{le="+Inf"} 2`,
+		"tcq_stages_per_query_sum 7",
+		"tcq_stages_per_query_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Histogram buckets must be cumulative and non-decreasing.
+	if strings.Index(body, `le="2"`) > strings.Index(body, `le="8"`) && strings.Contains(body, `le="8"`) {
+		t.Errorf("buckets out of order:\n%s", body)
+	}
+	// Deterministic: a second scrape of unchanged state is identical.
+	_, again := get(t, srv, "/metrics")
+	if body != again {
+		t.Errorf("scrapes of equal state differ:\n%s\n---\n%s", body, again)
+	}
+}
+
+func TestQueriesEndpointShowsLiveQuery(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/queries status %d", code)
+	}
+	var got struct {
+		Queries []QueryProgress `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("invalid /queries JSON: %v\n%s", err, body)
+	}
+	if len(got.Queries) != 1 {
+		t.Fatalf("want 1 live query, got %d:\n%s", len(got.Queries), body)
+	}
+	q := got.Queries[0]
+	if q.Query != "join(r, s, a = a)" || q.Done || q.Stages != 1 || q.Estimate != 480 {
+		t.Errorf("live record wrong: %+v", q)
+	}
+	if len(q.Relations) != 1 || q.Relations[0].Coverage != 0.1 {
+		t.Errorf("live relations wrong: %+v", q.Relations)
+	}
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/history")
+	if code != http.StatusOK {
+		t.Fatalf("/history status %d", code)
+	}
+	var got struct {
+		History []QuerySummary `json:"history"`
+		Shapes  []ShapeStat    `json:"shapes"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("invalid /history JSON: %v\n%s", err, body)
+	}
+	if len(got.History) != 1 || got.History[0].Query != "select(r, a < 10)" {
+		t.Errorf("history wrong: %+v", got.History)
+	}
+	if len(got.Shapes) != 1 || got.Shapes[0].Calls != 1 {
+		t.Errorf("shapes wrong: %+v", got.Shapes)
+	}
+}
+
+func TestIndexAndPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: %d\n%s", code, body)
+	}
+	code, _ = get(t, srv, "/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+	code, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: %d", code)
+	}
+}
+
+func TestServeBindsAndShutsDown(t *testing.T) {
+	srv, addr, err := Serve(testSource(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if _, _, err := Serve(testSource(), addr); err == nil {
+		t.Error("second bind on same addr should fail")
+	}
+}

@@ -1,0 +1,348 @@
+// Package telemetry is the live operational view of the
+// time-constrained query engine, layered on the internal/trace
+// primitives: an in-flight query progress registry updated at stage
+// boundaries, a pg_stat_statements-style history ring of completed
+// query traces with per-query-shape aggregates, an HTTP server
+// exporting Prometheus metrics plus JSON progress/history endpoints
+// (and net/http/pprof), and nil-safe structured event logging via
+// log/slog.
+//
+// The registry observes queries through the trace.Tracer interface: a
+// Handle returned by Registry.Track is combined into the engine's
+// tracer chain, so progress updates inherit the tracing layer's
+// read-only contract — no session-clock charges, no RNG draws, and
+// byte-identical estimates, tables and trace goldens whether telemetry
+// is on or off. When telemetry is disabled the engine never sees a
+// handle at all: the hot path pays a single nil check (see the
+// progress-hook overhead guard in trace_bench_test.go).
+//
+// All durations in progress and history records come from the session's
+// virtual clock, so under a simulated clock every exported record is
+// deterministic; no wall-clock field ever enters a golden.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tcq/internal/trace"
+)
+
+// RelationProgress is one relation's cumulative share of a running
+// query's sample.
+type RelationProgress struct {
+	Relation string `json:"relation"`
+	// Blocks and Tuples are the cumulative sample drawn so far (sample
+	// units: disk blocks under cluster sampling, tuples under SRS).
+	Blocks int `json:"blocks"`
+	Tuples int `json:"tuples"`
+	// Coverage is the cumulative sampled fraction d/D of the relation.
+	Coverage float64 `json:"coverage"`
+}
+
+// QueryProgress is a point-in-time snapshot of one tracked query: the
+// live convergence view an online-aggregation UI renders. Every field
+// derives from the virtual session clock and the estimator state — no
+// wall-clock reading, so snapshots are deterministic under a simulated
+// clock.
+type QueryProgress struct {
+	// ID is the registry-assigned monotonic query id.
+	ID int64 `json:"id"`
+	// Label is the caller-supplied origin tag ("txn 3 q 0", a bench
+	// trial id, or empty for ad-hoc API queries).
+	Label string `json:"label,omitempty"`
+	// Query is the relational algebra text being estimated.
+	Query string `json:"query"`
+	// Quota is the time constraint T; Elapsed the virtual time spent so
+	// far; SpentFrac the fraction of quota consumed (may exceed 1 when
+	// the final stage overran).
+	Quota     time.Duration `json:"quota_ns"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	SpentFrac float64       `json:"spent_frac"`
+	// Strategy/Mode/Plan/Sampling/Seed mirror trace.QueryInfo.
+	Strategy string `json:"strategy"`
+	Mode     string `json:"mode"`
+	Plan     string `json:"plan"`
+	Sampling string `json:"sampling"`
+	Seed     int64  `json:"seed"`
+	// Stages counts completed stages; Blocks the cumulative sample
+	// units drawn; Fraction the latest stage's chosen sample fraction.
+	Stages   int     `json:"stages"`
+	Blocks   int     `json:"blocks"`
+	Fraction float64 `json:"fraction"`
+	// Relations is the per-relation cumulative draw with coverage.
+	Relations []RelationProgress `json:"relations,omitempty"`
+	// Estimate ± Interval is the current running estimate and its CI
+	// half-width; StdErr the standard error.
+	Estimate float64 `json:"estimate"`
+	StdErr   float64 `json:"stderr"`
+	Interval float64 `json:"interval"`
+	// Done is set when the query finished; StopReason says why (§3.2),
+	// and Overspent whether the quota was exceeded.
+	Done       bool   `json:"done"`
+	StopReason string `json:"stop_reason,omitempty"`
+	Overspent  bool   `json:"overspent,omitempty"`
+}
+
+// Registry tracks in-flight queries and retains a bounded history of
+// completed ones. It is safe for concurrent use; snapshot methods
+// (InFlight, History, QueryStats) never block running queries beyond a
+// short mutex hold and never touch session clocks.
+type Registry struct {
+	mu       sync.Mutex
+	nextID   int64
+	inflight map[int64]*Handle
+	history  ring
+	shapes   map[string]*shapeAgg
+	log      *Logger
+}
+
+// NewRegistry creates a registry keeping the last historySize completed
+// query summaries (128 when <= 0).
+func NewRegistry(historySize int) *Registry {
+	if historySize <= 0 {
+		historySize = 128
+	}
+	return &Registry{
+		inflight: make(map[int64]*Handle),
+		history:  newRing(historySize),
+		shapes:   make(map[string]*shapeAgg),
+	}
+}
+
+// SetLogger attaches a structured event logger; nil detaches it.
+func (r *Registry) SetLogger(l *Logger) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.log = l
+	r.mu.Unlock()
+}
+
+// Track registers a new in-flight query and returns its progress
+// handle, which implements trace.Tracer: combine it into the engine's
+// tracer chain and the registry follows the query stage by stage. A nil
+// registry returns a nil handle (also a valid no-op Tracer), so callers
+// can thread an optional registry without branching.
+func (r *Registry) Track(label string) *Handle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.nextID++
+	h := &Handle{reg: r, p: QueryProgress{ID: r.nextID, Label: label}}
+	r.inflight[h.p.ID] = h
+	r.mu.Unlock()
+	return h
+}
+
+// InFlight snapshots every tracked query that has begun and not yet
+// finished, sorted by query id.
+func (r *Registry) InFlight() []QueryProgress {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]QueryProgress, 0, len(r.inflight))
+	for _, h := range r.inflight {
+		h.mu.Lock()
+		if h.begun {
+			out = append(out, h.snapshotLocked())
+		}
+		h.mu.Unlock()
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Handle follows one query's evaluation. It implements trace.Tracer;
+// all callbacks are cheap (struct copies under the handle's own lock)
+// and read-only with respect to the simulation. A nil handle is a
+// usable no-op.
+type Handle struct {
+	reg   *Registry
+	mu    sync.Mutex
+	begun bool
+	p     QueryProgress
+	// overshootSum/overshootN accumulate per-stage overshoot for the
+	// query-shape aggregates.
+	overshootSum float64
+	overshootN   int64
+}
+
+// Enabled implements trace.Tracer.
+func (h *Handle) Enabled() bool { return h != nil }
+
+// BeginQuery implements trace.Tracer.
+func (h *Handle) BeginQuery(q trace.QueryInfo) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.begun = true
+	h.p.Query = q.Query
+	h.p.Quota = q.Quota
+	h.p.Strategy = q.Strategy
+	h.p.Mode = q.Mode
+	h.p.Plan = q.Plan
+	h.p.Sampling = q.Sampling
+	h.p.Seed = q.Seed
+	id, label := h.p.ID, h.p.Label
+	log := h.logger()
+	h.mu.Unlock()
+	log.QueryStarted(id, label, q.Query, q.Quota)
+}
+
+// StageDone implements trace.Tracer.
+func (h *Handle) StageDone(s trace.StageRecord) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if s.Completed {
+		h.p.Stages = s.Stage
+	}
+	h.p.Blocks += s.Blocks
+	h.p.Fraction = s.Fraction
+	h.p.Elapsed = h.p.Quota - s.Remaining
+	if h.p.Quota > 0 {
+		h.p.SpentFrac = float64(h.p.Elapsed) / float64(h.p.Quota)
+	}
+	if len(s.Relations) > 0 {
+		h.p.Relations = h.p.Relations[:0]
+		for _, rd := range s.Relations {
+			h.p.Relations = append(h.p.Relations, RelationProgress{
+				Relation: rd.Relation,
+				Blocks:   rd.CumBlocks,
+				Tuples:   rd.Tuples,
+				Coverage: rd.CumFraction,
+			})
+		}
+	}
+	if s.Completed {
+		h.p.Estimate = s.Estimate
+		h.p.StdErr = s.StdErr
+		h.p.Interval = s.Interval
+	}
+	if s.Predicted > 0 {
+		h.overshootSum += s.Overshoot
+		h.overshootN++
+	}
+	id := h.p.ID
+	log := h.logger()
+	h.mu.Unlock()
+	log.StageDone(id, s.Stage, s.Estimate, s.Interval, s.Remaining)
+}
+
+// EndQuery implements trace.Tracer: the handle leaves the in-flight
+// set and its summary enters the history ring and shape aggregates.
+func (h *Handle) EndQuery(e trace.QueryEnd) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.p.Done = true
+	h.p.Stages = e.Stages
+	h.p.Blocks = e.Blocks
+	h.p.Elapsed = e.Elapsed
+	if h.p.Quota > 0 {
+		h.p.SpentFrac = float64(e.Elapsed) / float64(h.p.Quota)
+	}
+	h.p.Estimate = e.Estimate
+	h.p.StdErr = e.StdErr
+	h.p.Interval = e.Interval
+	h.p.StopReason = e.StopReason
+	h.p.Overspent = e.Overspent
+	sum := QuerySummary{
+		ID:          h.p.ID,
+		Label:       h.p.Label,
+		Query:       h.p.Query,
+		Quota:       h.p.Quota,
+		Stages:      e.Stages,
+		Blocks:      e.Blocks,
+		Elapsed:     e.Elapsed,
+		Utilization: e.Utilization,
+		Estimate:    e.Estimate,
+		StdErr:      e.StdErr,
+		Interval:    e.Interval,
+		StopReason:  e.StopReason,
+		Overspent:   e.Overspent,
+		Overrun:     e.Overspend,
+	}
+	overshootSum, overshootN := h.overshootSum, h.overshootN
+	log := h.logger()
+	h.mu.Unlock()
+	if h.reg != nil {
+		h.reg.finish(h, sum, overshootSum, overshootN)
+	}
+	log.QueryFinished(sum.ID, sum.StopReason, sum.Estimate, sum.Interval,
+		sum.Stages, sum.Elapsed, sum.Overspent, sum.Overrun)
+}
+
+// Discard drops a handle whose query failed before completing (the
+// engine returned an error, so EndQuery never fired): the query leaves
+// the in-flight set without entering history.
+func (h *Handle) Discard() {
+	if h == nil || h.reg == nil {
+		return
+	}
+	h.reg.mu.Lock()
+	delete(h.reg.inflight, h.p.ID)
+	h.reg.mu.Unlock()
+}
+
+// snapshotLocked copies the progress record (h.mu held). The relations
+// slice is copied so callers can hold snapshots across later stages.
+func (h *Handle) snapshotLocked() QueryProgress {
+	p := h.p
+	p.Relations = append([]RelationProgress(nil), h.p.Relations...)
+	return p
+}
+
+// Progress returns the handle's current snapshot (useful to render a
+// single tracked query without scanning the registry).
+func (h *Handle) Progress() QueryProgress {
+	if h == nil {
+		return QueryProgress{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.snapshotLocked()
+}
+
+// logger fetches the registry's logger (h.mu held by caller; the
+// registry lock ordering is always handle → registry).
+func (h *Handle) logger() *Logger {
+	if h.reg == nil {
+		return nil
+	}
+	h.reg.mu.Lock()
+	l := h.reg.log
+	h.reg.mu.Unlock()
+	return l
+}
+
+// finish retires a completed handle into history and shape stats.
+func (r *Registry) finish(h *Handle, sum QuerySummary, overshootSum float64, overshootN int64) {
+	r.mu.Lock()
+	delete(r.inflight, sum.ID)
+	r.history.push(sum)
+	agg := r.shapes[sum.Query]
+	if agg == nil {
+		agg = &shapeAgg{}
+		r.shapes[sum.Query] = agg
+	}
+	agg.calls++
+	agg.stages += int64(sum.Stages)
+	agg.blocks += int64(sum.Blocks)
+	agg.overshootSum += overshootSum
+	agg.overshootN += overshootN
+	agg.ciWidthSum += sum.Interval
+	if sum.Overspent {
+		agg.overspends++
+	}
+	r.mu.Unlock()
+}

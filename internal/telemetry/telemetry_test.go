@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"tcq/internal/trace"
+)
+
+// feedQuery drives a handle through a canned two-stage query.
+func feedQuery(h *Handle, query string, estimate float64, overspent bool) {
+	h.BeginQuery(trace.QueryInfo{
+		Query: query, Quota: 10 * time.Second, Strategy: "one-at-a-time",
+		Mode: "overrun", Plan: "full", Sampling: "cluster", Seed: 7,
+	})
+	h.StageDone(trace.StageRecord{
+		Stage: 1, Fraction: 0.05, Blocks: 10, Predicted: time.Second,
+		Actual: 1200 * time.Millisecond, Overshoot: 0.2,
+		Remaining: 8 * time.Second,
+		Relations: []trace.RelationDraw{{Relation: "r", Blocks: 10, Tuples: 50, CumBlocks: 10, CumFraction: 0.05}},
+		Estimate:  estimate * 0.9, StdErr: 30, Interval: 60,
+		Completed: true, InTime: true,
+	})
+	h.StageDone(trace.StageRecord{
+		Stage: 2, Fraction: 0.2, Blocks: 40, Predicted: 4 * time.Second,
+		Actual: 5 * time.Second, Overshoot: 0.25,
+		Remaining: 3 * time.Second,
+		Relations: []trace.RelationDraw{{Relation: "r", Blocks: 40, Tuples: 200, CumBlocks: 50, CumFraction: 0.25}},
+		Estimate:  estimate, StdErr: 20, Interval: 40,
+		Completed: true, InTime: true,
+	})
+	h.EndQuery(trace.QueryEnd{
+		Stages: 2, Blocks: 50, Elapsed: 7 * time.Second,
+		Successful: 7 * time.Second, Utilization: 0.7,
+		Overspent: overspent, StopReason: "quota exhausted",
+		Estimate: estimate, StdErr: 20, Interval: 40,
+	})
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry(4)
+	h := r.Track("trial 0")
+	if got := r.InFlight(); len(got) != 0 {
+		t.Fatalf("handle visible before BeginQuery: %+v", got)
+	}
+	h.BeginQuery(trace.QueryInfo{Query: "select(r, a < 10)", Quota: 10 * time.Second})
+	h.StageDone(trace.StageRecord{
+		Stage: 1, Fraction: 0.1, Blocks: 12, Remaining: 6 * time.Second,
+		Relations: []trace.RelationDraw{{Relation: "r", Blocks: 12, Tuples: 60, CumBlocks: 12, CumFraction: 0.1}},
+		Estimate:  950, StdErr: 40, Interval: 80, Completed: true, InTime: true,
+	})
+
+	inflight := r.InFlight()
+	if len(inflight) != 1 {
+		t.Fatalf("want 1 in-flight query, got %d", len(inflight))
+	}
+	p := inflight[0]
+	if p.ID != 1 || p.Label != "trial 0" || p.Query != "select(r, a < 10)" {
+		t.Errorf("identity wrong: %+v", p)
+	}
+	if p.Stages != 1 || p.Blocks != 12 || p.Done {
+		t.Errorf("stage state wrong: %+v", p)
+	}
+	if p.Elapsed != 4*time.Second || p.SpentFrac != 0.4 {
+		t.Errorf("quota accounting wrong: elapsed=%v spent=%v", p.Elapsed, p.SpentFrac)
+	}
+	if len(p.Relations) != 1 || p.Relations[0].Coverage != 0.1 {
+		t.Errorf("relations wrong: %+v", p.Relations)
+	}
+	if p.Estimate != 950 || p.Interval != 80 {
+		t.Errorf("estimate wrong: %+v", p)
+	}
+
+	h.EndQuery(trace.QueryEnd{
+		Stages: 1, Blocks: 12, Elapsed: 4 * time.Second,
+		Utilization: 0.4, StopReason: "quota exhausted", Estimate: 950, StdErr: 40, Interval: 80,
+	})
+	if got := r.InFlight(); len(got) != 0 {
+		t.Fatalf("finished query still in flight: %+v", got)
+	}
+	hist := r.History()
+	if len(hist) != 1 || hist[0].StopReason != "quota exhausted" || hist[0].Stages != 1 {
+		t.Fatalf("history wrong: %+v", hist)
+	}
+}
+
+func TestHistoryRingEviction(t *testing.T) {
+	r := NewRegistry(3)
+	for i := 0; i < 5; i++ {
+		feedQuery(r.Track(""), "q", float64(100+i), false)
+	}
+	hist := r.History()
+	if len(hist) != 3 {
+		t.Fatalf("ring should keep 3, got %d", len(hist))
+	}
+	// Most recent first: estimates 104, 103, 102.
+	for i, want := range []float64{104, 103, 102} {
+		if hist[i].Estimate != want {
+			t.Errorf("hist[%d].Estimate = %g, want %g", i, hist[i].Estimate, want)
+		}
+	}
+}
+
+func TestShapeStats(t *testing.T) {
+	r := NewRegistry(8)
+	feedQuery(r.Track(""), "select(r, a < 10)", 100, false)
+	feedQuery(r.Track(""), "select(r, a < 10)", 110, true)
+	feedQuery(r.Track(""), "join(r, s, a = a)", 500, false)
+
+	stats := r.QueryStats()
+	if len(stats) != 2 {
+		t.Fatalf("want 2 shapes, got %d: %+v", len(stats), stats)
+	}
+	// Sorted by calls descending.
+	s := stats[0]
+	if s.Query != "select(r, a < 10)" || s.Calls != 2 || s.TotalStages != 4 {
+		t.Fatalf("shape 0 wrong: %+v", s)
+	}
+	if s.MeanStages != 2 || s.Overspends != 1 || s.MeanCIWidth != 40 {
+		t.Errorf("shape aggregates wrong: %+v", s)
+	}
+	// Each call contributes stage overshoots 0.2 and 0.25.
+	if diff := s.MeanOvershoot - 0.225; diff < -1e-12 || diff > 1e-12 {
+		t.Errorf("MeanOvershoot = %g, want 0.225", s.MeanOvershoot)
+	}
+}
+
+func TestDiscardDropsFailedQuery(t *testing.T) {
+	r := NewRegistry(4)
+	h := r.Track("doomed")
+	h.BeginQuery(trace.QueryInfo{Query: "select(r, a < 1)", Quota: time.Second})
+	h.Discard()
+	if got := r.InFlight(); len(got) != 0 {
+		t.Fatalf("discarded query still in flight: %+v", got)
+	}
+	if got := r.History(); len(got) != 0 {
+		t.Fatalf("discarded query entered history: %+v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	h := r.Track("x")
+	if h != nil {
+		t.Fatal("nil registry should hand out nil handles")
+	}
+	// Every operation on nil registry/handle/logger must be a no-op.
+	h.BeginQuery(trace.QueryInfo{})
+	h.StageDone(trace.StageRecord{})
+	h.EndQuery(trace.QueryEnd{})
+	h.Discard()
+	if h.Enabled() {
+		t.Error("nil handle should be disabled")
+	}
+	if p := h.Progress(); p.ID != 0 {
+		t.Errorf("nil handle progress: %+v", p)
+	}
+	if r.InFlight() != nil || r.History() != nil || r.QueryStats() != nil {
+		t.Error("nil registry snapshots should be nil")
+	}
+	r.SetLogger(nil)
+
+	var l *Logger
+	if l.Enabled() {
+		t.Error("nil logger should be disabled")
+	}
+	l.QueryStarted(1, "", "q", time.Second)
+	l.StageDone(1, 1, 0, 0, 0)
+	l.QueryFinished(1, "done", 0, 0, 1, time.Second, false, 0)
+	l.TxnAdmitted(1, time.Second, time.Second)
+	l.TxnRejected(1, time.Second, time.Second)
+	l.TxnFinished(1, true, 0, time.Second, 2*time.Second)
+	if NewLogger(nil) != nil {
+		t.Error("NewLogger(nil) should collapse to nil")
+	}
+}
+
+func TestLoggerEvents(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	r := NewRegistry(4)
+	r.SetLogger(l)
+	feedQuery(r.Track("t"), "select(r, a < 10)", 100, true)
+	l.TxnRejected(9, 5*time.Second, 3*time.Second)
+	l.TxnFinished(4, false, 0, 9*time.Second, 8*time.Second)
+
+	out := buf.String()
+	for _, want := range []string{
+		"query started", "stage done", "query overspent",
+		"txn rejected", "txn missed deadline",
+		"level=WARN",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandleProgressSnapshotIsolated(t *testing.T) {
+	r := NewRegistry(4)
+	h := r.Track("")
+	h.BeginQuery(trace.QueryInfo{Query: "q", Quota: 10 * time.Second})
+	h.StageDone(trace.StageRecord{
+		Stage: 1, Blocks: 5, Remaining: 9 * time.Second,
+		Relations: []trace.RelationDraw{{Relation: "r", CumBlocks: 5, CumFraction: 0.02}},
+		Completed: true, InTime: true,
+	})
+	snap := h.Progress()
+	h.StageDone(trace.StageRecord{
+		Stage: 2, Blocks: 10, Remaining: 7 * time.Second,
+		Relations: []trace.RelationDraw{{Relation: "r", CumBlocks: 15, CumFraction: 0.06}},
+		Completed: true, InTime: true,
+	})
+	if snap.Relations[0].Blocks != 5 {
+		t.Errorf("snapshot mutated by later stage: %+v", snap.Relations)
+	}
+}

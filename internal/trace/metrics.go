@@ -50,6 +50,18 @@ func (r *Registry) SetGauge(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// AddGauge moves a gauge by delta (useful for live occupancy gauges
+// such as queries_in_flight, incremented on entry and decremented on
+// exit).
+func (r *Registry) AddGauge(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] += delta
+	r.mu.Unlock()
+}
+
 // Observe adds one observation to a histogram.
 func (r *Registry) Observe(name string, v float64) {
 	if r == nil {
@@ -81,6 +93,9 @@ func (t Tx) Add(name string, v int64) { t.r.counters[name] += v }
 
 // SetGauge records a gauge's current value.
 func (t Tx) SetGauge(name string, v float64) { t.r.gauges[name] = v }
+
+// AddGauge moves a gauge by delta.
+func (t Tx) AddGauge(name string, delta float64) { t.r.gauges[name] += delta }
 
 // Observe adds one observation to a histogram.
 func (t Tx) Observe(name string, v float64) { t.r.observeLocked(name, v) }

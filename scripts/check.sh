@@ -34,6 +34,16 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+# The concurrency-heavy surfaces (concurrent engine use, the sched
+# Controller, the metrics registry, the live telemetry registry and its
+# HTTP server) get a second, cache-bypassing race pass so a cached
+# "ok" from the run above can never mask an interleaving-dependent
+# failure in exactly the code where interleavings matter.
+echo "== go test -race -count=1 (concurrency surfaces)"
+go test -race -count=1 \
+  -run 'Concurrent|Parallel|Controller|Registry|Telemetry|Metrics|Serve' \
+  . ./internal/sched ./internal/trace ./internal/telemetry
+
 # The experiment tables are a deterministic function of the seed: any
 # change to the executor that perturbs the sequence of simulated-clock
 # charges shows up as a diff here. Host-side performance work must keep

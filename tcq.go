@@ -31,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
 	"sync"
 	"time"
 
@@ -39,6 +41,7 @@ import (
 	"tcq/internal/histogram"
 	"tcq/internal/ra"
 	"tcq/internal/storage"
+	"tcq/internal/telemetry"
 	"tcq/internal/trace"
 	"tcq/internal/tuple"
 	"tcq/internal/vclock"
@@ -65,13 +68,16 @@ type Column struct {
 
 // config collects Open options.
 type config struct {
-	clock     vclock.Clock
-	simClock  *vclock.Sim
-	simSeed   int64
-	jitter    float64
-	profile   storage.CostProfile
-	blockSize int
-	loadSigma float64
+	clock       vclock.Clock
+	simClock    *vclock.Sim
+	simSeed     int64
+	jitter      float64
+	profile     storage.CostProfile
+	blockSize   int
+	loadSigma   float64
+	telemetry   bool
+	historySize int
+	queryLog    *slog.Logger
 }
 
 // Option configures Open.
@@ -123,6 +129,31 @@ func WithLoadNoise(sigma float64) Option {
 	return func(c *config) { c.loadSigma = sigma }
 }
 
+// WithTelemetry enables the live telemetry layer: every estimate run
+// registers an in-flight progress record updated at stage boundaries
+// (DB.InFlight), and completed runs are retained in a ring of
+// historySize summaries (DB.History, 128 when <= 0) with per-shape
+// aggregates (DB.QueryStats). Expose it over HTTP with
+// DB.ServeTelemetry. Telemetry observes queries through the tracing
+// layer's read-only contract, so estimates are bit-identical with it on
+// or off; when off, the engine pays a single nil check per query.
+func WithTelemetry(historySize int) Option {
+	return func(c *config) {
+		c.telemetry = true
+		c.historySize = historySize
+	}
+}
+
+// WithQueryLog attaches a structured event log (query start/stage/
+// finish, quota overruns at Warn) emitted through the given slog
+// logger. Implies WithTelemetry.
+func WithQueryLog(l *slog.Logger) Option {
+	return func(c *config) {
+		c.telemetry = true
+		c.queryLog = l
+	}
+}
+
 // DB is a tcq database instance: a catalog of relations plus the
 // time-constrained query engine.
 //
@@ -139,7 +170,10 @@ type DB struct {
 	clock   vclock.Clock
 	engine  *core.Engine
 	metrics *trace.Registry
-	cfg     config
+	// progress is the live telemetry registry, nil unless WithTelemetry
+	// (or WithQueryLog) was given — the disabled path is one nil check.
+	progress *telemetry.Registry
+	cfg      config
 
 	mu    sync.Mutex // guards stats
 	stats *histogram.Catalog
@@ -157,13 +191,18 @@ func Open(opts ...Option) *DB {
 		cfg.simClock.SetLoadSigma(cfg.loadSigma)
 	}
 	store := storage.NewStore(cfg.clock, cfg.profile, cfg.blockSize)
-	return &DB{
+	db := &DB{
 		store:   store,
 		clock:   cfg.clock,
 		engine:  core.NewEngine(store),
 		metrics: trace.NewRegistry(),
 		cfg:     cfg,
 	}
+	if cfg.telemetry {
+		db.progress = telemetry.NewRegistry(cfg.historySize)
+		db.progress.SetLogger(telemetry.NewLogger(cfg.queryLog))
+	}
+	return db
 }
 
 // session derives a per-query store view. Under a simulated clock the
@@ -463,6 +502,54 @@ func (db *DB) Metrics() MetricsSnapshot { return db.metrics.Snapshot() }
 
 // ResetMetrics zeroes the session-wide metrics registry.
 func (db *DB) ResetMetrics() { db.metrics.Reset() }
+
+// QueryProgress is a live snapshot of one in-flight (or just-finished)
+// estimate: stage count, fraction of quota spent, per-relation coverage
+// and the running estimate ± CI half-width.
+type QueryProgress = telemetry.QueryProgress
+
+// RelationProgress is one relation's cumulative sampled share inside a
+// QueryProgress.
+type RelationProgress = telemetry.RelationProgress
+
+// QuerySummary is one completed estimate's retained outcome in the
+// query history ring.
+type QuerySummary = telemetry.QuerySummary
+
+// QueryShapeStat aggregates every completed run of one query shape
+// (calls, stages, mean overshoot, mean CI width at stop) — the
+// pg_stat_statements-style view.
+type QueryShapeStat = telemetry.ShapeStat
+
+// InFlight snapshots the estimates currently evaluating on this DB,
+// sorted by query id. Snapshotting is read-only with respect to the
+// running queries: no session clock charges, no RNG draws. Empty unless
+// the DB was opened WithTelemetry.
+func (db *DB) InFlight() []QueryProgress { return db.progress.InFlight() }
+
+// History lists recently completed estimates, most recent first,
+// bounded by WithTelemetry's historySize. Empty unless the DB was
+// opened WithTelemetry.
+func (db *DB) History() []QuerySummary { return db.progress.History() }
+
+// QueryStats lists per-query-shape aggregates across every completed
+// estimate (sorted by call count). Empty unless the DB was opened
+// WithTelemetry.
+func (db *DB) QueryStats() []QueryShapeStat { return db.progress.QueryStats() }
+
+// TelemetryHandler returns the telemetry HTTP handler for this DB:
+// /metrics (Prometheus text exposition), /queries (in-flight progress,
+// JSON), /history (completed queries + shape stats, JSON) and
+// /debug/pprof. Mount it on any server, or use ServeTelemetry.
+func (db *DB) TelemetryHandler() http.Handler { return telemetry.Handler(db) }
+
+// ServeTelemetry starts the telemetry server on addr (e.g. ":8080")
+// and returns the running server plus its bound address; shut it down
+// with srv.Close. The DB works identically with or without a server
+// attached.
+func (db *DB) ServeTelemetry(addr string) (*http.Server, string, error) {
+	return telemetry.Serve(db, addr)
+}
 
 // catalog adapts the store for query validation.
 func (db *DB) catalog() exec.StoreCatalog { return exec.StoreCatalog{Store: db.store} }

@@ -14,12 +14,14 @@ import (
 	"time"
 
 	"tcq"
+	"tcq/internal/telemetry"
+	"tcq/internal/trace"
 )
 
 // traceBenchDB builds the selection workload DB once per benchmark.
-func traceBenchDB(b *testing.B) (*tcq.DB, tcq.Query) {
+func traceBenchDB(b *testing.B, extra ...tcq.Option) (*tcq.DB, tcq.Query) {
 	b.Helper()
-	db := tcq.Open(tcq.WithSimulatedClock(7))
+	db := tcq.Open(append([]tcq.Option{tcq.WithSimulatedClock(7)}, extra...)...)
 	rel, err := db.CreateRelation("orders", []tcq.Column{
 		{Name: "id", Type: tcq.Int},
 		{Name: "amount", Type: tcq.Int},
@@ -35,8 +37,8 @@ func traceBenchDB(b *testing.B) (*tcq.DB, tcq.Query) {
 	return db, tcq.Rel("orders").Where(tcq.Col("amount").Lt(1000))
 }
 
-func benchCountEstimate(b *testing.B, collect bool) {
-	db, q := traceBenchDB(b)
+func benchCountEstimate(b *testing.B, collect bool, extra ...tcq.Option) {
+	db, q := traceBenchDB(b, extra...)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -56,7 +58,35 @@ func benchCountEstimate(b *testing.B, collect bool) {
 
 // BenchmarkCountEstimateTraceOverhead/off is the production path: the
 // no-op tracer must add nothing but a handful of int64 increments.
+// The telemetry variant measures the live progress registry riding the
+// tracer chain (a handful of struct copies per stage boundary).
 func BenchmarkCountEstimateTraceOverhead(b *testing.B) {
 	b.Run("off", func(b *testing.B) { benchCountEstimate(b, false) })
 	b.Run("collect", func(b *testing.B) { benchCountEstimate(b, true) })
+	b.Run("telemetry", func(b *testing.B) { benchCountEstimate(b, false, tcq.WithTelemetry(64)) })
+}
+
+// TestDisabledProgressHookZeroAllocs pins the disabled-telemetry cost:
+// a nil registry hands out a nil handle, and every tracer callback on
+// it must complete without allocating (the engine's hot loop pays one
+// nil check and nothing else when no telemetry is attached).
+func TestDisabledProgressHookZeroAllocs(t *testing.T) {
+	var reg *telemetry.Registry
+	h := reg.Track("ignored")
+	if h.Enabled() {
+		t.Fatal("nil handle must report disabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h = reg.Track("ignored")
+		h.BeginQuery(trace.QueryInfo{})
+		h.StageDone(trace.StageRecord{})
+		h.EndQuery(trace.QueryEnd{})
+		h.Discard()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled progress hook allocates: %v allocs/op", allocs)
+	}
+	if got := reg.InFlight(); got != nil {
+		t.Errorf("nil registry InFlight = %v, want nil", got)
+	}
 }
