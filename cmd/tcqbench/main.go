@@ -126,7 +126,7 @@ func run(args []string, out io.Writer) error {
 			if inner == nil {
 				return h
 			}
-			return trace.Combine(inner(exp, label, trial), h)
+			return trialTracer{Tracer: trace.Combine(inner(exp, label, trial), h), h: h}
 		}
 		srv, addr, err := telemetry.Serve(telemetry.Sources{Progress: progress, Reg: metrics}, *serve)
 		if err != nil {
@@ -162,6 +162,17 @@ func run(args []string, out io.Writer) error {
 	}
 	return nil
 }
+
+// trialTracer pairs a trial's combined tracer chain with its telemetry
+// handle so the bench harness can Discard the handle when a trial
+// errors before EndQuery — otherwise the failed trial would sit in the
+// in-flight set and show as permanently running on /queries.
+type trialTracer struct {
+	trace.Tracer
+	h *telemetry.Handle
+}
+
+func (t trialTracer) Discard() { t.h.Discard() }
 
 func traceKey(exp, label string, trial int) string {
 	return fmt.Sprintf("%s\x00%s\x00%d", exp, label, trial)

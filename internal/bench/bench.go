@@ -85,7 +85,10 @@ type RunOptions struct {
 	// TraceSink, when non-nil, supplies a tracer for each trial (keyed
 	// by experiment ID, variant label and trial index). Trials run
 	// concurrently, so each call must return a distinct tracer; the
-	// caller replays or merges them in its own deterministic order.
+	// caller replays or merges them in its own deterministic order. If
+	// the returned tracer implements Discard() and the trial errors
+	// before EndQuery, the harness calls it so live-progress sinks can
+	// retire the abandoned query.
 	TraceSink func(exp, label string, trial int) trace.Tracer
 	// Metrics, when set, aggregates engine counters across every trial
 	// (the registry is concurrency-safe); with it a live telemetry
@@ -178,6 +181,12 @@ func (e Experiment) Run(opts RunOptions) ([]Row, error) {
 				engOpts.Metrics = opts.Metrics
 				res, err := core.NewEngine(st).Count(expr, engOpts)
 				if err != nil {
+					// A failed trial never reaches EndQuery, so give sinks
+					// tracking live progress (telemetry handles) the chance
+					// to drop it from their in-flight set.
+					if d, ok := engOpts.Tracer.(interface{ Discard() }); ok {
+						d.Discard()
+					}
 					outs[trial] = trialOut{err: fmt.Errorf("bench %s/%s trial %d: %w", e.ID, v.Label, trial, err)}
 					return
 				}

@@ -24,6 +24,7 @@ package telemetry
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcq/internal/trace"
@@ -95,7 +96,11 @@ type Registry struct {
 	inflight map[int64]*Handle
 	history  ring
 	shapes   map[string]*shapeAgg
-	log      *Logger
+	// log is read on every tracer callback of every tracked query, so
+	// it lives outside r.mu: handles load it atomically and never take
+	// the registry lock. The only cross-lock order in the package is
+	// InFlight's r.mu → h.mu; nothing may acquire them in reverse.
+	log atomic.Pointer[Logger]
 }
 
 // NewRegistry creates a registry keeping the last historySize completed
@@ -116,9 +121,7 @@ func (r *Registry) SetLogger(l *Logger) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.log = l
-	r.mu.Unlock()
+	r.log.Store(l)
 }
 
 // Track registers a new in-flight query and returns its progress
@@ -313,16 +316,16 @@ func (h *Handle) Progress() QueryProgress {
 	return h.snapshotLocked()
 }
 
-// logger fetches the registry's logger (h.mu held by caller; the
-// registry lock ordering is always handle → registry).
+// logger fetches the registry's logger. Callers hold h.mu, so this
+// must never touch r.mu (InFlight acquires r.mu → h.mu; taking r.mu
+// here would be the reverse order and deadlock). The atomic load also
+// keeps concurrent queries from serializing on the registry lock at
+// every stage boundary when logging is disabled.
 func (h *Handle) logger() *Logger {
 	if h.reg == nil {
 		return nil
 	}
-	h.reg.mu.Lock()
-	l := h.reg.log
-	h.reg.mu.Unlock()
-	return l
+	return h.reg.log.Load()
 }
 
 // finish retires a completed handle into history and shape stats.

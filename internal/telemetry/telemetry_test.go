@@ -2,8 +2,10 @@ package telemetry
 
 import (
 	"bytes"
+	"io"
 	"log/slog"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -196,6 +198,49 @@ func TestLoggerEvents(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("log missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestInFlightConcurrentWithCallbacks pits registry snapshots (which
+// lock r.mu then each h.mu) against tracer callbacks with a logger
+// attached. The logger used to be fetched under r.mu from inside the
+// callbacks — the reverse lock order — so a /queries scrape racing a
+// stage boundary could deadlock; this hangs (and times out) if that
+// ordering ever comes back.
+func TestInFlightConcurrentWithCallbacks(t *testing.T) {
+	r := NewRegistry(8)
+	r.SetLogger(NewLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				feedQuery(r.Track("c"), "q", 100, false)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.InFlight()
+				r.History()
+				r.QueryStats()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	scrapes.Wait()
+	if got := r.InFlight(); len(got) != 0 {
+		t.Fatalf("queries left in flight: %+v", got)
 	}
 }
 
