@@ -64,6 +64,9 @@ func run(args []string, out io.Writer) error {
 		for _, e := range bench.AllExperiments() {
 			fmt.Fprintf(out, "%-22s %s\n", e.ID, e.Title)
 		}
+		for _, e := range bench.PerfOnlyExperiments() {
+			fmt.Fprintf(out, "%-22s %s (perf-only, excluded from 'all')\n", e.ID, e.Title)
+		}
 		return nil
 	}
 

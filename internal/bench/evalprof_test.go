@@ -1,0 +1,17 @@
+package bench
+
+import "testing"
+
+func benchEval(b *testing.B, workers int) {
+	e := Fig53Join()
+	opts := RunOptions{Trials: 1, BaseSeed: 1}.withDefaults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvalWall(0, i%40, opts, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalFig53Serial(b *testing.B) { benchEval(b, 1) }
+func BenchmarkEvalFig53Par4(b *testing.B)   { benchEval(b, 4) }

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -21,11 +22,21 @@ type PerfRow struct {
 	NsPerTrial     int64  `json:"ns_per_trial"`
 	BytesPerTrial  int64  `json:"bytes_per_trial"`
 	AllocsPerTrial int64  `json:"allocs_per_trial"`
+	// ParSpeedup is serial-engine wall time over 4-worker-engine wall
+	// time for the same row, measured only on single-term experiments
+	// (Experiment.SingleTerm) — the queries that were pinned at exactly
+	// 1.0x before sub-term parallelism, because one term gave the
+	// term-level worker pool nothing to fan out.
+	ParSpeedup float64 `json:"par_speedup,omitempty"`
 }
 
 // PerfReport is the serialized form of a perf run (BENCH_exec.json).
+// Cpus records the measuring host's CPU count: par_speedup is a wall
+// ratio, so on a single-CPU host it can never exceed ~1.0 no matter
+// how much of the evaluation fans out.
 type PerfReport struct {
 	Note string    `json:"note"`
+	Cpus int       `json:"cpus,omitempty"`
 	Rows []PerfRow `json:"rows"`
 }
 
@@ -35,17 +46,21 @@ type PerfReport struct {
 const perfRepeats = 3
 
 // PerfProfile times every variant of the given experiments. Trials run
-// on a single worker so wall time is not confounded by scheduling, each
-// variant is measured in isolation (its own Experiment.Run call), and
-// each measurement is the best of perfRepeats repeats.
+// on a single worker with a serial engine so wall time is not
+// confounded by scheduling, each variant is measured in isolation (its
+// own Experiment.Run call), and each measurement is the best of
+// perfRepeats repeats. Single-term experiments are timed a second time
+// with a 4-worker engine to report the sub-term parallel speedup.
 func PerfProfile(exps []Experiment, opts RunOptions) (PerfReport, error) {
 	opts = opts.withDefaults()
 	opts.Parallel = 1
+	opts.EngineParallel = 1
 	rep := PerfReport{
 		Note: "host-side cost per simulated trial, best of repeated runs; compare with ComparePerf (machine-dependent, same-machine diffs only)",
+		Cpus: runtime.NumCPU(),
 	}
 	for _, e := range exps {
-		for _, v := range e.Variants {
+		for vi, v := range e.Variants {
 			one := e
 			one.Variants = []Variant{v}
 			row := PerfRow{Exp: e.ID, Label: v.Label, Trials: opts.Trials}
@@ -67,10 +82,55 @@ func PerfProfile(exps []Experiment, opts RunOptions) (PerfReport, error) {
 					row.AllocsPerTrial = int64(msAfter.Mallocs-msBefore.Mallocs) / n
 				}
 			}
+			if e.SingleTerm {
+				sp, err := parSpeedup(e, vi, opts)
+				if err != nil {
+					return PerfReport{}, err
+				}
+				row.ParSpeedup = sp
+			}
 			rep.Rows = append(rep.Rows, row)
 		}
 	}
 	return rep, nil
+}
+
+// parSpeedup measures the sub-term parallel speedup of one single-term
+// row: evaluation-only wall time (Experiment.EvalWall — workload
+// generation excluded) summed over the row's trials, serial engine vs
+// 4-worker engine, each the best of perfRepeats sweeps. Both engines
+// produce byte-identical results — the lane replay guarantees it — so
+// the ratio is purely host-side.
+func parSpeedup(e Experiment, vi int, opts RunOptions) (float64, error) {
+	wall := func(workers int) (time.Duration, error) {
+		var best time.Duration
+		for attempt := 0; attempt < perfRepeats; attempt++ {
+			var total time.Duration
+			for trial := 0; trial < opts.Trials; trial++ {
+				d, err := e.EvalWall(vi, trial, opts, workers)
+				if err != nil {
+					return 0, err
+				}
+				total += d
+			}
+			if attempt == 0 || total < best {
+				best = total
+			}
+		}
+		return best, nil
+	}
+	serial, err := wall(1)
+	if err != nil {
+		return 0, err
+	}
+	par, err := wall(4)
+	if err != nil {
+		return 0, err
+	}
+	if par <= 0 {
+		return 0, nil
+	}
+	return math.Round(100*float64(serial)/float64(par)) / 100, nil
 }
 
 // WritePerf writes the report as indented JSON.
@@ -122,14 +182,20 @@ func ComparePerf(base, cur PerfReport, tolPct float64) []string {
 	return regressions
 }
 
-// RenderPerf formats a report as a text table.
+// RenderPerf formats a report as a text table. The par-4x column is
+// the single-term sub-term-parallel speedup ("-" for multi-term rows,
+// whose parallelism is already covered by term-level fan-out).
 func RenderPerf(rep PerfReport) string {
-	out := fmt.Sprintf("%-22s %-16s %8s %12s %12s %12s\n",
-		"experiment", "variant", "trials", "ms/trial", "MB/trial", "allocs/trial")
+	out := fmt.Sprintf("%-22s %-16s %8s %12s %12s %12s %8s\n",
+		"experiment", "variant", "trials", "ms/trial", "MB/trial", "allocs/trial", "par-4x")
 	for _, r := range rep.Rows {
-		out += fmt.Sprintf("%-22s %-16s %8d %12.2f %12.2f %12d\n",
+		speedup := "-"
+		if r.ParSpeedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.ParSpeedup)
+		}
+		out += fmt.Sprintf("%-22s %-16s %8d %12.2f %12.2f %12d %8s\n",
 			r.Exp, r.Label, r.Trials,
-			float64(r.NsPerTrial)/1e6, float64(r.BytesPerTrial)/(1<<20), r.AllocsPerTrial)
+			float64(r.NsPerTrial)/1e6, float64(r.BytesPerTrial)/(1<<20), r.AllocsPerTrial, speedup)
 	}
 	return out
 }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcq/internal/storage"
+	"tcq/internal/vclock"
+)
+
+// rowBackedTwin copies every relation of src into a fresh store as
+// row blocks (plain Append never selects columnar storage), so every
+// executor takes its scalar tuple-at-a-time path — the batch paths key
+// off Relation.Columnar(). Loading charges no clock, so the twin's
+// simulated machine starts in exactly the same state.
+func rowBackedTwin(t *testing.T, src *storage.Store) *storage.Store {
+	t.Helper()
+	clk := vclock.NewSim(7, 0.02)
+	st := storage.NewStore(clk, storage.SunProfile(), storage.DefaultBlockSize)
+	for _, name := range src.RelationNames() {
+		rel, err := src.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twin, err := st.CreateRelation(name, rel.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.AppendAll(rel.AllTuples()); err != nil {
+			t.Fatal(err)
+		}
+		if twin.Columnar() {
+			t.Fatalf("twin relation %s is columnar; row twin must not be", name)
+		}
+	}
+	return st
+}
+
+// TestBatchRowEquivalenceQuick is the batch-transparency property: for
+// random RA expressions, evaluation over columnar relations (the
+// batch-at-a-time hot path) and over row-backed twins of the same data
+// (the scalar reference path) produce identical estimates, stage
+// counts, overspend accounting, and stage traces — at 1, 2 and 8
+// workers. This pins the tentpole contract that batching is purely a
+// host-side representation change: every simulated charge, poll and
+// comparison count is reproduced exactly.
+func TestBatchRowEquivalenceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test builds fresh stores per run")
+	}
+	property := func(c exprCase) bool {
+		want := runCase(t, c, 1) // columnar, serial: the batched hot path
+		for _, workers := range []int{1, 2, 8} {
+			rows := rowBackedTwin(t, buildCaseStore(t))
+			if got := fingerprintOn(t, rows, c, workers, Overrun, 8*time.Second); got != want {
+				t.Logf("expr %s seed %d workers %d (row-backed):\ncolumnar: %s\n    rows: %s",
+					c.Expr, c.Seed, workers, want, got)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 8,
+		Rand:     rand.New(rand.NewSource(123)),
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

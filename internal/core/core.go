@@ -171,13 +171,18 @@ type Options struct {
 	// queries_in_flight gauge. It is touched at query entry and exit
 	// only — never on the per-tuple hot path.
 	Metrics *trace.Registry
-	// Parallelism bounds the worker pool evaluating the signed SJIP
-	// terms of a stage (≤ 1 = serial). Results are byte-identical for
-	// any value: per-term work is recorded on lanes and replayed onto
-	// the session clock in term order (see internal/exec/lane.go).
-	// HardDeadline queries always run serially — their abort points
-	// depend on the global charge interleaving, which deferred lane
-	// charges cannot reproduce.
+	// Parallelism bounds the worker pool evaluating a stage (≤ 1 =
+	// serial). The budget is spent on two tiers: the signed SJIP terms
+	// of the query run concurrently on recording lanes replayed in term
+	// order (internal/exec/lane.go), and within a term, charge-free
+	// sub-tasks — a merge's two run sorts and the cumulative plan's two
+	// bucket joins — fan out through a sub-worker semaphore
+	// (Env.runPar). Results are byte-identical for any value, including
+	// single-term (pure join/intersect) queries. HardDeadline queries
+	// keep terms serial — their abort points depend on the global
+	// charge interleaving, which deferred lane charges cannot
+	// reproduce — but still use the sub-term tier, which performs no
+	// charges and so cannot move an abort point.
 	Parallelism int
 }
 
@@ -261,8 +266,17 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		return nil, errors.New("core: a positive time quota is required")
 	}
 	workers := opts.Parallelism
-	if workers < 1 || opts.Mode == HardDeadline {
+	if workers < 1 {
 		workers = 1
+	}
+	// Hard-deadline abort points depend on the exact global charge
+	// interleaving, which deferred lane replay cannot reproduce — terms
+	// stay serial. The sub-term tier (charge-free sorts and bucket-join
+	// walks inside one operator stage) is interleaving-neutral, so the
+	// full worker budget still applies below the term level.
+	termWorkers := workers
+	if opts.Mode == HardDeadline {
+		termWorkers = 1
 	}
 	if opts.Metrics != nil {
 		// Live occupancy gauge for the telemetry server: queries enter
@@ -273,7 +287,7 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 	}
 	cat := exec.StoreCatalog{Store: g.store}
 	env := exec.NewEnv(g.store)
-	q, err := exec.NewParallelQuery(e, env, cat, opts.Plan, workers)
+	q, err := exec.NewTieredParallelQuery(e, env, cat, opts.Plan, termWorkers, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -878,11 +892,7 @@ func BuildHistograms(st *storage.Store, buckets int) (*histogram.Catalog, error)
 
 // stageTupleCount returns the tuples loaded in a feed's latest stage.
 func stageTupleCount(f *exec.Feed) int {
-	ts, err := f.StageTuples(f.Stages() - 1)
-	if err != nil {
-		return 0
-	}
-	return len(ts)
+	return f.StageLen(f.Stages() - 1)
 }
 
 // setMinFraction pushes the engine-computed minimum stage fraction into

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcq/internal/ra"
+)
+
+// TestHardDeadlineParallelAccounting is the satellite regression for
+// the parallelism gate: HardDeadline queries historically forced fully
+// serial evaluation; they now keep terms serial (an abort's position
+// depends on the global poll interleaving) while the sub-term tier may
+// still fan out charge-free work. The abort point, overspend
+// accounting, utilization and the full stage trace must be identical
+// at 1 and 4 workers — for a multi-term query, a single-term pure
+// join, and a single-term intersection, across quotas that abort at
+// different points of a stage.
+func TestHardDeadlineParallelAccounting(t *testing.T) {
+	exprs := []ra.Expr{
+		// Multi-term: union decomposes into signed terms.
+		&ra.Union{Left: &ra.Base{Name: "r1"}, Right: &ra.Base{Name: "r2"}},
+		// Single-term pure join: the case the serial-only gate pinned.
+		&ra.Join{Left: &ra.Base{Name: "j1"}, Right: &ra.Base{Name: "j2"},
+			On: []ra.JoinCond{{LeftCol: "a", RightCol: "a"}}},
+		// Single-term intersection.
+		&ra.Intersect{Inputs: []ra.Expr{&ra.Base{Name: "r1"}, &ra.Base{Name: "r2"}}},
+	}
+	quotas := []time.Duration{
+		120 * time.Millisecond, // expires during the first stage
+		800 * time.Millisecond,
+		3 * time.Second,
+	}
+	aborted := false
+	for _, e := range exprs {
+		for _, quota := range quotas {
+			c := exprCase{Expr: e, Seed: 11}
+			serial := fingerprintOn(t, buildCaseStore(t), c, 1, HardDeadline, quota)
+			if strings.Contains(serial, "stage aborted") {
+				aborted = true
+			}
+			for _, workers := range []int{4, 8} {
+				got := fingerprintOn(t, buildCaseStore(t), c, workers, HardDeadline, quota)
+				if got != serial {
+					t.Errorf("%s quota %v workers %d diverged:\nserial: %s\n   got: %s",
+						e, quota, workers, serial, got)
+				}
+			}
+		}
+	}
+	if !aborted {
+		t.Error("no quota aborted a stage; the deadline paths were not exercised — tighten the quotas")
+	}
+}

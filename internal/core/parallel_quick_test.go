@@ -89,11 +89,10 @@ func genPred(r *rand.Rand) ra.Pred {
 	return c
 }
 
-// runCase evaluates one expression on a freshly built store (fixed
-// data seed, fixed sim-clock seed) with the given worker count and
-// returns a full fingerprint of the observable outcome: estimate,
-// stage count, and the complete JSON-serialized stage trace.
-func runCase(t *testing.T, c exprCase, workers int) string {
+// buildCaseStore builds the property tests' fixture store (fixed data
+// seed, fixed sim-clock seed): the r1/r2 intersection family and the
+// j1/j2 join pair, columnar as the workload generators produce them.
+func buildCaseStore(t *testing.T) *storage.Store {
 	t.Helper()
 	clk := vclock.NewSim(7, 0.02)
 	st := storage.NewStore(clk, storage.SunProfile(), storage.DefaultBlockSize)
@@ -104,10 +103,19 @@ func runCase(t *testing.T, c exprCase, workers int) string {
 	if _, _, err := workload.JoinPair(st, "j1", "j2", 2000, 8000, rng); err != nil {
 		t.Fatal(err)
 	}
+	return st
+}
+
+// fingerprintOn evaluates one expression on st with the given worker
+// count and mode and returns a full fingerprint of the observable
+// outcome: estimate, stage count, overspend accounting, and the
+// complete JSON-serialized stage trace.
+func fingerprintOn(t *testing.T, st *storage.Store, c exprCase, workers int, mode Mode, quota time.Duration) string {
+	t.Helper()
 	col := trace.NewCollector()
 	res, err := NewEngine(st).Count(c.Expr, Options{
-		Quota:       8 * time.Second,
-		Mode:        Overrun,
+		Quota:       quota,
+		Mode:        mode,
 		Seed:        c.Seed,
 		Initial:     timectrl.Initials{Select: 1, Join: 0.1, Project: 1},
 		Tracer:      col,
@@ -120,9 +128,16 @@ func runCase(t *testing.T, c exprCase, workers int) string {
 	if jerr != nil {
 		t.Fatal(jerr)
 	}
-	return fmt.Sprintf("estimate=%v variance=%v stages=%d blocks=%d elapsed=%d trace=%s",
+	return fmt.Sprintf("estimate=%v variance=%v stages=%d blocks=%d elapsed=%d overspent=%v overspend=%d util=%v stop=%q trace=%s",
 		res.Estimate.Value, res.Estimate.Variance, res.Stages, res.Blocks,
-		res.Elapsed, tr)
+		res.Elapsed, res.Overspent, res.Overspend, res.Utilization, res.StopReason, tr)
+}
+
+// runCase is fingerprintOn over a freshly built fixture store in the
+// paper's Overrun mode.
+func runCase(t *testing.T, c exprCase, workers int) string {
+	t.Helper()
+	return fingerprintOn(t, buildCaseStore(t), c, workers, Overrun, 8*time.Second)
 }
 
 // TestParallelEquivalenceQuick is the determinism property: for random

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"tcq/internal/ra"
@@ -127,6 +128,11 @@ type Env struct {
 	// are recorded on the lane for ordered replay.
 	root *Env
 	lane *lane
+	// subSem (root environments only) grants slots for sub-term
+	// parallelism: charge-free sub-tasks inside one operator stage
+	// (per-side sorts, the two bucket joins of a merge) may run on an
+	// extra goroutine when a slot is free. See runPar.
+	subSem chan struct{}
 }
 
 // NewEnv creates an execution environment over a store.
@@ -163,6 +169,113 @@ func (e *Env) NewScratchFile(schema *tuple.Schema) *storage.TempFile {
 // SetDeadline arms (or disarms, with vclock.Unarmed()) the hard
 // deadline honoured by all executors of this environment.
 func (e *Env) SetDeadline(dl vclock.Deadline) { e.deadline = dl }
+
+// SetSubWorkers sets the worker budget for sub-term parallelism on the
+// root environment: with n > 1, up to n-1 sub-tasks may run on extra
+// goroutines concurrently with their spawners (runPar). Must be called
+// before evaluation starts. On a single-CPU host no slots are granted:
+// a fan-out can never overlap with its spawner there, so even sizes
+// past the subParMin floor would pay goroutine handoff for nothing —
+// runPar is charge-free, so staying inline changes no result.
+func (e *Env) SetSubWorkers(n int) {
+	if n > 1 && runtime.GOMAXPROCS(0) > 1 {
+		e.subSem = make(chan struct{}, n-1)
+	} else {
+		e.subSem = nil
+	}
+}
+
+// armedDeadline returns the deadline executors poll: fork environments
+// consult the root (SetDeadline is called between stages on the root).
+func (e *Env) armedDeadline() vclock.Deadline {
+	if e.root != nil {
+		return e.root.deadline
+	}
+	return e.deadline
+}
+
+// subParMin is the smallest per-closure work size (in tuples) worth a
+// sub-term fan-out: below it the goroutine handoff plus the cache
+// migration of the operands costs more than the overlap buys back, so
+// runPar stays inline and parallelism can only ever help.
+const subParMin = 512
+
+// runPar runs a and b, on two goroutines when a sub-worker slot is
+// free and the smaller closure processes at least size tuples, inline
+// (a then b) otherwise. Both closures must be independent and
+// charge-free against shared clocks and counters — sorts and
+// bucket-join walks qualify, anything that touches e.Clock(),
+// e.DeadlinePolls or e.Comparisons does not — so scheduling changes
+// wall-clock speed only, never the simulation.
+func (e *Env) runPar(size int, a, b func()) {
+	root := e
+	if e.root != nil {
+		root = e.root
+	}
+	if sem := root.subSem; sem != nil && size >= subParMin {
+		select {
+		case sem <- struct{}{}:
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				b()
+			}()
+			a()
+			<-done
+			<-sem
+			return
+		default:
+		}
+	}
+	a()
+	b()
+}
+
+// pollChargeRun performs n iterations of {poll deadline; charge d} —
+// the per-tuple scan accounting shape. When the deadline is unarmed the
+// polls cannot fail and read no clock, so the whole run collapses to
+// one counter add and one batched charge (one lock, n jitter draws —
+// vclock.ChargeRun is draw-for-draw identical to n Charges).
+func (e *Env) pollChargeRun(n int, d time.Duration) error {
+	if n <= 0 {
+		return nil
+	}
+	if e.armedDeadline().Armed() {
+		clock := e.Clock()
+		for i := 0; i < n; i++ {
+			if err := e.checkDeadline(); err != nil {
+				return err
+			}
+			clock.Charge(d)
+		}
+		return nil
+	}
+	e.DeadlinePolls += int64(n)
+	vclock.ChargeRun(e.Clock(), d, n)
+	return nil
+}
+
+// writeRun performs n iterations of {poll deadline; write to f} — the
+// output-loop shape of select and merge nodes. f must be a scratch
+// file (written tuples are charge-accounted, never stored), so the
+// unarmed path batches the writes through TempFile.WriteN.
+func (e *Env) writeRun(f *storage.TempFile, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if e.armedDeadline().Armed() {
+		for i := 0; i < n; i++ {
+			if err := e.checkDeadline(); err != nil {
+				return err
+			}
+			f.Write(nil)
+		}
+		return nil
+	}
+	e.DeadlinePolls += int64(n)
+	f.WriteN(n)
+	return nil
+}
 
 // TakeTimings returns and clears the step timings recorded so far.
 func (e *Env) TakeTimings() []StepTiming {
@@ -233,11 +346,7 @@ func (e *Env) chargeChunked(n int64, per time.Duration) error {
 // which deferred lane charges cannot reproduce).
 func (e *Env) checkDeadline() error {
 	e.DeadlinePolls++
-	dl := e.deadline
-	if e.root != nil {
-		dl = e.root.deadline
-	}
-	if dl.Expired() {
+	if e.armedDeadline().Expired() {
 		return fmt.Errorf("exec: stage aborted: %w", ErrAborted)
 	}
 	return nil
@@ -285,9 +394,26 @@ type Feed struct {
 	env       *Env
 	nodeID    int // pseudo-node id for read-step timings
 	srs       bool
-	stages    [][]tuple.Tuple
+	stages    []stageSample
 	cumTuples int64
 	cumBlocks int
+}
+
+// stageSample is one stage's sample in both physical shapes: rows for
+// the tuple-at-a-time operators, and — when the relation is columnar —
+// the batch the rows were materialized from, which batch-aware
+// operators (select scan, project, merge-run key building) consume
+// directly. Both views hold the same tuples in the same order.
+type stageSample struct {
+	rows  []tuple.Tuple
+	batch *tuple.Batch
+}
+
+func (s *stageSample) len() int {
+	if s.batch != nil {
+		return s.batch.Len()
+	}
+	return len(s.rows)
 }
 
 // NewFeed creates the sample feed for one base relation.
@@ -320,17 +446,38 @@ func (f *Feed) loadStageCluster(blocks []int) error {
 	f.env.chargeInit(f.nodeID, OpBase)
 	clock := f.env.Clock()
 	t0 := clock.Now()
-	var ts []tuple.Tuple
-	for _, b := range blocks {
-		blk, err := f.Rel.ReadBlockIn(f.env.Store, b, f.env.deadline)
-		if err != nil {
-			return err
+	var ss stageSample
+	if f.Rel.Columnar() {
+		// Columnar relations hand out block views; the stage batch is
+		// one bulk copy per block instead of one tuple materialization
+		// per tuple. Read charges and deadline semantics are identical
+		// to ReadBlockIn. Rows are materialized once, here, because
+		// several term executors share the feed concurrently.
+		b := tuple.NewBatch(f.Rel.Schema())
+		for _, bi := range blocks {
+			blk, err := f.Rel.ReadBlockBatchIn(f.env.Store, bi, f.env.deadline)
+			if err != nil {
+				return err
+			}
+			if err := b.AppendBatch(blk); err != nil {
+				return err
+			}
 		}
-		ts = append(ts, blk...)
+		ss = stageSample{rows: b.Rows(), batch: b}
+	} else {
+		var ts []tuple.Tuple
+		for _, b := range blocks {
+			blk, err := f.Rel.ReadBlockIn(f.env.Store, b, f.env.deadline)
+			if err != nil {
+				return err
+			}
+			ts = append(ts, blk...)
+		}
+		ss = stageSample{rows: ts}
 	}
 	f.env.record(f.nodeID, OpBase, StepRead, float64(len(blocks)), clock.Now()-t0)
-	f.stages = append(f.stages, ts)
-	f.cumTuples += int64(len(ts))
+	f.stages = append(f.stages, ss)
+	f.cumTuples += int64(ss.len())
 	f.cumBlocks += len(blocks)
 	return nil
 }
@@ -357,7 +504,7 @@ func (f *Feed) loadStageSRS(tupleIdx []int) error {
 	// Each random tuple costs one block read; the read-step units are
 	// the tuples fetched so the cost model fits seconds-per-tuple.
 	f.env.record(f.nodeID, OpBase, StepRead, float64(len(tupleIdx)), clock.Now()-t0)
-	f.stages = append(f.stages, ts)
+	f.stages = append(f.stages, stageSample{rows: ts})
 	f.cumTuples += int64(len(ts))
 	f.cumBlocks += len(tupleIdx) // blocks touched (no caching assumed)
 	return nil
@@ -368,7 +515,26 @@ func (f *Feed) StageTuples(stage int) ([]tuple.Tuple, error) {
 	if stage < 0 || stage >= len(f.stages) {
 		return nil, fmt.Errorf("exec: feed %s has no stage %d", f.Rel.Name(), stage)
 	}
-	return f.stages[stage], nil
+	return f.stages[stage].rows, nil
+}
+
+// StageBatch returns the columnar view of a loaded stage, or nil when
+// the feed's relation is row-backed (or stage is out of range). When
+// non-nil, it holds the same tuples as StageTuples in the same order.
+func (f *Feed) StageBatch(stage int) *tuple.Batch {
+	if stage < 0 || stage >= len(f.stages) {
+		return nil
+	}
+	return f.stages[stage].batch
+}
+
+// StageLen returns the number of tuples loaded for a stage (0 when out
+// of range).
+func (f *Feed) StageLen(stage int) int {
+	if stage < 0 || stage >= len(f.stages) {
+		return 0
+	}
+	return f.stages[stage].len()
 }
 
 // Stages returns how many stages have been loaded.
@@ -519,6 +685,16 @@ func BaseFeedOf(n Node) (*Feed, bool) {
 	return b.feed, true
 }
 
+// stageBatchOf returns the columnar stage sample behind n when it is a
+// base node over a columnar feed, nil otherwise (derived inputs and
+// row-backed relations stay on the tuple path).
+func stageBatchOf(n Node, stage int) *tuple.Batch {
+	if b, ok := n.(*baseNode); ok {
+		return b.feed.StageBatch(stage)
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // Select node (Fig. 4.3)
 
@@ -526,6 +702,8 @@ type selectNode struct {
 	id       int
 	child    Node
 	pred     ra.CompiledPred
+	bpred    ra.BatchPred // vectorized twin of pred; nil = scalar only
+	bits     []bool       // reusable batch-predicate output buffer
 	predSize int
 	src      ra.Expr
 	env      *Env
@@ -542,10 +720,18 @@ func newSelectNode(env *Env, child Node, pred ra.Pred, src ra.Expr) (Node, error
 	if size < 1 {
 		size = 1
 	}
+	// The batch compiler covers every predicate the scalar compiler
+	// does; a nil bpred (future predicate forms) just means the scan
+	// stays scalar.
+	bpred, err := ra.CompileBatch(pred, child.Schema())
+	if err != nil {
+		bpred = nil
+	}
 	return &selectNode{
 		id:       env.newID(),
 		child:    child,
 		pred:     compiled,
+		bpred:    bpred,
 		predSize: size,
 		src:      src,
 		env:      env,
@@ -561,6 +747,15 @@ func (n *selectNode) Stats() Stats          { return n.stats }
 func (n *selectNode) CumOutTuples() int64   { return int64(n.stats.CumOut) }
 
 func (n *selectNode) Advance(stage int) ([]tuple.Tuple, error) {
+	// The vectorized scan applies when the input is a columnar base
+	// stage and the deadline is unarmed (batched polls cannot reproduce
+	// a mid-scan abort; hard-deadline queries keep the scalar loop).
+	var bb *tuple.Batch
+	if n.bpred != nil && !n.env.armedDeadline().Armed() {
+		if base, ok := n.child.(*baseNode); ok {
+			bb = base.feed.StageBatch(stage)
+		}
+	}
 	in, err := n.child.Advance(stage)
 	if err != nil {
 		return nil, err
@@ -580,24 +775,41 @@ func (n *selectNode) Advance(stage int) ([]tuple.Tuple, error) {
 		}
 	}
 	out := make([]tuple.Tuple, 0, hint)
-	for _, t := range in {
-		if err := n.env.checkDeadline(); err != nil {
+	if bb != nil {
+		// Predicate over column slices, then the per-tuple poll+charge
+		// accounting batched into one run (unarmed polls never fail and
+		// read no clock, so the collapsed form is observationally
+		// identical to the scalar loop).
+		if cap(n.bits) < bb.Len() {
+			n.bits = make([]bool, bb.Len())
+		}
+		bits := n.bits[:bb.Len()]
+		n.bpred(bb, bits)
+		if err := n.env.pollChargeRun(bb.Len(), time.Duration(n.predSize)*costs.TupleCheck); err != nil {
 			return nil, err
 		}
-		clock.Charge(time.Duration(n.predSize) * costs.TupleCheck)
-		if n.pred(t) {
-			out = append(out, t)
+		for i, keep := range bits {
+			if keep {
+				out = append(out, in[i])
+			}
+		}
+	} else {
+		for _, t := range in {
+			if err := n.env.checkDeadline(); err != nil {
+				return nil, err
+			}
+			clock.Charge(time.Duration(n.predSize) * costs.TupleCheck)
+			if n.pred(t) {
+				out = append(out, t)
+			}
 		}
 	}
 	n.env.record(n.id, OpSelect, StepScan, float64(len(in)), clock.Now()-t0)
 
 	// Write output pages (cost C1·p of eq. 4.1).
 	t0 = clock.Now()
-	for _, t := range out {
-		if err := n.env.checkDeadline(); err != nil {
-			return nil, err
-		}
-		n.out.Write(t)
+	if err := n.env.writeRun(n.out, len(out)); err != nil {
+		return nil, err
 	}
 	n.out.Flush()
 	n.env.record(n.id, OpSelect, StepOutput, float64(len(out)), clock.Now()-t0)
@@ -624,6 +836,13 @@ type projectNode struct {
 	keyed     bool
 	occupancy map[string]int
 	stats     Stats
+	// keyArena/keyScratch recycle the per-stage normalized-key build
+	// across stages: the projection's keys are transient (the occupancy
+	// map copies them via string conversion and the sort gathers into
+	// its own slice), so unlike the merge sides' retained run keys they
+	// can share one arena for the whole query.
+	keyArena   []byte
+	keyScratch [][]byte
 }
 
 func newProjectNode(env *Env, child Node, cols []string, src ra.Expr) (Node, error) {
@@ -668,11 +887,25 @@ func (n *projectNode) Occupancies() map[int]int {
 func (n *projectNode) SampledInput() int64 { return int64(n.stats.CumPoints) }
 
 func (n *projectNode) Advance(stage int) ([]tuple.Tuple, error) {
+	// Columnar fast path: projection is a column view, the sort works
+	// over batch-built keys, and only newly distinct tuples are ever
+	// materialized as rows. Applies under the same conditions as the
+	// select fast path, plus keyed dedup (the unkeyed walk needs the
+	// materialized tuples for map keys).
+	var bb *tuple.Batch
+	if n.keyed && !n.env.armedDeadline().Armed() {
+		if base, ok := n.child.(*baseNode); ok {
+			bb = base.feed.StageBatch(stage)
+		}
+	}
 	in, err := n.child.Advance(stage)
 	if err != nil {
 		return nil, err
 	}
 	n.env.chargeInit(n.id, OpProject)
+	if bb != nil {
+		return n.advanceBatch(bb)
+	}
 	clock := n.env.Clock()
 	costs := n.env.Store.Costs()
 
@@ -698,7 +931,8 @@ func (n *projectNode) Advance(stage int) ([]tuple.Tuple, error) {
 	var keys [][]byte
 	var comps int64
 	if n.keyed {
-		keys = buildNormKeys(projected, n.schema, nil)
+		n.keyArena, n.keyScratch = buildNormKeysInto(n.keyArena, n.keyScratch, projected, n.schema, nil)
+		keys = n.keyScratch
 		res := sortx.SortKeyed(projected, keys, 0)
 		sorted, keys, comps = res.Sorted, res.Keys, res.Comparisons
 	} else {
@@ -760,6 +994,72 @@ func (n *projectNode) Advance(stage int) ([]tuple.Tuple, error) {
 	return out, nil
 }
 
+// advanceBatch is the columnar Advance of a keyed projection under an
+// unarmed deadline: the projection is a zero-copy column view, the sort
+// is an argsort over batch-built normalized keys, and only newly
+// distinct tuples are materialized as rows. Charges, counters, polls
+// and emitted tuples are identical to the scalar path.
+func (n *projectNode) advanceBatch(bb *tuple.Batch) ([]tuple.Tuple, error) {
+	clock := n.env.Clock()
+	costs := n.env.Store.Costs()
+
+	// Step 1: write projected attributes to a temporary file.
+	t0 := clock.Now()
+	projB := bb.Project(n.schema, n.idx)
+	if err := n.env.writeRun(n.temp, projB.Len()); err != nil {
+		return nil, err
+	}
+	n.temp.Flush()
+	n.env.record(n.id, OpProject, StepWrite, float64(projB.Len()), clock.Now()-t0)
+	if err := n.env.checkDeadline(); err != nil {
+		return nil, err
+	}
+
+	// Step 2: sort this stage's run.
+	t0 = clock.Now()
+	n.keyArena, n.keyScratch = batchNormKeysInto(n.keyArena, n.keyScratch, projB, nil)
+	res := sortx.SortKeyedIdx(n.keyScratch, 0)
+	if err := n.env.chargeChunked(res.Comparisons, costs.TupleCompare); err != nil {
+		return nil, err
+	}
+	n.env.record(n.id, OpProject, StepSort, nLogN(projB.Len()), clock.Now()-t0)
+
+	// Step 3: walk the sorted run group by group. The scalar path's
+	// per-tuple poll and check charge are batched around the single
+	// first-of-group write, preserving the charge sequence exactly
+	// (poll, check charge, then the group winner's write, then the
+	// remaining members' poll+charge pairs).
+	t0 = clock.Now()
+	var out []tuple.Tuple
+	keys := res.Keys
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && bytes.Equal(keys[j], keys[i]) {
+			j++
+		}
+		prior := n.occupancy[string(keys[i])]
+		if err := n.env.pollChargeRun(1, costs.TupleCheck); err != nil {
+			return nil, err
+		}
+		if prior == 0 {
+			t := projB.Row(int(res.Perm[i]))
+			out = append(out, t)
+			n.out.WriteN(1)
+		}
+		if err := n.env.pollChargeRun(j-i-1, costs.TupleCheck); err != nil {
+			return nil, err
+		}
+		n.occupancy[string(keys[i])] = prior + (j - i)
+		i = j
+	}
+	n.out.Flush()
+	n.env.record(n.id, OpProject, StepScan, float64(projB.Len()), clock.Now()-t0)
+
+	n.stats.CumPoints += float64(bb.Len())
+	n.stats.CumOut += float64(len(out))
+	return out, nil
+}
+
 // ---------------------------------------------------------------------------
 // Join and Intersect nodes (Figs. 4.4–4.6)
 
@@ -790,8 +1090,13 @@ type mergeNode struct {
 	// Reusable stage-tag output buckets of the cumulative plan.
 	bucketsA [][]tuple.Tuple
 	bucketsB [][]tuple.Tuple
-	// arena is the block allocator behind emitConcat (join nodes only).
-	arena []tuple.Value
+	// emitA/emitB are the per-join emitters of the cumulative plan's
+	// two physical bucket joins. For join nodes each owns a private
+	// arena so the joins can run on separate goroutines (emit is the
+	// only mutating call a bucket-join walk makes); for intersects all
+	// three emitters are the same stateless function.
+	emitA func(l, r tuple.Tuple) tuple.Tuple
+	emitB func(l, r tuple.Tuple) tuple.Tuple
 	// Legacy-path state: retained sorted runs per stage.
 	lruns [][]tuple.Tuple
 	rruns [][]tuple.Tuple
@@ -817,28 +1122,34 @@ func newJoinNode(env *Env, left, right Node, on []ra.JoinCond, plan Plan, src ra
 		env: env, plan: plan, out: env.NewScratchFile(schema),
 		keyed: tuple.KeysComparable(left.Schema(), lcols, right.Schema(), rcols),
 	}
-	n.emit = n.emitConcat
+	n.emit = (&concatEmitter{}).emit
+	n.emitA = (&concatEmitter{}).emit
+	n.emitB = (&concatEmitter{}).emit
 	return n, nil
 }
 
-// emitConcat builds the joined output tuple l∘r, carving its value
-// slice out of a block arena so a join's emissions cost one allocation
-// per block instead of one per tuple. Blocks are only ever appended to
-// through n.arena and each returned tuple is capacity-clamped, so the
+// concatEmitter builds joined output tuples l∘r, carving value slices
+// out of a block arena so a join's emissions cost one allocation per
+// block instead of one per tuple. Blocks are only ever appended to
+// through c.arena and each returned tuple is capacity-clamped, so the
 // shared backing is invisible to callers.
-func (n *mergeNode) emitConcat(l, r tuple.Tuple) tuple.Tuple {
+type concatEmitter struct {
+	arena []tuple.Value
+}
+
+func (c *concatEmitter) emit(l, r tuple.Tuple) tuple.Tuple {
 	need := len(l) + len(r)
-	if cap(n.arena)-len(n.arena) < need {
+	if cap(c.arena)-len(c.arena) < need {
 		size := 1 << 13
 		if size < need {
 			size = need
 		}
-		n.arena = make([]tuple.Value, 0, size)
+		c.arena = make([]tuple.Value, 0, size)
 	}
-	start := len(n.arena)
-	n.arena = append(n.arena, l...)
-	n.arena = append(n.arena, r...)
-	return tuple.Tuple(n.arena[start:len(n.arena):len(n.arena)])
+	start := len(c.arena)
+	c.arena = append(c.arena, l...)
+	c.arena = append(c.arena, r...)
+	return tuple.Tuple(c.arena[start:len(c.arena):len(c.arena)])
 }
 
 func newIntersectNode(env *Env, left, right Node, plan Plan, src ra.Expr) (Node, error) {
@@ -850,11 +1161,12 @@ func newIntersectNode(env *Env, left, right Node, plan Plan, src ra.Expr) (Node,
 	for i := range all {
 		all[i] = i
 	}
+	emit := func(l, r tuple.Tuple) tuple.Tuple { return l }
 	return &mergeNode{
 		id: env.newID(), op: OpIntersect, src: src, left: left, right: right,
 		lcols: all, rcols: all, schema: ls,
-		emit: func(l, r tuple.Tuple) tuple.Tuple { return l },
-		env:  env, plan: plan, out: env.NewScratchFile(ls),
+		emit: emit, emitA: emit, emitB: emit,
+		env: env, plan: plan, out: env.NewScratchFile(ls),
 		keyed: tuple.KeysComparable(ls, all, rs, all),
 	}, nil
 }
@@ -887,19 +1199,13 @@ func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
 	// files are charge-only: both samples are already in memory.
 	t0 := clock.Now()
 	lTemp := n.env.NewScratchFile(n.left.Schema())
-	for _, t := range newL {
-		if err := n.env.checkDeadline(); err != nil {
-			return nil, err
-		}
-		lTemp.Write(t)
+	if err := n.env.writeRun(lTemp, len(newL)); err != nil {
+		return nil, err
 	}
 	lTemp.Flush()
 	rTemp := n.env.NewScratchFile(n.right.Schema())
-	for _, t := range newR {
-		if err := n.env.checkDeadline(); err != nil {
-			return nil, err
-		}
-		rTemp.Write(t)
+	if err := n.env.writeRun(rTemp, len(newR)); err != nil {
+		return nil, err
 	}
 	rTemp.Flush()
 	n.env.record(n.id, n.op, StepWrite, float64(len(newL)+len(newR)), clock.Now()-t0)
@@ -909,7 +1215,8 @@ func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
 
 	// Step 2: sort both temporary files (eq. 4.3).
 	t0 = clock.Now()
-	lRun, rRun, comps := n.sortNewRuns(newL, newR)
+	lRun, rRun, comps := n.sortNewRuns(newL, newR,
+		stageBatchOf(n.left, stage), stageBatchOf(n.right, stage))
 	if err := n.env.chargeChunked(comps, costs.TupleCompare); err != nil {
 		return nil, err
 	}
@@ -943,11 +1250,8 @@ func (n *mergeNode) Advance(stage int) ([]tuple.Tuple, error) {
 
 	// Write output pages.
 	t0 = clock.Now()
-	for _, t := range out {
-		if err := n.env.checkDeadline(); err != nil {
-			return nil, err
-		}
-		n.out.Write(t)
+	if err := n.env.writeRun(n.out, len(out)); err != nil {
+		return nil, err
 	}
 	n.out.Flush()
 	n.env.record(n.id, n.op, StepOutput, float64(len(out)), clock.Now()-t0)

@@ -160,19 +160,69 @@ func pairComps(gl, gr []keyGroup) int64 {
 }
 
 // buildNormKeys encodes the normalized key of every tuple on the given
-// columns, packing all keys into one arena allocation.
+// columns, packing all keys into one arena allocation. The keys are
+// freshly allocated and may be retained indefinitely (the merge sides
+// keep their runs' keys for the query lifetime).
 func buildNormKeys(ts []tuple.Tuple, s *tuple.Schema, cols []int) [][]byte {
 	if len(ts) == 0 {
 		return nil
 	}
-	arena := make([]byte, 0, len(ts)*tuple.NormKeySizeHint(s, cols))
-	keys := make([][]byte, len(ts))
+	_, keys := buildNormKeysInto(nil, nil, ts, s, cols)
+	return keys
+}
+
+// buildNormKeysInto is buildNormKeys over caller-owned scratch: the
+// arena and the key-slice header are reused when their capacity
+// suffices, so a caller that rebuilds keys every stage (the projection
+// dedup) amortizes to zero allocations instead of one arena pair per
+// stage. The returned keys alias the returned arena and are valid only
+// until the next call with the same scratch — callers that retain keys
+// (the merge sides' sorted runs) must use buildNormKeys instead.
+func buildNormKeysInto(arena []byte, keys [][]byte, ts []tuple.Tuple, s *tuple.Schema, cols []int) ([]byte, [][]byte) {
+	arena, keys = normKeyScratch(arena, keys, len(ts), tuple.NormKeySizeHint(s, cols))
 	for i, t := range ts {
 		start := len(arena)
 		arena = tuple.AppendNormKey(arena, t, cols)
 		keys[i] = arena[start:len(arena):len(arena)]
 	}
+	return arena, keys
+}
+
+// batchNormKeys is buildNormKeys over a columnar stage sample: same
+// arena layout, byte-identical keys, no tuple materialization or
+// interface-value walking. Like buildNormKeys, the keys are freshly
+// allocated and safe to retain.
+func batchNormKeys(b *tuple.Batch, cols []int) [][]byte {
+	if b.Len() == 0 {
+		return nil
+	}
+	_, keys := batchNormKeysInto(nil, nil, b, cols)
 	return keys
+}
+
+// batchNormKeysInto is buildNormKeysInto over a columnar stage sample:
+// scratch reuse with the same aliasing contract.
+func batchNormKeysInto(arena []byte, keys [][]byte, b *tuple.Batch, cols []int) ([]byte, [][]byte) {
+	n := b.Len()
+	arena, keys = normKeyScratch(arena, keys, n, tuple.NormKeySizeHint(b.Schema(), cols))
+	for i := 0; i < n; i++ {
+		start := len(arena)
+		arena = b.AppendNormKey(arena, i, cols)
+		keys[i] = arena[start:len(arena):len(arena)]
+	}
+	return arena, keys
+}
+
+// normKeyScratch resets the key-build scratch for n keys of the given
+// size hint, reallocating only when capacity is short.
+func normKeyScratch(arena []byte, keys [][]byte, n, hint int) ([]byte, [][]byte) {
+	if need := n * hint; cap(arena) < need {
+		arena = make([]byte, 0, need)
+	}
+	if cap(keys) < n {
+		keys = make([][]byte, n)
+	}
+	return arena[:0], keys[:n]
 }
 
 // cumRef packs the position of one cumulative-run element: the stage
@@ -247,6 +297,17 @@ func resetBuckets(buf [][]tuple.Tuple, n int) [][]tuple.Tuple {
 	return buf[:n]
 }
 
+// countPoll returns a poll function that only counts: the shape bucket
+// joins use off the engine goroutine, where an unarmed deadline can
+// never expire (polls read no clock) but the poll totals must still
+// land in the trace exactly as the serial walk would have counted them.
+func countPoll(c *int64) func() error {
+	return func() error {
+		*c++
+		return nil
+	}
+}
+
 // bucketJoin merge-joins a new run against a side's cumulative run,
 // appending emit(new, cum-element) — or emit(cum-element, new) when
 // newIsLeft is false — to buckets[stage of the cum element]. Because an
@@ -254,13 +315,19 @@ func resetBuckets(buf [][]tuple.Tuple, n int) [][]tuple.Tuple {
 // within-run order preserved, bucket t receives exactly the output the
 // per-pair plan's merge-join of (new × run_t) would emit, in the same
 // order: keys ascending, left-major within a key.
-func (n *mergeNode) bucketJoin(nw sortedRun, side *mergeSide, newIsLeft bool, buckets [][]tuple.Tuple) error {
+//
+// emit and poll are parameters so the two bucket joins of a stage can
+// run on separate goroutines: each gets its own arena-backed emitter
+// and a local poll counter (see advanceCumulative). The walk itself
+// reads only immutable run/cum state.
+func (n *mergeNode) bucketJoin(nw sortedRun, side *mergeSide, newIsLeft bool, buckets [][]tuple.Tuple,
+	emit func(l, r tuple.Tuple) tuple.Tuple, poll func() error) error {
 	cum := side.cum
 	i, j := 0, 0
 	ops := 0
 	for i < len(nw.ts) && j < len(cum) {
 		if ops++; ops%mergePollInterval == 0 {
-			if err := n.env.checkDeadline(); err != nil {
+			if err := poll(); err != nil {
 				return err
 			}
 		}
@@ -285,12 +352,12 @@ func (n *mergeNode) bucketJoin(nw sortedRun, side *mergeSide, newIsLeft bool, bu
 			for a := i; a < i2; a++ {
 				for b := j; b < j2; b++ {
 					if ops++; ops%mergePollInterval == 0 {
-						if err := n.env.checkDeadline(); err != nil {
+						if err := poll(); err != nil {
 							return err
 						}
 					}
 					tg := cum[b].stage()
-					buckets[tg] = append(buckets[tg], n.emit(nw.ts[a], side.tup(cum[b])))
+					buckets[tg] = append(buckets[tg], emit(nw.ts[a], side.tup(cum[b])))
 				}
 			}
 		} else {
@@ -299,11 +366,11 @@ func (n *mergeNode) bucketJoin(nw sortedRun, side *mergeSide, newIsLeft bool, bu
 				ct := side.tup(cum[b])
 				for a := i; a < i2; a++ {
 					if ops++; ops%mergePollInterval == 0 {
-						if err := n.env.checkDeadline(); err != nil {
+						if err := poll(); err != nil {
 							return err
 						}
 					}
-					buckets[tg] = append(buckets[tg], n.emit(ct, nw.ts[a]))
+					buckets[tg] = append(buckets[tg], emit(ct, nw.ts[a]))
 				}
 			}
 		}
@@ -333,15 +400,40 @@ func (n *mergeNode) chargePair(lLen, rLen int, comps int64) error {
 func (n *mergeNode) advanceCumulative(lRun, rRun sortedRun) ([]tuple.Tuple, float64, error) {
 	s := n.stages - 1 // 0-based index of this stage
 
-	// Physical work: newL × (cumR ∪ newR), then cumL_old × newR.
+	// Physical work: newL × (cumR ∪ newR), then cumL_old × newR. The two
+	// joins read disjoint mutable state (buckets, emit arenas) over
+	// immutable runs, and under an unarmed deadline their polls cannot
+	// fail and read no clock — so they may run on two goroutines, with
+	// each join's polls counted locally and folded back in join order.
+	// Under an armed deadline the serial walk is kept: an abort's
+	// position depends on the global poll interleaving.
 	n.rside.addRun(rRun)
 	n.bucketsA = resetBuckets(n.bucketsA, s+1)
-	if err := n.bucketJoin(lRun, &n.rside, true, n.bucketsA); err != nil {
-		return nil, 0, err
-	}
 	n.bucketsB = resetBuckets(n.bucketsB, s)
-	if err := n.bucketJoin(rRun, &n.lside, false, n.bucketsB); err != nil {
-		return nil, 0, err
+	if n.env.armedDeadline().Armed() {
+		if err := n.bucketJoin(lRun, &n.rside, true, n.bucketsA, n.emitA, n.env.checkDeadline); err != nil {
+			return nil, 0, err
+		}
+		if err := n.bucketJoin(rRun, &n.lside, false, n.bucketsB, n.emitB, n.env.checkDeadline); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		var pollsA, pollsB int64
+		var errA, errB error
+		sizeA := len(lRun.ts) + len(n.rside.cum)
+		sizeB := len(rRun.ts) + len(n.lside.cum)
+		n.env.runPar(min(sizeA, sizeB), func() {
+			errA = n.bucketJoin(lRun, &n.rside, true, n.bucketsA, n.emitA, countPoll(&pollsA))
+		}, func() {
+			errB = n.bucketJoin(rRun, &n.lside, false, n.bucketsB, n.emitB, countPoll(&pollsB))
+		})
+		n.env.DeadlinePolls += pollsA + pollsB
+		if errA != nil {
+			return nil, 0, errA
+		}
+		if errB != nil {
+			return nil, 0, errB
+		}
 	}
 	n.lside.addRun(lRun)
 
@@ -530,23 +622,48 @@ func (n *mergeNode) mergeJoin(l, r []tuple.Tuple) ([]tuple.Tuple, int64, error) 
 
 // sortNewRuns sorts both sides' new samples (step 2), caching normalized
 // keys on the fast path, and returns the runs plus the comparison count
-// to charge.
-func (n *mergeNode) sortNewRuns(newL, newR []tuple.Tuple) (lRun, rRun sortedRun, comps int64) {
+// to charge. The two sides are independent and charge-free, so they may
+// run on two goroutines (runPar) when a sub-worker slot is free: the
+// comparison counts are deterministic functions of the inputs and are
+// charged by the caller afterwards, so scheduling cannot perturb the
+// simulation. Keys are built from the columnar stage samples lb/rb when
+// available (byte-identical to the tuple path).
+func (n *mergeNode) sortNewRuns(newL, newR []tuple.Tuple, lb, rb *tuple.Batch) (lRun, rRun sortedRun, comps int64) {
 	if n.keyed {
-		lKeys := buildNormKeys(newL, n.left.Schema(), n.lcols)
-		rKeys := buildNormKeys(newR, n.right.Schema(), n.rcols)
-		lres := sortx.SortKeyed(newL, lKeys, 0)
-		rres := sortx.SortKeyed(newR, rKeys, 0)
+		var lres, rres sortx.KeyedResult
+		n.env.runPar(min(len(newL), len(newR)), func() {
+			lKeys := sideNormKeys(newL, lb, n.left.Schema(), n.lcols)
+			lres = sortx.SortKeyed(newL, lKeys, 0)
+		}, func() {
+			rKeys := sideNormKeys(newR, rb, n.right.Schema(), n.rcols)
+			rres = sortx.SortKeyed(newR, rKeys, 0)
+		})
 		return sortedRun{lres.Sorted, lres.Keys, makePres(lres.Keys)},
 			sortedRun{rres.Sorted, rres.Keys, makePres(rres.Keys)},
 			lres.Comparisons + rres.Comparisons
 	}
-	lres := sortx.Sort(newL, func(a, b tuple.Tuple) int {
-		return tuple.Compare(a, b, n.lcols, n.lcols)
-	}, 0)
-	rres := sortx.Sort(newR, func(a, b tuple.Tuple) int {
-		return tuple.Compare(a, b, n.rcols, n.rcols)
-	}, 0)
+	var lres, rres sortx.Result
+	n.env.runPar(min(len(newL), len(newR)), func() {
+		lres = sortx.Sort(newL, func(a, b tuple.Tuple) int {
+			return tuple.Compare(a, b, n.lcols, n.lcols)
+		}, 0)
+	}, func() {
+		rres = sortx.Sort(newR, func(a, b tuple.Tuple) int {
+			return tuple.Compare(a, b, n.rcols, n.rcols)
+		}, 0)
+	})
 	return sortedRun{ts: lres.Sorted}, sortedRun{ts: rres.Sorted},
 		lres.Comparisons + rres.Comparisons
+}
+
+// sideNormKeys builds one side's normalized keys, preferring the
+// columnar stage sample when the side is a columnar base stage. The
+// keys end up retained in the side's sortedRun for the rest of the
+// query, so this deliberately uses the allocating builders — pooling
+// here would let a later stage overwrite an earlier run's keys.
+func sideNormKeys(ts []tuple.Tuple, b *tuple.Batch, s *tuple.Schema, cols []int) [][]byte {
+	if b != nil {
+		return batchNormKeys(b, cols)
+	}
+	return buildNormKeys(ts, s, cols)
 }

@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+
+	"tcq/internal/tuple"
+)
+
+// normKeyFixture builds n two-column tuples plus the same data as a
+// columnar batch.
+func normKeyFixture(t *testing.T, n int) ([]tuple.Tuple, *tuple.Batch, *tuple.Schema) {
+	t.Helper()
+	sch := tuple.MustSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "a", Type: tuple.Int},
+	)
+	ts := make([]tuple.Tuple, 0, n)
+	b := tuple.NewBatch(sch)
+	for i := 0; i < n; i++ {
+		tp := tuple.Tuple{int64(i), int64(i % 13)}
+		ts = append(ts, tp)
+		if err := b.AppendRow(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ts, b, sch
+}
+
+// TestNormKeysIntoMatchesAllocating pins that the pooled builders
+// produce byte-identical keys to the allocating ones, across reuse
+// (shrinking and growing between calls) and both input forms.
+func TestNormKeysIntoMatchesAllocating(t *testing.T) {
+	var arena []byte
+	var keys [][]byte
+	for _, n := range []int{0, 1, 7, 100, 3, 250} {
+		ts, b, sch := normKeyFixture(t, n)
+		for _, cols := range [][]int{nil, {1}, {1, 0}} {
+			want := buildNormKeys(ts, sch, cols)
+			arena, keys = buildNormKeysInto(arena, keys, ts, sch, cols)
+			if len(keys) != len(want) {
+				t.Fatalf("n=%d cols=%v: pooled row build has %d keys, want %d", n, cols, len(keys), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(keys[i], want[i]) {
+					t.Fatalf("n=%d cols=%v key %d: pooled %x, allocating %x", n, cols, i, keys[i], want[i])
+				}
+			}
+			arena, keys = batchNormKeysInto(arena, keys, b, cols)
+			if len(keys) != len(want) {
+				t.Fatalf("n=%d cols=%v: pooled batch build has %d keys, want %d", n, cols, len(keys), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(keys[i], want[i]) {
+					t.Fatalf("n=%d cols=%v batch key %d: pooled %x, allocating %x", n, cols, i, keys[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNormKeysIntoSteadyStateZeroAllocs pins the satellite's pooling
+// claim at the source: once the scratch has warmed to the stage size,
+// rebuilding a stage's normalized keys allocates nothing — neither for
+// the arena nor for the [][]byte headers — on the row path and the
+// columnar path alike.
+func TestNormKeysIntoSteadyStateZeroAllocs(t *testing.T) {
+	ts, b, sch := normKeyFixture(t, 200)
+	var arena []byte
+	var keys [][]byte
+	arena, keys = buildNormKeysInto(arena, keys, ts, sch, nil) // warm
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		arena, keys = buildNormKeysInto(arena, keys, ts, sch, nil)
+	}); allocs != 0 {
+		t.Errorf("warm row key build allocates: %v allocs/op", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		arena, keys = batchNormKeysInto(arena, keys, b, nil)
+	}); allocs != 0 {
+		t.Errorf("warm batch key build allocates: %v allocs/op", allocs)
+	}
+}

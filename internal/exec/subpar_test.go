@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"tcq/internal/ra"
+	"tcq/internal/storage"
+	"tcq/internal/vclock"
+)
+
+// subFanOutFingerprint evaluates e in one full-census stage at a
+// 4-worker budget; with force it grants sub-worker slots directly, so
+// the runPar goroutine branch runs even on hosts where SetSubWorkers
+// would decline them (GOMAXPROCS == 1).
+func subFanOutFingerprint(t *testing.T, st *storage.Store, clk *vclock.Sim, e ra.Expr, force bool) string {
+	t.Helper()
+	env := NewEnv(st)
+	q, err := NewParallelQuery(e, env, StoreCatalog{st}, FullFulfillment, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if force {
+		env.subSem = make(chan struct{}, 3)
+	}
+	for _, name := range q.FeedNames() {
+		f := q.Feeds[name]
+		all := make([]int, f.Rel.NumBlocks())
+		for i := range all {
+			all[i] = i
+		}
+		if err := f.LoadStage(all); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.AdvanceStage(0); err != nil {
+		t.Fatal(err)
+	}
+	est := q.Estimate()
+	return fmt.Sprintf("est=%v var=%v clock=%d polls=%d comps=%d counters=%+v",
+		est.Value, est.Variance, clk.Now(), env.DeadlinePolls, env.Comparisons, st.Counters())
+}
+
+// TestSubTermForcedFanOutEquivalence pins the runPar contract where the
+// goroutine branch actually executes: with forced sub-worker slots and
+// stages far above the subParMin floor, the fanned-out sorts and merge
+// folds must leave the simulated machine — clock, polls, comparisons,
+// I/O counters — exactly where the inline schedule leaves it. Run under
+// -race this is also the data-race coverage for the sub-term tier,
+// independent of the host's CPU count.
+func TestSubTermForcedFanOutEquivalence(t *testing.T) {
+	exprs := map[string]ra.Expr{
+		"join": &ra.Join{Left: &ra.Base{Name: "r"}, Right: &ra.Base{Name: "s"},
+			On: []ra.JoinCond{{LeftCol: "id", RightCol: "id"}}},
+		"intersect": &ra.Intersect{Inputs: []ra.Expr{&ra.Base{Name: "r"}, &ra.Base{Name: "s"}}},
+	}
+	for name, e := range exprs {
+		inlineSt, inlineClk := buildBoundaryStore(t, 3000, true)
+		want := subFanOutFingerprint(t, inlineSt, inlineClk, e, false)
+		forcedSt, forcedClk := buildBoundaryStore(t, 3000, true)
+		got := subFanOutFingerprint(t, forcedSt, forcedClk, e, true)
+		if got != want {
+			t.Errorf("%s: forced sub-term fan-out diverged:\ninline: %s\nforced: %s", name, want, got)
+		}
+	}
+}

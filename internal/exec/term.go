@@ -242,13 +242,30 @@ func NewQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan) (*Query, error) {
 }
 
 // NewParallelQuery is NewQuery with a worker budget for stage
-// evaluation. With workers > 1 each term is built on a forked lane
-// environment so terms can execute concurrently; replaying the lanes in
-// term order afterwards reproduces the exact serial charge sequence, so
-// any worker count yields byte-identical estimates, timings and traces.
-// Feeds always belong to the root environment: samples are drawn and
-// loaded serially (they consume the query's seeded RNG stream).
+// evaluation; the budget feeds both tiers of parallelism (see
+// NewTieredParallelQuery).
 func NewParallelQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan, workers int) (*Query, error) {
+	return NewTieredParallelQuery(e, env, cat, plan, workers, workers)
+}
+
+// NewTieredParallelQuery builds a query with a split worker budget.
+//
+// termWorkers bounds term-level parallelism: with termWorkers > 1 each
+// signed SJIP term is built on a forked lane environment so terms can
+// execute concurrently; replaying the lanes in term order afterwards
+// reproduces the exact serial charge sequence, so any worker count
+// yields byte-identical estimates, timings and traces. Feeds always
+// belong to the root environment: samples are drawn and loaded serially
+// (they consume the query's seeded RNG stream).
+//
+// subWorkers bounds sub-term parallelism: charge-free sub-tasks inside
+// one operator stage (a merge's two run sorts, the cumulative plan's
+// two bucket joins) may fan out to up to subWorkers-1 extra goroutines
+// (Env.runPar). This is what lets a single-term query — a pure join or
+// intersection, where term-level parallelism degenerates to one lane —
+// and hard-deadline queries (termWorkers forced to 1) still use more
+// than one core, again without touching the simulated timeline.
+func NewTieredParallelQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan, termWorkers, subWorkers int) (*Query, error) {
 	terms, err := ra.Terms(e, cat)
 	if err != nil {
 		return nil, err
@@ -261,13 +278,21 @@ func NewParallelQuery(e ra.Expr, env *Env, cat ra.Catalog, plan Plan, workers in
 		}
 		feeds[name] = NewFeed(env, rel)
 	}
-	if workers < 1 {
-		workers = 1
+	if termWorkers < 1 {
+		termWorkers = 1
 	}
-	q := &Query{Feeds: feeds, Env: env, Plan: plan, workers: workers}
+	if len(terms) == 1 {
+		// One term has nothing to fan out at this tier; running it inline
+		// on the engine goroutine IS the serial charge order, so the lane
+		// record/replay machinery would be pure overhead. Sub-term
+		// parallelism below still applies.
+		termWorkers = 1
+	}
+	env.SetSubWorkers(subWorkers)
+	q := &Query{Feeds: feeds, Env: env, Plan: plan, workers: termWorkers}
 	for _, t := range terms {
 		tenv := env
-		if workers > 1 {
+		if termWorkers > 1 {
 			tenv = env.fork()
 			q.termEnvs = append(q.termEnvs, tenv)
 		}
@@ -295,24 +320,18 @@ func (q *Query) AdvanceStage(stage int) error {
 		return nil
 	}
 	errs := make([]error, len(q.Terms))
-	if len(q.Terms) == 1 {
-		// A single term still runs through its lane (the record/replay
-		// path must not depend on term count), but needs no goroutine.
-		errs[0] = q.Terms[0].Advance(stage)
-	} else {
-		sem := make(chan struct{}, q.workers)
-		var wg sync.WaitGroup
-		for i, te := range q.Terms {
-			wg.Add(1)
-			go func(i int, te *TermExec) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				errs[i] = te.Advance(stage)
-			}(i, te)
-		}
-		wg.Wait()
+	sem := make(chan struct{}, q.workers)
+	var wg sync.WaitGroup
+	for i, te := range q.Terms {
+		wg.Add(1)
+		go func(i int, te *TermExec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = te.Advance(stage)
+		}(i, te)
 	}
+	wg.Wait()
 	// Replay in fixed term order — the serial charge sequence. On error,
 	// replay only the prefix a serial run would have executed (terms
 	// after the first failure never ran serially).

@@ -169,6 +169,13 @@ func TestPolicyString(t *testing.T) {
 
 func TestControllerAdmitsAndMeetsDeadlines(t *testing.T) {
 	st, txns := batchFixture(t, 5)
+	// Concurrent Submits arrive in scheduler order, so admission must be
+	// feasible for every arrival permutation: each deadline has to cover
+	// the other txns' worst-case work (3s + 3s + 5s here) plus its own.
+	// The fixture's 5s deadline on txn 1 only admits when txn 1 happens
+	// to arrive first or the others already finished — a host-speed
+	// lottery that made this test flake under -race.
+	txns[0].Deadline = 15 * time.Second
 	reg := trace.NewRegistry()
 	c := NewController(st, ControllerOptions{
 		Options:       Options{Policy: QuotaQueries, Seed: 5, Metrics: reg},

@@ -130,12 +130,35 @@ var idxPool = sync.Pool{New: func() any { return []int32(nil) }}
 // comparison count — is identical to Sort with a comparator that orders
 // tuples the way the keys do. Neither input slice is modified.
 func SortKeyed(ts []tuple.Tuple, keys [][]byte, runSize int) KeyedResult {
+	r := SortKeyedIdx(keys, runSize)
+	outT := make([]tuple.Tuple, len(r.Perm))
+	for i, j := range r.Perm {
+		outT[i] = ts[j]
+	}
+	return KeyedResult{Sorted: outT, Keys: r.Keys, Comparisons: r.Comparisons, Runs: r.Runs}
+}
+
+// IdxResult reports the outcome of an argsort by cached keys: the
+// sorting permutation (Perm[i] is the input index of sorted rank i)
+// plus the keys gathered into sorted order.
+type IdxResult struct {
+	Perm        []int32
+	Keys        [][]byte
+	Comparisons int64
+	Runs        int
+}
+
+// SortKeyedIdx argsorts the normalized keys and returns the sorting
+// permutation, for callers that gather columnar data instead of row
+// tuples. The comparator-call sequence is identical to SortKeyed over
+// the same keys. The input slice is not modified.
+func SortKeyedIdx(keys [][]byte, runSize int) IdxResult {
 	if runSize <= 0 {
 		runSize = DefaultRunSize
 	}
-	n := len(ts)
+	n := len(keys)
 	if n == 0 {
-		return KeyedResult{}
+		return IdxResult{}
 	}
 	// Argsort: order indices by key, then gather. Index moves are 4
 	// bytes instead of a tuple header + key header per swap.
@@ -149,14 +172,12 @@ func SortKeyed(ts []tuple.Tuple, keys [][]byte, runSize int) KeyedResult {
 	}
 	cmp := func(a, b int32) int { return bytes.Compare(keys[a], keys[b]) }
 	sortedIdx, comps, runs := sortCore(idx, cmp, runSize)
-	outT := make([]tuple.Tuple, n)
 	outK := make([][]byte, n)
 	for i, j := range sortedIdx {
-		outT[i] = ts[j]
 		outK[i] = keys[j]
 	}
 	idxPool.Put(idx[:0])
-	return KeyedResult{Sorted: outT, Keys: outK, Comparisons: comps, Runs: runs}
+	return IdxResult{Perm: sortedIdx, Keys: outK, Comparisons: comps, Runs: runs}
 }
 
 type mergeItem[T any] struct {

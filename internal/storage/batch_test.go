@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tcq/internal/tuple"
+	"tcq/internal/vclock"
+)
+
+func batchTestSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "pad", Type: tuple.String, Size: 120}, // bf = 8
+	)
+}
+
+func buildPair(t *testing.T, n int) (rowRel, batchRel *Relation, st *Store) {
+	t.Helper()
+	st = NewStore(vclock.NewSim(1, 0), SunProfile(), DefaultBlockSize)
+	s := batchTestSchema()
+	var err error
+	rowRel, err = st.CreateRelation("rows", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRel, err = st.CreateRelation("batch", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int64, n)
+	pads := make([]string, n)
+	for i := range ids {
+		ids[i] = int64(i * 3)
+	}
+	for j := 0; j < n; j++ {
+		if err := rowRel.Append(tuple.Tuple{int64(j * 3), ""}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := tuple.MakeBatch(s, n, ids, pads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batchRel.AppendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	return rowRel, batchRel, st
+}
+
+// TestBatchRelationMirrorsRowRelation pins the dual-mode contract: a
+// batch-backed relation exposes exactly the same blocks, tuples and
+// read charges as a row-backed relation loaded with the same data.
+func TestBatchRelationMirrorsRowRelation(t *testing.T) {
+	const n = 21 // bf=8 → 2 full blocks + 1 partial
+	rowRel, batchRel, st := buildPair(t, n)
+	if !batchRel.Columnar() || rowRel.Columnar() {
+		t.Fatal("Columnar flags wrong")
+	}
+	if rowRel.NumBlocks() != batchRel.NumBlocks() || rowRel.NumTuples() != batchRel.NumTuples() {
+		t.Fatalf("shape mismatch: blocks %d/%d tuples %d/%d",
+			rowRel.NumBlocks(), batchRel.NumBlocks(), rowRel.NumTuples(), batchRel.NumTuples())
+	}
+	clk := st.Clock().(*vclock.Sim)
+	dl := vclock.Unarmed()
+	for i := 0; i < rowRel.NumBlocks(); i++ {
+		before := clk.Now()
+		c0 := st.Counters()
+		rb, err := rowRel.ReadBlockIn(st, i, dl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		afterRow := clk.Now() - before
+		bb, err := batchRel.ReadBlockBatchIn(st, i, dl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		afterBatch := clk.Now() - before - afterRow
+		if afterRow != afterBatch {
+			t.Errorf("block %d: row read charged %v, batch read charged %v", i, afterRow, afterBatch)
+		}
+		c1 := st.Counters()
+		if c1.BlocksRead-c0.BlocksRead != 2 || c1.TuplesRead-c0.TuplesRead != 2*int64(len(rb)) {
+			t.Errorf("block %d: counter deltas diverge: %+v -> %+v", i, c0, c1)
+		}
+		if len(rb) != bb.Len() {
+			t.Fatalf("block %d: %d row tuples vs %d batch rows", i, len(rb), bb.Len())
+		}
+		mb, err := batchRel.ReadBlockIn(st, i, dl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range rb {
+			if tuple.Compare(rb[j], bb.Row(j), nil, nil) != 0 || tuple.Compare(rb[j], mb[j], nil, nil) != 0 {
+				t.Fatalf("block %d row %d: %v vs %v vs %v", i, j, rb[j], bb.Row(j), mb[j])
+			}
+		}
+	}
+	rowAll, batchAll := rowRel.AllTuples(), batchRel.AllTuples()
+	if len(rowAll) != len(batchAll) {
+		t.Fatalf("AllTuples length %d vs %d", len(rowAll), len(batchAll))
+	}
+	for i := range rowAll {
+		if tuple.Compare(rowAll[i], batchAll[i], nil, nil) != 0 {
+			t.Fatalf("AllTuples[%d]: %v vs %v", i, rowAll[i], batchAll[i])
+		}
+	}
+}
+
+func TestBatchRelationDeadlineAndAppend(t *testing.T) {
+	_, batchRel, st := buildPair(t, 5)
+	clk := st.Clock().(*vclock.Sim)
+	expired := vclock.NewDeadline(clk, -time.Second)
+	if _, err := batchRel.ReadBlockBatchIn(st, 0, expired); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired read err = %v, want ErrDeadline", err)
+	}
+	if _, err := batchRel.ReadBlockBatchIn(st, 99, vclock.Unarmed()); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	// Row appends land in the batch storage and extend the block range.
+	if err := batchRel.Append(tuple.Tuple{int64(1000), "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := batchRel.NumTuples(); got != 6 {
+		t.Fatalf("NumTuples after mixed append = %d", got)
+	}
+	all := batchRel.AllTuples()
+	if all[5][0].(int64) != 1000 {
+		t.Fatalf("appended row not visible: %v", all[5])
+	}
+	// A row-mode relation accepts AppendBatch by degrading to rows.
+	rowRel, err := st.CreateRelation("rows2", batchTestSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rowRel.Append(tuple.Tuple{int64(-1), ""}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := tuple.MakeBatch(batchTestSchema(), 2, []int64{7, 8}, []string{"", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rowRel.AppendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if rowRel.Columnar() {
+		t.Fatal("row relation became columnar")
+	}
+	if got := rowRel.NumTuples(); got != 3 {
+		t.Fatalf("NumTuples = %d", got)
+	}
+	if _, err := batchRel.ReadBlockBatchIn(st, 0, vclock.Unarmed()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rowRel.ReadBlockBatchIn(st, 0, vclock.Unarmed()); err == nil {
+		t.Fatal("ReadBlockBatchIn on row relation succeeded")
+	}
+}
+
+// TestWriteNMatchesWriteLoop pins WriteN's charge stream against the
+// scalar Write loop: same seed, same durations in the same order, same
+// counters, across page boundaries and partial pages.
+func TestWriteNMatchesWriteLoop(t *testing.T) {
+	s := batchTestSchema()
+	for _, n := range []int{1, 7, 8, 9, 40, 100} {
+		loopClk := vclock.NewSim(5, 0.04)
+		batchClk := vclock.NewSim(5, 0.04)
+		loopSt := NewStore(loopClk, SunProfile(), DefaultBlockSize)
+		batchSt := NewStore(batchClk, SunProfile(), DefaultBlockSize)
+		lf := loopSt.NewScratchFile(s)
+		bf := batchSt.NewScratchFile(s)
+		lf.Write(tuple.Tuple{int64(0), ""}) // offset the page phase
+		bf.Write(tuple.Tuple{int64(0), ""})
+		for i := 0; i < n; i++ {
+			lf.Write(tuple.Tuple{int64(i), ""})
+		}
+		bf.WriteN(n)
+		lf.Flush()
+		bf.Flush()
+		if loopClk.Now() != batchClk.Now() {
+			t.Errorf("n=%d: loop clock %v != batch clock %v", n, loopClk.Now(), batchClk.Now())
+		}
+		if lc, bc := loopSt.Counters(), batchSt.Counters(); lc != bc {
+			t.Errorf("n=%d: counters diverge: %+v vs %+v", n, lc, bc)
+		}
+		if lf.Len() != bf.Len() || lf.Pages() != bf.Pages() {
+			t.Errorf("n=%d: len/pages diverge: %d/%d vs %d/%d", n, lf.Len(), lf.Pages(), bf.Len(), bf.Pages())
+		}
+	}
+}

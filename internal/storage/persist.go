@@ -52,13 +52,16 @@ func (r *Relation) Save(w io.Writer) error {
 	buf := make([]byte, 0, r.schema.TupleSize())
 	for i := 0; i < r.numBlocksLocked(); i++ {
 		var blk []tuple.Tuple
-		if r.backing != nil {
+		switch {
+		case r.backing != nil:
 			b, err := r.backing.readBlock(i)
 			if err != nil {
 				return err
 			}
 			blk = b
-		} else {
+		case r.batch != nil:
+			blk = r.blockBatchLocked(i).Rows()
+		default:
 			blk = r.blocks[i]
 		}
 		for _, t := range blk {

@@ -299,6 +299,20 @@ type Relation struct {
 	blocks    [][]tuple.Tuple
 	numTuples int64
 	backing   pager // nil for in-memory relations
+
+	// batch, when non-nil, is the relation's columnar storage: block i
+	// holds rows [i*bf, min((i+1)*bf, n)) of one big Batch. A relation
+	// is either row-backed (blocks), file-backed (backing) or
+	// batch-backed; AppendBatch on a fresh relation selects batch mode.
+	batch *tuple.Batch
+}
+
+// Columnar reports whether the relation stores its data as a columnar
+// batch, enabling the zero-copy ReadBlockBatchIn read path.
+func (r *Relation) Columnar() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.batch != nil
 }
 
 // Name returns the relation name.
@@ -321,7 +335,21 @@ func (r *Relation) numBlocksLocked() int {
 	if r.backing != nil {
 		return r.backing.numBlocks()
 	}
+	if r.batch != nil {
+		return (r.batch.Len() + r.blockingFactor - 1) / r.blockingFactor
+	}
 	return len(r.blocks)
+}
+
+// blockBatchLocked returns block i of a batch-backed relation as a
+// zero-copy view.
+func (r *Relation) blockBatchLocked(i int) *tuple.Batch {
+	lo := i * r.blockingFactor
+	hi := lo + r.blockingFactor
+	if n := r.batch.Len(); hi > n {
+		hi = n
+	}
+	return r.batch.Slice(lo, hi)
 }
 
 // NumTuples returns the total number of tuples.
@@ -343,12 +371,57 @@ func (r *Relation) Append(t tuple.Tuple) error {
 	if err := t.Validate(r.schema); err != nil {
 		return fmt.Errorf("storage: append to %s: %w", r.name, err)
 	}
+	if r.batch != nil {
+		if err := r.batch.AppendRow(t); err != nil {
+			return fmt.Errorf("storage: append to %s: %w", r.name, err)
+		}
+		r.numTuples++
+		return nil
+	}
 	if n := len(r.blocks); n == 0 || len(r.blocks[n-1]) >= r.blockingFactor {
 		r.blocks = append(r.blocks, make([]tuple.Tuple, 0, r.blockingFactor))
 	}
 	last := len(r.blocks) - 1
 	r.blocks[last] = append(r.blocks[last], t)
 	r.numTuples++
+	return nil
+}
+
+// AppendBatch bulk-loads a columnar batch. On a fresh relation it
+// selects columnar storage (one typed-column copy, no per-row work and
+// no boxed values — the fast path the workload generators use); on a
+// relation that already holds row blocks it degrades to row-wise
+// appends. The resulting block layout is identical either way: rows
+// fill blocks sequentially in batch order. Like Append, loading does
+// not charge the clock.
+func (r *Relation) AppendBatch(b *tuple.Batch) error {
+	if !r.schema.Equal(b.Schema()) {
+		return fmt.Errorf("storage: append batch to %s: schema mismatch", r.name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.backing != nil {
+		return fmt.Errorf("storage: relation %s is file-backed (read-only)", r.name)
+	}
+	if len(r.blocks) > 0 {
+		for i := 0; i < b.Len(); i++ {
+			t := b.Row(i)
+			if n := len(r.blocks); n == 0 || len(r.blocks[n-1]) >= r.blockingFactor {
+				r.blocks = append(r.blocks, make([]tuple.Tuple, 0, r.blockingFactor))
+			}
+			last := len(r.blocks) - 1
+			r.blocks[last] = append(r.blocks[last], t)
+		}
+		r.numTuples += int64(b.Len())
+		return nil
+	}
+	if r.batch == nil {
+		r.batch = tuple.NewBatch(r.schema)
+	}
+	if err := r.batch.AppendBatch(b); err != nil {
+		return fmt.Errorf("storage: append batch to %s: %w", r.name, err)
+	}
+	r.numTuples += int64(b.Len())
 	return nil
 }
 
@@ -384,20 +457,51 @@ func (r *Relation) ReadBlockIn(sess *Store, i int, dl vclock.Deadline) ([]tuple.
 		return nil, fmt.Errorf("storage: %s block %d out of range [0,%d)", r.name, i, n)
 	}
 	var blk []tuple.Tuple
-	if r.backing != nil {
+	switch {
+	case r.backing != nil:
 		var err error
 		blk, err = r.backing.readBlock(i)
 		if err != nil {
 			r.mu.RUnlock()
 			return nil, fmt.Errorf("storage: read %s block %d: %w", r.name, i, err)
 		}
-	} else {
+	case r.batch != nil:
+		// Slow path for batch-backed relations (row materialization);
+		// the executors use ReadBlockBatchIn instead.
+		blk = r.blockBatchLocked(i).Rows()
+	default:
 		blk = r.blocks[i]
 	}
 	r.mu.RUnlock()
 	sess.clock.Charge(sess.costs.BlockRead)
 	sess.counters.BlocksRead++
 	sess.counters.TuplesRead += int64(len(blk))
+	return blk, nil
+}
+
+// ReadBlockBatchIn returns block i of a batch-backed relation as a
+// zero-copy columnar view, with exactly the same deadline handling,
+// clock charge and counter increments as ReadBlockIn — the two read
+// paths are interchangeable as far as the simulation can observe.
+func (r *Relation) ReadBlockBatchIn(sess *Store, i int, dl vclock.Deadline) (*tuple.Batch, error) {
+	if dl.Expired() {
+		return nil, fmt.Errorf("storage: read %s block %d: %w", r.name, i, ErrDeadline)
+	}
+	r.mu.RLock()
+	if r.batch == nil {
+		r.mu.RUnlock()
+		return nil, fmt.Errorf("storage: relation %s is not batch-backed", r.name)
+	}
+	if i < 0 || i >= r.numBlocksLocked() {
+		n := r.numBlocksLocked()
+		r.mu.RUnlock()
+		return nil, fmt.Errorf("storage: %s block %d out of range [0,%d)", r.name, i, n)
+	}
+	blk := r.blockBatchLocked(i)
+	r.mu.RUnlock()
+	sess.clock.Charge(sess.costs.BlockRead)
+	sess.counters.BlocksRead++
+	sess.counters.TuplesRead += int64(blk.Len())
 	return blk, nil
 }
 
@@ -424,6 +528,9 @@ func (r *Relation) Scan(dl vclock.Deadline, fn func(tuple.Tuple) error) error {
 func (r *Relation) AllTuples() []tuple.Tuple {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if r.batch != nil {
+		return r.batch.Rows()
+	}
 	out := make([]tuple.Tuple, 0, r.numTuples)
 	for i := 0; i < r.numBlocksLocked(); i++ {
 		var blk []tuple.Tuple
@@ -511,6 +618,37 @@ func (f *TempFile) Write(t tuple.Tuple) {
 	f.pending++
 	if f.pending >= f.blockingFactor {
 		f.flushPage()
+	}
+}
+
+// WriteN appends n tuples to a scratch file in one call: the charge
+// sequence — tuple-writes with a page-write at every page boundary —
+// and the counter increments are exactly those of n Write calls, but
+// runs of tuple-writes collapse into batched clock charges (one lock
+// acquisition and, on lane clocks, one run record). Scratch files only:
+// a retaining temp file has actual tuples to store, so batching does
+// not apply.
+func (f *TempFile) WriteN(n int) {
+	if n <= 0 {
+		return
+	}
+	if !f.scratch {
+		panic("storage: WriteN on a retaining temp file")
+	}
+	f.counters.TuplesWritten += int64(n)
+	f.counters.TempBytes += int64(n) * int64(f.schema.TupleSize())
+	f.count += n
+	for n > 0 {
+		k := f.blockingFactor - f.pending
+		if k > n {
+			k = n
+		}
+		vclock.ChargeRun(f.clock, f.costs.TupleWrite, k)
+		f.pending += k
+		n -= k
+		if f.pending >= f.blockingFactor {
+			f.flushPage()
+		}
 	}
 }
 

@@ -92,20 +92,24 @@ func appendNormValue(dst []byte, v Value) []byte {
 	case int64:
 		return binary.BigEndian.AppendUint64(dst, uint64(x)^(1<<63))
 	case string:
-		for {
-			j := strings.IndexByte(x, 0)
-			if j < 0 {
-				dst = append(dst, x...)
-				break
-			}
-			dst = append(dst, x[:j]...)
-			dst = append(dst, 0x00, 0xFF)
-			x = x[j+1:]
-		}
-		return append(dst, 0x00, 0x00)
+		return appendNormString(dst, x)
 	default:
 		panic("tuple: AppendNormKey on unsupported value type")
 	}
+}
+
+func appendNormString(dst []byte, x string) []byte {
+	for {
+		j := strings.IndexByte(x, 0)
+		if j < 0 {
+			dst = append(dst, x...)
+			break
+		}
+		dst = append(dst, x[:j]...)
+		dst = append(dst, 0x00, 0xFF)
+		x = x[j+1:]
+	}
+	return append(dst, 0x00, 0x00)
 }
 
 // NormKeySizeHint returns a per-tuple capacity estimate for normalized

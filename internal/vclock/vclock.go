@@ -122,6 +122,33 @@ func (s *Sim) Charge(d time.Duration) {
 	s.now += time.Duration(float64(d) * scale)
 }
 
+// ChargeRun accounts for n consecutive charges of d under a single
+// lock acquisition. The arithmetic is exactly n sequential Charge(d)
+// calls — one jitter draw per charge, in order — so a batched executor
+// that collapses a per-tuple loop into one ChargeRun lands on a
+// byte-identical clock value to the scalar loop it replaced.
+// Non-positive d or n are ignored.
+func (s *Sim) ChargeRun(d time.Duration, n int) {
+	if d <= 0 || n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		scale := s.load
+		if scale == 0 {
+			scale = 1
+		}
+		if s.jitter > 0 {
+			scale *= 1 + s.jitter*s.rng.NormFloat64()
+		}
+		if scale < 0.1 {
+			scale = 0.1
+		}
+		s.now += time.Duration(float64(d) * scale)
+	}
+}
+
 // Advance moves the clock forward by exactly d with no jitter applied.
 // It is used to model idle waiting (for example between PLC scan cycles).
 func (s *Sim) Advance(d time.Duration) {
@@ -153,6 +180,30 @@ func (r *Real) Now() time.Duration { return time.Since(r.start) }
 
 // Charge is a no-op on a real clock: the work itself consumes time.
 func (r *Real) Charge(time.Duration) {}
+
+// ChargeRun is a no-op on a real clock.
+func (r *Real) ChargeRun(time.Duration, int) {}
+
+// RunCharger is implemented by clocks that support batched charge runs
+// (n identical charges accounted in one call). Sim and Real implement
+// it; the executor's lane clock does too.
+type RunCharger interface {
+	ChargeRun(d time.Duration, n int)
+}
+
+// ChargeRun charges n charges of d to c, using the batched path when
+// the clock supports it and falling back to n Charge calls otherwise.
+// Both paths produce identical clock states for any Clock whose
+// ChargeRun honours the RunCharger contract.
+func ChargeRun(c Clock, d time.Duration, n int) {
+	if rc, ok := c.(RunCharger); ok {
+		rc.ChargeRun(d, n)
+		return
+	}
+	for i := 0; i < n; i++ {
+		c.Charge(d)
+	}
+}
 
 // Deadline models the paper's timer interrupt: a point on a Clock after
 // which a hard-constrained execution must abort its current stage.

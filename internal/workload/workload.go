@@ -36,6 +36,20 @@ func Schema() *tuple.Schema {
 	return padded
 }
 
+// loadCols bulk-loads parallel (id, a) columns into rel as one
+// columnar batch — the generators' fast path. One AppendBatch call
+// replaces n per-tuple Append calls (each of which took the relation's
+// write lock, validated, and boxed three interface values), which is
+// what dominated per-trial cost before batch loading. The resulting
+// block layout is identical to sequential Append.
+func loadCols(rel *storage.Relation, ids, as []int64) error {
+	b, err := tuple.MakeBatch(rel.Schema(), len(ids), ids, as, make([]string, len(ids)))
+	if err != nil {
+		return err
+	}
+	return rel.AppendBatch(b)
+}
+
 // SelectRelation builds a relation of n tuples in which exactly k
 // satisfy the one-comparison predicate a < k: attribute a is a random
 // permutation of 0..n-1, so selecting a < k yields exactly k tuples
@@ -49,10 +63,14 @@ func SelectRelation(st *storage.Store, name string, n, k int, rng *rand.Rand) (*
 		return nil, err
 	}
 	perm := rng.Perm(n)
+	ids := make([]int64, n)
+	as := make([]int64, n)
 	for i := 0; i < n; i++ {
-		if err := rel.Append(tuple.Tuple{int64(i), int64(perm[i]), ""}); err != nil {
-			return nil, err
-		}
+		ids[i] = int64(i)
+		as[i] = int64(perm[i])
+	}
+	if err := loadCols(rel, ids, as); err != nil {
+		return nil, err
 	}
 	return rel, nil
 }
@@ -78,10 +96,12 @@ func IntersectPair(st *storage.Store, name1, name2 string, n, common int, rng *r
 			ids[i] = int64(offset + i) // disjoint tail
 		}
 		rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-		for _, id := range ids {
-			if err := rel.Append(tuple.Tuple{id, id % 97, ""}); err != nil {
-				return nil, err
-			}
+		as := make([]int64, n)
+		for i, id := range ids {
+			as[i] = id % 97
+		}
+		if err := loadCols(rel, ids, as); err != nil {
+			return nil, err
 		}
 		return rel, nil
 	}
@@ -131,10 +151,12 @@ func JoinPair(st *storage.Store, name1, name2 string, n, outputTuples int, rng *
 		}
 	}
 	rng.Shuffle(len(left), func(i, j int) { left[i], left[j] = left[j], left[i] })
-	for i, v := range left {
-		if err := r1.Append(tuple.Tuple{int64(i), v, ""}); err != nil {
-			return nil, nil, err
-		}
+	lids := make([]int64, len(left))
+	for i := range lids {
+		lids[i] = int64(i)
+	}
+	if err := loadCols(r1, lids, left); err != nil {
+		return nil, nil, err
 	}
 
 	r2, err := st.CreateRelation(name2, Schema())
@@ -149,10 +171,12 @@ func JoinPair(st *storage.Store, name1, name2 string, n, outputTuples int, rng *
 		right = append(right, int64(values+i)) // never matches
 	}
 	rng.Shuffle(len(right), func(i, j int) { right[i], right[j] = right[j], right[i] })
-	for i, v := range right {
-		if err := r2.Append(tuple.Tuple{int64(n + i), v, ""}); err != nil {
-			return nil, nil, err
-		}
+	rids := make([]int64, len(right))
+	for i := range rids {
+		rids[i] = int64(n + i)
+	}
+	if err := loadCols(r2, rids, right); err != nil {
+		return nil, nil, err
 	}
 	return r1, r2, nil
 }
@@ -173,10 +197,12 @@ func ProjectRelation(st *storage.Store, name string, n, distinct int, rng *rand.
 		vals[i] = int64(i % distinct)
 	}
 	rng.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
-	for i, v := range vals {
-		if err := rel.Append(tuple.Tuple{int64(i), v, ""}); err != nil {
-			return nil, err
-		}
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	if err := loadCols(rel, ids, vals); err != nil {
+		return nil, err
 	}
 	return rel, nil
 }
@@ -188,10 +214,14 @@ func UniformRelation(st *storage.Store, name string, n int, maxA int64, rng *ran
 	if err != nil {
 		return nil, err
 	}
+	ids := make([]int64, n)
+	as := make([]int64, n)
 	for i := 0; i < n; i++ {
-		if err := rel.Append(tuple.Tuple{int64(i), rng.Int63n(maxA), ""}); err != nil {
-			return nil, err
-		}
+		ids[i] = int64(i)
+		as[i] = rng.Int63n(maxA)
+	}
+	if err := loadCols(rel, ids, as); err != nil {
+		return nil, err
 	}
 	return rel, nil
 }
@@ -211,10 +241,14 @@ func ZipfRelation(st *storage.Store, name string, n int, values uint64, s float6
 		return nil, err
 	}
 	z := rand.NewZipf(rng, s, 1, values-1)
+	ids := make([]int64, n)
+	as := make([]int64, n)
 	for i := 0; i < n; i++ {
-		if err := rel.Append(tuple.Tuple{int64(i), int64(z.Uint64()), ""}); err != nil {
-			return nil, err
-		}
+		ids[i] = int64(i)
+		as[i] = int64(z.Uint64())
+	}
+	if err := loadCols(rel, ids, as); err != nil {
+		return nil, err
 	}
 	return rel, nil
 }
@@ -239,12 +273,16 @@ func SkewedJoinPair(st *storage.Store, name1, name2 string, n int, values uint64
 		}
 		z := rand.NewZipf(rng, s, 1, values-1)
 		counts := map[int64]int64{}
+		ids := make([]int64, n)
+		as := make([]int64, n)
 		for i := 0; i < n; i++ {
 			v := int64(z.Uint64())
 			counts[v]++
-			if err := rel.Append(tuple.Tuple{int64(idBase + i), v, ""}); err != nil {
-				return nil, err
-			}
+			ids[i] = int64(idBase + i)
+			as[i] = v
+		}
+		if err := loadCols(rel, ids, as); err != nil {
+			return nil, err
 		}
 		return counts, nil
 	}

@@ -66,6 +66,30 @@ func BenchmarkCountEstimateTraceOverhead(b *testing.B) {
 	b.Run("telemetry", func(b *testing.B) { benchCountEstimate(b, false, tcq.WithTelemetry(64)) })
 }
 
+// TestNopTracerZeroAllocs pins the production tracing cost: with
+// tracing off the engine talks to trace.Nop, and every callback on it —
+// including the Enabled() gate the hot loop consults per stage — must
+// complete without allocating. Together with internal/exec's
+// steady-state key-pool test this keeps the untraced hot path
+// allocation-flat per stage.
+func TestNopTracerZeroAllocs(t *testing.T) {
+	nop := trace.Combine() // canonical way to obtain the Nop tracer
+	if nop != trace.Nop {
+		t.Fatal("Combine() must return the shared Nop tracer")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if nop.Enabled() {
+			t.Fatal("Nop tracer must report disabled")
+		}
+		nop.BeginQuery(trace.QueryInfo{})
+		nop.StageDone(trace.StageRecord{})
+		nop.EndQuery(trace.QueryEnd{})
+	})
+	if allocs != 0 {
+		t.Errorf("nop tracer path allocates: %v allocs/op", allocs)
+	}
+}
+
 // TestDisabledProgressHookZeroAllocs pins the disabled-telemetry cost:
 // a nil registry hands out a nil handle, and every tracer callback on
 // it must complete without allocating (the engine's hot loop pays one
