@@ -13,21 +13,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"tcq/internal/bench"
+	"tcq/internal/calib"
 	"tcq/internal/telemetry"
 	"tcq/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C (or SIGTERM) cancels the context, which gracefully drains
+	// the -serve telemetry listener instead of leaking it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tcqbench:", err)
 		os.Exit(1)
 	}
@@ -35,7 +43,7 @@ func main() {
 
 // run parses args and executes the requested experiments, writing
 // tables to out.
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	flag := flag.NewFlagSet("tcqbench", flag.ContinueOnError)
 	flag.SetOutput(out)
 	var (
@@ -53,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		perfBase = flag.String("perfbase", "", "with -perf: compare against this baseline report and fail on regressions")
 		perfTol  = flag.Float64("perftol", 10, "with -perf -perfbase: ns-per-trial regression tolerance (percent)")
 		traceOut = flag.String("trace", "", "write a JSON-lines stage trace of every trial to this file ('-' for stdout)")
+		calibOut = flag.String("calib", "", "audit every trial's CI against the full-scan truth and write a calibration report to this file ('-' for stdout)")
 		parallel = flag.Int("parallel", 1, "per-query term-evaluation workers (byte-identical output for any value)")
 		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /queries, /history, pprof) on this address, e.g. :9100")
 	)
@@ -98,13 +107,16 @@ func run(args []string, out io.Writer) error {
 		return runPerf(exps, opts, out, *perfOut, *perfBase, *perfTol)
 	}
 
-	// With -trace, every trial records into its own collector; after the
-	// (concurrent) runs the collectors are replayed in deterministic
-	// order — experiment, then variant, then trial — so the output is
-	// byte-identical for a given seed.
+	// With -trace or -calib, every trial records into its own collector;
+	// after the (concurrent) runs the collectors are replayed in
+	// deterministic order — experiment, then variant, then trial — so
+	// the output is byte-identical for a given seed. -calib additionally
+	// records each trial's full-scan ground truth so the replay can
+	// audit every CI against it.
 	var collectors map[string]*trace.Collector
+	var truths map[string]int64
 	var mu sync.Mutex
-	if *traceOut != "" {
+	if *traceOut != "" || *calibOut != "" {
 		collectors = make(map[string]*trace.Collector)
 		opts.TraceSink = func(exp, label string, trial int) trace.Tracer {
 			c := trace.NewCollector()
@@ -112,6 +124,14 @@ func run(args []string, out io.Writer) error {
 			collectors[traceKey(exp, label, trial)] = c
 			mu.Unlock()
 			return c
+		}
+	}
+	if *calibOut != "" {
+		truths = make(map[string]int64)
+		opts.TruthSink = func(exp, label string, trial int, truth int64) {
+			mu.Lock()
+			truths[traceKey(exp, label, trial)] = truth
+			mu.Unlock()
 		}
 	}
 
@@ -131,7 +151,7 @@ func run(args []string, out io.Writer) error {
 			}
 			return trialTracer{Tracer: trace.Combine(inner(exp, label, trial), h), h: h}
 		}
-		srv, addr, err := telemetry.Serve(telemetry.Sources{Progress: progress, Reg: metrics}, *serve)
+		srv, addr, err := telemetry.Serve(ctx, telemetry.Sources{Progress: progress, Reg: metrics}, *serve)
 		if err != nil {
 			return err
 		}
@@ -163,6 +183,50 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *calibOut != "" {
+		if err := writeCalibration(*calibOut, exps, *trials, collectors, truths, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCalibration replays the per-trial collectors into a calibration
+// auditor in experiment → variant → trial order (labelled
+// exp/variant#trial, with each trial's full-scan count as ground truth)
+// and writes the rendered report. The replay order is fixed, so the
+// report — flight-recorder contents included — is byte-identical for a
+// given seed no matter how the trials were scheduled.
+func writeCalibration(path string, exps []bench.Experiment, trials int, collectors map[string]*trace.Collector, truths map[string]int64, out io.Writer) error {
+	a := calib.NewAuditor(calib.Config{FlightSize: 64})
+	audited := 0
+	for _, e := range exps {
+		for _, v := range e.Variants {
+			for trial := 0; trial < trials; trial++ {
+				key := traceKey(e.ID, v.Label, trial)
+				c := collectors[key]
+				if c == nil {
+					continue
+				}
+				var gt *calib.Truth
+				if t, ok := truths[key]; ok {
+					gt = &calib.Truth{Value: float64(t), Level: 0.95}
+				}
+				p := a.Track(fmt.Sprintf("%s/%s#%d", e.ID, v.Label, trial), gt)
+				c.Trace().Replay(p)
+				audited++
+			}
+		}
+	}
+	rendered := calib.RenderReport(a.Report())
+	if path == "-" {
+		fmt.Fprint(out, rendered)
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote calibration report (%d trials audited) to %s\n", audited, path)
 	return nil
 }
 

@@ -2,15 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
+	"regexp"
 	"strings"
 	"testing"
 )
 
 func TestBenchList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"fig5.1-1000", "fig5.2", "fig5.3", "ablation-selectivity"} {
@@ -22,7 +24,7 @@ func TestBenchList(t *testing.T) {
 
 func TestBenchSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "fig5.1-1000", "-trials", "5", "-compare"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig5.1-1000", "-trials", "5", "-compare"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -35,7 +37,7 @@ func TestBenchSingleExperiment(t *testing.T) {
 
 func TestBenchQuality(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-quality", "-trials", "4"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quality", "-trials", "4"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Estimator quality") {
@@ -45,17 +47,17 @@ func TestBenchQuality(t *testing.T) {
 
 func TestBenchErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "nonsense", "-trials", "1"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-exp", "nonsense", "-trials", "1"}, &buf); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if err := run([]string{"-notaflag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-notaflag"}, &buf); err == nil {
 		t.Error("bad flag should fail")
 	}
 }
 
 func TestBenchMarkdownFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "fig5.3", "-trials", "3", "-md"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig5.3", "-trials", "3", "-md"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "| variant |") {
@@ -102,7 +104,7 @@ func TestBenchServeTelemetry(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-exp", "fig5.3", "-trials", "3", "-serve", "127.0.0.1:0"}, g)
+		done <- run(context.Background(), []string{"-exp", "fig5.3", "-trials", "3", "-serve", "127.0.0.1:0"}, g)
 	}()
 	addr := <-g.addr
 	<-g.reached // first experiment done; server still serving
@@ -148,5 +150,60 @@ func TestBenchServeTelemetry(t *testing.T) {
 	}
 	if !strings.Contains(g.buf.String(), "Fig 5.3") {
 		t.Errorf("run output missing table:\n%s", g.buf.String())
+	}
+}
+
+// -calib audits every trial's CI against the full-scan truth recorded
+// at setup and renders a deterministic calibration report: two runs of
+// the same seed are byte-identical, the tables are unchanged by
+// auditing, and -parallel does not perturb the report.
+func TestBenchCalibration(t *testing.T) {
+	calibRun := func(extra ...string) (tables, report string) {
+		var buf bytes.Buffer
+		args := append([]string{"-exp", "fig5.2", "-trials", "3", "-calib", "-"}, extra...)
+		if err := run(context.Background(), args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		i := strings.Index(out, "calibration:")
+		if i < 0 {
+			t.Fatalf("no calibration report in output:\n%s", out)
+		}
+		return out[:i], out[i:]
+	}
+	tables, report := calibRun()
+	for _, want := range []string{
+		"queries audited", "with ground truth",
+		"overall coverage:", "wilson95 [",
+		"shape: intersect(r1, r2)",
+		"drift:", "ratio buckets:",
+		"flight recorder:",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if !strings.Contains(tables, "Fig 5.2") {
+		t.Errorf("tables missing from output:\n%s", tables)
+	}
+
+	// Plain run (no -calib) must produce the identical tables.
+	var plain bytes.Buffer
+	if err := run(context.Background(), []string{"-exp", "fig5.2", "-trials", "3"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	stripWall := func(s string) string {
+		return regexp.MustCompile(`(?m)^\(3 trials/row.*\n`).ReplaceAllString(s, "")
+	}
+	if stripWall(tables) != stripWall(plain.String()) {
+		t.Errorf("-calib changed the tables:\n--- with calib\n%s\n--- plain\n%s", tables, plain.String())
+	}
+
+	// Determinism: rerun, and rerun parallel — identical reports.
+	if _, again := calibRun(); again != report {
+		t.Errorf("calibration report not deterministic:\n--- first\n%s\n--- second\n%s", report, again)
+	}
+	if _, par := calibRun("-parallel", "4"); par != report {
+		t.Errorf("-parallel 4 perturbed the calibration report:\n--- serial\n%s\n--- parallel\n%s", report, par)
 	}
 }

@@ -32,20 +32,31 @@
 //	\metrics                                               session-wide metrics snapshot
 //	\watch [DUR EXPR]                                      in-flight queries; with args, estimate with live progress
 //	\history                                               completed queries + per-shape stats
+//	\calib                                                 calibration report (coverage, drift, flight recorder)
+//	\flightrec                                             flight-recorded anomalous queries
 //	help, quit
+//
+// With -serve ADDR the session also exports live telemetry over HTTP
+// (/metrics, /queries, /history, /calibration, /debug/flightrecorder);
+// Ctrl-C drains the listener before exiting.
 package main
 
 import (
 	"bufio"
+	"context"
+	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"tcq"
+	"tcq/internal/calib"
 	"tcq/internal/workload"
 )
 
@@ -71,7 +82,7 @@ type session struct {
 // newSession builds a shell session writing to out.
 func newSession(out io.Writer) *session {
 	return &session{
-		db:     tcq.Open(tcq.WithSimulatedClock(1), tcq.WithLoadNoise(0.12), tcq.WithTelemetry(64)),
+		db:     tcq.Open(tcq.WithSimulatedClock(1), tcq.WithLoadNoise(0.12), tcq.WithTelemetry(64), tcq.WithCalibration(64)),
 		dBeta:  12,
 		seed:   1,
 		timing: true,
@@ -80,7 +91,30 @@ func newSession(out io.Writer) *session {
 }
 
 func main() {
+	serve := flag.String("serve", "", "serve live telemetry (/metrics, /queries, /history, /calibration, pprof) on this address, e.g. :9100")
+	flag.Parse()
 	s := newSession(os.Stdout)
+	if *serve != "" {
+		// Ctrl-C (or SIGTERM) gracefully drains the telemetry listener
+		// and flushes pending shell output before exiting.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		srv, addr, err := s.db.ServeTelemetry(ctx, *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcqsh:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(s.out, "telemetry: http://%s/ (metrics, queries, history, calibration, pprof)\n", addr)
+		go func() {
+			<-ctx.Done()
+			sh, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			srv.Shutdown(sh)
+			cancel()
+			s.out.Flush()
+			os.Exit(0)
+		}()
+	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	interactive := isTerminalish()
@@ -115,8 +149,13 @@ func (s *session) dispatch(line string) error {
 	cmd, rest := splitWord(line)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, \parallel, \watch, \history, help, quit`)
+		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, \parallel, \watch, \history, \calib, \flightrec, help, quit`)
 		return nil
+	case `\calib`:
+		fmt.Fprint(s.out, calib.RenderReport(s.db.Calibration()))
+		return nil
+	case `\flightrec`:
+		return s.printFlightRecords()
 	case `\parallel`:
 		n, err := strconv.Atoi(strings.TrimSpace(rest))
 		if err != nil {
@@ -433,12 +472,41 @@ func (s *session) printHistory() error {
 			h.Elapsed.Seconds(), h.Utilization*100, h.StopReason, h.Query)
 	}
 	fmt.Fprintln(s.out, "query shapes:")
-	fmt.Fprintf(s.out, "%6s %7s %7s %9s %5s  %s\n",
-		"calls", "stages", "blocks", "mean-ci", "ovsp", "query")
+	fmt.Fprintf(s.out, "%6s %7s %7s %9s %5s %8s %9s  %s\n",
+		"calls", "stages", "blocks", "mean-ci", "ovsp", "drift%", "coverage", "query")
 	for _, st := range s.db.QueryStats() {
-		fmt.Fprintf(s.out, "%6d %7.1f %7.1f %9.1f %5d  %s\n",
+		coverage := "-"
+		if st.TruthN > 0 {
+			coverage = fmt.Sprintf("%d/%d", st.TruthHits, st.TruthN)
+		}
+		fmt.Fprintf(s.out, "%6d %7.1f %7.1f %9.1f %5d %+8.1f %9s  %s\n",
 			st.Calls, st.MeanStages, float64(st.TotalBlocks)/float64(st.Calls),
-			st.MeanCIWidth, st.Overspends, st.Query)
+			st.MeanCIWidth, st.Overspends, 100*st.WorstOvershoot, coverage, st.Query)
+	}
+	return nil
+}
+
+// printFlightRecords renders the flight recorder's retained anomalous
+// queries (oldest first): why each was captured and its final state.
+func (s *session) printFlightRecords() error {
+	recs := s.db.FlightRecords()
+	if len(recs) == 0 {
+		fmt.Fprintln(s.out, "(no flight records — no anomalous queries captured)")
+		return nil
+	}
+	for _, r := range recs {
+		truth := ""
+		if r.Truth != nil {
+			truth = fmt.Sprintf(" truth=%.0f", r.Truth.Value)
+		}
+		over := ""
+		if r.Trace.End.Overspend > 0 {
+			over = fmt.Sprintf(" overspend=%v", r.Trace.End.Overspend.Round(time.Millisecond))
+		}
+		fmt.Fprintf(s.out, "#%d [%s] %s  stages=%d est=%.1f±%.1f%s%s stop=%s\n",
+			r.Seq, strings.Join(r.Reasons, ","), r.Trace.Info.Query,
+			r.Trace.End.Stages, r.Trace.End.Estimate, r.Trace.End.Interval,
+			truth, over, r.Trace.End.StopReason)
 	}
 	return nil
 }

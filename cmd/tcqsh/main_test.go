@@ -379,3 +379,39 @@ func TestShellMetricsDeterministic(t *testing.T) {
 		t.Errorf("metrics kinds out of order:\n%s", first[i:])
 	}
 }
+
+// \calib renders the session's calibration report; \flightrec the
+// flight-recorded anomalies. A quiet session has audited queries (the
+// shell opens its DB with calibration on) but captured nothing.
+func TestShellCalibAndFlightRec(t *testing.T) {
+	out := runLines(t,
+		`\flightrec`, // nothing captured yet
+		"gen select r 1000 100",
+		"estimate 3s select(r, a < 100)",
+		`\calib`,
+		`\history`,
+	)
+	for _, want := range []string{
+		"(no flight records — no anomalous queries captured)",
+		"calibration: 1 queries audited, 0 with ground truth",
+		"shape: select(r, a < 100)",
+		"drift:",
+		"flight recorder:",
+		"coverage", // new \history shape column
+		"drift%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Drive an anomaly: a tiny quota in overrun mode overspends far past
+	// the 5% capture threshold, so the flight recorder must hold it.
+	out = runLines(t,
+		"gen select big 20000 1000",
+		"estimate 1ms select(big, a < 1000)",
+		`\flightrec`,
+	)
+	if !strings.Contains(out, "[overspend]") && !strings.Contains(out, "[deadline-abort") {
+		t.Errorf("overspent run not flight-recorded:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"tcq/internal/calib"
 	"tcq/internal/core"
 	"tcq/internal/exec"
 	"tcq/internal/histogram"
@@ -120,6 +121,13 @@ type EstimateOptions struct {
 	// Tracer, when non-nil, additionally streams trace events to a
 	// custom observer (see the trace package).
 	Tracer trace.Tracer
+	// GroundTruth, when non-nil, declares the query's known exact answer
+	// (e.g. a prior full-scan count). It never influences the estimate;
+	// it feeds the calibration audit: the final interval is scored
+	// against it for the empirical-coverage statistics in
+	// DB.Calibration() and DB.QueryStats(), and a miss captures the run
+	// in the flight recorder. A pointer because 0 is a meaningful truth.
+	GroundTruth *float64
 }
 
 // Progress is a per-stage progressive estimate.
@@ -325,7 +333,21 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 	var handle *telemetry.Handle
 	if db.progress != nil {
 		handle = db.progress.Track("")
+		if opts.GroundTruth != nil {
+			handle.SetTruth(*opts.GroundTruth)
+		}
 		coreOpts.Tracer = trace.Combine(coreOpts.Tracer, handle)
+	}
+	// The calibration probe rides the same chain under the same
+	// contract; with calibration off this is a single nil check.
+	var probe *calib.Probe
+	if db.calib != nil {
+		var gt *calib.Truth
+		if opts.GroundTruth != nil {
+			gt = &calib.Truth{Value: *opts.GroundTruth, Level: opts.Confidence}
+		}
+		probe = db.calib.Track("", gt)
+		coreOpts.Tracer = trace.Combine(coreOpts.Tracer, probe)
 	}
 	if opts.OnProgress != nil {
 		cb := opts.OnProgress

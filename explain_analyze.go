@@ -2,9 +2,11 @@ package tcq
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
+	"tcq/internal/calib"
 	"tcq/internal/trace"
 )
 
@@ -20,7 +22,25 @@ func (db *DB) ExplainAnalyze(q Query, opts EstimateOptions) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return RenderAnalyze(est), nil
+	out := RenderAnalyze(est)
+	if opts.GroundTruth != nil {
+		out += renderTruthAudit(est, *opts.GroundTruth)
+	}
+	return out, nil
+}
+
+// renderTruthAudit is the ground-truth line of the calibration footer:
+// how the reported interval scored against the known exact answer
+// (hit, miss, or degenerate when a zero-width interval sits off truth).
+func renderTruthAudit(est *Estimate, truth float64) string {
+	switch {
+	case est.Interval <= 0 && est.Value != truth:
+		return fmt.Sprintf("ground truth %.0f: degenerate zero-width CI (est %.1f)\n", truth, est.Value)
+	case math.Abs(est.Value-truth) <= est.Interval:
+		return fmt.Sprintf("ground truth %.0f: CI hit (est %.1f ± %.1f)\n", truth, est.Value, est.Interval)
+	default:
+		return fmt.Sprintf("ground truth %.0f: CI miss (est %.1f ± %.1f)\n", truth, est.Value, est.Interval)
+	}
 }
 
 // RenderAnalyze renders an already-collected trace (Estimate.Trace must
@@ -54,6 +74,30 @@ func RenderAnalyze(est *Estimate) string {
 		100*est.Utilization, est.StopReason)
 	if est.Overspent {
 		fmt.Fprintf(&b, "overspent by %v\n", est.Overrun)
+	}
+	// Calibration footer: how well QCOST predicted this run. Derived
+	// purely from the stage records, so it is byte-identical for serial
+	// and parallel evaluation of the same seed.
+	n, sum := 0, 0.0
+	worst, worstStage, worstOp := 0.0, 0, ""
+	for i := range t.Stages {
+		s := &t.Stages[i]
+		if s.Predicted <= 0 {
+			continue
+		}
+		n++
+		sum += float64(s.Actual) / float64(s.Predicted)
+		if n == 1 || s.Overshoot > worst {
+			worst, worstStage, worstOp = s.Overshoot, s.Stage, calib.DominantOp(s)
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(&b, "calibration: %d predicted stage(s), cost ratio mean %.3f, worst overshoot %+.1f%% @ stage %d",
+			n, sum/float64(n), 100*worst, worstStage)
+		if worstOp != "" {
+			fmt.Fprintf(&b, " (%s)", worstOp)
+		}
+		fmt.Fprintln(&b)
 	}
 	return b.String()
 }

@@ -102,10 +102,36 @@ func TestExplainAnalyze(t *testing.T) {
 	for _, want := range []string{
 		"count(select", "strategy=one-at-a-time", "operators (final-stage estimates):",
 		"select", "sel=", "relations sampled:", "orders", "stages:", "stage", "result:",
+		"calibration:", "cost ratio mean", "worst overshoot",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ExplainAnalyze missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// With GroundTruth set, ExplainAnalyze appends a truth-audit line to
+// the calibration footer scoring the final CI against the exact answer.
+func TestExplainAnalyzeGroundTruthFooter(t *testing.T) {
+	db := demoDB(t, 2000, 0)
+	q := Rel("orders").Where(Col("amount").Lt(500))
+	truth := 999999.0 // far outside any plausible interval → miss
+	out, err := db.ExplainAnalyze(q, EstimateOptions{Quota: 10 * time.Second, Seed: 1, GroundTruth: &truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ground truth 999999: CI miss") {
+		t.Errorf("footer missing truth-audit miss line:\n%s", out)
+	}
+	// The estimate itself must be unaffected by declaring a truth
+	// (read-only contract): rendering without truth differs only by the
+	// audit line.
+	plain, err := demoDB(t, 2000, 0).ExplainAnalyze(q, EstimateOptions{Quota: 10 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, plain) {
+		t.Errorf("GroundTruth changed the report body:\n--- plain\n%s\n--- with truth\n%s", plain, out)
 	}
 }
 

@@ -95,6 +95,12 @@ type RunOptions struct {
 	// before EndQuery, the harness calls it so live-progress sinks can
 	// retire the abandoned query.
 	TraceSink func(exp, label string, trial int) trace.Tracer
+	// TruthSink, when non-nil, receives each trial's ground-truth
+	// aggregate right after Setup (same trial keying as TraceSink, same
+	// concurrency caveat: the callback must be safe to invoke from
+	// concurrent trial goroutines). The calibration harness pairs it
+	// with TraceSink to audit every trial's CI against the exact count.
+	TruthSink func(exp, label string, trial int, truth int64)
 	// Metrics, when set, aggregates engine counters across every trial
 	// (the registry is concurrency-safe); with it a live telemetry
 	// server can expose harness throughput while experiments run.
@@ -164,6 +170,9 @@ func (e Experiment) Run(opts RunOptions) ([]Row, error) {
 				if err != nil {
 					outs[trial] = trialOut{err: fmt.Errorf("bench %s/%s trial %d: %w", e.ID, v.Label, trial, err)}
 					return
+				}
+				if opts.TruthSink != nil {
+					opts.TruthSink(e.ID, v.Label, trial, truth)
 				}
 				engOpts := core.Options{
 					Quota:                  e.Quota,

@@ -308,6 +308,44 @@ func NormalInterval(estimate, variance, level float64) Interval {
 	return iv
 }
 
+// Wilson returns the Wilson score interval for a binomial proportion:
+// hits successes out of n trials, at the given confidence level. Unlike
+// the Wald interval it stays inside [0, 1] and behaves at the extremes
+// (0 or n hits), which is why the calibration auditor uses it to bound
+// realized CI coverage. n <= 0 yields the vacuous interval [0, 1].
+func Wilson(hits, n int64, level float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if hits < 0 {
+		hits = 0
+	}
+	if hits > n {
+		hits = n
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	z := NormalQuantile(0.5 + level/2)
+	nf := float64(n)
+	p := float64(hits) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	lo = center - half
+	hi = center + half
+	// Snap the exact-proportion endpoints (p=0 keeps lo at exactly 0,
+	// p=1 keeps hi at exactly 1; float residue would otherwise leak in).
+	if hits == 0 || lo < 0 {
+		lo = 0
+	}
+	if hits == n || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Clamp limits x to the closed interval [lo, hi].
 func Clamp(x, lo, hi float64) float64 {
 	if x < lo {

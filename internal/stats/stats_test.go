@@ -375,3 +375,39 @@ func TestClamp(t *testing.T) {
 		t.Error("Clamp misbehaves")
 	}
 }
+
+func TestWilson(t *testing.T) {
+	// Known value: 8/10 at 95% → approximately [0.490, 0.943].
+	lo, hi := Wilson(8, 10, 0.95)
+	if math.Abs(lo-0.4902) > 0.002 || math.Abs(hi-0.9433) > 0.002 {
+		t.Errorf("Wilson(8,10,0.95) = [%.4f, %.4f], want ~[0.490, 0.943]", lo, hi)
+	}
+	// Stays inside [0,1] at the extremes, unlike Wald.
+	if lo, hi := Wilson(0, 20, 0.95); lo != 0 || hi <= 0 || hi >= 0.3 {
+		t.Errorf("Wilson(0,20) = [%v, %v]", lo, hi)
+	}
+	if lo, hi := Wilson(20, 20, 0.95); hi != 1 || lo <= 0.7 {
+		t.Errorf("Wilson(20,20) = [%v, %v]", lo, hi)
+	}
+	// The interval must bracket the observed proportion.
+	for _, c := range []struct{ h, n int64 }{{1, 3}, {5, 7}, {37, 40}, {190, 200}} {
+		lo, hi := Wilson(c.h, c.n, 0.95)
+		p := float64(c.h) / float64(c.n)
+		if !(lo <= p && p <= hi) {
+			t.Errorf("Wilson(%d,%d) = [%v, %v] excludes p=%v", c.h, c.n, lo, hi, p)
+		}
+	}
+	// Degenerate inputs: vacuous interval and clamped arguments.
+	if lo, hi := Wilson(0, 0, 0.95); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0,0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+	if lo, hi := Wilson(-3, 10, 0); lo != 0 || hi >= 0.35 {
+		t.Errorf("Wilson(-3,10,0) = [%v, %v]", lo, hi)
+	}
+	// Wider confidence demands a wider interval.
+	lo90, hi90 := Wilson(15, 20, 0.90)
+	lo99, hi99 := Wilson(15, 20, 0.99)
+	if !(lo99 < lo90 && hi99 > hi90) {
+		t.Errorf("99%% interval [%v,%v] not wider than 90%% [%v,%v]", lo99, hi99, lo90, hi90)
+	}
+}

@@ -3,6 +3,8 @@ package telemetry
 import (
 	"sort"
 	"time"
+
+	"tcq/internal/stats"
 )
 
 // QuerySummary is one completed query's retained outcome — the history
@@ -43,17 +45,34 @@ type ShapeStat struct {
 	MeanCIWidth float64 `json:"mean_ci_width"`
 	// Overspends counts calls that exceeded their quota.
 	Overspends int64 `json:"overspends"`
+	// WorstOvershoot is the largest single-stage cost-prediction
+	// overshoot (actual/predicted − 1) seen across every call — the
+	// shape's drift high-water mark.
+	WorstOvershoot float64 `json:"worst_overshoot,omitempty"`
+	// TruthN/TruthHits count calls audited against a declared ground
+	// truth (Handle.SetTruth / EstimateOptions.GroundTruth) and those
+	// whose final interval covered it. Coverage is the realized rate;
+	// [CoverageLo, CoverageHi] its Wilson 95% score interval — the
+	// empirical check on the nominal confidence level.
+	TruthN     int64   `json:"truth_n,omitempty"`
+	TruthHits  int64   `json:"truth_hits,omitempty"`
+	Coverage   float64 `json:"coverage,omitempty"`
+	CoverageLo float64 `json:"coverage_lo,omitempty"`
+	CoverageHi float64 `json:"coverage_hi,omitempty"`
 }
 
 // shapeAgg is the mutable accumulator behind a ShapeStat.
 type shapeAgg struct {
-	calls        int64
-	stages       int64
-	blocks       int64
-	overshootSum float64
-	overshootN   int64
-	ciWidthSum   float64
-	overspends   int64
+	calls          int64
+	stages         int64
+	blocks         int64
+	overshootSum   float64
+	overshootN     int64
+	worstOvershoot float64
+	truthN         int64
+	truthHits      int64
+	ciWidthSum     float64
+	overspends     int64
 }
 
 // ring is a fixed-capacity overwrite-oldest buffer of query summaries.
@@ -103,11 +122,14 @@ func (r *Registry) QueryStats() []ShapeStat {
 	out := make([]ShapeStat, 0, len(r.shapes))
 	for q, a := range r.shapes {
 		s := ShapeStat{
-			Query:       q,
-			Calls:       a.calls,
-			TotalStages: a.stages,
-			TotalBlocks: a.blocks,
-			Overspends:  a.overspends,
+			Query:          q,
+			Calls:          a.calls,
+			TotalStages:    a.stages,
+			TotalBlocks:    a.blocks,
+			Overspends:     a.overspends,
+			WorstOvershoot: a.worstOvershoot,
+			TruthN:         a.truthN,
+			TruthHits:      a.truthHits,
 		}
 		if a.calls > 0 {
 			s.MeanStages = float64(a.stages) / float64(a.calls)
@@ -115,6 +137,10 @@ func (r *Registry) QueryStats() []ShapeStat {
 		}
 		if a.overshootN > 0 {
 			s.MeanOvershoot = a.overshootSum / float64(a.overshootN)
+		}
+		if a.truthN > 0 {
+			s.Coverage = float64(a.truthHits) / float64(a.truthN)
+			s.CoverageLo, s.CoverageHi = stats.Wilson(a.truthHits, a.truthN, 0.95)
 		}
 		out = append(out, s)
 	}

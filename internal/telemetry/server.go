@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,7 +11,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"tcq/internal/calib"
 	"tcq/internal/trace"
 )
 
@@ -29,11 +32,24 @@ type Source interface {
 	QueryStats() []ShapeStat
 }
 
-// Sources pairs a progress Registry with a metrics registry to form a
-// Source (for servers not fronted by a tcq.DB, e.g. tcqbench).
+// CalibrationSource is the optional extension a Source may implement
+// to light up the /calibration and /debug/flightrecorder endpoints.
+// tcq.DB implements it (empty unless opened WithCalibration), as does
+// Sources when its Calib field is set.
+type CalibrationSource interface {
+	// Calibration snapshots the calibration auditor's report.
+	Calibration() calib.Report
+	// FlightRecords lists the captured anomalous-query traces.
+	FlightRecords() []calib.FlightRecord
+}
+
+// Sources pairs a progress Registry with a metrics registry (and an
+// optional calibration Auditor) to form a Source (for servers not
+// fronted by a tcq.DB, e.g. tcqbench).
 type Sources struct {
 	Progress *Registry
 	Reg      *trace.Registry
+	Calib    *calib.Auditor
 }
 
 // Metrics implements Source.
@@ -48,14 +64,23 @@ func (s Sources) History() []QuerySummary { return s.Progress.History() }
 // QueryStats implements Source.
 func (s Sources) QueryStats() []ShapeStat { return s.Progress.QueryStats() }
 
+// Calibration implements CalibrationSource (empty without an auditor).
+func (s Sources) Calibration() calib.Report { return s.Calib.Report() }
+
+// FlightRecords implements CalibrationSource.
+func (s Sources) FlightRecords() []calib.FlightRecord { return s.Calib.FlightRecords() }
+
 // Handler builds the telemetry HTTP handler:
 //
-//	/metrics   Prometheus text exposition (counters, gauges, histograms
-//	           from the metrics registry, plus queries_in_flight)
-//	/queries   JSON: queries currently in flight, stage-by-stage state
-//	/history   JSON: completed-query ring + per-shape aggregates
+//	/metrics      Prometheus text exposition (counters, gauges,
+//	              histograms from the metrics registry, plus
+//	              queries_in_flight; every family carries HELP/TYPE)
+//	/queries      JSON: queries currently in flight, stage-by-stage state
+//	/history      JSON: completed-query ring + per-shape aggregates
+//	/calibration  JSON: CI-coverage + cost-model-drift audit report
+//	/debug/flightrecorder  JSON: captured anomalous-query traces
 //	/debug/pprof/...  the standard net/http/pprof handlers
-//	/          plain-text index of the above
+//	/             plain-text index of the above
 func Handler(src Source) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -73,6 +98,24 @@ func Handler(src Source) http.Handler {
 			Shapes  []ShapeStat    `json:"shapes"`
 		}{src.History(), src.QueryStats()})
 	})
+	// Calibration endpoints answer with empty reports when the source
+	// carries no auditor, so scrapers need not probe for support.
+	mux.HandleFunc("/calibration", func(w http.ResponseWriter, r *http.Request) {
+		var rep calib.Report
+		if cs, ok := src.(CalibrationSource); ok {
+			rep = cs.Calibration()
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		var recs []calib.FlightRecord
+		if cs, ok := src.(CalibrationSource); ok {
+			recs = cs.FlightRecords()
+		}
+		writeJSON(w, struct {
+			Records []calib.FlightRecord `json:"records"`
+		}{recs})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -85,24 +128,40 @@ func Handler(src Source) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "tcq telemetry")
-		fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
-		fmt.Fprintln(w, "  /queries       in-flight query progress (JSON)")
-		fmt.Fprintln(w, "  /history       completed queries + per-shape stats (JSON)")
-		fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
+		fmt.Fprintln(w, "  /metrics               Prometheus text exposition")
+		fmt.Fprintln(w, "  /queries               in-flight query progress (JSON)")
+		fmt.Fprintln(w, "  /history               completed queries + per-shape stats (JSON)")
+		fmt.Fprintln(w, "  /calibration           CI-coverage + cost-drift audit report (JSON)")
+		fmt.Fprintln(w, "  /debug/flightrecorder  captured anomalous-query traces (JSON)")
+		fmt.Fprintln(w, "  /debug/pprof/          Go runtime profiles")
 	})
 	return mux
 }
 
 // Serve starts the telemetry server on addr (e.g. ":8080" or
 // "127.0.0.1:0") and returns the running server plus the bound address.
-// Shut it down with srv.Close or srv.Shutdown.
-func Serve(src Source, addr string) (*http.Server, string, error) {
+// When ctx is cancelled the server shuts down gracefully — the listener
+// closes and in-flight scrapes drain (bounded by a 5s grace period) —
+// so Ctrl-C teardown never leaks the listener. Pass
+// context.Background() (or any context that is never cancelled) to
+// manage the lifecycle manually with srv.Close or srv.Shutdown.
+func Serve(ctx context.Context, src Source, addr string) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
 	srv := &http.Server{Handler: Handler(src)}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	// A never-cancelled context has a nil Done channel; skip the watcher
+	// goroutine entirely rather than park one forever.
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(grace) //nolint:errcheck // best-effort drain
+		}()
+	}
 	return srv, ln.Addr().String(), nil
 }
 
@@ -115,30 +174,74 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	enc.Encode(v) //nolint:errcheck // client gone, nothing to do
 }
 
+// promHelp maps registry keys to the HELP text emitted on /metrics.
+// Keys missing here fall back to a generic description, so every
+// family always carries a HELP line.
+var promHelp = map[string]string{
+	"queries":                            "estimate runs completed on this session",
+	"stages":                             "adaptive sampling stages executed across all queries",
+	"quota_overruns":                     "queries that exceeded their time quota",
+	"blocks_read":                        "disk blocks charged to session clocks",
+	"pages_written":                      "temp/output pages written",
+	"temp_bytes":                         "bytes written to temp or output files",
+	"comparisons":                        "sort/merge tuple comparisons",
+	"deadline_polls":                     "hard-deadline expiry checks",
+	"queries_in_flight":                  "estimate runs currently executing (engine gauge)",
+	"coverage_fraction":                  "final sampled fraction d/D per query",
+	"stages_per_query":                   "stages completed per query",
+	"blocks_per_query":                   "sample blocks drawn per query",
+	"utilization":                        "fraction of quota spent productively per query",
+	"calibration_queries":                "queries audited by the calibration subsystem",
+	"calibration_truth_checks":           "audited queries with known ground truth",
+	"calibration_truth_hits":             "ground-truth checks where the CI covered the truth",
+	"calibration_truth_misses":           "ground-truth checks where the CI missed the truth",
+	"calibration_truth_degenerate":       "ground-truth checks with no usable CI (zero width, wrong estimate)",
+	"calibration_anomaly_degenerate_ci":  "flight captures triggered by a degenerate zero-width CI",
+	"calibration_drift_ratio":            "actual/predicted stage cost ratio (cost-model drift)",
+	"calibration_flight_captures":        "anomalous queries captured by the flight recorder",
+	"calibration_anomaly_ci_miss":        "flight captures triggered by a ground-truth CI miss",
+	"calibration_anomaly_deadline_abort": "flight captures triggered by a hard-deadline abort",
+	"calibration_anomaly_overspend":      "flight captures triggered by overspend past threshold",
+	"telemetry_queries_in_flight":        "queries tracked by the progress registry right now",
+}
+
+// helpFor returns the HELP text for a registry key.
+func helpFor(key string) string {
+	if h, ok := promHelp[key]; ok {
+		return h
+	}
+	return "tcq metric " + key
+}
+
 // writeProm renders a metrics snapshot in the Prometheus text
 // exposition format (version 0.0.4). Counters become tcq_<name>_total,
 // gauges tcq_<name>, and the registry's log2-bucket histograms proper
-// Prometheus histograms with cumulative le buckets. Families are
-// emitted in lexical key order per kind, so output for equal state is
+// Prometheus histograms with cumulative le buckets. Every family is
+// preceded by its # HELP and # TYPE lines, and families are emitted in
+// lexical key order per kind, so output for equal state is
 // byte-identical. inflight is the progress registry's live occupancy,
 // exported as tcq_telemetry_queries_in_flight (distinct from any
 // engine-maintained queries_in_flight gauge in the snapshot).
 func writeProm(w io.Writer, snap trace.Snapshot, inflight int) {
 	for _, k := range sortedKeys(snap.Counters) {
 		name := promName(k) + "_total"
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(k))
 		fmt.Fprintf(w, "# TYPE %s counter\n", name)
 		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[k])
 	}
+	fmt.Fprintf(w, "# HELP tcq_telemetry_queries_in_flight %s\n", helpFor("telemetry_queries_in_flight"))
 	fmt.Fprintf(w, "# TYPE tcq_telemetry_queries_in_flight gauge\n")
 	fmt.Fprintf(w, "tcq_telemetry_queries_in_flight %d\n", inflight)
 	for _, k := range sortedKeys(snap.Gauges) {
 		name := promName(k)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(k))
 		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
 		fmt.Fprintf(w, "%s %s\n", name, promFloat(snap.Gauges[k]))
 	}
 	for _, k := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[k]
 		name := promName(k)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(k))
 		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 		var cum int64
 		for _, b := range promBuckets(h.Buckets) {

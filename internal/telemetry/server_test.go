@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"tcq/internal/calib"
 	"tcq/internal/trace"
 )
 
@@ -191,7 +193,7 @@ func TestIndexAndPprof(t *testing.T) {
 }
 
 func TestServeBindsAndShutsDown(t *testing.T) {
-	srv, addr, err := Serve(testSource(), "127.0.0.1:0")
+	srv, addr, err := Serve(context.Background(), testSource(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +206,134 @@ func TestServeBindsAndShutsDown(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	if _, _, err := Serve(testSource(), addr); err == nil {
+	if _, _, err := Serve(context.Background(), testSource(), addr); err == nil {
 		t.Error("second bind on same addr should fail")
+	}
+}
+
+// Cancelling the Serve context must gracefully stop the server: new
+// connections are refused shortly after, and the listener is released
+// so the address can be rebound.
+func TestServeContextCancelShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_, addr, err := Serve(ctx, testSource(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+			break // server stopped accepting
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still serving after context cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The port must be released for rebinding.
+	srv2, _, err := Serve(context.Background(), testSource(), addr)
+	if err != nil {
+		t.Fatalf("rebind after shutdown: %v", err)
+	}
+	srv2.Close()
+}
+
+// Every tcq_* family on /metrics must carry a # HELP line immediately
+// before its # TYPE line, and repeated scrapes of equal state must be
+// byte-identical (diff-stable for scrape tooling).
+func TestMetricsHelpLines(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+	_, body := get(t, srv, "/metrics")
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	families := 0
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		families++
+		name := strings.Fields(line)[2]
+		if i == 0 || !strings.HasPrefix(lines[i-1], "# HELP "+name+" ") {
+			t.Errorf("family %s: TYPE line not preceded by its HELP line", name)
+		}
+		if help := strings.TrimPrefix(lines[i-1], "# HELP "+name+" "); strings.TrimSpace(help) == "" {
+			t.Errorf("family %s: empty HELP text", name)
+		}
+	}
+	if families == 0 {
+		t.Fatalf("no TYPE lines found:\n%s", body)
+	}
+	_, again := get(t, srv, "/metrics")
+	if body != again {
+		t.Error("scrapes of equal state differ")
+	}
+}
+
+// calibSource extends testSource with a populated calibration auditor.
+func calibSource() Sources {
+	s := testSource()
+	a := calib.NewAuditor(calib.Config{FlightSize: 4})
+	p := a.Track("t1", &calib.Truth{Value: 100})
+	p.BeginQuery(trace.QueryInfo{Query: "sel(r)", Quota: 10 * time.Second})
+	p.StageDone(trace.StageRecord{Stage: 1, Predicted: time.Second, Actual: 2 * time.Second, Overshoot: 1, Completed: true})
+	p.EndQuery(trace.QueryEnd{Stages: 1, Estimate: 500, Interval: 10, StopReason: "done"}) // miss → captured
+	s.Calib = a
+	return s
+}
+
+func TestCalibrationEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(calibSource()))
+	defer srv.Close()
+	code, body := get(t, srv, "/calibration")
+	if code != http.StatusOK {
+		t.Fatalf("/calibration status %d", code)
+	}
+	var rep calib.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("invalid /calibration JSON: %v\n%s", err, body)
+	}
+	if rep.Queries != 1 || rep.TruthN != 1 || rep.TruthHits != 0 {
+		t.Errorf("report wrong: %+v", rep)
+	}
+	if len(rep.Shapes) != 1 || rep.Shapes[0].Query != "sel(r)" {
+		t.Errorf("shapes wrong: %+v", rep.Shapes)
+	}
+	// Without a calibration source the endpoint serves the zero report.
+	plain := httptest.NewServer(Handler(testSource()))
+	defer plain.Close()
+	code, body = get(t, plain, "/calibration")
+	if code != http.StatusOK || !strings.Contains(body, `"queries": 0`) {
+		t.Errorf("no-calib /calibration: %d\n%s", code, body)
+	}
+}
+
+func TestFlightRecorderEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(calibSource()))
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/flightrecorder")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flightrecorder status %d", code)
+	}
+	var got struct {
+		Records []calib.FlightRecord `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(got.Records) != 1 {
+		t.Fatalf("want 1 flight record, got %d:\n%s", len(got.Records), body)
+	}
+	r := got.Records[0]
+	if r.Label != "t1" || len(r.Reasons) == 0 || r.Reasons[0] != calib.ReasonCIMiss {
+		t.Errorf("record wrong: %+v", r)
+	}
+	if r.Trace.Info.Query != "sel(r)" || len(r.Trace.Stages) != 1 {
+		t.Errorf("captured trace incomplete: %+v", r.Trace)
 	}
 }

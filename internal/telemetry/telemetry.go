@@ -171,9 +171,30 @@ type Handle struct {
 	begun bool
 	p     QueryProgress
 	// overshootSum/overshootN accumulate per-stage overshoot for the
-	// query-shape aggregates.
+	// query-shape aggregates; maxOvershoot tracks the worst single
+	// predicted stage.
 	overshootSum float64
 	overshootN   int64
+	maxOvershoot float64
+	// hasTruth/truth carry the caller-declared ground truth (SetTruth):
+	// EndQuery scores the final interval against it for the shape's
+	// empirical-coverage columns.
+	hasTruth bool
+	truth    float64
+}
+
+// SetTruth declares the query's known exact answer before (or during)
+// the run; at EndQuery the final confidence interval is scored against
+// it and the hit/miss feeds the shape's empirical-coverage aggregate.
+// Nil-safe, like every Handle method.
+func (h *Handle) SetTruth(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.hasTruth = true
+	h.truth = v
+	h.mu.Unlock()
 }
 
 // Enabled implements trace.Tracer.
@@ -233,6 +254,9 @@ func (h *Handle) StageDone(s trace.StageRecord) {
 	if s.Predicted > 0 {
 		h.overshootSum += s.Overshoot
 		h.overshootN++
+		if s.Overshoot > h.maxOvershoot {
+			h.maxOvershoot = s.Overshoot
+		}
 	}
 	id := h.p.ID
 	log := h.logger()
@@ -275,11 +299,22 @@ func (h *Handle) EndQuery(e trace.QueryEnd) {
 		Overspent:   e.Overspent,
 		Overrun:     e.Overspend,
 	}
-	overshootSum, overshootN := h.overshootSum, h.overshootN
+	fin := finishStats{
+		overshootSum: h.overshootSum,
+		overshootN:   h.overshootN,
+		maxOvershoot: h.maxOvershoot,
+	}
+	// A zero-width interval around a wrong estimate is degenerate — no
+	// usable CI was produced — and must not dilute the coverage rate
+	// (same rule as internal/calib).
+	if h.hasTruth && !(e.Interval <= 0 && e.Estimate != h.truth) {
+		fin.truthChecked = true
+		fin.truthHit = absf(e.Estimate-h.truth) <= e.Interval
+	}
 	log := h.logger()
 	h.mu.Unlock()
 	if h.reg != nil {
-		h.reg.finish(h, sum, overshootSum, overshootN)
+		h.reg.finish(h, sum, fin)
 	}
 	log.QueryFinished(sum.ID, sum.StopReason, sum.Estimate, sum.Interval,
 		sum.Stages, sum.Elapsed, sum.Overspent, sum.Overrun)
@@ -328,8 +363,18 @@ func (h *Handle) logger() *Logger {
 	return h.reg.log.Load()
 }
 
+// finishStats carries a handle's per-run accumulators into the shape
+// aggregates.
+type finishStats struct {
+	overshootSum float64
+	overshootN   int64
+	maxOvershoot float64
+	truthChecked bool
+	truthHit     bool
+}
+
 // finish retires a completed handle into history and shape stats.
-func (r *Registry) finish(h *Handle, sum QuerySummary, overshootSum float64, overshootN int64) {
+func (r *Registry) finish(h *Handle, sum QuerySummary, fin finishStats) {
 	r.mu.Lock()
 	delete(r.inflight, sum.ID)
 	r.history.push(sum)
@@ -341,11 +386,28 @@ func (r *Registry) finish(h *Handle, sum QuerySummary, overshootSum float64, ove
 	agg.calls++
 	agg.stages += int64(sum.Stages)
 	agg.blocks += int64(sum.Blocks)
-	agg.overshootSum += overshootSum
-	agg.overshootN += overshootN
+	agg.overshootSum += fin.overshootSum
+	agg.overshootN += fin.overshootN
+	if fin.maxOvershoot > agg.worstOvershoot {
+		agg.worstOvershoot = fin.maxOvershoot
+	}
+	if fin.truthChecked {
+		agg.truthN++
+		if fin.truthHit {
+			agg.truthHits++
+		}
+	}
 	agg.ciWidthSum += sum.Interval
 	if sum.Overspent {
 		agg.overspends++
 	}
 	r.mu.Unlock()
+}
+
+// absf is math.Abs without pulling in math for one call site.
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

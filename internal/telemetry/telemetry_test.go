@@ -263,3 +263,86 @@ func TestHandleProgressSnapshotIsolated(t *testing.T) {
 		t.Errorf("snapshot mutated by later stage: %+v", snap.Relations)
 	}
 }
+
+// Direct unit coverage of the overwrite-oldest ring: ordering before
+// the first wrap, exactly at capacity, and after multiple wraps.
+func TestRingWraparoundOrdering(t *testing.T) {
+	mk := func(id int) QuerySummary { return QuerySummary{ID: int64(id)} }
+	ids := func(ss []QuerySummary) []int64 {
+		out := make([]int64, len(ss))
+		for i, s := range ss {
+			out[i] = s.ID
+		}
+		return out
+	}
+	r := newRing(4)
+	if got := r.list(); len(got) != 0 {
+		t.Fatalf("empty ring should list nothing, got %v", got)
+	}
+	r.push(mk(1))
+	r.push(mk(2))
+	if got := ids(r.list()); got[0] != 2 || got[1] != 1 || len(got) != 2 {
+		t.Fatalf("partial fill order wrong: %v", got)
+	}
+	r.push(mk(3))
+	r.push(mk(4)) // exactly full, cursor wrapped to 0
+	if got := ids(r.list()); len(got) != 4 || got[0] != 4 || got[3] != 1 {
+		t.Fatalf("full ring order wrong: %v", got)
+	}
+	for i := 5; i <= 11; i++ { // wrap the buffer almost twice more
+		r.push(mk(i))
+	}
+	got := ids(r.list())
+	want := []int64{11, 10, 9, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-wrap order wrong: got %v, want %v", got, want)
+		}
+	}
+}
+
+// Shape aggregates must stay exact when queries finish and are
+// discarded concurrently (run under -race): discarded handles
+// contribute nothing, finished ones exactly once.
+func TestQueryStatsConcurrentTrackDiscard(t *testing.T) {
+	r := NewRegistry(16)
+	const workers, per = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h := r.Track("")
+				if i%4 == 3 { // simulate a failed trial
+					h.BeginQuery(trace.QueryInfo{Query: "q", Quota: time.Second})
+					h.Discard()
+					continue
+				}
+				feedQuery(h, "q", 100, i%2 == 0)
+				r.QueryStats() // concurrent readers
+				r.History()
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := r.QueryStats()
+	if len(stats) != 1 {
+		t.Fatalf("want 1 shape, got %+v", stats)
+	}
+	s := stats[0]
+	finished := int64(workers * per * 3 / 4)
+	if s.Calls != finished {
+		t.Fatalf("Calls = %d, want %d (discards must not count)", s.Calls, finished)
+	}
+	// Overspent runs are the even i (never discarded): 20 per worker.
+	if s.TotalStages != 2*finished || s.Overspends != int64(workers*per/2) {
+		t.Fatalf("aggregates wrong: %+v", s)
+	}
+	if s.MeanCIWidth != 40 || s.MeanStages != 2 {
+		t.Fatalf("means wrong: %+v", s)
+	}
+	if got := int64(len(r.InFlight())); got != 0 {
+		t.Fatalf("%d handles left in flight", got)
+	}
+}

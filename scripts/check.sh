@@ -42,9 +42,9 @@ go test -race ./...
 # failure in exactly the code where interleavings matter.
 echo "== go test -race -count=1 (concurrency surfaces)"
 go test -race -count=1 \
-  -run 'Concurrent|Parallel|Controller|Registry|Telemetry|Metrics|Serve|Lane|SubTerm|HardDeadline' \
-  . ./internal/sched ./internal/trace ./internal/telemetry \
-  ./internal/exec ./internal/core ./internal/bench
+  -run 'Concurrent|Parallel|Controller|Registry|Telemetry|Metrics|Serve|Lane|SubTerm|HardDeadline|Calib|Flight|Coverage|Ring|Wilson' \
+  . ./internal/sched ./internal/trace ./internal/telemetry ./internal/calib \
+  ./internal/stats ./internal/exec ./internal/core ./internal/bench
 
 # The experiment tables are a deterministic function of the seed: any
 # change to the executor that perturbs the sequence of simulated-clock
@@ -111,6 +111,52 @@ fi
 go run ./cmd/tcqbench -exp fig5.3 -trials 8 -parallel 4 -trace "$trace_tmp" > /dev/null
 if ! diff testdata/golden_trace_fig53_t8.jsonl "$trace_tmp"; then
   echo "-parallel 4 stage trace diverged from testdata/golden_trace_fig53_t8.jsonl" >&2
+  exit 1
+fi
+
+# Calibration auditing rides the tracer chain and inherits its
+# read-only contract: with -calib enabled, the table AND the stage
+# trace must stay byte-identical to the plain goldens (serially and
+# with -parallel 4), and the calibration report itself is deterministic
+# — same seed, same report, any worker count.
+echo "== calibration goldens (fig5.2, 8 trials, serial + -parallel 4)"
+calib_tmp=$(mktemp)
+trap 'rm -f "$trace_tmp" "$calib_tmp"' EXIT
+got=$(go run ./cmd/tcqbench -exp fig5.2 -trials 8 -calib "$calib_tmp" -trace "$trace_tmp" | grep -v -e 'trials/row' -e '^wrote ')
+if ! diff <(cat testdata/golden_fig52_t8.txt) <(echo "$got"); then
+  echo "table diverged from testdata/golden_fig52_t8.txt with -calib enabled" >&2
+  exit 1
+fi
+if ! diff testdata/golden_trace_fig52_t8.jsonl "$trace_tmp"; then
+  echo "stage trace diverged from testdata/golden_trace_fig52_t8.jsonl with -calib enabled" >&2
+  exit 1
+fi
+if ! diff testdata/golden_calib_fig52_t8.txt "$calib_tmp"; then
+  echo "calibration report diverged from testdata/golden_calib_fig52_t8.txt" >&2
+  exit 1
+fi
+got=$(go run ./cmd/tcqbench -exp fig5.2 -trials 8 -parallel 4 -calib "$calib_tmp" -trace "$trace_tmp" | grep -v -e 'trials/row' -e '^wrote ')
+if ! diff <(cat testdata/golden_fig52_t8.txt) <(echo "$got"); then
+  echo "-parallel 4 table diverged from testdata/golden_fig52_t8.txt with -calib enabled" >&2
+  exit 1
+fi
+if ! diff testdata/golden_trace_fig52_t8.jsonl "$trace_tmp"; then
+  echo "-parallel 4 stage trace diverged from testdata/golden_trace_fig52_t8.jsonl with -calib enabled" >&2
+  exit 1
+fi
+if ! diff testdata/golden_calib_fig52_t8.txt "$calib_tmp"; then
+  echo "-parallel 4 calibration report diverged from testdata/golden_calib_fig52_t8.txt" >&2
+  exit 1
+fi
+
+# The multi-figure calibration report is the acceptance surface for the
+# paper's statistical promise: realized CI coverage must sit within the
+# Wilson interval of the nominal level on every figure workload (the
+# golden's per-shape verdicts are all "ok").
+echo "== calibration report golden (fig5.1 + fig5.2 + fig5.3, 8 trials)"
+go run ./cmd/tcqbench -exp fig5.1-1000,fig5.1-5000,fig5.2,fig5.3 -trials 8 -calib "$calib_tmp" > /dev/null
+if ! diff testdata/golden_calib_t8.txt "$calib_tmp"; then
+  echo "calibration report diverged from testdata/golden_calib_t8.txt" >&2
   exit 1
 fi
 

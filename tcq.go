@@ -28,6 +28,7 @@
 package tcq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"tcq/internal/calib"
 	"tcq/internal/core"
 	"tcq/internal/exec"
 	"tcq/internal/histogram"
@@ -78,6 +80,8 @@ type config struct {
 	telemetry   bool
 	historySize int
 	queryLog    *slog.Logger
+	calibration bool
+	flightSize  int
 }
 
 // Option configures Open.
@@ -144,6 +148,24 @@ func WithTelemetry(historySize int) Option {
 	}
 }
 
+// WithCalibration enables the calibration observatory: every estimate
+// run is audited for cost-model drift (per-shape and per-operator
+// actual/predicted QCOST ratios), runs with a declared ground truth
+// (EstimateOptions.GroundTruth) feed empirical CI-coverage statistics,
+// and anomalous runs — hard-deadline aborts, overspends past 5% of the
+// quota, ground-truth CI misses — have their full traces captured in a
+// flight-recorder ring of flightSize records (64 when <= 0). Inspect
+// with DB.Calibration and DB.FlightRecords, or over HTTP at
+// /calibration and /debug/flightrecorder. The auditor observes queries
+// through the tracing layer's read-only contract, so estimates are
+// bit-identical with calibration on or off.
+func WithCalibration(flightSize int) Option {
+	return func(c *config) {
+		c.calibration = true
+		c.flightSize = flightSize
+	}
+}
+
 // WithQueryLog attaches a structured event log (query start/stage/
 // finish, quota overruns at Warn) emitted through the given slog
 // logger. Implies WithTelemetry.
@@ -173,7 +195,10 @@ type DB struct {
 	// progress is the live telemetry registry, nil unless WithTelemetry
 	// (or WithQueryLog) was given — the disabled path is one nil check.
 	progress *telemetry.Registry
-	cfg      config
+	// calib is the calibration auditor, nil unless WithCalibration was
+	// given — the disabled path is one nil check per query.
+	calib *calib.Auditor
+	cfg   config
 
 	mu    sync.Mutex // guards stats
 	stats *histogram.Catalog
@@ -201,6 +226,9 @@ func Open(opts ...Option) *DB {
 	if cfg.telemetry {
 		db.progress = telemetry.NewRegistry(cfg.historySize)
 		db.progress.SetLogger(telemetry.NewLogger(cfg.queryLog))
+	}
+	if cfg.calibration {
+		db.calib = calib.NewAuditor(calib.Config{FlightSize: cfg.flightSize, Metrics: db.metrics})
 	}
 	return db
 }
@@ -537,18 +565,43 @@ func (db *DB) History() []QuerySummary { return db.progress.History() }
 // WithTelemetry.
 func (db *DB) QueryStats() []QueryShapeStat { return db.progress.QueryStats() }
 
+// CalibrationReport is the calibration auditor's deterministic
+// snapshot: per-shape empirical CI coverage with Wilson intervals,
+// per-shape and per-operator cost-model drift, and flight-recorder
+// statistics.
+type CalibrationReport = calib.Report
+
+// GroundTruth declares a query's known exact answer for the
+// calibration audit (see EstimateOptions.GroundTruth).
+type GroundTruth = calib.Truth
+
+// FlightRecord is one captured anomalous query: its full trace plus
+// the capture reasons.
+type FlightRecord = calib.FlightRecord
+
+// Calibration snapshots the calibration auditor's report. Empty unless
+// the DB was opened WithCalibration.
+func (db *DB) Calibration() CalibrationReport { return db.calib.Report() }
+
+// FlightRecords lists the captured anomalous-query traces in
+// chronological order. Empty unless the DB was opened WithCalibration.
+func (db *DB) FlightRecords() []FlightRecord { return db.calib.FlightRecords() }
+
 // TelemetryHandler returns the telemetry HTTP handler for this DB:
 // /metrics (Prometheus text exposition), /queries (in-flight progress,
-// JSON), /history (completed queries + shape stats, JSON) and
+// JSON), /history (completed queries + shape stats, JSON),
+// /calibration and /debug/flightrecorder (calibration audit, JSON) and
 // /debug/pprof. Mount it on any server, or use ServeTelemetry.
 func (db *DB) TelemetryHandler() http.Handler { return telemetry.Handler(db) }
 
 // ServeTelemetry starts the telemetry server on addr (e.g. ":8080")
-// and returns the running server plus its bound address; shut it down
-// with srv.Close. The DB works identically with or without a server
+// and returns the running server plus its bound address. Cancelling
+// ctx shuts the server down gracefully (in-flight scrapes drain);
+// alternatively manage the lifecycle manually with srv.Close or
+// srv.Shutdown. The DB works identically with or without a server
 // attached.
-func (db *DB) ServeTelemetry(addr string) (*http.Server, string, error) {
-	return telemetry.Serve(db, addr)
+func (db *DB) ServeTelemetry(ctx context.Context, addr string) (*http.Server, string, error) {
+	return telemetry.Serve(ctx, db, addr)
 }
 
 // catalog adapts the store for query validation.

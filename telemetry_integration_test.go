@@ -7,6 +7,7 @@ package tcq_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -208,7 +209,7 @@ func TestWithQueryLogEmitsLifecycleEvents(t *testing.T) {
 
 func TestServeTelemetry(t *testing.T) {
 	db, q := telemetryDB(t, tcq.WithSimulatedClock(9), tcq.WithTelemetry(4))
-	srv, addr, err := db.ServeTelemetry("127.0.0.1:0")
+	srv, addr, err := db.ServeTelemetry(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,5 +220,83 @@ func TestServeTelemetry(t *testing.T) {
 	body := httpGet(t, "http://"+addr+"/metrics")
 	if !strings.Contains(body, "tcq_queries_total 1") {
 		t.Errorf("/metrics via ServeTelemetry:\n%s", body)
+	}
+}
+
+// End-to-end calibration observatory: a DB opened WithCalibration
+// audits every estimate, scores declared ground truth, serves the
+// report on /calibration and captured anomalies on
+// /debug/flightrecorder, and surfaces coverage in QueryStats — while
+// the estimate itself stays byte-identical to an unaudited run.
+func TestCalibrationIntegration(t *testing.T) {
+	run := func(opts ...tcq.Option) *tcq.Estimate {
+		db, q := telemetryDB(t, opts...)
+		truth := 500.0
+		est, err := db.CountEstimate(q, tcq.EstimateOptions{
+			Quota: 5 * time.Second, Seed: 3, GroundTruth: &truth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	plain := run(tcq.WithSimulatedClock(11))
+	calibrated := run(tcq.WithSimulatedClock(11), tcq.WithTelemetry(8), tcq.WithCalibration(16))
+	if plain.Value != calibrated.Value || plain.Interval != calibrated.Interval ||
+		plain.Stages != calibrated.Stages || plain.Blocks != calibrated.Blocks {
+		t.Fatalf("calibration perturbed the estimate:\nplain      %+v\ncalibrated %+v", plain, calibrated)
+	}
+
+	db, q := telemetryDB(t, tcq.WithSimulatedClock(11), tcq.WithTelemetry(8), tcq.WithCalibration(16))
+	truth := 500.0
+	wrong := 999999.0
+	for _, r := range []struct {
+		seed int64
+		gt   *float64
+	}{{3, &truth}, {4, &wrong}, {5, nil}} {
+		if _, err := db.CountEstimate(q, tcq.EstimateOptions{Quota: 5 * time.Second, Seed: r.seed, GroundTruth: r.gt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep := db.Calibration()
+	if rep.Queries != 3 || rep.TruthN+rep.TruthDegenerate != 2 {
+		t.Fatalf("report totals wrong: %+v", rep)
+	}
+	if rep.TruthHits != 1 {
+		t.Fatalf("want 1 hit (truth=500), got %+v", rep)
+	}
+	recs := db.FlightRecords()
+	if len(recs) != 1 || recs[0].Truth == nil || recs[0].Truth.Value != wrong {
+		t.Fatalf("the truth=999999 run should be flight-captured: %+v", recs)
+	}
+
+	// Coverage columns reach QueryStats.
+	stats := db.QueryStats()
+	if len(stats) != 1 || stats[0].TruthN != 2 || stats[0].TruthHits != 1 {
+		t.Fatalf("QueryStats coverage wrong: %+v", stats)
+	}
+
+	// HTTP surfaces.
+	srv := httptest.NewServer(db.TelemetryHandler())
+	defer srv.Close()
+	var gotRep tcq.CalibrationReport
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/calibration")), &gotRep); err != nil {
+		t.Fatalf("/calibration JSON: %v", err)
+	}
+	if gotRep.Queries != 3 || gotRep.TruthHits != rep.TruthHits {
+		t.Fatalf("/calibration mismatch: %+v vs %+v", gotRep, rep)
+	}
+	var gotFr struct {
+		Records []tcq.FlightRecord `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/debug/flightrecorder")), &gotFr); err != nil {
+		t.Fatalf("/debug/flightrecorder JSON: %v", err)
+	}
+	if len(gotFr.Records) != 1 || gotFr.Records[0].Trace.Info.Query == "" {
+		t.Fatalf("/debug/flightrecorder records wrong: %+v", gotFr.Records)
+	}
+	if !strings.Contains(httpGet(t, srv.URL+"/metrics"), "tcq_calibration_queries_total 3") {
+		t.Error("/metrics missing tcq_calibration_queries_total")
 	}
 }

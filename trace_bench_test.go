@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"tcq"
+	"tcq/internal/calib"
 	"tcq/internal/telemetry"
 	"tcq/internal/trace"
 )
@@ -64,6 +65,7 @@ func BenchmarkCountEstimateTraceOverhead(b *testing.B) {
 	b.Run("off", func(b *testing.B) { benchCountEstimate(b, false) })
 	b.Run("collect", func(b *testing.B) { benchCountEstimate(b, true) })
 	b.Run("telemetry", func(b *testing.B) { benchCountEstimate(b, false, tcq.WithTelemetry(64)) })
+	b.Run("calibration", func(b *testing.B) { benchCountEstimate(b, false, tcq.WithCalibration(64)) })
 }
 
 // TestNopTracerZeroAllocs pins the production tracing cost: with
@@ -112,5 +114,33 @@ func TestDisabledProgressHookZeroAllocs(t *testing.T) {
 	}
 	if got := reg.InFlight(); got != nil {
 		t.Errorf("nil registry InFlight = %v, want nil", got)
+	}
+}
+
+// TestDisabledCalibProbeZeroAllocs pins the disabled-calibration cost:
+// a nil auditor hands out a nil probe, and every tracer callback on it
+// must complete without allocating — a DB opened without
+// WithCalibration pays one nil check per query and nothing else.
+func TestDisabledCalibProbeZeroAllocs(t *testing.T) {
+	var a *calib.Auditor
+	p := a.Track("ignored", nil)
+	if p.Enabled() {
+		t.Fatal("nil probe must report disabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		p = a.Track("ignored", nil)
+		p.BeginQuery(trace.QueryInfo{})
+		p.StageDone(trace.StageRecord{})
+		p.EndQuery(trace.QueryEnd{})
+		p.Discard()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled calibration probe allocates: %v allocs/op", allocs)
+	}
+	if got := a.FlightRecords(); got != nil {
+		t.Errorf("nil auditor FlightRecords = %v, want nil", got)
+	}
+	if rep := a.Report(); rep.Queries != 0 {
+		t.Errorf("nil auditor Report = %+v, want zero", rep)
 	}
 }
