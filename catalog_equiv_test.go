@@ -1,0 +1,339 @@
+package tcq_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcq"
+	"tcq/internal/trace"
+	"tcq/internal/workload"
+)
+
+// TestCatalogWarmColdCoverageProperty is the warm≡cold statistical
+// equivalence property: across randomly drawn selection shapes, a
+// catalog-hit (warm) run's confidence interval must contain the ground
+// truth at a rate consistent with the nominal level, and the
+// calibration auditor — which tracks warm shapes separately under a
+// "[catalog hit]" key — must not flag any warm shape as optimistic
+// ("low"). Shapes are drawn by testing/quick from a fixed source, so
+// the run is deterministic.
+func TestCatalogWarmColdCoverageProperty(t *testing.T) {
+	db := tcq.Open(tcq.WithSimulatedClock(7), tcq.WithLoadNoise(0.12),
+		tcq.WithCatalog(), tcq.WithCalibration(64))
+	if _, err := workload.SelectRelation(db.Store(), "r", workload.PaperTuples, 5000, newRand(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildCatalog(); err != nil {
+		t.Fatal(err)
+	}
+
+	trials := 0
+	warmCovered, coldCovered := 0, 0
+	var warmRelErr, coldRelErr float64
+	seed := int64(1)
+	property := func(raw uint16) bool {
+		// Thresholds span the relation's key range but stay away from
+		// the empty-result edge, where no estimator produces a CI.
+		thresh := int64(500 + int(raw)%(workload.PaperTuples-500))
+		q := tcq.Rel("r").Where(tcq.Col("a").Lt(thresh))
+		truth, err := db.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt := float64(truth)
+		run := func() *tcq.Estimate {
+			seed++
+			est, err := db.CountEstimate(q, tcq.EstimateOptions{
+				Quota: 10 * time.Second, DBeta: 12, Seed: seed, GroundTruth: &gt,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return est
+		}
+		before := db.CatalogStats()
+		cold := run() // first run of this shape: miss, plants the hint
+		warm := run() // rerun: hit, replays the catalog sample
+		after := db.CatalogStats()
+		if after.Hits != before.Hits+1 || after.Misses != before.Misses+1 {
+			t.Fatalf("threshold %d: expected one miss then one hit, got %+v -> %+v", thresh, before, after)
+		}
+
+		// Near-total selectivity can hand the estimator a zero-variance
+		// sample (every tuple matches) and no banked stage: the cold run
+		// itself has no usable CI, so there is nothing for the warm run
+		// to be equivalent to. Not a counted trial.
+		if cold.Stages < 1 || cold.Interval <= 0 {
+			return true
+		}
+		// Modulo the sample source, the warm run went through the same
+		// estimator: it must produce a usable interval and stop state.
+		if warm.Stages < 1 || warm.Blocks < 1 || warm.Interval <= 0 {
+			return false
+		}
+		trials++
+		if math.Abs(cold.Value-gt) <= cold.Interval {
+			coldCovered++
+		}
+		if math.Abs(warm.Value-gt) <= warm.Interval {
+			warmCovered++
+		}
+		coldRelErr += math.Abs(cold.Value-gt) / gt
+		warmRelErr += math.Abs(warm.Value-gt) / gt
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nominal coverage is 95%; with 20 deterministic trials, demand the
+	// warm rate stays in the same regime rather than collapsing.
+	if rate := float64(warmCovered) / float64(trials); rate < 0.8 {
+		t.Errorf("warm CI coverage %d/%d = %.2f, want >= 0.8 (cold: %d/%d)",
+			warmCovered, trials, rate, coldCovered, trials)
+	}
+	// Warm estimates must stay in the cold runs' accuracy regime: the
+	// catalog replays an unbiased sample, it does not trade accuracy.
+	if warmRelErr > 2*coldRelErr+0.05*float64(trials) {
+		t.Errorf("warm mean rel err %.3f vs cold %.3f: warm path lost accuracy",
+			warmRelErr/float64(trials), coldRelErr/float64(trials))
+	}
+
+	// The calibration auditor keys warm runs separately. Each warm
+	// shape here carries a single truth observation, and one 5%-chance
+	// CI miss flags its shape "low" — that is the auditor's nominal
+	// false-positive rate, not a warm-path failure. A systematically
+	// miscalibrated warm path would flag most shapes, so demand the
+	// flagged fraction stays at the noise level.
+	rep := db.Calibration()
+	warmShapes, lowWarm := 0, 0
+	for _, s := range rep.Shapes {
+		if !strings.Contains(s.Query, "[catalog hit]") {
+			continue
+		}
+		warmShapes++
+		if s.Verdict == "low" {
+			lowWarm++
+		}
+	}
+	if warmShapes == 0 {
+		t.Error("calibration report contains no [catalog hit] shapes")
+	}
+	if allowed := (warmShapes + 9) / 10; lowWarm > allowed {
+		t.Errorf("%d of %d warm shapes audit low (allowed %d): warm CIs are systematically optimistic",
+			lowWarm, warmShapes, allowed)
+	}
+}
+
+// TestCatalogMissByteIdenticalToDisabled is the byte-identity
+// regression: a catalog-enabled run that misses (no hint yet — the
+// catalog is empty or even fully built but cold for this shape) must be
+// bit-identical to the same run on a catalog-disabled engine — same
+// estimate, same structured trace bytes. The catalog lookup happens
+// before any RNG or clock activity and records nothing on the simulated
+// machine, so enabling the feature cannot perturb existing results.
+func TestCatalogMissByteIdenticalToDisabled(t *testing.T) {
+	type outcome struct {
+		est   *tcq.Estimate
+		trace []byte
+	}
+	runOne := func(enabled, built bool) outcome {
+		opts := []tcq.Option{tcq.WithSimulatedClock(3), tcq.WithLoadNoise(0.12)}
+		if enabled {
+			opts = append(opts, tcq.WithCatalog())
+		}
+		db := tcq.Open(opts...)
+		if _, err := workload.SelectRelation(db.Store(), "r", workload.PaperTuples, 1000, newRand(3)); err != nil {
+			t.Fatal(err)
+		}
+		if built {
+			if err := db.BuildCatalog(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		col := trace.NewCollector()
+		est, err := db.CountEstimate(tcq.Rel("r").Where(tcq.Col("a").Lt(1000)), tcq.EstimateOptions{
+			Quota: 10 * time.Second, DBeta: 12, Seed: 5, Tracer: col,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		jl := trace.NewJSONLines(&buf)
+		col.Trace().Replay(jl)
+		if err := jl.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{est: est, trace: buf.Bytes()}
+	}
+
+	disabled := runOne(false, false)
+	enabledEmpty := runOne(true, false) // enabled, no sample sets: miss
+	enabledBuilt := runOne(true, true)  // enabled, built, no hint: still a miss
+
+	for name, got := range map[string]outcome{"empty catalog": enabledEmpty, "built catalog": enabledBuilt} {
+		if !reflect.DeepEqual(disabled.est, got.est) {
+			t.Errorf("%s: miss-path estimate differs from catalog-disabled run:\n disabled: %+v\n  enabled: %+v",
+				name, disabled.est, got.est)
+		}
+		if !bytes.Equal(disabled.trace, got.trace) {
+			t.Errorf("%s: miss-path trace bytes differ from catalog-disabled run:\n disabled: %s\n  enabled: %s",
+				name, disabled.trace, got.trace)
+		}
+	}
+}
+
+// TestCatalogWarmDeterministicAndPortable checks the warm path's
+// determinism contract: two identically seeded databases produce
+// bit-identical cold AND warm estimates, and a catalog saved from one
+// database hits immediately when loaded into a fresh one over the same
+// data (the pre-built sample sets and learned hints survive the trip).
+func TestCatalogWarmDeterministicAndPortable(t *testing.T) {
+	build := func() *tcq.DB {
+		db := tcq.Open(tcq.WithSimulatedClock(11), tcq.WithLoadNoise(0.12), tcq.WithCatalog())
+		if _, err := workload.SelectRelation(db.Store(), "r", workload.PaperTuples, 1000, newRand(11)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.BuildCatalog(); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	q := tcq.Rel("r").Where(tcq.Col("a").Lt(1000))
+	eopts := tcq.EstimateOptions{Quota: 10 * time.Second, DBeta: 12, Seed: 9}
+
+	runPair := func(db *tcq.DB) (cold, warm *tcq.Estimate) {
+		var err error
+		if cold, err = db.CountEstimate(q, eopts); err != nil {
+			t.Fatal(err)
+		}
+		if warm, err = db.CountEstimate(q, eopts); err != nil {
+			t.Fatal(err)
+		}
+		return cold, warm
+	}
+	db1, db2 := build(), build()
+	cold1, warm1 := runPair(db1)
+	cold2, warm2 := runPair(db2)
+	if !reflect.DeepEqual(cold1, cold2) {
+		t.Errorf("cold estimates differ across identically seeded databases:\n%+v\n%+v", cold1, cold2)
+	}
+	if !reflect.DeepEqual(warm1, warm2) {
+		t.Errorf("warm estimates differ across identically seeded databases:\n%+v\n%+v", warm1, warm2)
+	}
+	if st := db1.CatalogStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("expected one miss then one hit, got %+v", st)
+	}
+
+	// Persistence: a fresh database loading db1's catalog hits on its
+	// very first query — no cold discovery run needed.
+	var saved bytes.Buffer
+	if err := db1.SaveCatalog(&saved); err != nil {
+		t.Fatal(err)
+	}
+	db3 := build()
+	if err := db3.LoadCatalog(bytes.NewReader(saved.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	first, err := db3.CountEstimate(q, eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db3.CatalogStats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("loaded catalog should hit on first query, got %+v", st)
+	}
+	if first.Stages < 1 || first.Interval <= 0 {
+		t.Fatalf("warm first query produced no usable estimate: %+v", first)
+	}
+}
+
+// TestConcurrentCatalogReuse races live estimates against catalog
+// builds and invalidations on one shared database: lookups must never
+// observe torn state (a hit always carries a complete, consistent
+// permutation set) and the engine must keep producing valid estimates
+// throughout. Run under -race this is the no-torn-reads regression for
+// the catalog's concurrency contract.
+func TestConcurrentCatalogReuse(t *testing.T) {
+	db := tcq.Open(tcq.WithSimulatedClock(5), tcq.WithLoadNoise(0.12), tcq.WithCatalog())
+	for _, name := range []string{"r", "s"} {
+		if _, err := workload.SelectRelation(db.Store(), name, workload.PaperTuples, 1000, newRand(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.BuildCatalog(); err != nil {
+		t.Fatal(err)
+	}
+
+	const queriers = 4
+	const perQuerier = 6
+	errs := make(chan error, queriers+1)
+	done := make(chan struct{})
+
+	// Maintenance loop: rebuild and invalidate while queries run.
+	go func() {
+		defer func() { errs <- nil }()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := db.InvalidateCatalog("r"); err != nil {
+				errs <- fmt.Errorf("invalidate: %w", err)
+				return
+			}
+			if err := db.BuildCatalog("r"); err != nil {
+				errs <- fmt.Errorf("rebuild: %w", err)
+				return
+			}
+			db.CatalogStats()
+			db.CatalogRelations()
+			db.CatalogShapes()
+		}
+	}()
+
+	results := make(chan *tcq.Estimate, queriers*perQuerier)
+	for g := 0; g < queriers; g++ {
+		go func(g int) {
+			rel := "r"
+			if g%2 == 1 {
+				rel = "s"
+			}
+			q := tcq.Rel(rel).Where(tcq.Col("a").Lt(1000))
+			for i := 0; i < perQuerier; i++ {
+				est, err := db.CountEstimate(q, tcq.EstimateOptions{
+					Quota: 5 * time.Second, DBeta: 12, Seed: int64(g*100 + i),
+				})
+				if err != nil {
+					errs <- fmt.Errorf("querier %d: %w", g, err)
+					return
+				}
+				results <- est
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < queriers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	close(results)
+	for est := range results {
+		if est.Stages < 1 || est.Blocks < 1 {
+			t.Fatalf("estimate ran nothing under concurrent maintenance: %+v", est)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	tcqbench -list                   # list experiment ids
 //	tcqbench -compare                # include the paper's reported numbers
 //	tcqbench -quality                # estimator-quality sweep instead
+//	tcqbench -catalog -              # sample-catalog cold/warm reuse report
 package main
 
 import (
@@ -47,23 +48,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	flag := flag.NewFlagSet("tcqbench", flag.ContinueOnError)
 	flag.SetOutput(out)
 	var (
-		expID    = flag.String("exp", "all", "experiment id(s), comma-separated (see -list), or 'all'")
-		trials   = flag.Int("trials", 200, "independent trials per table row (the paper uses 200)")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		jitter   = flag.Float64("jitter", 0.03, "per-charge clock jitter (stddev)")
-		load     = flag.Float64("load", 0.12, "per-stage system-load lognormal sigma")
-		compare  = flag.Bool("compare", false, "print the paper's reported numbers after each table")
-		quality  = flag.Bool("quality", false, "run the estimator-quality sweep instead of the tables")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		md       = flag.Bool("md", false, "render tables as markdown (for EXPERIMENTS.md)")
-		perf     = flag.Bool("perf", false, "profile host-side cost per experiment row instead of printing tables")
-		perfOut  = flag.String("perfout", "BENCH_exec.json", "with -perf: write the JSON report here ('' to skip)")
-		perfBase = flag.String("perfbase", "", "with -perf: compare against this baseline report and fail on regressions")
-		perfTol  = flag.Float64("perftol", 10, "with -perf -perfbase: ns-per-trial regression tolerance (percent)")
-		traceOut = flag.String("trace", "", "write a JSON-lines stage trace of every trial to this file ('-' for stdout)")
-		calibOut = flag.String("calib", "", "audit every trial's CI against the full-scan truth and write a calibration report to this file ('-' for stdout)")
-		parallel = flag.Int("parallel", 1, "per-query term-evaluation workers (byte-identical output for any value)")
-		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /queries, /history, pprof) on this address, e.g. :9100")
+		expID      = flag.String("exp", "all", "experiment id(s), comma-separated (see -list), or 'all'")
+		trials     = flag.Int("trials", 200, "independent trials per table row (the paper uses 200)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		jitter     = flag.Float64("jitter", 0.03, "per-charge clock jitter (stddev)")
+		load       = flag.Float64("load", 0.12, "per-stage system-load lognormal sigma")
+		compare    = flag.Bool("compare", false, "print the paper's reported numbers after each table")
+		quality    = flag.Bool("quality", false, "run the estimator-quality sweep instead of the tables")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		md         = flag.Bool("md", false, "render tables as markdown (for EXPERIMENTS.md)")
+		perf       = flag.Bool("perf", false, "profile host-side cost per experiment row instead of printing tables")
+		perfOut    = flag.String("perfout", "BENCH_exec.json", "with -perf: write the JSON report here ('' to skip)")
+		perfBase   = flag.String("perfbase", "", "with -perf: compare against this baseline report and fail on regressions")
+		perfTol    = flag.Float64("perftol", 10, "with -perf -perfbase: ns-per-trial regression tolerance (percent)")
+		catalogOut = flag.String("catalog", "", "run the sample-catalog cold/warm reuse protocol instead of the tables and write the hit/miss report to this file ('-' for stdout)")
+		traceOut   = flag.String("trace", "", "write a JSON-lines stage trace of every trial to this file ('-' for stdout)")
+		calibOut   = flag.String("calib", "", "audit every trial's CI against the full-scan truth and write a calibration report to this file ('-' for stdout)")
+		parallel   = flag.Int("parallel", 1, "per-query term-evaluation workers (byte-identical output for any value)")
+		serve      = flag.String("serve", "", "serve live telemetry (/metrics, /queries, /history, pprof) on this address, e.g. :9100")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -105,6 +107,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	if *perf {
 		return runPerf(exps, opts, out, *perfOut, *perfBase, *perfTol)
+	}
+
+	if *catalogOut != "" {
+		return runCatalog(exps, opts, out, *catalogOut)
 	}
 
 	// With -trace or -calib, every trial records into its own collector;
@@ -283,6 +289,33 @@ func writeTraces(path string, exps []bench.Experiment, trials int, collectors ma
 	return nil
 }
 
+// runCatalog executes each experiment's cold-run/warm-rerun catalog
+// protocol and writes the hit/miss reuse report. Every trial builds its
+// own catalog and the rows are reduced in trial order, so the report is
+// byte-identical for a given seed at any -parallel worker count.
+func runCatalog(exps []bench.Experiment, opts bench.RunOptions, out io.Writer, path string) error {
+	var b strings.Builder
+	for i, e := range exps {
+		rows, err := e.RunCatalog(opts)
+		if err != nil {
+			return err
+		}
+		b.WriteString(bench.RenderCatalog(e.Title, rows))
+		if i < len(exps)-1 {
+			b.WriteString("\n")
+		}
+	}
+	if path == "-" {
+		fmt.Fprint(out, b.String())
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote catalog reuse report to %s\n", path)
+	return nil
+}
+
 // runPerf profiles the host-side cost of the selected experiments,
 // optionally writing BENCH_exec.json and diffing it against a committed
 // baseline. Regressions beyond the tolerance are an error so the perf
@@ -293,6 +326,14 @@ func runPerf(exps []bench.Experiment, opts bench.RunOptions, out io.Writer, outP
 	if err != nil {
 		return err
 	}
+	// The sample-catalog warm path gets its own rows: cold (miss) vs
+	// warm (hit) evaluation wall time to the same target precision —
+	// the committed number for the stage-skip speedup.
+	catRows, err := bench.PerfCatalogRows(exps, opts)
+	if err != nil {
+		return err
+	}
+	rep.Rows = append(rep.Rows, catRows...)
 	fmt.Fprint(out, bench.RenderPerf(rep))
 	if outPath != "" {
 		if err := bench.WritePerf(outPath, rep); err != nil {

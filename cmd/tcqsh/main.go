@@ -33,6 +33,7 @@
 //	\watch [DUR EXPR]                                      in-flight queries; with args, estimate with live progress
 //	\history                                               completed queries + per-shape stats
 //	\calib                                                 calibration report (coverage, drift, flight recorder)
+//	\catalog [build [NAME COL] | invalidate [NAME...]]     sample-catalog status / build / invalidate
 //	\flightrec                                             flight-recorded anomalous queries
 //	help, quit
 //
@@ -82,7 +83,7 @@ type session struct {
 // newSession builds a shell session writing to out.
 func newSession(out io.Writer) *session {
 	return &session{
-		db:     tcq.Open(tcq.WithSimulatedClock(1), tcq.WithLoadNoise(0.12), tcq.WithTelemetry(64), tcq.WithCalibration(64)),
+		db:     tcq.Open(tcq.WithSimulatedClock(1), tcq.WithLoadNoise(0.12), tcq.WithTelemetry(64), tcq.WithCalibration(64), tcq.WithCatalog()),
 		dBeta:  12,
 		seed:   1,
 		timing: true,
@@ -149,11 +150,13 @@ func (s *session) dispatch(line string) error {
 	cmd, rest := splitWord(line)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, \parallel, \watch, \history, \calib, \flightrec, help, quit`)
+		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, \parallel, \watch, \history, \calib, \catalog, \flightrec, help, quit`)
 		return nil
 	case `\calib`:
 		fmt.Fprint(s.out, calib.RenderReport(s.db.Calibration()))
 		return nil
+	case `\catalog`:
+		return s.catalogCmd(rest)
 	case `\flightrec`:
 		return s.printFlightRecords()
 	case `\parallel`:
@@ -484,6 +487,76 @@ func (s *session) printHistory() error {
 			st.MeanCIWidth, st.Overspends, 100*st.WorstOvershoot, coverage, st.Query)
 	}
 	return nil
+}
+
+// catalogCmd handles `\catalog` and its subcommands: bare `\catalog`
+// prints the reuse stats plus the materialized sample sets and learned
+// shape hints; `build` materializes sample sets for every relation
+// (seeding hints from the telemetry shape stats), `build NAME COL`
+// additionally builds a stratified variant keyed on COL, and
+// `invalidate [NAME...]` drops sample sets (all of them with no names).
+func (s *session) catalogCmd(rest string) error {
+	sub, args := splitWord(rest)
+	switch sub {
+	case "":
+		st := s.db.CatalogStats()
+		fmt.Fprintf(s.out, "catalog: %d relation sample sets, %d shape hints\n", st.Relations, st.Shapes)
+		fmt.Fprintf(s.out, "lookups %d: %d hits, %d misses, %d stale; reused %d blocks (%d bytes)\n",
+			st.Lookups, st.Hits, st.Misses, st.Stale, st.BlocksReused, st.BytesReused)
+		if rels := s.db.CatalogRelations(); len(rels) > 0 {
+			fmt.Fprintln(s.out, "sample sets:")
+			for _, r := range rels {
+				strat := ""
+				if r.StratifyCol != "" {
+					strat = fmt.Sprintf(" stratified(%s, %d strata)", r.StratifyCol, r.Strata)
+				}
+				fmt.Fprintf(s.out, "  %-12s %6d blocks %9d tuples%s\n", r.Relation, r.NumBlocks, r.NumTuples, strat)
+			}
+		}
+		if shapes := s.db.CatalogShapes(); len(shapes) > 0 {
+			fmt.Fprintln(s.out, "shape hints:")
+			fmt.Fprintf(s.out, "  %5s %9s %9s  %s\n", "calls", "coverage", "mean-ci", "shape")
+			for _, sh := range shapes {
+				fmt.Fprintf(s.out, "  %5d %8.1f%% %9.1f  %s\n",
+					sh.Calls, 100*sh.HintFrac(), sh.MeanCIWidth(), sh.Fingerprint)
+			}
+		}
+		return nil
+	case "build":
+		if args != "" {
+			name, col := splitWord(args)
+			if name == "" || col == "" {
+				return fmt.Errorf(`usage: \catalog build [NAME COL]`)
+			}
+			if err := s.db.BuildCatalogStratified(name, strings.TrimSpace(col)); err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "built stratified sample set for %s on %s\n", name, strings.TrimSpace(col))
+			return nil
+		}
+		if err := s.db.BuildCatalog(); err != nil {
+			return err
+		}
+		st := s.db.CatalogStats()
+		fmt.Fprintf(s.out, "built %d relation sample sets (%d shape hints)\n", st.Relations, st.Shapes)
+		return nil
+	case "invalidate":
+		var names []string
+		if strings.TrimSpace(args) != "" {
+			names = strings.Fields(args)
+		}
+		if err := s.db.InvalidateCatalog(names...); err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(s.out, "invalidated all sample sets and shape hints")
+		} else {
+			fmt.Fprintf(s.out, "invalidated %s (and dependent shape hints)\n", strings.Join(names, ", "))
+		}
+		return nil
+	default:
+		return fmt.Errorf(`usage: \catalog [build [NAME COL] | invalidate [NAME...]]`)
+	}
 }
 
 // printFlightRecords renders the flight recorder's retained anomalous

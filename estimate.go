@@ -321,6 +321,7 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 		Confidence:  opts.Confidence,
 		Seed:        opts.Seed,
 		Parallelism: workers,
+		Catalog:     db.samples,
 	}
 	var collector *trace.Collector
 	if opts.CollectTrace {

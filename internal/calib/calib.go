@@ -243,6 +243,12 @@ func DominantOp(s *trace.StageRecord) string {
 // finish folds one completed query into the auditor.
 func (a *Auditor) finish(label string, gt *Truth, t *trace.QueryTrace) {
 	shape := t.Info.Query
+	// Warm (sample-catalog) runs audit as their own shape: a stale
+	// catalog that stops covering the truth must surface as that warm
+	// shape's own `low` verdict, never hide inside the cold rate.
+	if t.Info.Catalog != "" {
+		shape += " [catalog " + t.Info.Catalog + "]"
+	}
 
 	// Coverage: does the reported interval contain the known truth? A
 	// zero-width interval around a wrong estimate (e.g. a join sample

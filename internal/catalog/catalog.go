@@ -1,0 +1,519 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"tcq/internal/storage"
+	"tcq/internal/tuple"
+)
+
+// DefaultResolutions is the nested resolution ladder: prefixes of one
+// seeded block permutation, so every resolution is a strict superset of
+// the one below it and a warm query can land on any rung without a
+// rebuild. The fine rungs matter — figure workloads stop at 1–5% block
+// coverage, so that is where the picker usually lands.
+var DefaultResolutions = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0}
+
+// RelationSamples is one relation's materialized sample set: a full
+// seeded permutation of its block numbers (drawing the first ⌈f·D⌉
+// entries yields the resolution-f sample; nested prefixes give every
+// resolution at once) plus the relation's shape at build time, which is
+// the staleness check — if the live relation has grown or shrunk, the
+// entry no longer covers it and the lookup misses.
+type RelationSamples struct {
+	Relation  string `json:"relation"`
+	NumBlocks int    `json:"num_blocks"`
+	NumTuples int64  `json:"num_tuples"`
+	// StratifyCol names the column the permutation is stratified on
+	// (empty for a uniform permutation). Stratified entries bucket
+	// blocks by the column's block-level value and interleave the
+	// strata round-robin, so every prefix carries proportional
+	// representation of each stratum — proportional-allocation
+	// stratified sampling, unbiased under the engine's estimator with
+	// variance at or below simple random block sampling.
+	StratifyCol string `json:"stratify_col,omitempty"`
+	Strata      int    `json:"strata,omitempty"`
+	Perm        []int  `json:"perm"`
+}
+
+// ShapeHint is the reuse cache's value: what the history of one query
+// shape says a warm run needs. HintFrac (mean block coverage at stop
+// across recorded runs) is the resolution target the timectrl picker
+// aims for; Relations lists the base relations the shape reads, each of
+// which must have a fresh catalog entry for the shape to hit.
+type ShapeHint struct {
+	Fingerprint string   `json:"fingerprint"`
+	Relations   []string `json:"relations"`
+	Calls       int64    `json:"calls"`
+	FracSum     float64  `json:"frac_sum"`
+	WidthSum    float64  `json:"width_sum"`
+}
+
+// HintFrac is the mean covered block fraction at stop.
+func (h ShapeHint) HintFrac() float64 {
+	if h.Calls == 0 {
+		return 0
+	}
+	return h.FracSum / float64(h.Calls)
+}
+
+// MeanCIWidth is the mean confidence-interval half-width at stop.
+func (h ShapeHint) MeanCIWidth() float64 {
+	if h.Calls == 0 {
+		return 0
+	}
+	return h.WidthSum / float64(h.Calls)
+}
+
+// Stats is a point-in-time snapshot of the catalog's counters and
+// contents.
+type Stats struct {
+	Relations    int   `json:"relations"`
+	Shapes       int   `json:"shapes"`
+	Lookups      int64 `json:"lookups"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Stale        int64 `json:"stale"`
+	BlocksReused int64 `json:"blocks_reused"`
+	BytesReused  int64 `json:"bytes_reused"`
+}
+
+// RelView is what the engine knows about one feed relation at lookup
+// time; the catalog compares it against the build-time shape for
+// staleness.
+type RelView struct {
+	Name      string
+	NumBlocks int
+	NumTuples int64
+}
+
+// Hit is a successful lookup: the shape's hint plus an immutable
+// permutation per feed relation. The slices are shared read-only with
+// the catalog; Build/Invalidate replace whole entries rather than
+// mutating them, so a query holding a Hit across a concurrent refresh
+// keeps a consistent pre-refresh view (no torn reads).
+type Hit struct {
+	Fingerprint string
+	HintFrac    float64
+	Resolutions []float64
+	perms       map[string][]int
+}
+
+// Perm returns the prebuilt block permutation for one relation.
+func (h *Hit) Perm(name string) []int { return h.perms[name] }
+
+// Catalog is the persistent sample-catalog state: per-relation sample
+// sets plus the shape-reuse cache. All methods are safe for concurrent
+// use; queries, builds and invalidations may interleave freely.
+type Catalog struct {
+	mu          sync.RWMutex
+	seed        int64
+	resolutions []float64
+	rels        map[string]*RelationSamples
+	shapes      map[string]*ShapeHint
+
+	lookups, hits, misses, stale int64
+	blocksReused, bytesReused    int64
+}
+
+// New returns an empty catalog. Permutations are a deterministic
+// function of (seed, relation name), so two catalogs built with the
+// same seed over the same store are identical. An empty resolutions
+// list means DefaultResolutions.
+func New(seed int64, resolutions ...float64) *Catalog {
+	rs := resolutions
+	if len(rs) == 0 {
+		rs = append([]float64(nil), DefaultResolutions...)
+	} else {
+		rs = append([]float64(nil), rs...)
+	}
+	sort.Float64s(rs)
+	return &Catalog{
+		seed:        seed,
+		resolutions: rs,
+		rels:        map[string]*RelationSamples{},
+		shapes:      map[string]*ShapeHint{},
+	}
+}
+
+// Resolutions returns the catalog's resolution ladder (ascending).
+func (c *Catalog) Resolutions() []float64 {
+	return append([]float64(nil), c.resolutions...)
+}
+
+func (c *Catalog) relRNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(c.seed*1_000_003 + int64(h.Sum64()%(1<<31))))
+}
+
+// BuildRelation materializes (or refreshes) the uniform sample set for
+// a relation of the given shape: one seeded permutation of its block
+// numbers.
+func (c *Catalog) BuildRelation(name string, numBlocks int, numTuples int64) {
+	perm := c.relRNG(name).Perm(numBlocks)
+	c.install(&RelationSamples{
+		Relation: name, NumBlocks: numBlocks, NumTuples: numTuples, Perm: perm,
+	})
+}
+
+// BuildStratified materializes a stratified sample set: strata[i] is
+// the stratum id of block i. Within each stratum the block order is a
+// seeded shuffle; the strata are then interleaved round-robin in
+// proportion to their sizes, so every permutation prefix is an
+// (approximately) proportionally allocated stratified sample.
+func (c *Catalog) BuildStratified(name string, numBlocks int, numTuples int64, col string, strata []int) {
+	rng := c.relRNG(name)
+	groups := map[int][]int{}
+	var ids []int
+	for b := 0; b < numBlocks; b++ {
+		s := 0
+		if b < len(strata) {
+			s = strata[b]
+		}
+		if _, ok := groups[s]; !ok {
+			ids = append(ids, s)
+		}
+		groups[s] = append(groups[s], b)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		g := groups[id]
+		rng.Shuffle(len(g), func(i, j int) { g[i], g[j] = g[j], g[i] })
+	}
+	// Largest-remainder round-robin: at each step emit the next block
+	// of the stratum whose emitted share lags its size share most.
+	perm := make([]int, 0, numBlocks)
+	taken := make([]int, len(ids))
+	for len(perm) < numBlocks {
+		best, bestLag := -1, 0.0
+		for i, id := range ids {
+			g := groups[id]
+			if taken[i] >= len(g) {
+				continue
+			}
+			lag := float64(len(g))*float64(len(perm)+1)/float64(numBlocks) - float64(taken[i])
+			if best == -1 || lag > bestLag {
+				best, bestLag = i, lag
+			}
+		}
+		perm = append(perm, groups[ids[best]][taken[best]])
+		taken[best]++
+	}
+	c.install(&RelationSamples{
+		Relation: name, NumBlocks: numBlocks, NumTuples: numTuples,
+		StratifyCol: col, Strata: len(ids), Perm: perm,
+	})
+}
+
+func (c *Catalog) install(rs *RelationSamples) {
+	c.mu.Lock()
+	c.rels[rs.Relation] = rs
+	c.mu.Unlock()
+}
+
+// BuildFromStore materializes uniform sample sets for the named
+// relations (all relations in the store when names is empty). Reading
+// the relation shape does not charge the simulated clock — catalog
+// builds are offline maintenance, not query work.
+func (c *Catalog) BuildFromStore(st *storage.Store, names ...string) error {
+	if len(names) == 0 {
+		names = st.RelationNames()
+	}
+	for _, name := range names {
+		rel, err := st.Relation(name)
+		if err != nil {
+			return err
+		}
+		c.BuildRelation(name, rel.NumBlocks(), rel.NumTuples())
+	}
+	return nil
+}
+
+// BuildStratifiedFromStore materializes a stratified sample set for one
+// relation, keyed on col: each block's stratum is the quantile bucket
+// (among all blocks, up to 8 strata) of the block's first value of col.
+// The scan uses Relation.AllTuples, which bypasses the simulated clock.
+func (c *Catalog) BuildStratifiedFromStore(st *storage.Store, name, col string) error {
+	rel, err := st.Relation(name)
+	if err != nil {
+		return err
+	}
+	ci, ok := rel.Schema().ColIndex(col)
+	if !ok {
+		return fmt.Errorf("catalog: relation %s has no column %s", name, col)
+	}
+	ts := rel.AllTuples()
+	bf := rel.BlockingFactor()
+	nb := rel.NumBlocks()
+	keys := make([]string, nb)
+	for b := 0; b < nb; b++ {
+		i := b * bf
+		if i < len(ts) {
+			keys[b] = fmt.Sprintf("%v", ts[i][ci])
+		}
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	strata := make([]int, nb)
+	nStrata := 8
+	if nb < nStrata {
+		nStrata = nb
+	}
+	for b, k := range keys {
+		rank := sort.SearchStrings(sorted, k)
+		strata[b] = rank * nStrata / len(sorted)
+	}
+	c.BuildStratified(name, nb, rel.NumTuples(), col, strata)
+	return nil
+}
+
+// RecordShape folds one completed run into the shape-reuse cache: the
+// covered block fraction and CI half-width at stop. The engine calls
+// this at the end of every catalog-enabled run, so the first (cold) run
+// of a shape plants the hint the next run hits on.
+func (c *Catalog) RecordShape(fp string, rels []string, coveredFrac, ciWidth float64) {
+	if fp == "" || coveredFrac <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.shapes[fp]
+	if h == nil {
+		h = &ShapeHint{Fingerprint: fp, Relations: append([]string(nil), rels...)}
+		sort.Strings(h.Relations)
+		c.shapes[fp] = h
+	}
+	h.Calls++
+	h.FracSum += coveredFrac
+	h.WidthSum += ciWidth
+}
+
+// SeedShape plants a shape hint directly (used when pre-building from
+// telemetry ShapeStat history rather than from an observed run).
+func (c *Catalog) SeedShape(fp string, rels []string, hintFrac, ciWidth float64, calls int64) {
+	if fp == "" || hintFrac <= 0 || calls <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := &ShapeHint{Fingerprint: fp, Relations: append([]string(nil), rels...)}
+	sort.Strings(h.Relations)
+	h.Calls = calls
+	h.FracSum = hintFrac * float64(calls)
+	h.WidthSum = ciWidth * float64(calls)
+	c.shapes[fp] = h
+}
+
+// Lookup resolves one query against the catalog. A hit requires a
+// recorded hint for the fingerprint and a fresh sample set (matching
+// block and tuple counts) for every feed relation; a size mismatch is
+// counted — and reported — as stale, and misses. Lookup never touches
+// the simulated clock or any RNG — on the miss path a catalog-enabled
+// run stays byte-identical to a catalog-disabled one.
+func (c *Catalog) Lookup(fp string, rels []RelView) (hit *Hit, stale bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lookups++
+	h := c.shapes[fp]
+	if h == nil || h.Calls == 0 {
+		c.misses++
+		return nil, false
+	}
+	perms := make(map[string][]int, len(rels))
+	for _, rv := range rels {
+		rs := c.rels[rv.Name]
+		if rs == nil {
+			c.misses++
+			return nil, false
+		}
+		if rs.NumBlocks != rv.NumBlocks || rs.NumTuples != rv.NumTuples {
+			c.stale++
+			c.misses++
+			return nil, true
+		}
+		perms[rv.Name] = rs.Perm
+	}
+	c.hits++
+	return &Hit{
+		Fingerprint: fp,
+		HintFrac:    h.HintFrac(),
+		Resolutions: c.resolutions,
+		perms:       perms,
+	}, false
+}
+
+// ChargeReuse records the sample volume a hit actually consumed.
+func (c *Catalog) ChargeReuse(blocks int, bytes int64) {
+	c.mu.Lock()
+	c.blocksReused += int64(blocks)
+	c.bytesReused += bytes
+	c.mu.Unlock()
+}
+
+// Invalidate drops the named relations' sample sets and every shape
+// hint that reads them (all state when no names are given). In-flight
+// queries holding a Hit keep their immutable pre-invalidation slices.
+func (c *Catalog) Invalidate(names ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(names) == 0 {
+		c.rels = map[string]*RelationSamples{}
+		c.shapes = map[string]*ShapeHint{}
+		return
+	}
+	drop := map[string]bool{}
+	for _, n := range names {
+		drop[n] = true
+		delete(c.rels, n)
+	}
+	for fp, h := range c.shapes {
+		for _, r := range h.Relations {
+			if drop[r] {
+				delete(c.shapes, fp)
+				break
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of counters and contents.
+func (c *Catalog) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		Relations:    len(c.rels),
+		Shapes:       len(c.shapes),
+		Lookups:      c.lookups,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Stale:        c.stale,
+		BlocksReused: c.blocksReused,
+		BytesReused:  c.bytesReused,
+	}
+}
+
+// RelationEntries returns the per-relation sample sets sorted by name
+// (permutations omitted — this is the display surface).
+func (c *Catalog) RelationEntries() []RelationSamples {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]RelationSamples, 0, len(c.rels))
+	for _, rs := range c.rels {
+		e := *rs
+		e.Perm = nil
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Relation < out[j].Relation })
+	return out
+}
+
+// ShapeEntries returns the shape-reuse cache sorted by fingerprint.
+func (c *Catalog) ShapeEntries() []ShapeHint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]ShapeHint, 0, len(c.shapes))
+	for _, h := range c.shapes {
+		e := *h
+		e.Relations = append([]string(nil), h.Relations...)
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// fileFormat is the versioned persistence envelope. Slices are sorted,
+// so the serialization is deterministic.
+type fileFormat struct {
+	Version     int               `json:"version"`
+	Seed        int64             `json:"seed"`
+	Resolutions []float64         `json:"resolutions"`
+	Relations   []RelationSamples `json:"relations"`
+	Shapes      []ShapeHint       `json:"shapes"`
+}
+
+const fileVersion = 1
+
+// Save writes the catalog (sample sets, shape hints, resolution
+// ladder) as deterministic JSON. Counters are runtime state and are
+// not persisted.
+func (c *Catalog) Save(w io.Writer) error {
+	c.mu.RLock()
+	ff := fileFormat{Version: fileVersion, Seed: c.seed, Resolutions: c.resolutions}
+	for _, rs := range c.rels {
+		ff.Relations = append(ff.Relations, *rs)
+	}
+	for _, h := range c.shapes {
+		ff.Shapes = append(ff.Shapes, *h)
+	}
+	c.mu.RUnlock()
+	sort.Slice(ff.Relations, func(i, j int) bool { return ff.Relations[i].Relation < ff.Relations[j].Relation })
+	sort.Slice(ff.Shapes, func(i, j int) bool { return ff.Shapes[i].Fingerprint < ff.Shapes[j].Fingerprint })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(ff)
+}
+
+// Load replaces the catalog's contents from a Save stream.
+func Load(r io.Reader) (*Catalog, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, err
+	}
+	if ff.Version != fileVersion {
+		return nil, fmt.Errorf("catalog: unsupported file version %d", ff.Version)
+	}
+	c := New(ff.Seed, ff.Resolutions...)
+	for i := range ff.Relations {
+		rs := ff.Relations[i]
+		c.rels[rs.Relation] = &rs
+	}
+	for i := range ff.Shapes {
+		h := ff.Shapes[i]
+		c.shapes[h.Fingerprint] = &h
+	}
+	return c, nil
+}
+
+// ReplaceFrom swaps this catalog's contents (sample sets, shape hints,
+// seed, resolution ladder) for o's, keeping the receiver identity so
+// engines already configured with it observe the new state on their
+// next lookup. Runtime counters are preserved. o is typically a
+// freshly Loaded catalog; its maps are adopted, not copied, so o must
+// not be used afterwards.
+func (c *Catalog) ReplaceFrom(o *Catalog) {
+	o.mu.RLock()
+	rels, shapes, seed, res := o.rels, o.shapes, o.seed, o.resolutions
+	o.mu.RUnlock()
+	c.mu.Lock()
+	c.rels = rels
+	c.shapes = shapes
+	c.seed = seed
+	c.resolutions = res
+	c.mu.Unlock()
+}
+
+// Stratify is a helper for callers that already hold per-block keys:
+// it buckets them into at most n quantile strata.
+func Stratify(keys []tuple.Value, n int) []int {
+	ss := make([]string, len(keys))
+	for i, k := range keys {
+		ss[i] = fmt.Sprintf("%v", k)
+	}
+	sorted := append([]string(nil), ss...)
+	sort.Strings(sorted)
+	if n > len(ss) {
+		n = len(ss)
+	}
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		out[i] = sort.SearchStrings(sorted, s) * n / len(sorted)
+	}
+	return out
+}

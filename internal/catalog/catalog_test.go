@@ -1,0 +1,252 @@
+package catalog
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tcq/internal/tuple"
+)
+
+// TestBuildRelationPermutation checks the materialized sample set is a
+// true permutation of the relation's block numbers and deterministic in
+// (seed, name).
+func TestBuildRelationPermutation(t *testing.T) {
+	c := New(7)
+	c.BuildRelation("r", 100, 500)
+	rs := c.RelationEntries()
+	if len(rs) != 1 || rs[0].Relation != "r" || rs[0].NumBlocks != 100 || rs[0].NumTuples != 500 {
+		t.Fatalf("unexpected entries: %+v", rs)
+	}
+
+	perm := func(c *Catalog) []int {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return append([]int(nil), c.rels["r"].Perm...)
+	}
+	p := perm(c)
+	if !isPermutation(p, 100) {
+		t.Fatalf("not a permutation of [0,100): %v", p)
+	}
+
+	c2 := New(7)
+	c2.BuildRelation("r", 100, 500)
+	if !reflect.DeepEqual(p, perm(c2)) {
+		t.Fatal("same (seed, name) produced different permutations")
+	}
+	c3 := New(8)
+	c3.BuildRelation("r", 100, 500)
+	if reflect.DeepEqual(p, perm(c3)) {
+		t.Fatal("different seeds produced identical permutations")
+	}
+}
+
+// TestBuildStratifiedProportional checks a stratified permutation is
+// still a permutation and that every prefix carries approximately
+// proportional representation of each stratum (the property that makes
+// prefix-sampling unbiased stratified sampling).
+func TestBuildStratifiedProportional(t *testing.T) {
+	const nb = 120
+	strata := make([]int, nb)
+	for b := range strata {
+		strata[b] = b % 3 // three equal strata, interleaved on disk
+	}
+	c := New(1)
+	c.BuildStratified("r", nb, 1200, "a", strata)
+	rs := c.RelationEntries()
+	if rs[0].StratifyCol != "a" || rs[0].Strata != 3 {
+		t.Fatalf("unexpected stratified entry: %+v", rs[0])
+	}
+	c.mu.RLock()
+	perm := append([]int(nil), c.rels["r"].Perm...)
+	c.mu.RUnlock()
+	if !isPermutation(perm, nb) {
+		t.Fatalf("stratified output not a permutation: %v", perm)
+	}
+	// Every prefix must stay within one block of perfect proportional
+	// allocation per stratum (largest-remainder rounding).
+	counts := [3]int{}
+	for i, b := range perm {
+		counts[strata[b]]++
+		n := i + 1
+		for s, got := range counts {
+			want := float64(n) / 3
+			if d := float64(got) - want; d > 1.0+1e-9 || d < -1.0-1e-9 {
+				t.Fatalf("prefix %d: stratum %d has %d of %d (want %.1f±1)", n, s, got, n, want)
+			}
+		}
+	}
+}
+
+// TestStratifyQuantiles checks the standalone bucketing helper.
+func TestStratifyQuantiles(t *testing.T) {
+	keys := []tuple.Value{"d", "a", "c", "b"}
+	got := Stratify(keys, 4)
+	if want := []int{3, 0, 2, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stratify = %v, want %v", got, want)
+	}
+}
+
+// TestLookupLifecycle walks the full hint lifecycle: miss with no hint,
+// miss with a hint but no sample set, hit when both exist, stale when
+// the live relation's shape has drifted, and hit again after a rebuild.
+func TestLookupLifecycle(t *testing.T) {
+	c := New(1)
+	view := []RelView{{Name: "r", NumBlocks: 100, NumTuples: 500}}
+
+	if hit, stale := c.Lookup("fp", view); hit != nil || stale {
+		t.Fatalf("lookup with no hint: hit=%v stale=%v", hit, stale)
+	}
+	c.RecordShape("fp", []string{"r"}, 0.05, 12.5)
+	if hit, _ := c.Lookup("fp", view); hit != nil {
+		t.Fatal("lookup hit without a built sample set")
+	}
+	c.BuildRelation("r", 100, 500)
+	hit, stale := c.Lookup("fp", view)
+	if hit == nil || stale {
+		t.Fatalf("expected hit: hit=%v stale=%v", hit, stale)
+	}
+	if hit.HintFrac != 0.05 {
+		t.Fatalf("HintFrac = %v, want 0.05", hit.HintFrac)
+	}
+	if p := hit.Perm("r"); !isPermutation(p, 100) {
+		t.Fatalf("hit permutation invalid: %v", p)
+	}
+
+	// The relation grew: the entry is stale and the lookup misses.
+	grown := []RelView{{Name: "r", NumBlocks: 120, NumTuples: 600}}
+	if hit, stale := c.Lookup("fp", grown); hit != nil || !stale {
+		t.Fatalf("stale lookup: hit=%v stale=%v", hit, stale)
+	}
+	c.BuildRelation("r", 120, 600)
+	if hit, stale := c.Lookup("fp", grown); hit == nil || stale {
+		t.Fatalf("post-rebuild lookup: hit=%v stale=%v", hit, stale)
+	}
+
+	st := c.Stats()
+	want := Stats{Relations: 1, Shapes: 1, Lookups: 5, Hits: 2, Misses: 3, Stale: 1}
+	if st != want {
+		t.Fatalf("Stats = %+v, want %+v", st, want)
+	}
+}
+
+// TestRecordShapeAveraging checks hint accumulation across runs.
+func TestRecordShapeAveraging(t *testing.T) {
+	c := New(1)
+	c.RecordShape("fp", []string{"r"}, 0.02, 10)
+	c.RecordShape("fp", []string{"r"}, 0.04, 20)
+	sh := c.ShapeEntries()
+	if len(sh) != 1 {
+		t.Fatalf("want 1 shape, got %d", len(sh))
+	}
+	if h := sh[0]; h.Calls != 2 || h.HintFrac() != 0.03 || h.MeanCIWidth() != 15 {
+		t.Fatalf("unexpected hint: %+v (frac=%v ci=%v)", h, h.HintFrac(), h.MeanCIWidth())
+	}
+	// Degenerate records are dropped, not averaged in.
+	c.RecordShape("fp", []string{"r"}, 0, 5)
+	c.RecordShape("", []string{"r"}, 0.5, 5)
+	if h := c.ShapeEntries()[0]; h.Calls != 2 {
+		t.Fatalf("degenerate record was folded in: %+v", h)
+	}
+}
+
+// TestInvalidate checks targeted invalidation drops the relation and
+// every dependent shape but leaves independent shapes alone.
+func TestInvalidate(t *testing.T) {
+	c := New(1)
+	c.BuildRelation("r", 10, 50)
+	c.BuildRelation("s", 10, 50)
+	c.RecordShape("uses-r", []string{"r"}, 0.1, 1)
+	c.RecordShape("uses-rs", []string{"r", "s"}, 0.1, 1)
+	c.RecordShape("uses-s", []string{"s"}, 0.1, 1)
+
+	c.Invalidate("r")
+	st := c.Stats()
+	if st.Relations != 1 || st.Shapes != 1 {
+		t.Fatalf("after Invalidate(r): %+v", st)
+	}
+	if sh := c.ShapeEntries(); sh[0].Fingerprint != "uses-s" {
+		t.Fatalf("surviving shape = %q, want uses-s", sh[0].Fingerprint)
+	}
+
+	c.Invalidate()
+	if st := c.Stats(); st.Relations != 0 || st.Shapes != 0 {
+		t.Fatalf("after Invalidate(): %+v", st)
+	}
+}
+
+// TestSaveLoadRoundTrip checks persistence is lossless and
+// deterministic, and that ReplaceFrom adopts loaded state in place.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := New(42, 0.1, 0.5)
+	c.BuildRelation("r", 30, 150)
+	c.BuildStratified("s", 20, 100, "a", []int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	c.RecordShape("fp1", []string{"r"}, 0.1, 4)
+	c.SeedShape("fp2", []string{"r", "s"}, 0.2, 8, 3)
+
+	var buf1 bytes.Buffer
+	if err := c.Save(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.RelationEntries(), loaded.RelationEntries()) {
+		t.Fatal("relation entries did not round-trip")
+	}
+	if !reflect.DeepEqual(c.ShapeEntries(), loaded.ShapeEntries()) {
+		t.Fatal("shape entries did not round-trip")
+	}
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("serialization not deterministic across a round-trip")
+	}
+
+	// ReplaceFrom keeps receiver identity but swaps contents.
+	dst := New(1)
+	dst.BuildRelation("old", 5, 25)
+	dst.ReplaceFrom(loaded)
+	if !reflect.DeepEqual(dst.RelationEntries(), c.RelationEntries()) {
+		t.Fatal("ReplaceFrom did not adopt loaded contents")
+	}
+
+	// Unsupported versions are rejected.
+	if _, err := Load(bytes.NewReader([]byte(`{"version": 99}`))); err == nil {
+		t.Fatal("Load accepted an unsupported version")
+	}
+}
+
+// TestResolutionsSortedAndCopied checks ladder normalization.
+func TestResolutionsSortedAndCopied(t *testing.T) {
+	c := New(1, 0.5, 0.1, 0.25)
+	rs := c.Resolutions()
+	if !sort.Float64sAreSorted(rs) {
+		t.Fatalf("resolutions not sorted: %v", rs)
+	}
+	rs[0] = 99
+	if c.Resolutions()[0] == 99 {
+		t.Fatal("Resolutions returned internal slice")
+	}
+	if d := New(1).Resolutions(); !reflect.DeepEqual(d, DefaultResolutions) {
+		t.Fatalf("default ladder = %v", d)
+	}
+}
+
+func isPermutation(p []int, n int) bool {
+	if len(p) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, b := range p {
+		if b < 0 || b >= n || seen[b] {
+			return false
+		}
+		seen[b] = true
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+// Package catalog maintains pre-built multi-resolution (optionally
+// stratified) block-sample sets per relation plus a cross-query
+// sample-reuse cache keyed on canonical query-shape fingerprints — the
+// BlinkDB-style warm path for the engine: repeated query shapes reuse a
+// materialized seeded block permutation and jump straight to the
+// coverage their history says they need, instead of re-discovering it
+// through the cold stage loop.
+package catalog
+
+import (
+	"sort"
+
+	"tcq/internal/ra"
+)
+
+// Fingerprint returns the cache key for a query shape: the RA text of
+// the canonicalized expression. Two queries share a catalog entry iff
+// their canonical forms render identically; the canonicalization below
+// applies only semantics-preserving rewrites (commutative-operand
+// sorting, conjunct/disjunct flattening, constant-side normalization),
+// so distinct shapes can never collide into one entry.
+func Fingerprint(e ra.Expr) string { return Canonical(e).String() }
+
+// FingerprintPred is Fingerprint for a bare predicate (used by fuzzing
+// to exercise the predicate canonicalizer directly).
+func FingerprintPred(p ra.Pred) string { return CanonicalPred(p).String() }
+
+// Canonical returns a semantics-equivalent normal form of e. The input
+// is not mutated; shared subtrees are rebuilt. Rewrites:
+//
+//   - Intersect inputs sorted by canonical rendering (set intersection
+//     is commutative and schema-stable: all inputs share a schema).
+//   - Union operands sorted likewise.
+//   - Join conditions (a conjunction of column equalities) sorted.
+//   - Predicates canonicalized per CanonicalPred.
+//
+// Join and Difference operand order, and Project column order, are
+// schema- or semantics-significant and are left alone.
+func Canonical(e ra.Expr) ra.Expr {
+	switch n := e.(type) {
+	case *ra.Base:
+		return &ra.Base{Name: n.Name}
+	case *ra.Select:
+		return &ra.Select{Input: Canonical(n.Input), Pred: CanonicalPred(n.Pred)}
+	case *ra.Project:
+		cols := append([]string(nil), n.Cols...)
+		return &ra.Project{Input: Canonical(n.Input), Cols: cols}
+	case *ra.Join:
+		on := append([]ra.JoinCond(nil), n.On...)
+		sort.Slice(on, func(i, j int) bool {
+			if on[i].LeftCol != on[j].LeftCol {
+				return on[i].LeftCol < on[j].LeftCol
+			}
+			return on[i].RightCol < on[j].RightCol
+		})
+		return &ra.Join{Left: Canonical(n.Left), Right: Canonical(n.Right), On: on}
+	case *ra.Union:
+		l, r := Canonical(n.Left), Canonical(n.Right)
+		if r.String() < l.String() {
+			l, r = r, l
+		}
+		return &ra.Union{Left: l, Right: r}
+	case *ra.Difference:
+		return &ra.Difference{Left: Canonical(n.Left), Right: Canonical(n.Right)}
+	case *ra.Intersect:
+		ins := make([]ra.Expr, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ins[i] = Canonical(in)
+		}
+		sort.Slice(ins, func(i, j int) bool { return ins[i].String() < ins[j].String() })
+		return &ra.Intersect{Inputs: ins}
+	default:
+		return e
+	}
+}
+
+// CanonicalPred returns a semantics-equivalent normal form of p:
+// same-operator and/or chains are flattened and their operands sorted
+// by rendering, double negation is eliminated, and comparisons with the
+// constant on the left are flipped (mirroring the operator) so
+// "5 > x" and "x < 5" share one form.
+func CanonicalPred(p ra.Pred) ra.Pred {
+	switch n := p.(type) {
+	case *ra.Cmp:
+		c := &ra.Cmp{Left: n.Left, Op: n.Op, Right: n.Right}
+		_, lConst := c.Left.(ra.Const)
+		_, rCol := c.Right.(ra.Col)
+		if lConst && rCol {
+			c.Left, c.Right = c.Right, c.Left
+			c.Op = mirror(c.Op)
+		}
+		return c
+	case *ra.And:
+		return rebuildChain(flattenAnd(n), func(l, r ra.Pred) ra.Pred { return &ra.And{L: l, R: r} })
+	case *ra.Or:
+		return rebuildChain(flattenOr(n), func(l, r ra.Pred) ra.Pred { return &ra.Or{L: l, R: r} })
+	case *ra.Not:
+		inner := CanonicalPred(n.P)
+		if nn, ok := inner.(*ra.Not); ok {
+			return nn.P
+		}
+		return &ra.Not{P: inner}
+	default:
+		return p
+	}
+}
+
+// mirror returns the operator that keeps "const op col" true when the
+// operands are swapped to "col op' const".
+func mirror(op ra.CmpOp) ra.CmpOp {
+	switch op {
+	case ra.Lt:
+		return ra.Gt
+	case ra.Le:
+		return ra.Ge
+	case ra.Gt:
+		return ra.Lt
+	case ra.Ge:
+		return ra.Le
+	default: // Eq, Ne are symmetric
+		return op
+	}
+}
+
+func flattenAnd(p ra.Pred) []ra.Pred {
+	if a, ok := p.(*ra.And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []ra.Pred{CanonicalPred(p)}
+}
+
+func flattenOr(p ra.Pred) []ra.Pred {
+	if o, ok := p.(*ra.Or); ok {
+		return append(flattenOr(o.L), flattenOr(o.R)...)
+	}
+	return []ra.Pred{CanonicalPred(p)}
+}
+
+// rebuildChain sorts the flattened operands by rendering and rebuilds a
+// left-associated chain, matching the parser's association so the
+// canonical text re-parses to the canonical tree.
+func rebuildChain(ops []ra.Pred, join func(l, r ra.Pred) ra.Pred) ra.Pred {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].String() < ops[j].String() })
+	out := ops[0]
+	for _, p := range ops[1:] {
+		out = join(out, p)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package catalog
+
+import (
+	"testing"
+
+	"tcq/internal/raparse"
+)
+
+func mustParse(t *testing.T, src string) string {
+	t.Helper()
+	e, err := raparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Fingerprint(e)
+}
+
+// TestFingerprintEquivalences checks that semantically identical shapes
+// collapse to one cache key: commuted comparisons, reordered and/or
+// chains, double negation, commutative set operations, and reordered
+// join conditions.
+func TestFingerprintEquivalences(t *testing.T) {
+	pairs := [][2]string{
+		{`select(r, a < 10)`, `select(r, 10 > a)`},
+		{`select(r, a <= 10)`, `select(r, 10 >= a)`},
+		{`select(r, a = 1 and b = 2)`, `select(r, b = 2 and a = 1)`},
+		{`select(r, (a = 1 and b = 2) and c = 3)`, `select(r, a = 1 and (c = 3 and b = 2))`},
+		{`select(r, a = 1 or b = 2)`, `select(r, b = 2 or a = 1)`},
+		{`select(r, not not a = 1)`, `select(r, a = 1)`},
+		{`union(r, s)`, `union(s, r)`},
+		{`intersect(r, s, u)`, `intersect(u, s, r)`},
+		{`join(r, s, id = rid and a = b)`, `join(r, s, a = b and id = rid)`},
+		{`select(select(r, 5 > b), a = 1)`, `select(select(r, b < 5), a = 1)`},
+	}
+	for _, p := range pairs {
+		if f0, f1 := mustParse(t, p[0]), mustParse(t, p[1]); f0 != f1 {
+			t.Errorf("equivalent shapes got distinct fingerprints:\n %q -> %q\n %q -> %q",
+				p[0], f0, p[1], f1)
+		}
+	}
+}
+
+// TestFingerprintDistinctions checks that shapes with different
+// semantics never collide: operand order where it matters (join operand
+// sides, difference), projection column order, operator strength, and
+// plain different constants.
+func TestFingerprintDistinctions(t *testing.T) {
+	pairs := [][2]string{
+		{`select(r, a < 10)`, `select(r, a <= 10)`},
+		{`select(r, a < 10)`, `select(r, a < 11)`},
+		{`select(r, a < 10)`, `select(s, a < 10)`},
+		{`select(r, a = 1 and b = 2)`, `select(r, a = 1 or b = 2)`},
+		{`select(r, not a = 1)`, `select(r, a = 1)`},
+		{`diff(r, s)`, `diff(s, r)`},
+		{`join(r, s, a = b)`, `join(s, r, a = b)`},
+		{`join(r, s, a = b)`, `join(r, s, b = a)`},
+		{`project(r, [a, b])`, `project(r, [b, a])`},
+		{`union(r, s)`, `intersect(r, s)`},
+	}
+	for _, p := range pairs {
+		if f0, f1 := mustParse(t, p[0]), mustParse(t, p[1]); f0 == f1 {
+			t.Errorf("distinct shapes collided on fingerprint %q:\n %q\n %q", f0, p[0], p[1])
+		}
+	}
+}
+
+// TestFingerprintFixpoint checks canonicalization is idempotent and its
+// output stays inside the parser's grammar — the fingerprint of a
+// canonical form is itself.
+func TestFingerprintFixpoint(t *testing.T) {
+	for _, src := range []string{
+		`select(r, 10 > a and not not (b = 2 or a = 1))`,
+		`intersect(union(s, r), select(r, 3 >= c))`,
+		`join(r, s, id = rid and a = b)`,
+	} {
+		e, err := raparse.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		fp := Fingerprint(e)
+		e2, err := raparse.Parse(fp)
+		if err != nil {
+			t.Fatalf("fingerprint %q does not re-parse: %v", fp, err)
+		}
+		if fp2 := Fingerprint(e2); fp2 != fp {
+			t.Errorf("fingerprint not a fixed point:\n first: %q\nsecond: %q", fp, fp2)
+		}
+	}
+}
+
+// TestFingerprintPred covers the standalone predicate entry point.
+func TestFingerprintPred(t *testing.T) {
+	p1, err := raparse.ParsePred(`b = 2 and 10 > a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := raparse.ParsePred(`a < 10 and b = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1, f2 := FingerprintPred(p1), FingerprintPred(p2); f1 != f2 {
+		t.Fatalf("equivalent predicates got distinct fingerprints: %q vs %q", f1, f2)
+	}
+}

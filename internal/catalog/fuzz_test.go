@@ -1,0 +1,95 @@
+package catalog
+
+import (
+	"testing"
+
+	"tcq/internal/ra"
+	"tcq/internal/raparse"
+	"tcq/internal/tuple"
+)
+
+// fuzzRels is a tiny fixed database every fuzzed expression is
+// evaluated against: enough relations and columns to give most parsed
+// shapes a meaning, so the semantics check below actually runs.
+func fuzzRels() *ra.MapRelations {
+	m := ra.NewMapRelations()
+	schema := tuple.MustSchema(
+		tuple.Column{Name: "a", Type: tuple.Int},
+		tuple.Column{Name: "b", Type: tuple.Int},
+		tuple.Column{Name: "id", Type: tuple.Int},
+	)
+	rows := func(off int64) []tuple.Tuple {
+		var ts []tuple.Tuple
+		for i := int64(0); i < 16; i++ {
+			ts = append(ts, tuple.Tuple{(i*7 + off) % 13, (i*3 + off) % 5, i})
+		}
+		return ts
+	}
+	m.Add("r", schema, rows(0))
+	m.Add("s", schema, rows(2))
+	m.Add("u", schema, rows(5))
+	return m
+}
+
+// FuzzFingerprint fuzzes the shape canonicalizer with three invariants:
+// the canonical form must re-parse, must be a fixed point (so one shape
+// cannot produce two cache keys), and must preserve semantics (exact
+// evaluation of the canonical form equals the original — so two shapes
+// with different answers can never collide into one cache entry via a
+// canonicalization bug).
+func FuzzFingerprint(f *testing.F) {
+	seeds := []string{
+		// Shapes whose canonical forms must coincide.
+		`select(r, a < 10)`,
+		`select(r, 10 > a)`,
+		`select(r, a = 1 and b = 2)`,
+		`select(r, b = 2 and a = 1)`,
+		`select(r, not not a = 1)`,
+		`union(s, r)`,
+		`intersect(u, s, r)`,
+		`join(r, s, id = id and a = b)`,
+		// Collision candidates: near-identical shapes whose semantics
+		// differ and whose fingerprints therefore must not merge.
+		`select(r, a <= 10)`,
+		`select(r, not a = 1)`,
+		`diff(r, s)`,
+		`diff(s, r)`,
+		`join(s, r, a = b)`,
+		`join(r, s, b = a)`,
+		`project(r, [a, b])`,
+		`project(r, [b, a])`,
+		// Deeper nesting.
+		`union(select(r, a < 5), join(project(s, [id, a]), u, id = id))`,
+		`select(select(r, 5 > b), a = 1 or not b = 0)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	rels := fuzzRels()
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := raparse.Parse(input)
+		if err != nil {
+			return // rejection is the parser's fuzz target's business
+		}
+		fp := Fingerprint(e)
+		ce, err := raparse.Parse(fp)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q: %v", fp, err)
+		}
+		if fp2 := Fingerprint(ce); fp2 != fp {
+			t.Fatalf("canonicalization not a fixed point:\n first: %q\nsecond: %q", fp, fp2)
+		}
+		want, err := ra.CountExact(e, rels)
+		if err != nil {
+			return // shape has no meaning on the fuzz database
+		}
+		got, err := ra.CountExact(ce, rels)
+		if err != nil {
+			t.Fatalf("canonical form of %q stopped evaluating: %q: %v", input, fp, err)
+		}
+		if got != want {
+			t.Fatalf("canonicalization changed semantics: %q (count %d) vs %q (count %d)",
+				input, want, fp, got)
+		}
+	})
+}

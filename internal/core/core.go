@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"time"
 
+	"tcq/internal/catalog"
 	"tcq/internal/cost"
 	"tcq/internal/estimator"
 	"tcq/internal/exec"
@@ -171,6 +172,18 @@ type Options struct {
 	// queries_in_flight gauge. It is touched at query entry and exit
 	// only — never on the per-tuple hot path.
 	Metrics *trace.Registry
+	// Catalog, when non-nil, enables the sample-catalog warm path
+	// (cluster sampling only): the query shape's canonical fingerprint
+	// is resolved against the catalog before any randomness is
+	// consumed, and on a hit the samplers replay the materialized
+	// per-relation block permutations while stage 1 is sized by
+	// timectrl.PickCatalogStage from the catalog's resolution ladder
+	// — hot shapes skip the cold run's early discovery stages. On a
+	// miss the run is byte-identical to a catalog-disabled run (the
+	// lookup touches neither the session clock nor any RNG), and the
+	// completed run's coverage is recorded as the shape's hint so the
+	// next identical shape hits.
+	Catalog *catalog.Catalog
 	// Parallelism bounds the worker pool evaluating a stage (≤ 1 =
 	// serial). The budget is spent on two tiers: the signed SJIP terms
 	// of the query run concurrently on recording lanes replayed in term
@@ -325,6 +338,28 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 	// is consumed or the session clock is charged: Go's randomized map
 	// order would otherwise make identically-seeded runs diverge.
 	feedNames := q.FeedNames()
+
+	// Sample-catalog warm path (cluster sampling only): resolve the
+	// canonical query shape before any randomness is consumed. Lookup
+	// is pure host work — no clock charge, no RNG draw — so a miss
+	// leaves the run byte-identical to a catalog-disabled one.
+	var warm *catalog.Hit
+	var warmStale bool
+	var fingerprint string
+	if opts.Catalog != nil && opts.Sampling == ClusterSampling {
+		fingerprint = catalog.Fingerprint(e)
+		views := make([]catalog.RelView, 0, len(feedNames))
+		for _, name := range feedNames {
+			f := q.Feeds[name]
+			views = append(views, catalog.RelView{
+				Name:      name,
+				NumBlocks: f.Rel.NumBlocks(),
+				NumTuples: f.Rel.NumTuples(),
+			})
+		}
+		warm, warmStale = opts.Catalog.Lookup(fingerprint, views)
+	}
+
 	rng := rand.New(rand.NewSource(opts.Seed))
 	samplers := map[string]*sampling.RelationSample{}
 	minBlocks, maxBlocks := math.MaxInt32, 0
@@ -338,7 +373,13 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 		if units == 0 {
 			return nil, fmt.Errorf("core: relation %q is empty", name)
 		}
-		samplers[name] = sampling.NewRelationSample(name, units, f.Rel.NumTuples(), rng)
+		if warm != nil {
+			// Replay the materialized seeded permutation: the warm
+			// sample is the catalog sample, drawn at build time.
+			samplers[name] = sampling.NewRelationSampleFromPerm(name, warm.Perm(name), f.Rel.NumTuples())
+		} else {
+			samplers[name] = sampling.NewRelationSample(name, units, f.Rel.NumTuples(), rng)
+		}
 		if units < minBlocks {
 			minBlocks = units
 		}
@@ -389,6 +430,7 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 			Mode:     opts.Mode.String(),
 			Plan:     opts.Plan.String(),
 			Sampling: opts.Sampling.String(),
+			Catalog:  catalogTag(warm),
 			Seed:     opts.Seed,
 			Start:    start,
 		})
@@ -445,7 +487,18 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 			Initial:     opts.Initial,
 			Oracle:      oracle,
 		}
-		plan := strategy.PlanStage(planIn)
+		var plan timectrl.Plan
+		if warm != nil && stageIdx == 1 {
+			// Warm first stage: jump straight to the smallest catalog
+			// resolution covering the shape's historical stopping
+			// coverage — the stages a cold run spends discovering that
+			// coverage are skipped. Predicted is the model's QCOST for
+			// evaluating the reused sample, d_β-inflated like any plan.
+			plan = timectrl.PickCatalogStage(planIn, warm.Resolutions, warm.HintFrac, strategyDBeta(strategy))
+		}
+		if plan.Fraction <= 0 {
+			plan = strategy.PlanStage(planIn)
+		}
 		if plan.Fraction <= 0 && stageIdx > 1 {
 			// Even the smallest stage does not fit the leftover quota —
 			// the paper terminates here (observed for join at high d_β).
@@ -682,14 +735,40 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 			Interval:    res.Interval.Half,
 		})
 	}
+	coverage := 1.0
+	for _, s := range samplers {
+		if f := s.Fraction(); f < coverage {
+			coverage = f
+		}
+	}
+	if opts.Catalog != nil && fingerprint != "" {
+		// Record the shape's realized stopping coverage as its reuse
+		// hint (the first, cold run of a shape plants the hint the next
+		// run hits on), and account a hit's reused sample volume. Both
+		// are host-side catalog writes: no clock charge, no RNG draw.
+		// The hint only counts successful stages: an overrun final
+		// stage's blocks were drawn but bought nothing within the
+		// quota, and folding them in would teach the catalog to plan
+		// warm first stages that history says do NOT fit.
+		if res.Stages > 0 {
+			hintCov := 1.0
+			for _, s := range samplers {
+				var f float64
+				if s.DTotal > 0 && len(s.Stages) >= res.Stages {
+					f = float64(s.CumBlocks(res.Stages-1)) / float64(s.DTotal)
+				}
+				if f < hintCov {
+					hintCov = f
+				}
+			}
+			opts.Catalog.RecordShape(fingerprint, feedNames, hintCov, res.Interval.Half)
+		}
+		if warm != nil {
+			opts.Catalog.ChargeReuse(res.Blocks, int64(res.Blocks)*int64(g.store.BlockSize()))
+		}
+	}
 	if opts.Metrics != nil {
 		d := chargesSnapshot(g.store, env).Sub(startCharges)
-		coverage := 1.0
-		for _, s := range samplers {
-			if f := s.Fraction(); f < coverage {
-				coverage = f
-			}
-		}
 		// One atomic batch: a concurrent Snapshot must never see the
 		// query counted but its stage/charge totals missing.
 		opts.Metrics.Update(func(m trace.Tx) {
@@ -707,9 +786,40 @@ func (g *Engine) Count(e ra.Expr, opts Options) (*Result, error) {
 			m.Observe("stages_per_query", float64(res.Stages))
 			m.Observe("blocks_per_query", float64(res.Blocks))
 			m.Observe("utilization", res.Utilization)
+			if opts.Catalog != nil {
+				m.Add("catalog_lookups", 1)
+				if warm != nil {
+					m.Add("catalog_hits", 1)
+					m.Add("catalog_blocks_reused", int64(res.Blocks))
+					m.Add("catalog_bytes_reused", int64(res.Blocks)*int64(g.store.BlockSize()))
+				} else {
+					m.Add("catalog_misses", 1)
+					if warmStale {
+						m.Add("catalog_stale", 1)
+					}
+				}
+			}
 		})
 	}
 	return res, nil
+}
+
+// catalogTag renders the QueryInfo catalog marker: "hit" for a warm
+// run, empty otherwise (so miss traces match catalog-disabled ones).
+func catalogTag(warm *catalog.Hit) string {
+	if warm != nil {
+		return "hit"
+	}
+	return ""
+}
+
+// strategyDBeta extracts the sel⁺ risk knob the configured strategy
+// plans with, so a warm catalog stage is inflated identically.
+func strategyDBeta(s timectrl.Strategy) float64 {
+	if o, ok := s.(*timectrl.OneAtATime); ok {
+		return o.DBeta
+	}
+	return 0
 }
 
 // textTracer wraps the legacy Options.Trace writer as a tracer (nil in,

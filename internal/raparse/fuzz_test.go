@@ -20,6 +20,21 @@ func FuzzParse(f *testing.F) {
 		`union(select(r, a < 5), join(project(s, [id, a]), u, id = k))`,
 		`SELECT(r, a < 1 AND NOT b > 2)`,
 		`select(r, true)`,
+		// Shape-fingerprint collision candidates: pairs the catalog's
+		// canonicalizer must merge (commuted operands, reordered
+		// chains) next to pairs it must keep apart (asymmetric set
+		// difference, join sides, projection order). Seeding both
+		// halves steers the fuzzer toward the boundary.
+		`select(r, 10 > a)`,
+		`select(r, b = 2 and a = 1)`,
+		`select(r, not not a = 1)`,
+		`select(r, a <= 10)`,
+		`union(s, r)`,
+		`intersect(u, s, r)`,
+		`diff(s, r)`,
+		`join(s, r, a = b)`,
+		`join(r, s, b = a and id = rid)`,
+		`project(r, [b, a])`,
 		// Malformed shapes the parser must reject gracefully.
 		`select(r a < 1)`,
 		`project(r, [a)`,

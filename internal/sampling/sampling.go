@@ -21,15 +21,25 @@ import (
 // materialised lazily with a partial Fisher–Yates shuffle so that huge
 // relations do not cost O(D) memory until sampled.
 type BlockSampler struct {
-	d    int
-	rng  *rand.Rand
-	perm map[int]int // sparse Fisher–Yates state
-	next int         // number of indices already drawn
+	d     int
+	rng   *rand.Rand
+	perm  map[int]int // sparse Fisher–Yates state
+	next  int         // number of indices already drawn
+	fixed []int       // prebuilt permutation (catalog warm path); nil when live
 }
 
 // NewBlockSampler creates a sampler over block indices [0, d).
 func NewBlockSampler(d int, rng *rand.Rand) *BlockSampler {
 	return &BlockSampler{d: d, rng: rng, perm: make(map[int]int)}
+}
+
+// NewBlockSamplerFromPerm creates a sampler that replays a prebuilt
+// permutation of block indices instead of drawing live: Draw(k) returns
+// successive slices of perm, consuming no RNG. This is the sample-
+// catalog warm path — the permutation was drawn (seeded) at build time,
+// so a warm query's "random" sample is the materialized one.
+func NewBlockSamplerFromPerm(perm []int) *BlockSampler {
+	return &BlockSampler{d: len(perm), fixed: perm}
 }
 
 // Remaining returns how many blocks have not been drawn yet.
@@ -47,6 +57,11 @@ func (b *BlockSampler) Draw(k int) []int {
 	}
 	if k <= 0 {
 		return nil
+	}
+	if b.fixed != nil {
+		out := append([]int(nil), b.fixed[b.next:b.next+k]...)
+		b.next += k
+		return out
 	}
 	out := make([]int, 0, k)
 	for i := 0; i < k; i++ {
@@ -90,6 +105,17 @@ func NewRelationSample(name string, dTotal int, nTotal int64, rng *rand.Rand) *R
 		DTotal:  dTotal,
 		NTotal:  nTotal,
 		sampler: NewBlockSampler(dTotal, rng),
+	}
+}
+
+// NewRelationSampleFromPerm builds the bookkeeping for one relation
+// whose draw order replays a prebuilt permutation (catalog warm path).
+func NewRelationSampleFromPerm(name string, perm []int, nTotal int64) *RelationSample {
+	return &RelationSample{
+		Name:    name,
+		DTotal:  len(perm),
+		NTotal:  nTotal,
+		sampler: NewBlockSamplerFromPerm(perm),
 	}
 }
 

@@ -21,6 +21,15 @@ func FuzzParse(f *testing.F) {
 		"SELECT AVG(qty) FROM orders",
 		"SELECT COUNT(DISTINCT region) FROM sales WHERE revenue > 100",
 		"SELECT COUNT(*) FROM sales WHERE revenue > 100 GROUP BY region",
+		// Shape-fingerprint collision candidates: statements that lower
+		// to RA trees the catalog canonicalizer must merge (commuted
+		// WHERE conjuncts, flipped comparisons) or must keep apart
+		// (flipped join sides, strict vs non-strict comparison).
+		"SELECT COUNT(*) FROM orders WHERE 10 < price",
+		"SELECT COUNT(*) FROM orders WHERE price >= 10",
+		"SELECT COUNT(*) FROM orders WHERE qty = 2 AND price > 10",
+		"SELECT COUNT(*) FROM orders WHERE price > 10 AND qty = 2",
+		"SELECT COUNT(*) FROM items JOIN orders ON oid = id WHERE price > 10",
 		// Malformed shapes the parser must reject gracefully.
 		"FROM x",
 		"SELECT MAX(a) FROM x",

@@ -21,9 +21,12 @@ type QuerySummary struct {
 	Estimate    float64       `json:"estimate"`
 	StdErr      float64       `json:"stderr"`
 	Interval    float64       `json:"interval"`
-	StopReason  string        `json:"stop_reason"`
-	Overspent   bool          `json:"overspent,omitempty"`
-	Overrun     time.Duration `json:"overrun_ns,omitempty"`
+	// Catalog is "hit" for a warm sample-catalog run (empty when the
+	// run drew live samples).
+	Catalog    string        `json:"catalog,omitempty"`
+	StopReason string        `json:"stop_reason"`
+	Overspent  bool          `json:"overspent,omitempty"`
+	Overrun    time.Duration `json:"overrun_ns,omitempty"`
 }
 
 // ShapeStat aggregates every completed run of one query shape (keyed by

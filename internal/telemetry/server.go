@@ -203,6 +203,12 @@ var promHelp = map[string]string{
 	"calibration_anomaly_deadline_abort": "flight captures triggered by a hard-deadline abort",
 	"calibration_anomaly_overspend":      "flight captures triggered by overspend past threshold",
 	"telemetry_queries_in_flight":        "queries tracked by the progress registry right now",
+	"catalog_lookups":                    "queries resolved against the sample catalog",
+	"catalog_hits":                       "catalog lookups that reused a materialized sample",
+	"catalog_misses":                     "catalog lookups that fell through to live sampling",
+	"catalog_stale":                      "catalog misses caused by a stale (resized) relation entry",
+	"catalog_blocks_reused":              "sample blocks served from catalog permutations",
+	"catalog_bytes_reused":               "bytes of sample data served from catalog permutations",
 }
 
 // helpFor returns the HELP text for a registry key.

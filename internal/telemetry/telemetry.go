@@ -66,7 +66,10 @@ type QueryProgress struct {
 	Mode     string `json:"mode"`
 	Plan     string `json:"plan"`
 	Sampling string `json:"sampling"`
-	Seed     int64  `json:"seed"`
+	// Catalog is "hit" when the run reused a materialized sample-
+	// catalog permutation (empty for cold/miss runs).
+	Catalog string `json:"catalog,omitempty"`
+	Seed    int64  `json:"seed"`
 	// Stages counts completed stages; Blocks the cumulative sample
 	// units drawn; Fraction the latest stage's chosen sample fraction.
 	Stages   int     `json:"stages"`
@@ -213,6 +216,7 @@ func (h *Handle) BeginQuery(q trace.QueryInfo) {
 	h.p.Mode = q.Mode
 	h.p.Plan = q.Plan
 	h.p.Sampling = q.Sampling
+	h.p.Catalog = q.Catalog
 	h.p.Seed = q.Seed
 	id, label := h.p.ID, h.p.Label
 	log := h.logger()
@@ -295,6 +299,7 @@ func (h *Handle) EndQuery(e trace.QueryEnd) {
 		Estimate:    e.Estimate,
 		StdErr:      e.StdErr,
 		Interval:    e.Interval,
+		Catalog:     h.p.Catalog,
 		StopReason:  e.StopReason,
 		Overspent:   e.Overspent,
 		Overrun:     e.Overspend,

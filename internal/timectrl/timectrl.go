@@ -250,6 +250,64 @@ func SampleSizeDetermine(in PlanInput, target time.Duration, dBeta, minF float64
 	return Plan{Fraction: lo, Predicted: predict(lo), Iterations: 60, DBeta: dBeta}
 }
 
+// PickCatalogStage sizes a warm first stage from a sample catalog's
+// resolution ladder. Two certificates make a rung affordable:
+//
+//   - Model certificate: the d_β-inflated QCOST prediction fits the
+//     remaining quota — the same discipline a cold plan obeys. The
+//     smallest such rung at or above hintFrac is the ideal pick ("the
+//     smallest catalog sample satisfying the quota").
+//   - History certificate: any rung at or below hintFrac ×
+//     catalogHistorySafety. The hint is the coverage this exact shape
+//     reached within its quota last time, so history has already proven
+//     such a rung affordable even when the stage-1 prediction — built
+//     from prior selectivities, before any data has been seen — is too
+//     pessimistic to certify it. The safety factor keeps a quota
+//     reserve: a rung at the full hint would plan a first stage costing
+//     the entire historical quota, which under load jitter overruns
+//     about half the time and banks nothing — strictly worse than the
+//     cold run it replaces.
+//
+// The picker prefers the model-certified rung covering the hint; when
+// prediction pessimism rules those out it jumps to the largest rung the
+// history certifies, which is what lets a warm run replace several
+// cold discovery stages with one. With no affordable rung — or an
+// empty hint — it returns a zero plan and the caller falls through to
+// live Sample-Size-Determine planning. Predicted is always the QCOST
+// the paper's model charges for evaluating the reused sample, inflated
+// by the caller's d_β exactly as a cold plan would be.
+func PickCatalogStage(in PlanInput, resolutions []float64, hintFrac, dBeta float64) Plan {
+	if in.Remaining <= 0 || in.MaxFraction <= 0 || hintFrac <= 0 {
+		return Plan{}
+	}
+	sel := selPlusFunc(in, dBeta)
+	predict := func(f float64) time.Duration {
+		return in.Model.PredictStage(in.Roots, f, sel).Duration
+	}
+	var fallback Plan
+	for _, r := range resolutions { // ascending
+		if r <= 0 || r > in.MaxFraction {
+			continue
+		}
+		c := predict(r)
+		if r <= hintFrac*catalogHistorySafety {
+			// History-certified; keep the largest such rung.
+			fallback = Plan{Fraction: r, Predicted: c, DBeta: dBeta}
+			continue
+		}
+		if r >= hintFrac && c <= in.Remaining {
+			// Model-certified rung covering the hint in full.
+			return Plan{Fraction: r, Predicted: c, DBeta: dBeta}
+		}
+	}
+	return fallback
+}
+
+// catalogHistorySafety scales the history-certified warm jump below the
+// hint, reserving quota headroom for load jitter and a live mop-up
+// stage after the jump.
+const catalogHistorySafety = 0.8
+
 // OpSelectivity reports one operator's planning inputs for a candidate
 // stage: the current sample selectivity estimate (Fig. 3.3), the
 // inflated sel⁺ the stage cost was predicted with (Fig. 3.5), and the

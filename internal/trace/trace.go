@@ -41,6 +41,12 @@ type QueryInfo struct {
 	Plan string `json:"plan"`
 	// Sampling is "cluster" or "srs".
 	Sampling string `json:"sampling"`
+	// Catalog tags sample-catalog reuse: "hit" when the run replays a
+	// materialized catalog sample, empty on a miss or when no catalog
+	// is configured — so miss-path traces stay byte-identical to
+	// catalog-disabled ones, and calibration can audit warm coverage
+	// separately from cold.
+	Catalog string `json:"catalog,omitempty"`
 	// Seed drove the block sampler.
 	Seed int64 `json:"seed"`
 	// Start is the session clock reading when evaluation began.

@@ -42,9 +42,10 @@ go test -race ./...
 # failure in exactly the code where interleavings matter.
 echo "== go test -race -count=1 (concurrency surfaces)"
 go test -race -count=1 \
-  -run 'Concurrent|Parallel|Controller|Registry|Telemetry|Metrics|Serve|Lane|SubTerm|HardDeadline|Calib|Flight|Coverage|Ring|Wilson' \
+  -run 'Concurrent|Parallel|Controller|Registry|Telemetry|Metrics|Serve|Lane|SubTerm|HardDeadline|Calib|Flight|Coverage|Ring|Wilson|Catalog' \
   . ./internal/sched ./internal/trace ./internal/telemetry ./internal/calib \
-  ./internal/stats ./internal/exec ./internal/core ./internal/bench
+  ./internal/stats ./internal/exec ./internal/core ./internal/bench \
+  ./internal/catalog
 
 # The experiment tables are a deterministic function of the seed: any
 # change to the executor that perturbs the sequence of simulated-clock
@@ -157,6 +158,26 @@ echo "== calibration report golden (fig5.1 + fig5.2 + fig5.3, 8 trials)"
 go run ./cmd/tcqbench -exp fig5.1-1000,fig5.1-5000,fig5.2,fig5.3 -trials 8 -calib "$calib_tmp" > /dev/null
 if ! diff testdata/golden_calib_t8.txt "$calib_tmp"; then
   echo "calibration report diverged from testdata/golden_calib_t8.txt" >&2
+  exit 1
+fi
+
+# The sample-catalog reuse report is deterministic the same way: every
+# trial builds its own seeded catalog, runs the shape cold (miss) and
+# warm (hit), and the reduced table must be byte-identical at any trial
+# parallelism. Note the golden sections above all run with the catalog
+# disabled — their continued byte-identity is the standing proof that
+# shipping the catalog feature did not perturb the default engine path.
+echo "== catalog reuse golden (fig5.1 + fig5.2 + fig5.3, 8 trials, serial + -parallel 4)"
+cat_tmp=$(mktemp)
+trap 'rm -f "$trace_tmp" "$calib_tmp" "$cat_tmp"' EXIT
+go run ./cmd/tcqbench -exp fig5.1-1000,fig5.1-5000,fig5.2,fig5.3 -trials 8 -catalog "$cat_tmp" > /dev/null
+if ! diff testdata/golden_catalog_t8.txt "$cat_tmp"; then
+  echo "catalog reuse report diverged from testdata/golden_catalog_t8.txt" >&2
+  exit 1
+fi
+go run ./cmd/tcqbench -exp fig5.1-1000,fig5.1-5000,fig5.2,fig5.3 -trials 8 -parallel 4 -catalog "$cat_tmp" > /dev/null
+if ! diff testdata/golden_catalog_t8.txt "$cat_tmp"; then
+  echo "-parallel 4 catalog reuse report diverged from testdata/golden_catalog_t8.txt" >&2
   exit 1
 fi
 

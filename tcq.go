@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"tcq/internal/calib"
+	"tcq/internal/catalog"
 	"tcq/internal/core"
 	"tcq/internal/exec"
 	"tcq/internal/histogram"
@@ -82,6 +83,8 @@ type config struct {
 	queryLog    *slog.Logger
 	calibration bool
 	flightSize  int
+	catalog     bool
+	catalogRes  []float64
 }
 
 // Option configures Open.
@@ -166,6 +169,24 @@ func WithCalibration(flightSize int) Option {
 	}
 }
 
+// WithCatalog enables the sample catalog — the warm path for repeated
+// query shapes. The catalog holds a materialized seeded block
+// permutation per relation (multi-resolution by nested prefixes, see
+// DB.BuildCatalog; stratified variants via DB.BuildCatalogStratified)
+// plus a shape-reuse cache keyed on canonical query fingerprints. The
+// first run of a shape misses — and is byte-identical to a run without
+// the catalog — while recording the coverage it stopped at; the next
+// run of the same shape reuses the materialized sample and jumps
+// straight to that coverage, skipping the cold run's early discovery
+// stages. resolutions overrides the resolution ladder (ascending
+// sample fractions; the default is catalog.DefaultResolutions).
+func WithCatalog(resolutions ...float64) Option {
+	return func(c *config) {
+		c.catalog = true
+		c.catalogRes = resolutions
+	}
+}
+
 // WithQueryLog attaches a structured event log (query start/stage/
 // finish, quota overruns at Warn) emitted through the given slog
 // logger. Implies WithTelemetry.
@@ -198,7 +219,10 @@ type DB struct {
 	// calib is the calibration auditor, nil unless WithCalibration was
 	// given — the disabled path is one nil check per query.
 	calib *calib.Auditor
-	cfg   config
+	// samples is the sample catalog, nil unless WithCatalog was given —
+	// with it nil every estimate takes the cold path unchanged.
+	samples *catalog.Catalog
+	cfg     config
 
 	mu    sync.Mutex // guards stats
 	stats *histogram.Catalog
@@ -229,6 +253,9 @@ func Open(opts ...Option) *DB {
 	}
 	if cfg.calibration {
 		db.calib = calib.NewAuditor(calib.Config{FlightSize: cfg.flightSize, Metrics: db.metrics})
+	}
+	if cfg.catalog {
+		db.samples = catalog.New(cfg.simSeed, cfg.catalogRes...)
 	}
 	return db
 }
@@ -606,6 +633,146 @@ func (db *DB) ServeTelemetry(ctx context.Context, addr string) (*http.Server, st
 
 // catalog adapts the store for query validation.
 func (db *DB) catalog() exec.StoreCatalog { return exec.StoreCatalog{Store: db.store} }
+
+// CatalogStats is a point-in-time snapshot of the sample catalog's
+// counters (lookups, hits, misses, stale entries, reused volume) and
+// contents.
+type CatalogStats = catalog.Stats
+
+// CatalogRelation describes one relation's materialized sample set.
+type CatalogRelation = catalog.RelationSamples
+
+// CatalogShape is one query shape's reuse-cache entry.
+type CatalogShape = catalog.ShapeHint
+
+// errNoCatalog is returned by catalog operations on a DB opened without
+// WithCatalog.
+var errNoCatalog = errors.New("tcq: catalog disabled (open the DB WithCatalog)")
+
+// BuildCatalog materializes uniform sample sets for the named relations
+// (every relation when none are named). When the DB runs WithTelemetry,
+// the per-shape history additionally seeds the reuse cache: each shape
+// the history ring has seen gets a hint at its historical mean coverage
+// — `ShapeStat` (calls, blocks, CI width at stop) decides what gets
+// pre-built. Builds read relation geometry without charging the
+// session clock: catalog construction is offline maintenance.
+func (db *DB) BuildCatalog(names ...string) error {
+	if db.samples == nil {
+		return errNoCatalog
+	}
+	if err := db.samples.BuildFromStore(db.store, names...); err != nil {
+		return err
+	}
+	if db.progress == nil {
+		return nil
+	}
+	for _, s := range db.progress.QueryStats() {
+		if s.Calls == 0 || s.TotalBlocks == 0 {
+			continue
+		}
+		q, err := Parse(s.Query)
+		if err != nil {
+			continue // non-RA shape text; nothing to pre-build
+		}
+		rels := ra.BaseRelations(q.expr)
+		total := 0
+		ok := true
+		for _, name := range rels {
+			rel, err := db.store.Relation(name)
+			if err != nil {
+				ok = false
+				break
+			}
+			total += rel.NumBlocks()
+		}
+		if !ok || total == 0 {
+			continue
+		}
+		frac := float64(s.TotalBlocks) / float64(s.Calls) / float64(total)
+		if frac > 1 {
+			frac = 1
+		}
+		db.samples.SeedShape(catalog.Fingerprint(q.expr), rels, frac, s.MeanCIWidth, s.Calls)
+	}
+	return nil
+}
+
+// BuildCatalogStratified materializes a stratified sample set for one
+// relation keyed on a high-selectivity predicate column: blocks are
+// bucketed by the column's value quantile and interleaved round-robin,
+// so every resolution prefix carries proportional representation of
+// each value stratum (proportional-allocation stratified sampling —
+// unbiased, with variance at or below uniform block sampling).
+func (db *DB) BuildCatalogStratified(relation, column string) error {
+	if db.samples == nil {
+		return errNoCatalog
+	}
+	return db.samples.BuildStratifiedFromStore(db.store, relation, column)
+}
+
+// InvalidateCatalog drops the named relations' sample sets and every
+// shape hint reading them (the whole catalog when none are named).
+// In-flight queries that already resolved a hit keep their immutable
+// pre-invalidation permutations — invalidation never torn-reads a
+// running query.
+func (db *DB) InvalidateCatalog(names ...string) error {
+	if db.samples == nil {
+		return errNoCatalog
+	}
+	db.samples.Invalidate(names...)
+	return nil
+}
+
+// CatalogStats snapshots the sample catalog's counters. Zero-valued
+// unless the DB was opened WithCatalog.
+func (db *DB) CatalogStats() CatalogStats {
+	if db.samples == nil {
+		return CatalogStats{}
+	}
+	return db.samples.Stats()
+}
+
+// CatalogRelations lists the materialized per-relation sample sets
+// (permutations omitted), sorted by relation name.
+func (db *DB) CatalogRelations() []CatalogRelation {
+	if db.samples == nil {
+		return nil
+	}
+	return db.samples.RelationEntries()
+}
+
+// CatalogShapes lists the shape-reuse cache, sorted by fingerprint.
+func (db *DB) CatalogShapes() []CatalogShape {
+	if db.samples == nil {
+		return nil
+	}
+	return db.samples.ShapeEntries()
+}
+
+// SaveCatalog persists the sample catalog (sample sets, shape hints,
+// resolution ladder) as deterministic JSON — the catalog lives
+// alongside the relations it samples.
+func (db *DB) SaveCatalog(w io.Writer) error {
+	if db.samples == nil {
+		return errNoCatalog
+	}
+	return db.samples.Save(w)
+}
+
+// LoadCatalog replaces the sample catalog with a previously saved one.
+// Entries whose relations have since changed shape are detected as
+// stale at lookup time and miss safely.
+func (db *DB) LoadCatalog(r io.Reader) error {
+	if db.samples == nil {
+		return errNoCatalog
+	}
+	c, err := catalog.Load(r)
+	if err != nil {
+		return err
+	}
+	db.samples.ReplaceFrom(c)
+	return nil
+}
 
 // errNoQuota is returned by CountEstimate without a quota or stop rule.
 var errNoQuota = errors.New("tcq: CountEstimate needs a positive Quota")
