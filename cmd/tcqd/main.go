@@ -1,0 +1,201 @@
+// Command tcqd serves time-constrained aggregate queries over
+// HTTP/JSON. Clients POST /v1/query with a quota/deadline/target-CI
+// and receive either the final estimate or a progressive NDJSON/SSE
+// stream of per-stage estimate±CI events; every request passes a
+// per-tenant admission gate that rejects (with Retry-After) once the
+// tenant's committed worst-case work would overflow its window.
+//
+//	$ tcqd -addr 127.0.0.1:7483 -gen "select orders 100000 10000"
+//	tcqd: generated orders (100000 tuples)
+//	tcqd: listening on 127.0.0.1:7483
+//
+//	$ curl -s 127.0.0.1:7483/v1/query -d '{"ra":"select(orders, a < 10000)","quota_ns":2000000000}'
+//	{"event":"result","kind":"count","value":9932.6,...}
+//
+// The server runs on a simulated machine (deterministic virtual
+// clock): equal requests with equal seeds return byte-identical
+// responses, which scripts/check.sh exploits for its smoke golden.
+// SIGINT/SIGTERM drains gracefully: admission closes (new queries get
+// 503), in-flight streams run to completion, then the listener stops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"tcq"
+	"tcq/internal/server"
+	"tcq/internal/workload"
+)
+
+// genSpecs collects repeated -gen flags.
+type genSpecs []string
+
+func (g *genSpecs) String() string     { return strings.Join(*g, "; ") }
+func (g *genSpecs) Set(v string) error { *g = append(*g, v); return nil }
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7483", "listen address (host:port; port 0 picks a free port)")
+	seed := flag.Int64("seed", 1, "simulated-machine seed (drives the virtual clock and data generation)")
+	noise := flag.Float64("noise", 0.12, "simulated load-noise amplitude on block access times")
+	window := flag.Duration("window", 60*time.Second, "per-tenant admission window (worst-case in-flight work per tenant)")
+	slack := flag.Float64("slack", 0.05, "overrun allowance folded into each request's worst-case charge")
+	maxQuota := flag.Duration("maxquota", 30*time.Second, "maximum per-query quota; larger requests are rejected as infeasible")
+	defQuota := flag.Duration("default-quota", 2*time.Second, "quota applied to requests that set none")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight streams")
+	var gens genSpecs
+	flag.Var(&gens, "gen", `generate a relation at startup: "select|project NAME N K", "uniform NAME N MAX", "zipf NAME N VALUES S", "intersect|join NAME1 NAME2 N K" (repeatable)`)
+	flag.Parse()
+
+	db := tcq.Open(tcq.WithSimulatedClock(*seed), tcq.WithLoadNoise(*noise),
+		tcq.WithTelemetry(64), tcq.WithCalibration(64), tcq.WithCatalog())
+	rng := rand.New(rand.NewSource(*seed))
+	for _, spec := range gens {
+		desc, err := generate(db, spec, rng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcqd: -gen %q: %v\n", spec, err)
+			os.Exit(1)
+		}
+		fmt.Printf("tcqd: generated %s\n", desc)
+	}
+
+	srv := server.New(server.Config{
+		DB:           db,
+		DefaultQuota: *defQuota,
+		MaxQuota:     *maxQuota,
+		TenantWindow: *window,
+		Slack:        *slack,
+	})
+	// Background context: shutdown is driven explicitly below so the
+	// admission gates drain before the listener does.
+	rs, bound, err := srv.Start(context.Background(), *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcqd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tcqd: listening on %s\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("tcqd: draining")
+		// Two-phase drain: close admission and wait for every in-flight
+		// query to release its reservation, then drain the HTTP
+		// connections themselves.
+		srv.Drain()
+		sh, cancel := context.WithTimeout(context.Background(), *grace)
+		err := rs.Shutdown(sh)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcqd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("tcqd: bye")
+	case <-rs.Done():
+		if err := rs.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "tcqd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// generate builds one relation (or pair) from a -gen spec and returns
+// a human-readable description of what was created.
+func generate(db *tcq.DB, spec string, rng *rand.Rand) (string, error) {
+	f := strings.Fields(spec)
+	if len(f) < 4 {
+		return "", fmt.Errorf("want \"KIND NAME ARGS...\"")
+	}
+	atoi := func(s string) (int, error) { return strconv.Atoi(s) }
+	switch f[0] {
+	case "select", "project":
+		if len(f) != 4 {
+			return "", fmt.Errorf("usage: %s NAME N K", f[0])
+		}
+		n, err := atoi(f[2])
+		if err != nil {
+			return "", err
+		}
+		k, err := atoi(f[3])
+		if err != nil {
+			return "", err
+		}
+		if f[0] == "select" {
+			_, err = workload.SelectRelation(db.Store(), f[1], n, k, rng)
+		} else {
+			_, err = workload.ProjectRelation(db.Store(), f[1], n, k, rng)
+		}
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s (%d tuples)", f[1], n), nil
+	case "uniform":
+		if len(f) != 4 {
+			return "", fmt.Errorf("usage: uniform NAME N MAX")
+		}
+		n, err := atoi(f[2])
+		if err != nil {
+			return "", err
+		}
+		max, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		if _, err := workload.UniformRelation(db.Store(), f[1], n, max, rng); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s (%d tuples)", f[1], n), nil
+	case "zipf":
+		if len(f) != 5 {
+			return "", fmt.Errorf("usage: zipf NAME N VALUES S")
+		}
+		n, err := atoi(f[2])
+		if err != nil {
+			return "", err
+		}
+		values, err := strconv.ParseUint(f[3], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		s, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return "", err
+		}
+		if _, err := workload.ZipfRelation(db.Store(), f[1], n, values, s, rng); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s (%d tuples)", f[1], n), nil
+	case "intersect", "join":
+		if len(f) != 5 {
+			return "", fmt.Errorf("usage: %s NAME1 NAME2 N K", f[0])
+		}
+		n, err := atoi(f[3])
+		if err != nil {
+			return "", err
+		}
+		k, err := atoi(f[4])
+		if err != nil {
+			return "", err
+		}
+		if f[0] == "intersect" {
+			_, _, err = workload.IntersectPair(db.Store(), f[1], f[2], n, k, rng)
+		} else {
+			_, _, err = workload.JoinPair(db.Store(), f[1], f[2], n, k, rng)
+		}
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s, %s (%d tuples each)", f[1], f[2], n), nil
+	default:
+		return "", fmt.Errorf("kinds: select, project, uniform, zipf, intersect, join")
+	}
+}

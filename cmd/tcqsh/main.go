@@ -35,7 +35,14 @@
 //	\calib                                                 calibration report (coverage, drift, flight recorder)
 //	\catalog [build [NAME COL] | invalidate [NAME...]]     sample-catalog status / build / invalidate
 //	\flightrec                                             flight-recorded anomalous queries
+//	\connect ADDR [TENANT]                                 route queries to a tcqd server
+//	\disconnect                                            back to the local session
 //	help, quit
+//
+// While connected, count/sum-style exact queries, estimates and SQL
+// run on the server under the chosen tenant (estimates stream
+// per-stage progress lines when \trace is on); data-generation and
+// session commands stay local.
 //
 // With -serve ADDR the session also exports live telemetry over HTTP
 // (/metrics, /queries, /history, /calibration, /debug/flightrecorder);
@@ -58,6 +65,8 @@ import (
 
 	"tcq"
 	"tcq/internal/calib"
+	"tcq/internal/client"
+	"tcq/internal/wire"
 	"tcq/internal/workload"
 )
 
@@ -77,7 +86,11 @@ type session struct {
 	// estimates (0 = auto, negative = serial; the choice never changes
 	// results, only wall time).
 	parallelism int
-	out         *bufio.Writer
+	// remote, when set by \connect, routes query commands (count, sql,
+	// estimate, estsum, estavg, estsql, rels) to a tcqd server; data
+	// and session commands stay local.
+	remote *client.Client
+	out    *bufio.Writer
 }
 
 // newSession builds a shell session writing to out.
@@ -150,7 +163,33 @@ func (s *session) dispatch(line string) error {
 	cmd, rest := splitWord(line)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, \parallel, \watch, \history, \calib, \catalog, \flightrec, help, quit`)
+		fmt.Fprintln(s.out, `commands: gen, load, open, save, rels, explain, count, sum, avg, estimate, estsum, estavg, sql, estsql, analyze, set, \trace, \metrics, \timing, \parallel, \watch, \history, \calib, \catalog, \flightrec, \connect, \disconnect, help, quit`)
+		return nil
+	case `\connect`:
+		addr, tenant := splitWord(rest)
+		if addr == "" {
+			return fmt.Errorf(`usage: \connect ADDR [TENANT]`)
+		}
+		tenant = strings.TrimSpace(tenant)
+		if tenant == "" {
+			tenant = "default"
+		}
+		c := client.New(addr, tenant)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		h, err := c.Health(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("connect %s: %v", c.BaseURL, err)
+		}
+		s.remote = c
+		fmt.Fprintf(s.out, "connected (tenant %s, status %s)\n", tenant, h.Status)
+		return nil
+	case `\disconnect`:
+		if s.remote == nil {
+			return fmt.Errorf("not connected")
+		}
+		s.remote = nil
+		fmt.Fprintln(s.out, "disconnected")
 		return nil
 	case `\calib`:
 		fmt.Fprint(s.out, calib.RenderReport(s.db.Calibration()))
@@ -200,6 +239,20 @@ func (s *session) dispatch(line string) error {
 	case `\history`:
 		return s.printHistory()
 	case "rels":
+		if s.remote != nil {
+			rels, err := s.remote.Relations(context.Background())
+			if err != nil {
+				return err
+			}
+			if len(rels) == 0 {
+				fmt.Fprintln(s.out, "(no relations)")
+				return nil
+			}
+			for _, r := range rels {
+				fmt.Fprintf(s.out, "%-12s %7d tuples %6d blocks\n", r.Name, r.Tuples, r.Blocks)
+			}
+			return nil
+		}
 		names := s.db.Relations()
 		if len(names) == 0 {
 			fmt.Fprintln(s.out, "(no relations)")
@@ -243,6 +296,14 @@ func (s *session) dispatch(line string) error {
 		}
 		return rel.SaveFile(strings.TrimSpace(file))
 	case "sql":
+		if s.remote != nil {
+			ev, err := s.remoteQuery(wire.QueryRequest{SQL: rest, Exact: true})
+			if err != nil {
+				return err
+			}
+			s.printWireSQL(ev)
+			return nil
+		}
 		res, err := s.db.ExecSQL(rest)
 		if err != nil {
 			return err
@@ -254,6 +315,15 @@ func (s *session) dispatch(line string) error {
 		quota, err := time.ParseDuration(durStr)
 		if err != nil {
 			return fmt.Errorf("usage: estsql DURATION SELECT ... (%v)", err)
+		}
+		if s.remote != nil {
+			ev, err := s.remoteQuery(wire.QueryRequest{SQL: stmt, Quota: quota})
+			if err != nil {
+				return err
+			}
+			s.printWireSQL(ev)
+			s.seed++
+			return nil
 		}
 		res, err := s.db.EstimateSQL(stmt, s.estimateOptions(quota))
 		if err != nil {
@@ -274,6 +344,14 @@ func (s *session) dispatch(line string) error {
 		fmt.Fprint(s.out, plan)
 		return nil
 	case "count":
+		if s.remote != nil {
+			ev, err := s.remoteQuery(wire.QueryRequest{RA: rest, Exact: true})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "exact: %d\n", int64(ev.Value))
+			return nil
+		}
 		q, err := tcq.Parse(rest)
 		if err != nil {
 			return err
@@ -348,6 +426,15 @@ func (s *session) dispatch(line string) error {
 		quota, err := time.ParseDuration(durStr)
 		if err != nil {
 			return fmt.Errorf("usage: estimate DURATION EXPR (%v)", err)
+		}
+		if s.remote != nil {
+			ev, err := s.remoteQuery(wire.QueryRequest{RA: exprStr, Quota: quota})
+			if err != nil {
+				return err
+			}
+			s.printWireEstimate(ev)
+			s.seed++
+			return nil
 		}
 		q, err := tcq.Parse(exprStr)
 		if err != nil {
@@ -594,6 +681,75 @@ func (s *session) printSQL(res *tcq.SQLResult) {
 	}
 	fmt.Fprintln(s.out, line)
 	for _, g := range res.Groups {
+		if g.Interval > 0 {
+			fmt.Fprintf(s.out, "  %-12v %10.1f ± %.1f\n", g.Key, g.Value, g.Interval)
+		} else {
+			fmt.Fprintf(s.out, "  %-12v %10.0f\n", g.Key, g.Value)
+		}
+	}
+}
+
+// remoteQuery runs one request on the connected tcqd, carrying the
+// session's estimate settings. With \trace on, estimates stream and
+// each per-stage progress event renders as a trace line.
+func (s *session) remoteQuery(req wire.QueryRequest) (*wire.Event, error) {
+	req.DBeta = s.dBeta
+	req.Strategy = strategyName(s.strategy)
+	req.Seed = s.seed
+	if s.traceOn && !req.Exact {
+		req.Stream = true
+	}
+	return s.remote.Query(context.Background(), req, func(ev wire.Event) {
+		fmt.Fprintf(s.out, "stage %d: est %.1f ± %.1f, spent %.0f%%, %d blocks\n",
+			ev.Stage, ev.Estimate, ev.Interval, ev.SpentFrac*100, ev.Blocks)
+		s.out.Flush()
+	})
+}
+
+// strategyName maps the session strategy to its wire slug.
+func strategyName(k tcq.StrategyKind) string {
+	switch k {
+	case tcq.SingleInterval:
+		return "single-interval"
+	case tcq.Heuristic:
+		return "heuristic"
+	default:
+		return "one-at-a-time"
+	}
+}
+
+// printWireEstimate renders a remote estimate result in the shell's
+// one-line format (mirroring printEstimate).
+func (s *session) printWireEstimate(ev *wire.Event) {
+	fmt.Fprintf(s.out, "estimate: %.1f ± %.1f (%.0f%%)",
+		ev.Value, ev.Interval, ev.Confidence*100)
+	if s.timing {
+		fmt.Fprintf(s.out, ", %d stages, %d blocks, spent %.2fs, util %.0f%%",
+			ev.Stages, ev.Blocks, ev.Elapsed.Seconds(), ev.Utilization*100)
+		if ev.Overspent {
+			fmt.Fprintf(s.out, ", OVERSPENT %.2fs", ev.Overrun.Seconds())
+		}
+	}
+	fmt.Fprintf(s.out, "\n  [%s]\n", ev.StopReason)
+}
+
+// printWireSQL renders a remote SQL result (mirroring printSQL).
+func (s *session) printWireSQL(ev *wire.Event) {
+	var line string
+	switch {
+	case len(ev.Groups) > 0:
+		line = fmt.Sprintf("%s by group (%d groups, total %.1f)", ev.Kind, len(ev.Groups), ev.Value)
+	case ev.Exact:
+		line = fmt.Sprintf("%s = %.1f", ev.Kind, ev.Value)
+	default:
+		line = fmt.Sprintf("%s ≈ %.1f ± %.1f", ev.Kind, ev.Value, ev.Interval)
+	}
+	if !ev.Exact && s.timing {
+		line += fmt.Sprintf(" (%d stages, %d blocks, spent %.2fs)",
+			ev.Stages, ev.Blocks, ev.Elapsed.Seconds())
+	}
+	fmt.Fprintln(s.out, line)
+	for _, g := range ev.Groups {
 		if g.Interval > 0 {
 			fmt.Fprintf(s.out, "  %-12v %10.1f ± %.1f\n", g.Key, g.Value, g.Interval)
 		} else {

@@ -106,6 +106,11 @@ type EstimateOptions struct {
 	Parallelism int
 	// Seed drives block sampling (default 1).
 	Seed int64
+	// Label tags the query in telemetry and calibration records (the
+	// progress registry, history ring, flight recorder). Tenant-scoped
+	// sessions (DB.Tenant) stamp "tenant/name" here; empty for ad-hoc
+	// queries. Purely observational: it never affects the estimate.
+	Label string
 	// OnProgress, when non-nil, receives each completed stage's
 	// progressive estimate (online-aggregation style).
 	OnProgress func(Progress)
@@ -333,7 +338,7 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 	// contract. With telemetry off this is a single nil check.
 	var handle *telemetry.Handle
 	if db.progress != nil {
-		handle = db.progress.Track("")
+		handle = db.progress.Track(opts.Label)
 		if opts.GroundTruth != nil {
 			handle.SetTruth(*opts.GroundTruth)
 		}
@@ -347,7 +352,7 @@ func (db *DB) run(q Query, agg core.AggKind, col, groupBy string, opts EstimateO
 		if opts.GroundTruth != nil {
 			gt = &calib.Truth{Value: *opts.GroundTruth, Level: opts.Confidence}
 		}
-		probe = db.calib.Track("", gt)
+		probe = db.calib.Track(opts.Label, gt)
 		coreOpts.Tracer = trace.Combine(coreOpts.Tracer, probe)
 	}
 	if opts.OnProgress != nil {

@@ -1,0 +1,181 @@
+// Package client is the thin HTTP client for tcqd: it speaks the
+// internal/wire protocol — submit a query, watch the progressive
+// estimate±CI stream, and map typed admission rejections (422 / 429 +
+// Retry-After / 503) onto a ServerError the caller can branch on.
+// tcqsh's \connect mode and the tcqload harness both drive it.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tcq/internal/wire"
+)
+
+// Client talks to one tcqd instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7483".
+	BaseURL string
+	// Tenant is stamped on requests that carry none.
+	Tenant string
+	// HTTP overrides the transport (connection caps for load tests);
+	// http.DefaultClient when nil.
+	HTTP *http.Client
+}
+
+// New builds a client for baseURL ("host:port" is promoted to
+// "http://host:port").
+func New(baseURL, tenant string) *Client {
+	if baseURL != "" && baseURL[0] != 'h' {
+		baseURL = "http://" + baseURL
+	}
+	return &Client{BaseURL: baseURL, Tenant: tenant}
+}
+
+// ServerError is a non-2xx response with its typed rejection payload.
+type ServerError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Reason is the wire rejection slug ("infeasible", "at-capacity",
+	// "closed", "bad-request").
+	Reason string
+	// Message is the server's error text.
+	Message string
+	// RetryAfter is the server's retry hint (429 only; zero otherwise).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("tcqd: %d %s: %s (retry after %v)", e.Status, e.Reason, e.Message, e.RetryAfter)
+	}
+	return fmt.Sprintf("tcqd: %d %s: %s", e.Status, e.Reason, e.Message)
+}
+
+// Temporary reports whether retrying the identical request can
+// succeed: true for at-capacity (429) and draining (503), false for
+// infeasible (422) and malformed (400) requests.
+func (e *ServerError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Query submits one query. With req.Stream set, onProgress (when
+// non-nil) receives each per-stage progress event as the server emits
+// it; the returned event is the terminal "result". Admission
+// rejections and validation failures return *ServerError; a mid-stream
+// server failure returns an error carrying the server's message.
+func (c *Client) Query(ctx context.Context, req wire.QueryRequest, onProgress func(wire.Event)) (*wire.Event, error) {
+	if req.Tenant == "" {
+		req.Tenant = c.Tenant
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeServerError(resp)
+	}
+
+	// Both response shapes are JSON-object lines; the non-streaming
+	// response is simply a one-line stream.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev wire.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("tcqd: malformed event %q: %w", line, err)
+		}
+		switch ev.Event {
+		case "progress":
+			if onProgress != nil {
+				onProgress(ev)
+			}
+		case "result":
+			return &ev, nil
+		case "error":
+			return nil, fmt.Errorf("tcqd: query failed: %s", ev.Error)
+		default:
+			return nil, fmt.Errorf("tcqd: unknown event %q", ev.Event)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("tcqd: stream ended without a result event")
+}
+
+// Relations lists the server's relation catalog.
+func (c *Client) Relations(ctx context.Context) ([]wire.RelationInfo, error) {
+	var resp wire.RelationsResponse
+	if err := c.getJSON(ctx, "/v1/relations", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Relations, nil
+}
+
+// Health probes /healthz (a draining server answers with its status
+// and a nil error: the probe succeeded, the answer is "draining").
+func (c *Client) Health(ctx context.Context) (wire.Health, error) {
+	var h wire.Health
+	err := c.getJSON(ctx, "/healthz", &h)
+	return h, err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v interface{}) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// /healthz answers 503 with a valid body while draining; decode
+	// any JSON answer, error only on non-JSON failures.
+	if resp.StatusCode/100 != 2 && resp.Header.Get("Content-Type") != "application/json" {
+		return &ServerError{Status: resp.StatusCode, Message: resp.Status}
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// decodeServerError maps a non-2xx response to *ServerError.
+func decodeServerError(resp *http.Response) error {
+	var body wire.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return &ServerError{Status: resp.StatusCode, Message: resp.Status}
+	}
+	return &ServerError{
+		Status:     resp.StatusCode,
+		Reason:     body.Reason,
+		Message:    body.Error,
+		RetryAfter: body.RetryAfter,
+	}
+}

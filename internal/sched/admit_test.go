@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tcq/internal/storage"
+	"tcq/internal/trace"
+	"tcq/internal/vclock"
+)
+
+// gateController builds a Controller over an empty store — Admit never
+// executes queries, so no relations are needed.
+func gateController(reg *trace.Registry) *Controller {
+	st := storage.NewStore(vclock.NewSim(1, 0.02), storage.SunProfile(), storage.DefaultBlockSize)
+	return NewController(st, ControllerOptions{
+		Options: Options{Policy: QuotaQueries, Seed: 1, Metrics: reg},
+	})
+}
+
+// Admission rejections must be typed by reason and split the
+// txns_rejected counter accordingly: infeasible budgets (retry is
+// pointless) vs at-capacity (retry after committed work drains) vs
+// closed controllers.
+func TestAdmitRejectReasons(t *testing.T) {
+	reg := trace.NewRegistry()
+	c := gateController(reg)
+
+	// Infeasible: the worst case alone exceeds the budget.
+	_, err := c.Admit(1, 2*time.Second, time.Second)
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != RejectInfeasible {
+		t.Fatalf("Admit(wcet>budget) = %v, want RejectInfeasible", err)
+	}
+	if rej.RetryAfter != 0 {
+		t.Errorf("infeasible RetryAfter = %v, want 0 (no retry can help)", rej.RetryAfter)
+	}
+
+	// Feasible work fills the window...
+	release, err := c.Admit(2, 3*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatalf("feasible Admit rejected: %v", err)
+	}
+	if got := c.Committed(); got != 3*time.Second {
+		t.Errorf("Committed = %v, want 3s", got)
+	}
+	// ...so an identical request is refused for capacity, with a
+	// retry hint of exactly the excess committed work.
+	_, err = c.Admit(3, 3*time.Second, 4*time.Second)
+	if !errors.As(err, &rej) || rej.Reason != RejectAtCapacity {
+		t.Fatalf("Admit at capacity = %v, want RejectAtCapacity", err)
+	}
+	if want := 2 * time.Second; rej.RetryAfter != want {
+		t.Errorf("RetryAfter = %v, want %v (committed 3s + wcet 3s − budget 4s)", rej.RetryAfter, want)
+	}
+
+	// Releasing frees the capacity again.
+	release()
+	release() // idempotent: double release must not corrupt accounting
+	if got := c.Committed(); got != 0 {
+		t.Errorf("Committed after release = %v, want 0", got)
+	}
+	if rel2, err := c.Admit(4, 3*time.Second, 4*time.Second); err != nil {
+		t.Fatalf("Admit after release rejected: %v", err)
+	} else {
+		rel2()
+	}
+
+	// Drain closes the gate: further admissions are RejectClosed.
+	c.Drain()
+	_, err = c.Admit(5, time.Millisecond, time.Second)
+	if !errors.As(err, &rej) || rej.Reason != RejectClosed {
+		t.Fatalf("Admit after Drain = %v, want RejectClosed", err)
+	}
+
+	snap := reg.Snapshot()
+	for counter, want := range map[string]int64{
+		"txns_rejected":            3,
+		"txns_rejected_infeasible": 1,
+		"txns_rejected_capacity":   1,
+		"txns_rejected_closed":     1,
+		"txns_admitted":            2,
+	} {
+		if got := snap.Counters[counter]; got != want {
+			t.Errorf("%s = %d, want %d", counter, got, want)
+		}
+	}
+}
+
+// SubmitTxn mirrors Submit but reports the typed reason; the legacy
+// bool Submit must agree with it.
+func TestSubmitTxnTypedRejection(t *testing.T) {
+	st, txns := batchFixture(t, 11)
+	reg := trace.NewRegistry()
+	c := NewController(st, ControllerOptions{
+		Options: Options{Policy: QuotaQueries, Seed: 11, Metrics: reg},
+	})
+	tight := txns[0]
+	tight.ID = 42
+	tight.Deadline = time.Millisecond // below its own worst case
+	err := c.SubmitTxn(tight)
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != RejectInfeasible {
+		t.Fatalf("SubmitTxn(tight) = %v, want RejectInfeasible", err)
+	}
+	if err := c.SubmitTxn(txns[0]); err != nil {
+		t.Fatalf("feasible SubmitTxn rejected: %v", err)
+	}
+	if _, err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["txns_rejected_infeasible"]; got != 1 {
+		t.Errorf("txns_rejected_infeasible = %d, want 1", got)
+	}
+	if got := snap.Counters["txns_rejected"]; got != 1 {
+		t.Errorf("txns_rejected = %d, want 1", got)
+	}
+}
+
+// Drain must block until every live reservation is released, and the
+// gate is safe for concurrent Admit/release/Drain (exercised under
+// -race by check.sh).
+func TestDrainWaitsForReservations(t *testing.T) {
+	c := gateController(nil)
+	const n = 16
+	releases := make(chan func(), n)
+	var admitted sync.WaitGroup
+	for i := 0; i < n; i++ {
+		admitted.Add(1)
+		go func(id int) {
+			defer admitted.Done()
+			rel, err := c.Admit(id, time.Millisecond, time.Hour)
+			if err != nil {
+				t.Errorf("Admit(%d): %v", id, err)
+				return
+			}
+			releases <- rel
+		}(i)
+	}
+	admitted.Wait()
+	close(releases)
+
+	drained := make(chan struct{})
+	go func() {
+		c.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned with live reservations")
+	case <-time.After(20 * time.Millisecond):
+	}
+	for rel := range releases {
+		rel()
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after all releases")
+	}
+}

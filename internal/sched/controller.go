@@ -25,6 +25,73 @@ type ControllerOptions struct {
 	Jitter float64
 }
 
+// RejectReason classifies an admission-control rejection, so callers
+// (and network front ends mapping rejections to HTTP statuses) can
+// distinguish "retrying is pointless" from "retry once capacity
+// frees".
+type RejectReason int
+
+const (
+	// RejectNone means the work was admitted.
+	RejectNone RejectReason = iota
+	// RejectInfeasible means the worst case alone exceeds the budget:
+	// no amount of waiting makes the request admissible (HTTP 422).
+	RejectInfeasible
+	// RejectAtCapacity means the worst-case work already committed to
+	// in-flight transactions leaves no room: a retry after some
+	// committed work drains can succeed (HTTP 429 + Retry-After).
+	RejectAtCapacity
+	// RejectClosed means the controller has stopped accepting work
+	// (Wait returned, or the service is draining; HTTP 503).
+	RejectClosed
+)
+
+// String names the reason in the stable slug form used for the split
+// txns_rejected_* counters and wire payloads.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectInfeasible:
+		return "infeasible"
+	case RejectAtCapacity:
+		return "at-capacity"
+	case RejectClosed:
+		return "closed"
+	default:
+		return "none"
+	}
+}
+
+// RejectionError is the typed admission-control rejection: why the
+// work was refused and the state that refused it.
+type RejectionError struct {
+	Reason RejectReason
+	// WCET is the worst-case execution time admission was asked for;
+	// Budget the deadline/time-window it had to fit in; Committed the
+	// in-flight worst-case work at decision time.
+	WCET      time.Duration
+	Budget    time.Duration
+	Committed time.Duration
+	// RetryAfter, for RejectAtCapacity, is how much committed work
+	// must drain before an identical request fits (a lower bound on
+	// the useful retry delay; zero for other reasons).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RejectionError) Error() string {
+	switch e.Reason {
+	case RejectInfeasible:
+		return fmt.Sprintf("sched: rejected (infeasible): worst case %v exceeds budget %v", e.WCET, e.Budget)
+	case RejectAtCapacity:
+		return fmt.Sprintf("sched: rejected (at capacity): committed %v + worst case %v exceeds budget %v, retry after %v",
+			e.Committed, e.WCET, e.Budget, e.RetryAfter)
+	case RejectClosed:
+		return "sched: rejected (closed): controller no longer accepting work"
+	default:
+		return "sched: admitted"
+	}
+}
+
 // Controller is the concurrent counterpart of Scheduler.Run: an
 // admission controller that accepts transactions as they arrive and
 // runs each admitted transaction on its own goroutine against a
@@ -41,8 +108,13 @@ type ControllerOptions struct {
 // transaction therefore has wcet ≤ Deadline and can only miss by
 // overrunning its slack allowance.
 //
-// Submit and Wait are safe for concurrent use; Submit after Wait has
-// returned reports the transaction as rejected.
+// Beyond whole transactions, Admit reserves capacity for externally
+// executed work (the tcqd network service admits each HTTP query this
+// way and runs it on the engine itself), so one Controller per tenant
+// is the per-tenant admission gate.
+//
+// Submit, Admit and Wait are safe for concurrent use; Submit or Admit
+// after Wait has returned (or Drain began) reports RejectClosed.
 type Controller struct {
 	store *storage.Store
 	opts  ControllerOptions
@@ -79,28 +151,109 @@ func NewController(store *storage.Store, opts ControllerOptions) *Controller {
 // the transaction was admitted and is (or will be) running on its own
 // goroutine; false means admission control rejected it and it consumed
 // no resources. Exact-policy controllers admit everything, mirroring
-// Scheduler.Run.
-func (c *Controller) Submit(tx Txn) bool {
+// Scheduler.Run. SubmitTxn is the variant reporting why.
+func (c *Controller) Submit(tx Txn) bool { return c.SubmitTxn(tx) == nil }
+
+// SubmitTxn offers one transaction like Submit, but a rejection is
+// reported as a typed *RejectionError (nil means admitted).
+func (c *Controller) SubmitTxn(tx Txn) error {
 	wcet := tx.wcet(c.opts.Slack)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return false
-	}
-	if c.opts.Policy == QuotaQueries && c.committed+wcet > tx.Deadline {
+	rej := c.reserve(wcet, tx.Deadline, c.opts.Policy == QuotaQueries)
+	if rej != nil {
+		c.mu.Lock()
 		c.results = append(c.results, TxnResult{ID: tx.ID})
 		c.mu.Unlock()
-		c.opts.Metrics.Add("txns_rejected", 1)
+		c.countReject(rej.Reason)
 		c.opts.Log.TxnRejected(tx.ID, wcet, tx.Deadline)
-		return false
+		return rej
 	}
-	c.committed += wcet
-	c.wg.Add(1)
-	c.mu.Unlock()
 	c.opts.Metrics.Add("txns_admitted", 1)
 	c.opts.Log.TxnAdmitted(tx.ID, wcet, tx.Deadline)
 	go c.run(tx, wcet)
-	return true
+	return nil
+}
+
+// Admit reserves admission-controlled capacity for work executed by
+// the caller (rather than by the controller itself): the uniprocessor
+// test admits worst case wcet against the budget window iff the
+// committed in-flight worst-case work leaves room. On admission it
+// returns a release function — call it exactly once, when the work
+// finishes, to free the capacity — and counts txns_admitted; on
+// rejection it returns a typed *RejectionError and bumps the
+// reason-split rejection counters. id labels admission-log events.
+func (c *Controller) Admit(id int, wcet, budget time.Duration) (release func(), err error) {
+	if rej := c.reserve(wcet, budget, true); rej != nil {
+		c.countReject(rej.Reason)
+		c.opts.Log.TxnRejected(id, wcet, budget)
+		return nil, rej
+	}
+	c.opts.Metrics.Add("txns_admitted", 1)
+	c.opts.Log.TxnAdmitted(id, wcet, budget)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.committed -= wcet
+			c.mu.Unlock()
+			c.wg.Done()
+		})
+	}, nil
+}
+
+// reserve runs the admission test and, on success, commits wcet of
+// capacity and registers the work with the wait group. gated applies
+// the capacity test (false for exact-policy transactions, which are
+// always admitted but still tracked).
+func (c *Controller) reserve(wcet, budget time.Duration, gated bool) *RejectionError {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return &RejectionError{Reason: RejectClosed, WCET: wcet, Budget: budget, Committed: c.committed}
+	}
+	if gated {
+		if wcet > budget {
+			return &RejectionError{Reason: RejectInfeasible, WCET: wcet, Budget: budget, Committed: c.committed}
+		}
+		if c.committed+wcet > budget {
+			return &RejectionError{
+				Reason: RejectAtCapacity, WCET: wcet, Budget: budget, Committed: c.committed,
+				RetryAfter: c.committed + wcet - budget,
+			}
+		}
+	}
+	c.committed += wcet
+	c.wg.Add(1)
+	return nil
+}
+
+// countReject bumps the aggregate and reason-split rejection counters.
+func (c *Controller) countReject(reason RejectReason) {
+	c.opts.Metrics.Update(func(m trace.Tx) {
+		m.Add("txns_rejected", 1)
+		m.Add("txns_rejected_"+counterSlug(reason), 1)
+	})
+}
+
+// counterSlug maps a reason to its metric-key suffix.
+func counterSlug(r RejectReason) string {
+	switch r {
+	case RejectInfeasible:
+		return "infeasible"
+	case RejectAtCapacity:
+		return "capacity"
+	case RejectClosed:
+		return "closed"
+	default:
+		return "none"
+	}
+}
+
+// Committed reports the worst-case work currently reserved for
+// admitted, unfinished transactions (the admission test's load term).
+func (c *Controller) Committed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.committed
 }
 
 // Wait blocks until every admitted transaction has finished and
@@ -115,6 +268,17 @@ func (c *Controller) Wait() ([]TxnResult, error) {
 	out := append([]TxnResult{}, c.results...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, c.err
+}
+
+// Drain stops admission immediately (further Submit/Admit report
+// RejectClosed) and blocks until every already-admitted piece of work
+// has finished — the graceful-shutdown half of Wait, usable while
+// other goroutines still hold live reservations.
+func (c *Controller) Drain() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.wg.Wait()
 }
 
 // run executes one admitted transaction on a private session and

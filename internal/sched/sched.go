@@ -116,7 +116,8 @@ type Options struct {
 	// Metrics, when set, aggregates engine counters across every query
 	// step plus scheduler-level txns_admitted / txns_rejected /
 	// txns_missed counters (and, in the concurrent Controller, the live
-	// txns_running gauge).
+	// txns_running gauge plus reason-split txns_rejected_infeasible /
+	// txns_rejected_capacity / txns_rejected_closed counters).
 	Metrics *trace.Registry
 	// Progress, when set, registers every query step with the live
 	// telemetry registry (labelled "txn ID qN"), so an attached

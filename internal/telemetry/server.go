@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"tcq/internal/calib"
@@ -76,7 +78,9 @@ func (s Sources) FlightRecords() []calib.FlightRecord { return s.Calib.FlightRec
 //	              histograms from the metrics registry, plus
 //	              queries_in_flight; every family carries HELP/TYPE)
 //	/queries      JSON: queries currently in flight, stage-by-stage state
+//	              (?label=P keeps only labels with prefix P, e.g. a tenant)
 //	/history      JSON: completed-query ring + per-shape aggregates
+//	              (?label=P filters the ring the same way)
 //	/calibration  JSON: CI-coverage + cost-model-drift audit report
 //	/debug/flightrecorder  JSON: captured anomalous-query traces
 //	/debug/pprof/...  the standard net/http/pprof handlers
@@ -88,15 +92,35 @@ func Handler(src Source) http.Handler {
 		writeProm(w, src.Metrics(), len(src.InFlight()))
 	})
 	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		qs := src.InFlight()
+		if want := r.URL.Query().Get("label"); want != "" {
+			kept := qs[:0]
+			for _, q := range qs {
+				if strings.HasPrefix(q.Label, want) {
+					kept = append(kept, q)
+				}
+			}
+			qs = kept
+		}
 		writeJSON(w, struct {
 			Queries []QueryProgress `json:"queries"`
-		}{src.InFlight()})
+		}{qs})
 	})
 	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		hist := src.History()
+		if want := r.URL.Query().Get("label"); want != "" {
+			kept := hist[:0]
+			for _, h := range hist {
+				if strings.HasPrefix(h.Label, want) {
+					kept = append(kept, h)
+				}
+			}
+			hist = kept
+		}
 		writeJSON(w, struct {
 			History []QuerySummary `json:"history"`
 			Shapes  []ShapeStat    `json:"shapes"`
-		}{src.History(), src.QueryStats()})
+		}{hist, src.QueryStats()})
 	})
 	// Calibration endpoints answer with empty reports when the source
 	// carries no auditor, so scrapers need not probe for support.
@@ -138,40 +162,154 @@ func Handler(src Source) http.Handler {
 	return mux
 }
 
+// RunningServer is a live telemetry (or query) server started by
+// Serve: the http.Server plus the lifecycle bookkeeping that lets both
+// shutdown paths coexist — context cancellation (the Ctrl-C path) and
+// caller-managed Close/Shutdown — without leaking the shutdown-watcher
+// goroutine, and without losing the drain error.
+type RunningServer struct {
+	srv  *http.Server
+	addr string
+	// serveDone closes when srv.Serve has returned (listener closed by
+	// either Close, Shutdown, or the context watcher).
+	serveDone chan struct{}
+	// watchDone closes when the shutdown watcher has exited (closed
+	// immediately when no watcher was needed).
+	watchDone chan struct{}
+
+	mu       sync.Mutex
+	drainErr error
+}
+
+// serveGrace bounds the context-cancellation drain (overridable in
+// tests).
+var serveGrace = 5 * time.Second
+
+// Addr returns the server's bound address (host:port).
+func (rs *RunningServer) Addr() string { return rs.addr }
+
+// Close force-closes the server: the listener and all active
+// connections are closed immediately. The shutdown watcher, if any,
+// observes the closed listener and exits — no goroutine leaks.
+func (rs *RunningServer) Close() error { return rs.srv.Close() }
+
+// Shutdown gracefully drains the server: the listener closes, in-flight
+// requests finish (bounded by ctx), and the shutdown error — if the
+// drain timed out — is returned and also retained for Err.
+func (rs *RunningServer) Shutdown(ctx context.Context) error {
+	err := rs.srv.Shutdown(ctx)
+	rs.setDrainErr(err)
+	return err
+}
+
+// Done returns a channel closed once the server and its shutdown
+// watcher have both exited.
+func (rs *RunningServer) Done() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		<-rs.serveDone
+		<-rs.watchDone
+		close(done)
+	}()
+	return done
+}
+
+// Wait blocks until the server and its shutdown watcher have exited
+// and returns the drain error, if any (e.g. a context-cancellation
+// drain whose grace period expired with streams still open).
+func (rs *RunningServer) Wait() error {
+	<-rs.serveDone
+	<-rs.watchDone
+	return rs.Err()
+}
+
+// Err returns the retained drain error (nil while the server runs and
+// after a clean drain).
+func (rs *RunningServer) Err() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.drainErr
+}
+
+func (rs *RunningServer) setDrainErr(err error) {
+	if err == nil {
+		return
+	}
+	rs.mu.Lock()
+	if rs.drainErr == nil {
+		rs.drainErr = err
+	}
+	rs.mu.Unlock()
+}
+
 // Serve starts the telemetry server on addr (e.g. ":8080" or
 // "127.0.0.1:0") and returns the running server plus the bound address.
 // When ctx is cancelled the server shuts down gracefully — the listener
 // closes and in-flight scrapes drain (bounded by a 5s grace period) —
-// so Ctrl-C teardown never leaks the listener. Pass
-// context.Background() (or any context that is never cancelled) to
-// manage the lifecycle manually with srv.Close or srv.Shutdown.
-func Serve(ctx context.Context, src Source, addr string) (*http.Server, string, error) {
+// so Ctrl-C teardown never leaks the listener; a drain that times out
+// is surfaced via Err/Wait. The caller may equally manage the
+// lifecycle with Close or Shutdown: the shutdown watcher observes the
+// server closing and exits either way, so it never outlives the
+// server regardless of which path tore it down.
+func Serve(ctx context.Context, src Source, addr string) (*RunningServer, string, error) {
+	return ServeHandler(ctx, Handler(src), addr)
+}
+
+// ServeHandler is Serve over an arbitrary handler — the same
+// listener/watcher lifecycle wrapped around a custom mux (the tcqd
+// query service reuses it).
+func ServeHandler(ctx context.Context, h http.Handler, addr string) (*RunningServer, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(src)}
-	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	rs := &RunningServer{
+		srv:       &http.Server{Handler: h},
+		addr:      ln.Addr().String(),
+		serveDone: make(chan struct{}),
+		watchDone: make(chan struct{}),
+	}
+	go func() {
+		defer close(rs.serveDone)
+		rs.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	}()
 	// A never-cancelled context has a nil Done channel; skip the watcher
 	// goroutine entirely rather than park one forever.
 	if ctx != nil && ctx.Done() != nil {
 		go func() {
-			<-ctx.Done()
-			grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			srv.Shutdown(grace) //nolint:errcheck // best-effort drain
+			defer close(rs.watchDone)
+			select {
+			case <-ctx.Done():
+				grace, cancel := context.WithTimeout(context.Background(), serveGrace)
+				defer cancel()
+				rs.setDrainErr(rs.srv.Shutdown(grace))
+			case <-rs.serveDone:
+				// The caller tore the server down via Close/Shutdown:
+				// nothing to drain, just stop watching.
+			}
 		}()
+	} else {
+		close(rs.watchDone)
 	}
-	return srv, ln.Addr().String(), nil
+	return rs, rs.addr, nil
 }
 
 // writeJSON writes v as indented JSON (deterministic: struct field
-// order is fixed and map-free).
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+// order is fixed and map-free). The document is encoded into a buffer
+// first, so an encoding failure yields a clean 500 instead of a
+// half-written 200; the returned error reports an encoding failure or
+// a failed write (client gone).
+func writeJSON(w http.ResponseWriter, v interface{}) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone, nothing to do
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, "telemetry: encoding response failed", http.StatusInternalServerError)
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // promHelp maps registry keys to the HELP text emitted on /metrics.
@@ -222,42 +360,117 @@ func helpFor(key string) string {
 // writeProm renders a metrics snapshot in the Prometheus text
 // exposition format (version 0.0.4). Counters become tcq_<name>_total,
 // gauges tcq_<name>, and the registry's log2-bucket histograms proper
-// Prometheus histograms with cumulative le buckets. Every family is
-// preceded by its # HELP and # TYPE lines, and families are emitted in
-// lexical key order per kind, so output for equal state is
-// byte-identical. inflight is the progress registry's live occupancy,
-// exported as tcq_telemetry_queries_in_flight (distinct from any
-// engine-maintained queries_in_flight gauge in the snapshot).
+// Prometheus histograms with cumulative le buckets. Registry keys
+// built with Labeled ("name|k=v,...") render as label sets on the base
+// family, so per-tenant series share one family. Every family is
+// preceded by its # HELP and # TYPE lines exactly once; families are
+// emitted in lexical base-name order per kind, series within a family
+// in lexical label order (unlabeled first), so output for equal state
+// is byte-identical — and identical to the pre-label renderer when no
+// key carries labels. inflight is the progress registry's live
+// occupancy, exported as tcq_telemetry_queries_in_flight (distinct
+// from any engine-maintained queries_in_flight gauge in the snapshot).
 func writeProm(w io.Writer, snap trace.Snapshot, inflight int) {
-	for _, k := range sortedKeys(snap.Counters) {
-		name := promName(k) + "_total"
-		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(k))
+	for _, fam := range promFamilies(snap.Counters) {
+		name := promName(fam.base) + "_total"
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(fam.base))
 		fmt.Fprintf(w, "# TYPE %s counter\n", name)
-		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[k])
+		for _, s := range fam.series {
+			fmt.Fprintf(w, "%s%s %d\n", name, s.labels, snap.Counters[s.key])
+		}
 	}
 	fmt.Fprintf(w, "# HELP tcq_telemetry_queries_in_flight %s\n", helpFor("telemetry_queries_in_flight"))
 	fmt.Fprintf(w, "# TYPE tcq_telemetry_queries_in_flight gauge\n")
 	fmt.Fprintf(w, "tcq_telemetry_queries_in_flight %d\n", inflight)
-	for _, k := range sortedKeys(snap.Gauges) {
-		name := promName(k)
-		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(k))
+	for _, fam := range promFamilies(snap.Gauges) {
+		name := promName(fam.base)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(fam.base))
 		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
-		fmt.Fprintf(w, "%s %s\n", name, promFloat(snap.Gauges[k]))
-	}
-	for _, k := range sortedKeys(snap.Histograms) {
-		h := snap.Histograms[k]
-		name := promName(k)
-		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(k))
-		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-		var cum int64
-		for _, b := range promBuckets(h.Buckets) {
-			cum += b.count
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b.le), cum)
+		for _, s := range fam.series {
+			fmt.Fprintf(w, "%s%s %s\n", name, s.labels, promFloat(snap.Gauges[s.key]))
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum))
-		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 	}
+	for _, fam := range promFamilies(snap.Histograms) {
+		name := promName(fam.base)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(fam.base))
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for _, s := range fam.series {
+			h := snap.Histograms[s.key]
+			// Histogram series merge the le label into any key labels:
+			// {tenant="a",le="2"}.
+			extra := ""
+			if s.labels != "" {
+				extra = strings.TrimSuffix(strings.TrimPrefix(s.labels, "{"), "}") + ","
+			}
+			var cum int64
+			for _, b := range promBuckets(h.Buckets) {
+				cum += b.count
+				fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, extra, promFloat(b.le), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extra, h.Count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, promFloat(h.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count)
+		}
+	}
+}
+
+// promSeries is one sample line inside a family: the registry key it
+// reads from plus its rendered label set ("" or `{k="v",...}`).
+type promSeries struct {
+	key    string
+	labels string
+}
+
+// promFamily groups every series sharing one base metric name.
+type promFamily struct {
+	base   string
+	series []promSeries
+}
+
+// promFamilies groups a snapshot map's keys into label families: the
+// key's base name (before any Labeled separator) names the family, the
+// remainder renders as Prometheus labels. Families sort by base name,
+// series within a family by rendered labels (unlabeled first), so the
+// exposition is deterministic.
+func promFamilies[V any](m map[string]V) []promFamily {
+	byBase := make(map[string]*promFamily)
+	for key := range m {
+		base, spec, _ := strings.Cut(key, labelSep)
+		fam := byBase[base]
+		if fam == nil {
+			fam = &promFamily{base: base}
+			byBase[base] = fam
+		}
+		fam.series = append(fam.series, promSeries{key: key, labels: promLabels(spec)})
+	}
+	out := make([]promFamily, 0, len(byBase))
+	for _, fam := range byBase {
+		sort.Slice(fam.series, func(i, j int) bool { return fam.series[i].labels < fam.series[j].labels })
+		out = append(out, *fam)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].base < out[j].base })
+	return out
+}
+
+// promLabels renders a Labeled key's "k=v,k2=v2" spec as a Prometheus
+// label set, escaping values via strconv.Quote.
+func promLabels(spec string) string {
+	if spec == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, pair := range strings.Split(spec, ",") {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		b.WriteString(promLabelName(k))
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(v))
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // promName maps a registry key to a legal Prometheus metric name under
@@ -265,7 +478,14 @@ func writeProm(w io.Writer, snap trace.Snapshot, inflight int) {
 func promName(key string) string {
 	var b strings.Builder
 	b.WriteString("tcq_")
-	for _, r := range key {
+	b.WriteString(promLabelName(key))
+	return b.String()
+}
+
+// promLabelName sanitizes a name to the [a-zA-Z0-9_] charset.
+func promLabelName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
 			b.WriteRune(r)

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"strings"
+
+	"tcq/internal/trace"
+)
+
+// labelSep separates a metric's base name from its label spec inside
+// registry keys built by Labeled. '|' cannot appear in plain metric
+// names, so unlabeled keys are never mis-split.
+const labelSep = "|"
+
+// Labeled builds a metrics-registry key carrying Prometheus-style
+// labels: Labeled("queries", "tenant", "alice") yields
+// "queries|tenant=alice", which /metrics renders as
+// tcq_queries_total{tenant="alice"} under the tcq_queries family —
+// one HELP/TYPE block, one series per label set. kv lists
+// key/value pairs; label keys should be fixed strings, values may be
+// arbitrary (they are quoted on exposition). Use a stable pair order
+// at every call site: the key is an opaque registry string, so
+// "a=1,b=2" and "b=2,a=1" would count separately.
+func Labeled(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	sep := labelSep
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteString(sep)
+		sep = ","
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	return b.String()
+}
+
+// Stream adapts the progress-tracking machinery into a push feed: it
+// implements trace.Tracer like a Registry handle, but instead of
+// parking snapshots in a registry it calls fn with the query's
+// cumulative QueryProgress after every completed stage and once more —
+// with done=true — when the query ends. tcqd combines a Stream into
+// each network query's tracer chain to emit the progressive
+// estimate±CI records of its NDJSON/SSE response.
+//
+// fn runs synchronously on the goroutine evaluating the query (tracer
+// callbacks are sequential), so it may write to a response stream
+// without locking; it must not block indefinitely or it stalls the
+// query. A nil Stream is a valid no-op Tracer.
+type Stream struct {
+	h  *Handle
+	fn func(p QueryProgress, done bool)
+}
+
+// NewStream builds a streaming progress tracer. label tags the emitted
+// snapshots (e.g. "tenant/request-id"); fn receives every progress
+// record.
+func NewStream(label string, fn func(p QueryProgress, done bool)) *Stream {
+	return &Stream{h: &Handle{p: QueryProgress{Label: label}}, fn: fn}
+}
+
+// Enabled implements trace.Tracer.
+func (s *Stream) Enabled() bool { return s != nil }
+
+// BeginQuery implements trace.Tracer.
+func (s *Stream) BeginQuery(q trace.QueryInfo) {
+	if s == nil {
+		return
+	}
+	s.h.BeginQuery(q)
+}
+
+// StageDone implements trace.Tracer: completed stages push a snapshot.
+// Aborted partial stages update the internal state (blocks, elapsed)
+// but emit nothing — the terminal EndQuery push carries them.
+func (s *Stream) StageDone(rec trace.StageRecord) {
+	if s == nil {
+		return
+	}
+	s.h.StageDone(rec)
+	if rec.Completed {
+		s.fn(s.h.Progress(), false)
+	}
+}
+
+// EndQuery implements trace.Tracer: the final snapshot is pushed with
+// done=true (its StopReason and Overspent fields are set).
+func (s *Stream) EndQuery(e trace.QueryEnd) {
+	if s == nil {
+		return
+	}
+	s.h.EndQuery(e)
+	s.fn(s.h.Progress(), true)
+}

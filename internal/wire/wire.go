@@ -1,0 +1,131 @@
+// Package wire defines the tcqd HTTP/JSON protocol: the query request
+// body, the NDJSON/SSE event stream of progressive estimates, and the
+// typed rejection payload. Both the server (internal/server) and the
+// thin client (internal/client) marshal exactly these structs, so the
+// protocol lives in one place.
+//
+// Durations cross the wire in nanoseconds (suffix _ns), matching the
+// JSON shape of the telemetry endpoints; all fields derive from the
+// session's virtual clock, so responses under a simulated clock are
+// deterministic.
+package wire
+
+import "time"
+
+// QueryRequest is the body of POST /v1/query. Exactly one of SQL or RA
+// must be set: SQL is an aggregate SELECT (COUNT/SUM/AVG, optional
+// GROUP BY), RA the relational-algebra form accepted by tcq.Parse
+// (always COUNT).
+type QueryRequest struct {
+	// Tenant names the per-tenant admission gate the query is charged
+	// to; empty means the shared "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	SQL    string `json:"sql,omitempty"`
+	RA     string `json:"ra,omitempty"`
+	// Exact requests full evaluation (no time constraint) instead of a
+	// time-constrained estimate. Admission charges it the server's
+	// worst-case quota, since its duration is unknown a priori.
+	Exact bool `json:"exact,omitempty"`
+	// Quota is the time constraint T in nanoseconds (server default
+	// applies when zero; values above the server's max are rejected as
+	// infeasible).
+	Quota time.Duration `json:"quota_ns,omitempty"`
+	// HardDeadline aborts the running stage at quota expiry instead of
+	// letting the final stage finish.
+	HardDeadline bool `json:"hard_deadline,omitempty"`
+	// TargetRelError, when positive, adds the error-constrained stop:
+	// finish early once the CI half-width falls below this fraction of
+	// the estimate.
+	TargetRelError float64 `json:"target_rel_error,omitempty"`
+	// Confidence is the CI level (default 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
+	// Strategy picks the time-control strategy: "one-at-a-time"
+	// (default), "single-interval" or "heuristic".
+	Strategy string `json:"strategy,omitempty"`
+	// DBeta is the One-at-a-Time risk knob (default 12).
+	DBeta float64 `json:"dbeta,omitempty"`
+	// Seed drives block sampling (default 1); under a simulated-clock
+	// server, equal requests with equal seeds return byte-identical
+	// streams.
+	Seed int64 `json:"seed,omitempty"`
+	// Stream requests progressive per-stage events (NDJSON, or SSE when
+	// the request's Accept header is text/event-stream). Off, the
+	// response is the single final result event.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// Event is one line of the response stream. The Event discriminator is
+// "progress" (a completed stage's running estimate), "result" (the
+// terminal answer) or "error" (terminal failure). One flat struct
+// serves all three so clients decode every line identically.
+type Event struct {
+	Event string `json:"event"`
+
+	// Progress + result fields.
+	Stage    int           `json:"stage,omitempty"`
+	Estimate float64       `json:"estimate,omitempty"`
+	StdErr   float64       `json:"stderr,omitempty"`
+	Interval float64       `json:"interval,omitempty"`
+	Blocks   int           `json:"blocks,omitempty"`
+	Elapsed  time.Duration `json:"elapsed_ns,omitempty"`
+	// SpentFrac is the fraction of quota consumed so far.
+	SpentFrac float64 `json:"spent_frac,omitempty"`
+
+	// Result-only fields.
+	Kind        string        `json:"kind,omitempty"` // "count", "sum", "avg", ...
+	Value       float64       `json:"value,omitempty"`
+	Confidence  float64       `json:"confidence,omitempty"`
+	Stages      int           `json:"stages,omitempty"`
+	Utilization float64       `json:"utilization,omitempty"`
+	Overspent   bool          `json:"overspent,omitempty"`
+	Overrun     time.Duration `json:"overrun_ns,omitempty"`
+	StopReason  string        `json:"stop_reason,omitempty"`
+	Exact       bool          `json:"exact,omitempty"`
+	Groups      []Group       `json:"groups,omitempty"`
+
+	// Error-only fields (mirroring ErrorResponse).
+	Error      string        `json:"error,omitempty"`
+	Reason     string        `json:"reason,omitempty"`
+	RetryAfter time.Duration `json:"retry_after_ns,omitempty"`
+}
+
+// Group is one GROUP BY bucket of a result event.
+type Group struct {
+	Key      interface{} `json:"key"`
+	Value    float64     `json:"value"`
+	StdErr   float64     `json:"stderr,omitempty"`
+	Interval float64     `json:"interval,omitempty"`
+}
+
+// ErrorResponse is the JSON body of a non-2xx response (bad request,
+// admission rejection, draining server).
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Reason is the admission RejectReason slug ("infeasible",
+	// "at-capacity", "closed") or "bad-request".
+	Reason string `json:"reason,omitempty"`
+	// RetryAfter, for at-capacity rejections, is how long to wait
+	// before an identical request can fit (also sent as the HTTP
+	// Retry-After header, in whole seconds).
+	RetryAfter time.Duration `json:"retry_after_ns,omitempty"`
+}
+
+// RelationInfo describes one relation on GET /v1/relations.
+type RelationInfo struct {
+	Name   string `json:"name"`
+	Tuples int64  `json:"tuples"`
+	Blocks int    `json:"blocks"`
+}
+
+// RelationsResponse is the body of GET /v1/relations.
+type RelationsResponse struct {
+	Relations []RelationInfo `json:"relations"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	// Status is "ok" while serving, "draining" once shutdown began.
+	Status string `json:"status"`
+	// Tenants counts tenants with live admission gates.
+	Tenants int `json:"tenants"`
+}

@@ -42,10 +42,10 @@ go test -race ./...
 # failure in exactly the code where interleavings matter.
 echo "== go test -race -count=1 (concurrency surfaces)"
 go test -race -count=1 \
-  -run 'Concurrent|Parallel|Controller|Registry|Telemetry|Metrics|Serve|Lane|SubTerm|HardDeadline|Calib|Flight|Coverage|Ring|Wilson|Catalog' \
+  -run 'Concurrent|Parallel|Controller|Registry|Telemetry|Metrics|Serve|Lane|SubTerm|HardDeadline|Calib|Flight|Coverage|Ring|Wilson|Catalog|Stream|Drain|Reject|Tenant|SSE' \
   . ./internal/sched ./internal/trace ./internal/telemetry ./internal/calib \
   ./internal/stats ./internal/exec ./internal/core ./internal/bench \
-  ./internal/catalog
+  ./internal/catalog ./internal/server
 
 # The experiment tables are a deterministic function of the seed: any
 # change to the executor that perturbs the sequence of simulated-clock
@@ -178,6 +178,40 @@ fi
 go run ./cmd/tcqbench -exp fig5.1-1000,fig5.1-5000,fig5.2,fig5.3 -trials 8 -parallel 4 -catalog "$cat_tmp" > /dev/null
 if ! diff testdata/golden_catalog_t8.txt "$cat_tmp"; then
   echo "-parallel 4 catalog reuse report diverged from testdata/golden_catalog_t8.txt" >&2
+  exit 1
+fi
+
+# The network service composes the same deterministic pieces: a tcqd
+# on a simulated machine answers equal requests with equal seeds
+# byte-identically, so a scripted tcqsh \connect session against a
+# fresh loopback server is a golden. The transcript carries no
+# addresses or wall-clock times (the ephemeral port appears only in
+# the \connect input line, which non-interactive tcqsh does not echo);
+# the SIGTERM at the end doubles as a graceful-drain smoke.
+echo "== tcqd loopback smoke (deterministic serve golden)"
+serve_dir=$(mktemp -d)
+serve_log="$serve_dir/tcqd.log"
+trap 'rm -f "$trace_tmp" "$calib_tmp" "$cat_tmp"; rm -rf "$serve_dir"' EXIT
+go build -o "$serve_dir/tcqd" ./cmd/tcqd
+"$serve_dir/tcqd" -addr 127.0.0.1:0 -gen "select orders 20000 2000" > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 100); do
+  grep -q 'listening on' "$serve_log" && break
+  sleep 0.1
+done
+serve_addr=$(sed -n 's/^tcqd: listening on //p' "$serve_log")
+if [ -z "$serve_addr" ]; then
+  echo "tcqd never came up:" >&2; cat "$serve_log" >&2; exit 1
+fi
+smoke=$(printf '\\connect %s alice\nrels\ncount select(orders, a < 2000)\nestimate 2s select(orders, a < 2000)\nestsql 2s SELECT AVG(a) FROM orders WHERE a < 5000\n\\disconnect\nquit\n' "$serve_addr" | go run ./cmd/tcqsh)
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+if ! diff testdata/golden_serve_smoke.txt <(echo "$smoke"); then
+  echo "serve transcript diverged from testdata/golden_serve_smoke.txt" >&2
+  exit 1
+fi
+if ! grep -q 'tcqd: bye' "$serve_log"; then
+  echo "tcqd did not drain cleanly on SIGTERM:" >&2; cat "$serve_log" >&2
   exit 1
 fi
 

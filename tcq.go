@@ -621,13 +621,18 @@ func (db *DB) FlightRecords() []FlightRecord { return db.calib.FlightRecords() }
 // /debug/pprof. Mount it on any server, or use ServeTelemetry.
 func (db *DB) TelemetryHandler() http.Handler { return telemetry.Handler(db) }
 
+// TelemetryServer is a running telemetry (or tcqd) HTTP server:
+// Addr/Close/Shutdown plus Err/Wait for observing the drain outcome.
+type TelemetryServer = telemetry.RunningServer
+
 // ServeTelemetry starts the telemetry server on addr (e.g. ":8080")
 // and returns the running server plus its bound address. Cancelling
-// ctx shuts the server down gracefully (in-flight scrapes drain);
+// ctx shuts the server down gracefully (in-flight scrapes drain, and a
+// drain that exceeds the grace period surfaces via srv.Err);
 // alternatively manage the lifecycle manually with srv.Close or
-// srv.Shutdown. The DB works identically with or without a server
-// attached.
-func (db *DB) ServeTelemetry(ctx context.Context, addr string) (*http.Server, string, error) {
+// srv.Shutdown — the internal shutdown watcher exits either way. The
+// DB works identically with or without a server attached.
+func (db *DB) ServeTelemetry(ctx context.Context, addr string) (*TelemetryServer, string, error) {
 	return telemetry.Serve(ctx, db, addr)
 }
 
