@@ -10,11 +10,20 @@
 //	tcqd: listening on 127.0.0.1:7483
 //
 //	$ curl -s 127.0.0.1:7483/v1/query -d '{"ra":"select(orders, a < 10000)","quota_ns":2000000000}'
-//	{"event":"result","kind":"count","value":9932.6,...}
+//	{"event":"result","request_id":"req-1","kind":"count","value":9932.6,...}
+//	{"event":"spans","request_id":"req-1","wall_ns":412000,"spans":[{"name":"decode",...}]}
+//
+// Every response carries a request id (X-Tcq-Request-Id and the
+// request_id field) and ends with a terminal "spans" event decomposing
+// the request's wire-to-wire wall time (decode, admission_wait, plan,
+// per-stage eval, finalize, stream_write, flush); /slo reports
+// per-tenant deadline hit/miss counts and error-budget burn.
 //
 // The server runs on a simulated machine (deterministic virtual
 // clock): equal requests with equal seeds return byte-identical
-// responses, which scripts/check.sh exploits for its smoke golden.
+// responses (the nondeterministic span durations ride a separate
+// terminal event), which scripts/check.sh exploits for its smoke
+// golden.
 // SIGINT/SIGTERM drains gracefully: admission closes (new queries get
 // 503), in-flight streams run to completion, then the listener stops.
 package main
@@ -50,6 +59,8 @@ func main() {
 	slack := flag.Float64("slack", 0.05, "overrun allowance folded into each request's worst-case charge")
 	maxQuota := flag.Duration("maxquota", 30*time.Second, "maximum per-query quota; larger requests are rejected as infeasible")
 	defQuota := flag.Duration("default-quota", 2*time.Second, "quota applied to requests that set none")
+	admitWait := flag.Duration("admit-wait", 0, "how long an at-capacity request may block in the admission gate before the 429 (0 = reject immediately)")
+	sloTarget := flag.Float64("slo", 0.99, "per-tenant deadline-hit objective driving the /slo error-budget burn gauge")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight streams")
 	var gens genSpecs
 	flag.Var(&gens, "gen", `generate a relation at startup: "select|project NAME N K", "uniform NAME N MAX", "zipf NAME N VALUES S", "intersect|join NAME1 NAME2 N K" (repeatable)`)
@@ -73,6 +84,8 @@ func main() {
 		MaxQuota:     *maxQuota,
 		TenantWindow: *window,
 		Slack:        *slack,
+		AdmitWait:    *admitWait,
+		SLOTarget:    *sloTarget,
 	})
 	// Background context: shutdown is driven explicitly below so the
 	// admission gates drain before the listener does.

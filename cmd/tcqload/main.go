@@ -8,16 +8,22 @@
 //	tcqload: serving loopback tcqd on 127.0.0.1:41833 (r: 100000 tuples)
 //	tcqload: 10000 clients x 1 requests, 8 tenants, quota 200ms, streaming
 //	tcqload: draining server 500ms after start
-//	tcqload: completed 9631, rejected 369 (at-capacity 121, closed 248), dropped 0, errors 0
+//	tcqload: completed 9631, rejected 369 (at-capacity 121, closed 248), dropped 0, errors 0, misses 0
 //	tcqload: latency p50 1.8ms p95 6.2ms p99 11ms max 40ms
+//	tcqload: span breakdown (9631 requests with spans)
+//	tcqload:   span        count     p50     p95
+//	tcqload:   admission_wait 9631    10µs    80µs
 //	...
 //
 // Every client goroutine runs its requests through internal/client;
 // wall-clock latencies are committed to a trace.Registry histogram
-// (the in-process server's own registry, so they render on /metrics).
+// (the in-process server's own registry, so they render on /metrics),
+// and each response's terminal spans event feeds per-span histograms
+// (load_span_seconds{span=...}) plus the end-of-run breakdown table.
 // A request whose stream started but ended without a result event
 // counts as "dropped" — the drain-correctness failure mode — and a
-// non-zero dropped or error count makes the process exit 1.
+// non-zero dropped or error count makes the process exit 1; -max-miss
+// additionally gates on errors + deadline misses.
 package main
 
 import (
@@ -36,12 +42,17 @@ import (
 	"tcq"
 	"tcq/internal/client"
 	"tcq/internal/server"
+	"tcq/internal/telemetry"
 	"tcq/internal/trace"
 	"tcq/internal/wire"
 	"tcq/internal/workload"
 )
 
 const latencyMetric = "load_latency_seconds"
+
+// spanMetric is the per-span latency family: one labeled histogram
+// series per span name ("load_span_seconds|span=eval", ...).
+const spanMetric = "load_span_seconds"
 
 func main() {
 	addr := flag.String("addr", "", "target tcqd address; empty starts an in-process loopback server")
@@ -58,6 +69,7 @@ func main() {
 	genK := flag.Int("gen-k", 10000, "loopback relation qualifying tuples")
 	seed := flag.Int64("seed", 1, "base seed (server clock, data generation, per-request sampling)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall run deadline")
+	maxMiss := flag.Int("max-miss", -1, "fail (exit 1) when errors + deadline misses exceed this count (negative = no gate)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -107,7 +119,9 @@ func main() {
 	var (
 		mu           sync.Mutex
 		latencies    []time.Duration
+		spanDur      = map[string][]time.Duration{}
 		completed    int
+		misses       int
 		dropped      int
 		failures     int
 		refused      int
@@ -132,13 +146,27 @@ func main() {
 				}
 				progressed := false
 				t0 := time.Now()
-				_, err := cl.Query(ctx, req, func(wire.Event) { progressed = true })
+				ev, err := cl.Query(ctx, req, func(wire.Event) { progressed = true })
 				lat := time.Since(t0)
 				mu.Lock()
 				switch {
 				case err == nil:
 					completed++
 					latencies = append(latencies, lat)
+					// A miss is the server's own SLO rule: engine overspend
+					// or wire-to-wire wall past the quota.
+					if ev.Overspent || ev.Wall > *quota {
+						misses++
+					}
+					// Fold the terminal spans event into per-span samples
+					// (eval stages sum into one eval sample per request).
+					perSpan := map[string]time.Duration{}
+					for _, sp := range ev.Spans {
+						perSpan[sp.Name] += sp.Dur
+					}
+					for name, d := range perSpan {
+						spanDur[name] = append(spanDur[name], d)
+					}
 				case progressed:
 					// The server accepted the stream but it ended without
 					// a result: an in-flight stream was dropped.
@@ -160,6 +188,9 @@ func main() {
 				mu.Unlock()
 				if err == nil {
 					reg.Observe(latencyMetric, lat.Seconds())
+					for _, sp := range ev.Spans {
+						reg.Observe(telemetry.Labeled(spanMetric, "span", sp.Name), sp.Dur.Seconds())
+					}
 				}
 			}
 		}(i)
@@ -202,8 +233,8 @@ func main() {
 	if detail != "" {
 		detail = " (" + detail + ")"
 	}
-	fmt.Printf("tcqload: completed %d, rejected %d%s, refused-after-drain %d, dropped %d, errors %d\n",
-		completed, rejected, detail, refused, dropped, failures)
+	fmt.Printf("tcqload: completed %d, rejected %d%s, refused-after-drain %d, dropped %d, errors %d, misses %d\n",
+		completed, rejected, detail, refused, dropped, failures, misses)
 
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -227,8 +258,31 @@ func main() {
 			fmt.Printf("tcqload:   %-12s %d\n", k, h.Buckets[k])
 		}
 	}
+	// Span breakdown: where each request's wall time went, aggregated
+	// across completed requests. Rows sort by span name so the table is
+	// deterministic for any fixed workload shape.
+	if len(spanDur) > 0 {
+		names := make([]string, 0, len(spanDur))
+		for name := range spanDur {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("tcqload: span breakdown (%d requests with spans)\n", completed)
+		fmt.Printf("tcqload:   %-16s %8s %12s %12s\n", "span", "count", "p50", "p95")
+		for _, name := range names {
+			ds := spanDur[name]
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+			pick := func(q float64) time.Duration { return ds[int(q*float64(len(ds)-1))] }
+			fmt.Printf("tcqload:   %-16s %8d %12v %12v\n",
+				name, len(ds), pick(0.50).Round(10*time.Microsecond), pick(0.95).Round(10*time.Microsecond))
+		}
+	}
 	if dropped > 0 || failures > 0 {
 		fmt.Fprintf(os.Stderr, "tcqload: FAIL: %d dropped in-flight streams, %d transport errors\n", dropped, failures)
+		os.Exit(1)
+	}
+	if *maxMiss >= 0 && failures+misses > *maxMiss {
+		fmt.Fprintf(os.Stderr, "tcqload: FAIL: %d errors + %d deadline misses exceed -max-miss %d\n", failures, misses, *maxMiss)
 		os.Exit(1)
 	}
 }

@@ -302,6 +302,7 @@ func (s *session) dispatch(line string) error {
 				return err
 			}
 			s.printWireSQL(ev)
+			s.printWireSpans(ev)
 			return nil
 		}
 		res, err := s.db.ExecSQL(rest)
@@ -322,6 +323,7 @@ func (s *session) dispatch(line string) error {
 				return err
 			}
 			s.printWireSQL(ev)
+			s.printWireSpans(ev)
 			s.seed++
 			return nil
 		}
@@ -350,6 +352,7 @@ func (s *session) dispatch(line string) error {
 				return err
 			}
 			fmt.Fprintf(s.out, "exact: %d\n", int64(ev.Value))
+			s.printWireSpans(ev)
 			return nil
 		}
 		q, err := tcq.Parse(rest)
@@ -433,6 +436,7 @@ func (s *session) dispatch(line string) error {
 				return err
 			}
 			s.printWireEstimate(ev)
+			s.printWireSpans(ev)
 			s.seed++
 			return nil
 		}
@@ -495,19 +499,33 @@ func (s *session) dispatch(line string) error {
 	}
 }
 
-// watchInFlight renders the queries currently evaluating. In the
-// serial shell this is normally empty; it is the same view a telemetry
-// server exports on /queries, useful when other goroutines (embedding
-// programs, the scheduler) share the session's DB.
+// watchInFlight renders the queries currently evaluating. When
+// \connect'ed it asks the server's /queries endpoint for the tenant's
+// in-flight queries (the same registry the telemetry server scrapes);
+// locally it reads the session DB's registry, which in the serial
+// shell is normally empty unless other goroutines share the DB.
 func (s *session) watchInFlight() error {
 	inflight := s.db.InFlight()
+	if s.remote != nil {
+		// Tenant scopes label queries "tenant/req-N"; the prefix filter
+		// selects this connection's tenant.
+		qs, err := s.remote.Queries(context.Background(), s.remote.Tenant+"/")
+		if err != nil {
+			return err
+		}
+		inflight = qs
+	}
 	if len(inflight) == 0 {
 		fmt.Fprintln(s.out, "(no queries in flight)")
 		return nil
 	}
 	for _, p := range inflight {
-		fmt.Fprintf(s.out, "q%-3d stage %-2d est %.1f ± %.1f, spent %.0f%%, %d blocks  %s\n",
+		fmt.Fprintf(s.out, "q%-3d stage %-2d est %.1f ± %.1f, spent %.0f%%, %d blocks  %s",
 			p.ID, p.Stages, p.Estimate, p.Interval, p.SpentFrac*100, p.Blocks, p.Query)
+		if s.remote != nil && p.Label != "" {
+			fmt.Fprintf(s.out, "  [%s]", p.Label)
+		}
+		fmt.Fprintln(s.out)
 	}
 	return nil
 }
@@ -663,8 +681,12 @@ func (s *session) printFlightRecords() error {
 		if r.Trace.End.Overspend > 0 {
 			over = fmt.Sprintf(" overspend=%v", r.Trace.End.Overspend.Round(time.Millisecond))
 		}
-		fmt.Fprintf(s.out, "#%d [%s] %s  stages=%d est=%.1f±%.1f%s%s stop=%s\n",
-			r.Seq, strings.Join(r.Reasons, ","), r.Trace.Info.Query,
+		note := ""
+		if r.Note != "" {
+			note = " " + r.Note
+		}
+		fmt.Fprintf(s.out, "#%d [%s]%s %s  stages=%d est=%.1f±%.1f%s%s stop=%s\n",
+			r.Seq, strings.Join(r.Reasons, ","), note, r.Trace.Info.Query,
 			r.Trace.End.Stages, r.Trace.End.Estimate, r.Trace.End.Interval,
 			truth, over, r.Trace.End.StopReason)
 	}
@@ -696,6 +718,7 @@ func (s *session) remoteQuery(req wire.QueryRequest) (*wire.Event, error) {
 	req.DBeta = s.dBeta
 	req.Strategy = strategyName(s.strategy)
 	req.Seed = s.seed
+	req.Parallel = s.parallelism
 	if s.traceOn && !req.Exact {
 		req.Stream = true
 	}
@@ -715,6 +738,29 @@ func strategyName(k tcq.StrategyKind) string {
 		return "heuristic"
 	default:
 		return "one-at-a-time"
+	}
+}
+
+// printWireSpans renders the server's latency anatomy for the last
+// remote request: the request id and every wire-to-wire span, in
+// timeline order. Only under \trace on — the nanosecond values are
+// real wall time, the one nondeterministic part of a response (the
+// span golden in check.sh normalizes them).
+func (s *session) printWireSpans(ev *wire.Event) {
+	if !s.traceOn || ev == nil || len(ev.Spans) == 0 {
+		return
+	}
+	fmt.Fprintf(s.out, "request %s: %d spans, wall %dns\n", ev.RequestID, len(ev.Spans), ev.Wall.Nanoseconds())
+	for _, sp := range ev.Spans {
+		name := sp.Name
+		if sp.Stage > 0 {
+			name = fmt.Sprintf("%s[%d]", name, sp.Stage)
+		}
+		fmt.Fprintf(s.out, "  %-16s %dns", name, sp.Dur.Nanoseconds())
+		if sp.Retries > 0 {
+			fmt.Fprintf(s.out, " (%d retries)", sp.Retries)
+		}
+		fmt.Fprintln(s.out)
 	}
 }
 

@@ -66,6 +66,10 @@ const (
 	ReasonDegenerateCI  = "degenerate-ci"
 	ReasonDeadlineAbort = "deadline-abort"
 	ReasonOverspend     = "overspend"
+	// ReasonSLOMiss marks traces captured externally by the serving
+	// layer when a request missed its wire-to-wire deadline (see
+	// Auditor.Capture); the record's Note carries the attribution.
+	ReasonSLOMiss = "slo-miss"
 )
 
 // FlightRecord is one captured anomalous query: the full trace plus why
@@ -77,6 +81,9 @@ type FlightRecord struct {
 	Label string `json:"label,omitempty"`
 	// Reasons lists the capture triggers that fired (see Reason*).
 	Reasons []string `json:"reasons"`
+	// Note carries free-form capture context from external captures,
+	// e.g. the dominant span of an SLO miss ("dominant=admission_wait").
+	Note string `json:"note,omitempty"`
 	// Truth is the known ground truth, when the query had one.
 	Truth *Truth `json:"truth,omitempty"`
 	// Trace is the query's full stage-by-stage trace.
@@ -432,6 +439,41 @@ func metricName(reason string) string {
 		out[i] = c
 	}
 	return string(out)
+}
+
+// Capture stores one externally triggered flight record — a trace the
+// serving layer (rather than the auditor's own truth/drift checks)
+// deemed anomalous, e.g. a wire-to-wire SLO miss. reasons name the
+// triggers (typically ReasonSLOMiss); note carries free-form
+// attribution. The capture lands in the same overwrite-oldest ring and
+// bumps the same calibration_flight_captures / calibration_anomaly_*
+// counters as internal captures.
+func (a *Auditor) Capture(label, note string, reasons []string, t trace.QueryTrace) {
+	if a == nil || len(reasons) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.captured++
+	a.seq++
+	for _, r := range reasons {
+		a.reasons[r]++
+	}
+	rec := FlightRecord{Seq: a.seq, Label: label, Reasons: reasons, Note: note, Trace: t}
+	a.flight[a.next] = rec
+	a.next = (a.next + 1) % len(a.flight)
+	if a.held < len(a.flight) {
+		a.held++
+	}
+	a.mu.Unlock()
+
+	if m := a.cfg.Metrics; m != nil {
+		m.Update(func(tx trace.Tx) {
+			tx.Add("calibration_flight_captures", 1)
+			for _, r := range reasons {
+				tx.Add("calibration_anomaly_"+metricName(r), 1)
+			}
+		})
+	}
 }
 
 // FlightRecords returns the retained anomalous-query captures in

@@ -10,10 +10,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"time"
 
+	"tcq/internal/telemetry"
 	"tcq/internal/wire"
 )
 
@@ -48,6 +51,9 @@ type ServerError struct {
 	Message string
 	// RetryAfter is the server's retry hint (429 only; zero otherwise).
 	RetryAfter time.Duration
+	// RequestID is the server-assigned request id ("req-N"), so even
+	// rejected requests are traceable in the server's logs and metrics.
+	RequestID string
 }
 
 // Error implements error.
@@ -100,9 +106,13 @@ func (c *Client) Query(ctx context.Context, req wire.QueryRequest, onProgress fu
 	}
 
 	// Both response shapes are JSON-object lines; the non-streaming
-	// response is simply a one-line stream.
+	// response is a two-line stream (result + spans). The result is held
+	// until the terminal spans event (or EOF, for servers predating it)
+	// so the caller gets the latency anatomy attached; unknown event
+	// kinds are skipped for forward compatibility.
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var result *wire.Event
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -118,17 +128,87 @@ func (c *Client) Query(ctx context.Context, req wire.QueryRequest, onProgress fu
 				onProgress(ev)
 			}
 		case "result":
-			return &ev, nil
+			if ev.RequestID == "" {
+				ev.RequestID = resp.Header.Get(wire.RequestIDHeader)
+			}
+			result = &ev
+		case "spans":
+			if result != nil {
+				result.Wall = ev.Wall
+				result.Spans = ev.Spans
+				return result, nil
+			}
 		case "error":
 			return nil, fmt.Errorf("tcqd: query failed: %s", ev.Error)
-		default:
-			return nil, fmt.Errorf("tcqd: unknown event %q", ev.Event)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	if result != nil {
+		return result, nil
+	}
 	return nil, fmt.Errorf("tcqd: stream ended without a result event")
+}
+
+// DoWithRetry submits a query like Query but honors the server's
+// Retry-After hint on 429 at-capacity rejections: up to maxAttempts
+// total attempts, sleeping the hinted delay (capped at maxWait;
+// defaults 50ms hint, 2s cap) between them. Every other failure —
+// including infeasible (422) and draining (503) rejections — returns
+// immediately, since waiting cannot cure it.
+func (c *Client) DoWithRetry(ctx context.Context, req wire.QueryRequest, onProgress func(wire.Event), maxAttempts int, maxWait time.Duration) (*wire.Event, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
+	var last error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		ev, err := c.Query(ctx, req, onProgress)
+		if err == nil {
+			return ev, nil
+		}
+		last = err
+		var se *ServerError
+		if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests || attempt == maxAttempts-1 {
+			return nil, err
+		}
+		delay := se.RetryAfter
+		if delay <= 0 {
+			delay = 50 * time.Millisecond
+		}
+		if delay > maxWait {
+			delay = maxWait
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	return nil, last
+}
+
+// Queries lists the server's in-flight queries (GET /queries) — the
+// same registry the telemetry server scrapes — optionally filtered to
+// labels with the given prefix (tenant-scoped labels are
+// "tenant/req-N", so "alice/" selects one tenant's queries).
+func (c *Client) Queries(ctx context.Context, labelPrefix string) ([]telemetry.QueryProgress, error) {
+	path := "/queries"
+	if labelPrefix != "" {
+		path += "?label=" + url.QueryEscape(labelPrefix)
+	}
+	var resp struct {
+		Queries []telemetry.QueryProgress `json:"queries"`
+	}
+	if err := c.getJSON(ctx, path, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Queries, nil
 }
 
 // Relations lists the server's relation catalog.
@@ -168,14 +248,19 @@ func (c *Client) getJSON(ctx context.Context, path string, v interface{}) error 
 
 // decodeServerError maps a non-2xx response to *ServerError.
 func decodeServerError(resp *http.Response) error {
+	reqID := resp.Header.Get(wire.RequestIDHeader)
 	var body wire.ErrorResponse
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return &ServerError{Status: resp.StatusCode, Message: resp.Status}
+		return &ServerError{Status: resp.StatusCode, Message: resp.Status, RequestID: reqID}
+	}
+	if body.RequestID != "" {
+		reqID = body.RequestID
 	}
 	return &ServerError{
 		Status:     resp.StatusCode,
 		Reason:     body.Reason,
 		Message:    body.Error,
 		RetryAfter: body.RetryAfter,
+		RequestID:  reqID,
 	}
 }

@@ -1,0 +1,226 @@
+// Client-side protocol behavior against scripted httptest servers:
+// the two-line NDJSON result+spans shape, request-id propagation into
+// ServerError, Retry-After-honoring retries on 429, and the /queries
+// label filter pass-through.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tcq/internal/wire"
+)
+
+// TestQueryAttachesSpans feeds the client a result line followed by a
+// terminal spans line: the returned event must carry the request id
+// (from the event), the wall time, and the span slice.
+func TestQueryAttachesSpans(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(wire.RequestIDHeader, "req-7")
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"event":"result","request_id":"req-7","kind":"count","value":42}`)
+		fmt.Fprintln(w, `{"event":"spans","request_id":"req-7","wall_ns":300,`+
+			`"spans":[{"name":"decode","start_ns":0,"duration_ns":100},{"name":"eval","stage":1,"start_ns":100,"duration_ns":200}]}`)
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, "alice")
+	ev, err := cl.Query(context.Background(), wire.QueryRequest{SQL: "SELECT 1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.RequestID != "req-7" {
+		t.Errorf("RequestID = %q, want req-7", ev.RequestID)
+	}
+	if ev.Wall != 300 {
+		t.Errorf("Wall = %d, want 300", ev.Wall)
+	}
+	if len(ev.Spans) != 2 || ev.Spans[1].Name != "eval" || ev.Spans[1].Stage != 1 {
+		t.Errorf("Spans = %+v, want [decode eval[1]]", ev.Spans)
+	}
+}
+
+// TestQueryRequestIDFromHeader covers a result event without an
+// embedded id (and no spans line — a pre-spans server): the header id
+// must be stamped on, and EOF without spans still returns the result.
+func TestQueryRequestIDFromHeader(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(wire.RequestIDHeader, "req-3")
+		fmt.Fprintln(w, `{"event":"result","kind":"count","value":1}`)
+	}))
+	defer ts.Close()
+
+	ev, err := New(ts.URL, "").Query(context.Background(), wire.QueryRequest{SQL: "SELECT 1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.RequestID != "req-3" {
+		t.Errorf("RequestID = %q, want req-3 (from header)", ev.RequestID)
+	}
+	if len(ev.Spans) != 0 {
+		t.Errorf("Spans = %+v, want none from a spans-less stream", ev.Spans)
+	}
+}
+
+// TestQuerySkipsUnknownEvents: a future server may interleave event
+// kinds this client predates; they must be skipped, not fatal.
+func TestQuerySkipsUnknownEvents(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"event":"heartbeat"}`)
+		fmt.Fprintln(w, `{"event":"result","request_id":"req-1","kind":"count","value":5}`)
+		fmt.Fprintln(w, `{"event":"spans","request_id":"req-1","wall_ns":10,"spans":[{"name":"eval","start_ns":0,"duration_ns":10}]}`)
+	}))
+	defer ts.Close()
+
+	ev, err := New(ts.URL, "").Query(context.Background(), wire.QueryRequest{SQL: "SELECT 1"}, nil)
+	if err != nil {
+		t.Fatalf("unknown event broke the stream: %v", err)
+	}
+	if ev.Value != 5 || len(ev.Spans) != 1 {
+		t.Errorf("result = %+v, want value 5 with 1 span", ev)
+	}
+}
+
+// TestServerErrorCarriesRequestID: rejections are traceable — the id
+// arrives via the body when present, else via the response header.
+func TestServerErrorCarriesRequestID(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		body   string
+		header string
+		want   string
+	}{
+		{"from-body", `{"error":"no","reason":"infeasible","request_id":"req-9"}`, "req-8", "req-9"},
+		{"from-header", `{"error":"no","reason":"infeasible"}`, "req-8", "req-8"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set(wire.RequestIDHeader, tc.header)
+				w.WriteHeader(http.StatusUnprocessableEntity)
+				fmt.Fprintln(w, tc.body)
+			}))
+			defer ts.Close()
+
+			_, err := New(ts.URL, "").Query(context.Background(), wire.QueryRequest{SQL: "SELECT 1"}, nil)
+			se, ok := err.(*ServerError)
+			if !ok {
+				t.Fatalf("err = %v, want *ServerError", err)
+			}
+			if se.RequestID != tc.want {
+				t.Errorf("RequestID = %q, want %q", se.RequestID, tc.want)
+			}
+		})
+	}
+}
+
+// TestDoWithRetryHonorsRetryAfter: two 429s with a Retry-After hint,
+// then success. The client must wait at least the hinted delays and
+// succeed on the third attempt.
+func TestDoWithRetryHonorsRetryAfter(t *testing.T) {
+	attempts := 0
+	hint := 30 * time.Millisecond
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(wire.ErrorResponse{
+				Error: "window full", Reason: "at-capacity", RetryAfter: hint,
+			})
+			return
+		}
+		fmt.Fprintln(w, `{"event":"result","kind":"count","value":1}`)
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	ev, err := New(ts.URL, "").DoWithRetry(context.Background(), wire.QueryRequest{SQL: "SELECT 1"}, nil, 5, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Value != 1 || attempts != 3 {
+		t.Fatalf("value=%v attempts=%d, want success on attempt 3", ev.Value, attempts)
+	}
+	if waited := time.Since(start); waited < 2*hint {
+		t.Errorf("retried in %v, want >= %v (two Retry-After sleeps)", waited, 2*hint)
+	}
+}
+
+// TestDoWithRetryCapsDelay: an hour-long Retry-After hint must be
+// clamped to maxWait, so exhaustion takes ~maxAttempts·maxWait.
+func TestDoWithRetryCapsDelay(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(wire.ErrorResponse{
+			Error: "window full", Reason: "at-capacity", RetryAfter: time.Hour,
+		})
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	_, err := New(ts.URL, "").DoWithRetry(context.Background(), wire.QueryRequest{SQL: "SELECT 1"}, nil, 3, 20*time.Millisecond)
+	waited := time.Since(start)
+	se, ok := err.(*ServerError)
+	if !ok || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want the final 429", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if waited > 5*time.Second {
+		t.Errorf("run took %v — the hour-long hint was not capped at maxWait", waited)
+	}
+}
+
+// TestDoWithRetryNoRetryOnInfeasible: 422 cannot be cured by waiting;
+// exactly one attempt.
+func TestDoWithRetryNoRetryOnInfeasible(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(wire.ErrorResponse{Error: "too big", Reason: "infeasible"})
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, "").DoWithRetry(context.Background(), wire.QueryRequest{SQL: "SELECT 1"}, nil, 5, time.Second)
+	se, ok := err.(*ServerError)
+	if !ok || se.Reason != "infeasible" {
+		t.Fatalf("err = %v, want infeasible ServerError", err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on 422)", attempts)
+	}
+}
+
+// TestQueriesLabelFilter: the label prefix must reach the server
+// URL-escaped, and the {queries:[...]} envelope must decode.
+func TestQueriesLabelFilter(t *testing.T) {
+	var gotLabel string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/queries" {
+			http.NotFound(w, r)
+			return
+		}
+		gotLabel = r.URL.Query().Get("label")
+		fmt.Fprintln(w, `{"queries":[{"label":"alice/req-2","stages_done":3,"stages":10}]}`)
+	}))
+	defer ts.Close()
+
+	qs, err := New(ts.URL, "alice").Queries(context.Background(), "alice/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLabel != "alice/" {
+		t.Errorf("server saw label=%q, want alice/", gotLabel)
+	}
+	if len(qs) != 1 || qs[0].Label != "alice/req-2" {
+		t.Errorf("queries = %+v, want the one alice row", qs)
+	}
+}

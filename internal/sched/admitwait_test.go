@@ -1,0 +1,150 @@
+// AdmitWait: the blocking variant of the admission gate. A request
+// that would be rejected at-capacity may instead wait (bounded) for a
+// release to free its reservation; drain wakes every waiter promptly
+// with RejectClosed instead of letting it ride out its wait budget.
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tcq/internal/trace"
+)
+
+// TestAdmitWaitBlocksUntilRelease fills the window, then lets a second
+// request wait: it must block until the first reservation releases,
+// admit successfully, and report at least one retry.
+func TestAdmitWaitBlocksUntilRelease(t *testing.T) {
+	c := gateController(trace.NewRegistry())
+
+	release, err := c.Admit(1, 3*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := 100 * time.Millisecond
+	go func() {
+		time.Sleep(hold)
+		release()
+	}()
+
+	start := time.Now()
+	rel2, retries, err := c.AdmitWait(2, 3*time.Second, 4*time.Second, 5*time.Second)
+	waited := time.Since(start)
+	if err != nil {
+		t.Fatalf("AdmitWait = %v, want admission after release", err)
+	}
+	defer rel2()
+	if waited < hold/2 {
+		t.Errorf("AdmitWait returned after %v, want >= %v (blocked on the held window)", waited, hold/2)
+	}
+	if retries < 1 {
+		t.Errorf("retries = %d, want >= 1 (at least one at-capacity pass before release)", retries)
+	}
+	if got := c.Committed(); got != 3*time.Second {
+		t.Errorf("Committed = %v, want 3s (the waiter's reservation)", got)
+	}
+}
+
+// TestAdmitWaitTimesOut holds the window past the wait budget: the
+// waiter must give up with RejectAtCapacity, not block forever.
+func TestAdmitWaitTimesOut(t *testing.T) {
+	c := gateController(trace.NewRegistry())
+
+	release, err := c.Admit(1, 3*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	start := time.Now()
+	_, _, err = c.AdmitWait(2, 3*time.Second, 4*time.Second, 50*time.Millisecond)
+	waited := time.Since(start)
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != RejectAtCapacity {
+		t.Fatalf("AdmitWait past budget = %v, want RejectAtCapacity", err)
+	}
+	if waited < 50*time.Millisecond {
+		t.Errorf("gave up after %v, want >= the 50ms wait budget", waited)
+	}
+	if waited > 5*time.Second {
+		t.Errorf("gave up after %v — waiter overstayed its budget", waited)
+	}
+}
+
+// TestAdmitWaitZeroBudgetRejectsImmediately confirms AdmitWait(…, 0)
+// is exactly Admit: at-capacity rejects without blocking, and the
+// infeasible reason never waits regardless of budget (no release can
+// cure wcet > budget).
+func TestAdmitWaitZeroBudgetRejectsImmediately(t *testing.T) {
+	c := gateController(trace.NewRegistry())
+
+	release, err := c.Admit(1, 3*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	start := time.Now()
+	_, retries, err := c.AdmitWait(2, 3*time.Second, 4*time.Second, 0)
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != RejectAtCapacity {
+		t.Fatalf("AdmitWait(0) at capacity = %v, want RejectAtCapacity", err)
+	}
+	if retries != 0 {
+		t.Errorf("retries = %d, want 0 with no wait budget", retries)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("AdmitWait(0) took %v, want immediate rejection", waited)
+	}
+
+	_, _, err = c.AdmitWait(3, 2*time.Second, time.Second, time.Minute)
+	if !errors.As(err, &rej) || rej.Reason != RejectInfeasible {
+		t.Fatalf("AdmitWait(wcet>budget) = %v, want immediate RejectInfeasible", err)
+	}
+}
+
+// TestDrainWakesWaiter drains the controller while a request is
+// blocked in AdmitWait: the waiter must wake promptly with
+// RejectClosed rather than sleeping out its full wait budget.
+func TestDrainWakesWaiter(t *testing.T) {
+	c := gateController(trace.NewRegistry())
+
+	release, err := c.Admit(1, 3*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type out struct {
+		err    error
+		waited time.Duration
+	}
+	done := make(chan out, 1)
+	go func() {
+		start := time.Now()
+		_, _, err := c.AdmitWait(2, 3*time.Second, 4*time.Second, time.Minute)
+		done <- out{err, time.Since(start)}
+	}()
+
+	// Give the waiter time to park, then drain. The held reservation
+	// releases afterwards so Drain's wg.Wait can return.
+	time.Sleep(50 * time.Millisecond)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		release()
+	}()
+	c.Drain()
+
+	select {
+	case o := <-done:
+		var rej *RejectionError
+		if !errors.As(o.err, &rej) || rej.Reason != RejectClosed {
+			t.Fatalf("AdmitWait across drain = %v, want RejectClosed", o.err)
+		}
+		if o.waited > 30*time.Second {
+			t.Errorf("waiter woke after %v — drain did not interrupt the wait", o.waited)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiter never woke after drain")
+	}
+}

@@ -126,6 +126,7 @@ type Controller struct {
 	results   []TxnResult
 	err       error // first execution error
 	closed    bool
+	waitCh    chan struct{} // closed+replaced to broadcast capacity release
 	wg        sync.WaitGroup
 }
 
@@ -141,9 +142,10 @@ func NewController(store *storage.Store, opts ControllerOptions) *Controller {
 		opts.Jitter = 0.02
 	}
 	return &Controller{
-		store: store,
-		opts:  opts,
-		slots: make(chan struct{}, opts.MaxConcurrent),
+		store:  store,
+		opts:   opts,
+		slots:  make(chan struct{}, opts.MaxConcurrent),
+		waitCh: make(chan struct{}),
 	}
 }
 
@@ -182,22 +184,61 @@ func (c *Controller) SubmitTxn(tx Txn) error {
 // rejection it returns a typed *RejectionError and bumps the
 // reason-split rejection counters. id labels admission-log events.
 func (c *Controller) Admit(id int, wcet, budget time.Duration) (release func(), err error) {
-	if rej := c.reserve(wcet, budget, true); rej != nil {
-		c.countReject(rej.Reason)
-		c.opts.Log.TxnRejected(id, wcet, budget)
-		return nil, rej
+	release, _, err = c.AdmitWait(id, wcet, budget, 0)
+	return release, err
+}
+
+// AdmitWait is Admit with a bounded wait: instead of failing an
+// at-capacity request immediately, it blocks until committed in-flight
+// work drains (at most maxWait, re-running the admission test each
+// time capacity is released) before giving up. retries counts the
+// extra reservation attempts — zero means first-try admission (or a
+// first-try rejection). maxWait <= 0 degenerates to Admit; infeasible
+// and closed rejections never wait, since no drain can cure them.
+func (c *Controller) AdmitWait(id int, wcet, budget, maxWait time.Duration) (release func(), retries int, err error) {
+	deadline := time.Now().Add(maxWait)
+	for {
+		// Grab the broadcast channel before the reservation attempt: a
+		// release between a failed attempt and the wait closes this
+		// channel, so the wakeup cannot be lost.
+		c.mu.Lock()
+		ch := c.waitCh
+		rej := c.reserveLocked(wcet, budget, true)
+		c.mu.Unlock()
+		if rej == nil {
+			c.opts.Metrics.Add("txns_admitted", 1)
+			c.opts.Log.TxnAdmitted(id, wcet, budget)
+			var once sync.Once
+			return func() {
+				once.Do(func() {
+					c.mu.Lock()
+					c.committed -= wcet
+					c.notifyLocked()
+					c.mu.Unlock()
+					c.wg.Done()
+				})
+			}, retries, nil
+		}
+		if rej.Reason != RejectAtCapacity || maxWait <= 0 || !time.Now().Before(deadline) {
+			c.countReject(rej.Reason)
+			c.opts.Log.TxnRejected(id, wcet, budget)
+			return nil, retries, rej
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+		retries++
 	}
-	c.opts.Metrics.Add("txns_admitted", 1)
-	c.opts.Log.TxnAdmitted(id, wcet, budget)
-	var once sync.Once
-	return func() {
-		once.Do(func() {
-			c.mu.Lock()
-			c.committed -= wcet
-			c.mu.Unlock()
-			c.wg.Done()
-		})
-	}, nil
+}
+
+// notifyLocked wakes every AdmitWait blocked on capacity by closing
+// the broadcast channel and installing a fresh one. Callers hold c.mu.
+func (c *Controller) notifyLocked() {
+	close(c.waitCh)
+	c.waitCh = make(chan struct{})
 }
 
 // reserve runs the admission test and, on success, commits wcet of
@@ -207,6 +248,11 @@ func (c *Controller) Admit(id int, wcet, budget time.Duration) (release func(), 
 func (c *Controller) reserve(wcet, budget time.Duration, gated bool) *RejectionError {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.reserveLocked(wcet, budget, gated)
+}
+
+// reserveLocked is reserve for callers already holding c.mu.
+func (c *Controller) reserveLocked(wcet, budget time.Duration, gated bool) *RejectionError {
 	if c.closed {
 		return &RejectionError{Reason: RejectClosed, WCET: wcet, Budget: budget, Committed: c.committed}
 	}
@@ -265,6 +311,7 @@ func (c *Controller) Wait() ([]TxnResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
+	c.notifyLocked()
 	out := append([]TxnResult{}, c.results...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, c.err
@@ -277,6 +324,9 @@ func (c *Controller) Wait() ([]TxnResult, error) {
 func (c *Controller) Drain() {
 	c.mu.Lock()
 	c.closed = true
+	// Wake blocked AdmitWaits so they observe the close immediately
+	// instead of burning their remaining wait budget.
+	c.notifyLocked()
 	c.mu.Unlock()
 	c.wg.Wait()
 }
@@ -312,6 +362,7 @@ func (c *Controller) run(tx Txn, wcet time.Duration) {
 
 	c.mu.Lock()
 	c.committed -= wcet
+	c.notifyLocked()
 	c.results = append(c.results, res)
 	if err != nil && c.err == nil {
 		c.err = fmt.Errorf("sched: txn %d: %w", tx.ID, err)

@@ -21,6 +21,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"tcq"
+	"tcq/internal/calib"
 	"tcq/internal/sched"
 	"tcq/internal/telemetry"
 	"tcq/internal/trace"
@@ -55,6 +57,14 @@ type Config struct {
 	// worst-case charge (hard deadlines can overshoot by one poll
 	// granule); default 0.05.
 	Slack float64
+	// AdmitWait is how long an at-capacity request may block in the
+	// admission gate (re-testing as committed work drains) before the
+	// 429 is returned; 0 rejects immediately. The time spent is
+	// attributed to the request's admission_wait span either way.
+	AdmitWait time.Duration
+	// SLOTarget is the per-tenant deadline-hit objective driving the
+	// /slo error-budget burn gauge; default 0.99.
+	SLOTarget float64
 }
 
 // Server is a tcqd instance: per-tenant admission gates over one DB,
@@ -66,6 +76,10 @@ type Server struct {
 	// latency histograms, admission counters written by the gates),
 	// merged with the DB's engine metrics on /metrics.
 	reg *trace.Registry
+	// slo tracks per-tenant deadline outcomes (hits, misses with span
+	// attribution, infeasible rejections) for /slo and the tcq_slo_*
+	// metric families.
+	slo *telemetry.SLO
 
 	mu    sync.Mutex
 	gates map[string]*sched.Controller
@@ -88,9 +102,14 @@ func New(cfg Config) *Server {
 	if cfg.Slack <= 0 {
 		cfg.Slack = 0.05
 	}
+	if cfg.SLOTarget <= 0 || cfg.SLOTarget >= 1 {
+		cfg.SLOTarget = 0.99
+	}
+	reg := trace.NewRegistry()
 	return &Server{
 		cfg:   cfg,
-		reg:   trace.NewRegistry(),
+		reg:   reg,
+		slo:   telemetry.NewSLO(cfg.SLOTarget, reg),
 		gates: make(map[string]*sched.Controller),
 	}
 }
@@ -239,28 +258,42 @@ func parseStrategy(s string) (tcq.StrategyKind, error) {
 	}
 }
 
-// handleQuery serves POST /v1/query.
+// handleQuery serves POST /v1/query. Every request gets a span
+// timeline partitioning its wire-to-wire wall time (decode,
+// admission_wait, plan, per-stage eval, finalize, stream_write, flush)
+// and a server-assigned request id, echoed in the RequestIDHeader and
+// on every terminal event; the timeline ships to the client as the
+// terminal "spans" event and feeds per-tenant SLO accounting.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	tl := telemetry.NewSpanTimeline()
+	id := s.reqID.Add(1)
+	reqID := fmt.Sprintf("req-%d", id)
+	w.Header().Set(wire.RequestIDHeader, reqID)
+	fail := func(code int, resp wire.ErrorResponse) {
+		resp.RequestID = reqID
+		writeError(w, code, resp)
+	}
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, wire.ErrorResponse{Error: "POST required", Reason: "bad-request"})
+		fail(http.StatusMethodNotAllowed, wire.ErrorResponse{Error: "POST required", Reason: "bad-request"})
 		return
 	}
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "server draining", Reason: sched.RejectClosed.String()})
+		fail(http.StatusServiceUnavailable, wire.ErrorResponse{Error: "server draining", Reason: sched.RejectClosed.String()})
 		return
 	}
 	var req wire.QueryRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, wire.ErrorResponse{Error: "invalid request body: " + err.Error(), Reason: "bad-request"})
+		fail(http.StatusBadRequest, wire.ErrorResponse{Error: "invalid request body: " + err.Error(), Reason: "bad-request"})
 		return
 	}
 	if (req.SQL == "") == (req.RA == "") {
-		writeError(w, http.StatusBadRequest, wire.ErrorResponse{Error: "exactly one of sql or ra required", Reason: "bad-request"})
+		fail(http.StatusBadRequest, wire.ErrorResponse{Error: "exactly one of sql or ra required", Reason: "bad-request"})
 		return
 	}
 	strategy, err := parseStrategy(req.Strategy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error(), Reason: "bad-request"})
+		fail(http.StatusBadRequest, wire.ErrorResponse{Error: err.Error(), Reason: "bad-request"})
 		return
 	}
 	tenant := req.Tenant
@@ -272,12 +305,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		quota = s.cfg.DefaultQuota
 	}
 	if quota > s.cfg.MaxQuota {
-		writeError(w, http.StatusUnprocessableEntity, wire.ErrorResponse{
+		s.slo.Infeasible(tenant)
+		fail(http.StatusUnprocessableEntity, wire.ErrorResponse{
 			Error:  fmt.Sprintf("quota %v exceeds server maximum %v", quota, s.cfg.MaxQuota),
 			Reason: sched.RejectInfeasible.String(),
 		})
 		return
 	}
+	tl.Mark(telemetry.SpanDecode, 0)
 
 	// Admission: charge the request's worst case against the tenant's
 	// window. Exact queries have no a-priori bound, so they are charged
@@ -289,23 +324,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		charge = s.cfg.MaxQuota
 	}
 	wcet := time.Duration(float64(charge) * (1 + s.cfg.Slack))
-	id := s.reqID.Add(1)
-	release, err := s.gate(tenant).Admit(int(id), wcet, s.cfg.TenantWindow)
+	release, retries, err := s.gate(tenant).AdmitWait(int(id), wcet, s.cfg.TenantWindow, s.cfg.AdmitWait)
+	waited := tl.MarkRetries(telemetry.SpanAdmissionWait, 0, retries)
+	s.reg.Observe(telemetry.Labeled("admission_wait_seconds", "tenant", tenant), waited.Seconds())
 	if err != nil {
 		var rej *sched.RejectionError
 		if errors.As(err, &rej) {
 			s.reg.Add(telemetry.Labeled("server_rejects", "tenant", tenant), 1)
-			writeError(w, rejectStatus(rej), wire.ErrorResponse{
+			if rej.Reason == sched.RejectInfeasible {
+				s.slo.Infeasible(tenant)
+			}
+			fail(rejectStatus(rej), wire.ErrorResponse{
 				Error: rej.Error(), Reason: rej.Reason.String(), RetryAfter: rej.RetryAfter,
 			})
 			return
 		}
-		writeError(w, http.StatusInternalServerError, wire.ErrorResponse{Error: err.Error()})
+		fail(http.StatusInternalServerError, wire.ErrorResponse{Error: err.Error()})
 		return
 	}
 	defer release()
 	s.reg.Add(telemetry.Labeled("server_requests", "tenant", tenant), 1)
-	start := time.Now()
 	defer func() {
 		s.reg.Observe(telemetry.Labeled("request_seconds", "tenant", tenant), time.Since(start).Seconds())
 	}()
@@ -318,8 +356,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		DBeta:          req.DBeta,
 		TargetRelError: req.TargetRelError,
 		Confidence:     req.Confidence,
+		Parallelism:    req.Parallel,
 		Seed:           req.Seed,
-		Label:          fmt.Sprintf("req-%d", id),
+		Label:          reqID,
+		// The span tracer rides the chain first so each stage's eval
+		// span closes before any stream write attributes its own time.
+		// Both are read-only tracers (§6.2): the response stream is
+		// byte-identical with or without them.
+		Tracer: tl.Tracer(),
+	}
+	if !req.Exact && s.cfg.DB.CalibrationEnabled() {
+		// Keep the full trace so an SLO miss can feed the flight
+		// recorder with the stage-by-stage evidence.
+		opts.CollectTrace = true
 	}
 
 	// Streaming: ride a telemetry.Stream on the query's tracer chain.
@@ -327,8 +376,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// stage boundary, so writing + flushing here is race-free.
 	var st *streamWriter
 	if req.Stream && !req.Exact {
-		st = newStreamWriter(w, r)
-		opts.Tracer = telemetry.NewStream(opts.Label, func(p tcq.QueryProgress, done bool) {
+		st = newStreamWriter(w, r, tl)
+		opts.Tracer = trace.Combine(opts.Tracer, telemetry.NewStream(opts.Label, func(p tcq.QueryProgress, done bool) {
 			if done {
 				return // the result event carries the terminal state
 			}
@@ -342,50 +391,115 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Elapsed:   p.Elapsed,
 				SpentFrac: p.SpentFrac,
 			})
-		})
+		}))
 	}
 
-	ev, err := s.execute(ten, req, opts)
-	if err != nil {
+	// Label the request's goroutine for CPU profiles: /debug/pprof
+	// samples segment by tenant and query, the cross-tenant fairness
+	// lens the admission windows alone cannot give.
+	var (
+		ev   wire.Event
+		est  *tcq.Estimate
+		qerr error
+	)
+	qtext := req.SQL
+	if qtext == "" {
+		qtext = req.RA
+	}
+	pprof.Do(r.Context(), pprof.Labels("tenant", tenant, "query", truncateLabel(qtext, 64)), func(context.Context) {
+		ev, est, qerr = s.execute(ten, req, opts)
+	})
+	if qerr != nil {
 		if st != nil && st.started {
-			st.send(wire.Event{Event: "error", Error: err.Error(), Reason: "query-failed"})
+			st.send(wire.Event{Event: "error", Error: qerr.Error(), Reason: "query-failed", RequestID: reqID})
+			st.send(spansEvent(reqID, tl))
 			return
 		}
-		writeError(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error(), Reason: "bad-request"})
+		fail(http.StatusBadRequest, wire.ErrorResponse{Error: qerr.Error(), Reason: "bad-request"})
 		return
 	}
+	if req.Exact {
+		// Exact queries bypass the tracer chain; their evaluation is
+		// one undifferentiated eval span.
+		tl.Mark(telemetry.SpanEval, 0)
+	}
+	ev.RequestID = reqID
+
+	// SLO accounting (time-constrained queries only): a miss is an
+	// engine overspend or a wire-to-wire wall time past the quota; the
+	// dominant span attributes it, and with calibration enabled the
+	// full trace lands in the flight recorder under "slo-miss".
+	if !req.Exact {
+		if ev.Overspent || time.Since(start) > quota {
+			dominant, _ := tl.Dominant()
+			s.slo.Miss(tenant, dominant)
+			if est != nil && est.Trace != nil {
+				s.cfg.DB.CaptureFlight(tenant+"/"+reqID, "dominant="+dominant, []string{calib.ReasonSLOMiss}, *est.Trace)
+			}
+		} else {
+			s.slo.Hit(tenant)
+		}
+	}
+
 	if st != nil {
 		st.send(ev)
+		st.send(spansEvent(reqID, tl))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(ev) //nolint:errcheck
+	// Non-streaming responses are still NDJSON: the result event then
+	// the terminal spans event, one object per line.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	enc.Encode(ev) //nolint:errcheck
+	tl.Mark(telemetry.SpanStreamWrite, 0)
+	enc.Encode(spansEvent(reqID, tl)) //nolint:errcheck
+}
+
+// truncateLabel bounds a pprof label value.
+func truncateLabel(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// spansEvent builds the terminal spans event from the request's
+// timeline. Marks landing after the snapshot (the write of this very
+// event) are not included; the coverage loss is one JSON encode.
+func spansEvent(reqID string, tl *telemetry.SpanTimeline) wire.Event {
+	spans := tl.Spans()
+	out := make([]wire.Span, len(spans))
+	for i, sp := range spans {
+		out[i] = wire.Span{Name: sp.Name, Stage: sp.Stage, Start: sp.Start, Dur: sp.Dur, Retries: sp.Retries}
+	}
+	return wire.Event{Event: "spans", RequestID: reqID, Wall: tl.Wall(), Spans: out}
 }
 
 // execute runs the decoded query under the tenant view and builds the
-// terminal result event.
-func (s *Server) execute(ten *tcq.Tenant, req wire.QueryRequest, opts tcq.EstimateOptions) (wire.Event, error) {
+// terminal result event; for time-constrained queries it also returns
+// the engine estimate so the caller can inspect the collected trace.
+func (s *Server) execute(ten *tcq.Tenant, req wire.QueryRequest, opts tcq.EstimateOptions) (wire.Event, *tcq.Estimate, error) {
 	if req.Exact {
 		if req.RA != "" {
 			q, err := tcq.Parse(req.RA)
 			if err != nil {
-				return wire.Event{}, err
+				return wire.Event{}, nil, err
 			}
 			n, err := ten.DB().Count(q)
 			if err != nil {
-				return wire.Event{}, err
+				return wire.Event{}, nil, err
 			}
-			return wire.Event{Event: "result", Kind: "count", Value: float64(n), Exact: true}, nil
+			return wire.Event{Event: "result", Kind: "count", Value: float64(n), Exact: true}, nil, nil
 		}
 		res, err := ten.ExecSQL(req.SQL)
 		if err != nil {
-			return wire.Event{}, err
+			return wire.Event{}, nil, err
 		}
 		ev := wire.Event{Event: "result", Kind: res.Kind, Value: res.Value, Exact: true}
 		for _, g := range res.Groups {
 			ev.Groups = append(ev.Groups, wire.Group{Key: g.Key, Value: g.Value})
 		}
-		return ev, nil
+		return ev, nil, nil
 	}
 
 	var (
@@ -395,15 +509,15 @@ func (s *Server) execute(ten *tcq.Tenant, req wire.QueryRequest, opts tcq.Estima
 	if req.RA != "" {
 		var q tcq.Query
 		if q, err = tcq.Parse(req.RA); err != nil {
-			return wire.Event{}, err
+			return wire.Event{}, nil, err
 		}
 		var est *tcq.Estimate
 		if est, err = ten.CountEstimate(q, opts); err != nil {
-			return wire.Event{}, err
+			return wire.Event{}, nil, err
 		}
 		res = &tcq.SQLResult{Kind: "count", Value: est.Value, Estimate: est}
 	} else if res, err = ten.EstimateSQL(req.SQL, opts); err != nil {
-		return wire.Event{}, err
+		return wire.Event{}, nil, err
 	}
 
 	ev := wire.Event{Event: "result", Kind: res.Kind, Value: res.Value}
@@ -423,7 +537,7 @@ func (s *Server) execute(ten *tcq.Tenant, req wire.QueryRequest, opts tcq.Estima
 	for _, g := range res.Groups {
 		ev.Groups = append(ev.Groups, wire.Group{Key: g.Key, Value: g.Value, StdErr: g.StdErr, Interval: g.Interval})
 	}
-	return ev, nil
+	return ev, res.Estimate, nil
 }
 
 // streamWriter frames events as NDJSON (one JSON object per line) or,
@@ -433,12 +547,13 @@ func (s *Server) execute(ten *tcq.Tenant, req wire.QueryRequest, opts tcq.Estima
 type streamWriter struct {
 	w       http.ResponseWriter
 	flush   http.Flusher
+	tl      *telemetry.SpanTimeline
 	sse     bool
 	started bool
 }
 
-func newStreamWriter(w http.ResponseWriter, r *http.Request) *streamWriter {
-	sw := &streamWriter{w: w}
+func newStreamWriter(w http.ResponseWriter, r *http.Request, tl *telemetry.SpanTimeline) *streamWriter {
+	sw := &streamWriter{w: w, tl: tl}
 	sw.flush, _ = w.(http.Flusher)
 	sw.sse = strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	return sw
@@ -463,8 +578,10 @@ func (sw *streamWriter) send(ev wire.Event) {
 	} else {
 		sw.w.Write(append(b, '\n')) //nolint:errcheck // client gone mid-stream
 	}
+	sw.tl.Mark(telemetry.SpanStreamWrite, 0)
 	if sw.flush != nil {
 		sw.flush.Flush()
+		sw.tl.Mark(telemetry.SpanFlush, 0)
 	}
 }
 
@@ -481,6 +598,7 @@ func (ss serverSource) History() []telemetry.QuerySummary   { return ss.s.cfg.DB
 func (ss serverSource) QueryStats() []telemetry.ShapeStat   { return ss.s.cfg.DB.QueryStats() }
 func (ss serverSource) Calibration() tcq.CalibrationReport  { return ss.s.cfg.DB.Calibration() }
 func (ss serverSource) FlightRecords() []tcq.FlightRecord   { return ss.s.cfg.DB.FlightRecords() }
+func (ss serverSource) SLO() telemetry.SLOReport            { return ss.s.slo.Report() }
 
 // mergeSnapshots overlays b onto a (keys are disjoint in practice: the
 // engine registry never emits server_* or tenant-labeled keys).

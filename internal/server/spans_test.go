@@ -1,0 +1,329 @@
+// Span-timeline and SLO accounting: every response ends with a
+// terminal spans event partitioning wire-to-wire wall time, admission
+// wait is attributed (and grows under a saturated tenant window),
+// spans survive a mid-stream drain, and /slo reconciles with the
+// tcq_slo_* metric families. Run under -race by scripts/check.sh.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tcq"
+	"tcq/internal/telemetry"
+	"tcq/internal/wire"
+)
+
+// sumSpans folds a spans slice to its total duration.
+func sumSpans(spans []wire.Span) time.Duration {
+	var d time.Duration
+	for _, sp := range spans {
+		d += sp.Dur
+	}
+	return d
+}
+
+// TestSpansPartitionWall runs the same query serial and with four
+// workers: both must return a request id and a terminal spans event
+// whose spans exactly partition the reported wall time (the marks are
+// contiguous by construction), with one eval span per stage.
+func TestSpansPartitionWall(t *testing.T) {
+	db := testDB(t)
+	_, cl, _ := startServer(t, db, Config{})
+
+	for _, parallel := range []int{1, 4} {
+		res, err := cl.Query(context.Background(), wire.QueryRequest{
+			Tenant: "alice", SQL: testSQL, Quota: 5 * time.Second,
+			Seed: 7, Stream: true, Parallel: parallel,
+		}, nil)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if res.RequestID == "" {
+			t.Fatalf("parallel=%d: result carries no request id", parallel)
+		}
+		if len(res.Spans) == 0 || res.Wall <= 0 {
+			t.Fatalf("parallel=%d: no terminal spans event (spans=%d wall=%v)", parallel, len(res.Spans), res.Wall)
+		}
+		if got := sumSpans(res.Spans); got != res.Wall {
+			t.Fatalf("parallel=%d: spans sum %v != wall %v", parallel, got, res.Wall)
+		}
+		evals := 0
+		for _, sp := range res.Spans {
+			if sp.Name == telemetry.SpanEval {
+				evals++
+			}
+		}
+		if evals != res.Stages {
+			t.Fatalf("parallel=%d: %d eval spans for %d stages", parallel, evals, res.Stages)
+		}
+		// The anatomy must include the serving-side phases too.
+		want := map[string]bool{
+			telemetry.SpanDecode: false, telemetry.SpanAdmissionWait: false,
+			telemetry.SpanPlan: false, telemetry.SpanFinalize: false,
+			telemetry.SpanStreamWrite: false,
+		}
+		for _, sp := range res.Spans {
+			if _, ok := want[sp.Name]; ok {
+				want[sp.Name] = true
+			}
+		}
+		for name, seen := range want {
+			if !seen {
+				t.Fatalf("parallel=%d: span %q missing from %v", parallel, name, res.Spans)
+			}
+		}
+	}
+}
+
+// TestNonStreamingSpansEvent checks the two-line NDJSON shape of a
+// non-streaming response: a result line then a spans line, both
+// stamped with the same request id (also echoed in the header).
+func TestNonStreamingSpansEvent(t *testing.T) {
+	db := testDB(t)
+	_, cl, _ := startServer(t, db, Config{})
+
+	body, _ := json.Marshal(wire.QueryRequest{SQL: testSQL, Quota: time.Second, Seed: 3})
+	resp, err := http.Post(cl.BaseURL+"/v1/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	headerID := resp.Header.Get(wire.RequestIDHeader)
+	if headerID == "" {
+		t.Fatal("response carries no X-Tcq-Request-Id header")
+	}
+	var events []wire.Event
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var ev wire.Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 || events[0].Event != "result" || events[1].Event != "spans" {
+		t.Fatalf("want [result spans], got %d events: %+v", len(events), events)
+	}
+	for _, ev := range events {
+		if ev.RequestID != headerID {
+			t.Fatalf("event %s request id %q != header %q", ev.Event, ev.RequestID, headerID)
+		}
+	}
+	if sumSpans(events[1].Spans) != events[1].Wall {
+		t.Fatalf("spans sum %v != wall %v", sumSpans(events[1].Spans), events[1].Wall)
+	}
+}
+
+// TestAdmissionWaitSpanGrows saturates a tenant's window, then sends a
+// request under an AdmitWait budget: the request must block in the
+// gate until the held capacity releases, and the spans event must
+// attribute that wait to admission_wait with a retry count.
+func TestAdmissionWaitSpanGrows(t *testing.T) {
+	db := testDB(t, tcq.WithRealClock(), tcq.WithTelemetry(64))
+	srv, cl, _ := startServer(t, db, Config{
+		TenantWindow: time.Second,
+		AdmitWait:    5 * time.Second,
+	})
+
+	// Fill the whole window so the next admission is at-capacity.
+	release, err := srv.gate("busy").Admit(999, time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := 150 * time.Millisecond
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(hold)
+		release()
+	}()
+
+	res, err := cl.Query(context.Background(), wire.QueryRequest{
+		Tenant: "busy", SQL: testSQL, Quota: 500 * time.Millisecond, Seed: 2,
+	}, nil)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wait wire.Span
+	for _, sp := range res.Spans {
+		if sp.Name == telemetry.SpanAdmissionWait {
+			wait = sp
+		}
+	}
+	if wait.Name == "" {
+		t.Fatalf("no admission_wait span in %+v", res.Spans)
+	}
+	if wait.Dur < hold/2 {
+		t.Fatalf("admission_wait %v did not grow while the window was saturated (held %v)", wait.Dur, hold)
+	}
+	if wait.Retries < 1 {
+		t.Fatalf("admission_wait records %d retries, want >= 1", wait.Retries)
+	}
+	// An unsaturated request on another tenant stays near zero.
+	res2, err := cl.Query(context.Background(), wire.QueryRequest{
+		Tenant: "idle", SQL: testSQL, Quota: 500 * time.Millisecond, Seed: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range res2.Spans {
+		if sp.Name == telemetry.SpanAdmissionWait && sp.Dur > wait.Dur/2 {
+			t.Fatalf("idle tenant admission_wait %v is not small vs saturated %v", sp.Dur, wait.Dur)
+		}
+	}
+}
+
+// TestDrainStillEmitsSpans drains the server while a stream is
+// mid-flight: the stream must still deliver its result AND its
+// terminal spans event (the drain closes admission, not running
+// responses).
+func TestDrainStillEmitsSpans(t *testing.T) {
+	db := testDB(t, tcq.WithRealClock(), tcq.WithTelemetry(64))
+	srv, cl, _ := startServer(t, db, Config{})
+
+	firstProgress := make(chan struct{})
+	var once sync.Once
+	type out struct {
+		res *wire.Event
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := cl.Query(context.Background(), wire.QueryRequest{
+			Tenant: "alice", SQL: testSQL, Quota: 500 * time.Millisecond,
+			Seed: 5, Stream: true,
+		}, func(wire.Event) { once.Do(func() { close(firstProgress) }) })
+		done <- out{res, err}
+	}()
+
+	select {
+	case <-firstProgress:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no progress before drain")
+	}
+	srv.Drain()
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("stream cut by drain: %v", o.err)
+	}
+	if o.res.RequestID == "" || len(o.res.Spans) == 0 {
+		t.Fatalf("drained stream lost its spans event: id=%q spans=%d", o.res.RequestID, len(o.res.Spans))
+	}
+	if sumSpans(o.res.Spans) != o.res.Wall {
+		t.Fatalf("spans sum %v != wall %v", sumSpans(o.res.Spans), o.res.Wall)
+	}
+}
+
+// TestSLOReconciles drives hits on one tenant and a guaranteed miss on
+// another (a 1ns quota on a real clock), then checks that /slo's
+// per-tenant accounting matches the tcq_slo_* families on /metrics,
+// that the miss carries a dominant-span attribution, and that the
+// flight recorder captured the miss under "slo-miss".
+func TestSLOReconciles(t *testing.T) {
+	db := testDB(t, tcq.WithRealClock(), tcq.WithTelemetry(64), tcq.WithCalibration(8))
+	_, cl, _ := startServer(t, db, Config{})
+
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Query(context.Background(), wire.QueryRequest{
+			Tenant: "good", SQL: testSQL, Quota: 30 * time.Second, Seed: int64(i + 1),
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1ns of quota cannot cover even one stage wire-to-wire.
+	if _, err := cl.Query(context.Background(), wire.QueryRequest{
+		Tenant: "bad", SQL: testSQL, Quota: time.Nanosecond, Seed: 9,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var rep telemetry.SLOReport
+	getJSON(t, cl.BaseURL+"/slo", &rep)
+	byTenant := map[string]telemetry.TenantSLO{}
+	for _, ten := range rep.Tenants {
+		byTenant[ten.Tenant] = ten
+	}
+	if got := byTenant["good"]; got.Hits != 3 || got.Misses != 0 || got.BudgetBurn != 0 {
+		t.Fatalf("good tenant SLO wrong: %+v", got)
+	}
+	bad := byTenant["bad"]
+	if bad.Misses != 1 || bad.Hits != 0 {
+		t.Fatalf("bad tenant SLO wrong: %+v", bad)
+	}
+	if bad.BudgetBurn <= 1 {
+		t.Fatalf("bad tenant burn %v, want > 1 (missing faster than budget accrues)", bad.BudgetBurn)
+	}
+	dominant := ""
+	for span, n := range bad.MissBySpan {
+		if n > 0 {
+			dominant = span
+		}
+	}
+	if dominant == "" {
+		t.Fatalf("miss carries no span attribution: %+v", bad)
+	}
+
+	// The metric families must tell the same story.
+	resp, err := http.Get(cl.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		`tcq_slo_hits_total{tenant="good"} 3`,
+		`tcq_slo_misses_total{tenant="bad"} 1`,
+		`tcq_slo_miss_span_total{span="` + dominant + `"} 1`,
+		`tcq_slo_budget_burn{tenant="good"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	// The miss also landed in the flight recorder with attribution.
+	recs := db.FlightRecords()
+	found := false
+	for _, rec := range recs {
+		for _, r := range rec.Reasons {
+			if r == "slo-miss" {
+				found = true
+				if !strings.HasPrefix(rec.Label, "bad/req-") {
+					t.Fatalf("slo-miss capture label %q, want bad/req-*", rec.Label)
+				}
+				if !strings.HasPrefix(rec.Note, "dominant=") {
+					t.Fatalf("slo-miss capture note %q, want dominant=<span>", rec.Note)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no slo-miss flight capture in %d records", len(recs))
+	}
+}
+
+// getJSON fetches and decodes a JSON endpoint.
+func getJSON(t *testing.T, url string, v interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,6 +45,13 @@ type CalibrationSource interface {
 	FlightRecords() []calib.FlightRecord
 }
 
+// SLOSource is the optional extension a Source may implement to light
+// up the /slo endpoint (the tcqd server implements it).
+type SLOSource interface {
+	// SLO snapshots per-tenant deadline-hit/miss accounting.
+	SLO() SLOReport
+}
+
 // Sources pairs a progress Registry with a metrics registry (and an
 // optional calibration Auditor) to form a Source (for servers not
 // fronted by a tcq.DB, e.g. tcqbench).
@@ -140,6 +147,18 @@ func Handler(src Source) http.Handler {
 			Records []calib.FlightRecord `json:"records"`
 		}{recs})
 	})
+	// /slo answers with an empty report when the source carries no SLO
+	// accounting, mirroring the calibration endpoints.
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		var rep SLOReport
+		if ss, ok := src.(SLOSource); ok {
+			rep = ss.SLO()
+		}
+		if rep.Tenants == nil {
+			rep.Tenants = []TenantSLO{}
+		}
+		writeJSON(w, rep)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -156,6 +175,7 @@ func Handler(src Source) http.Handler {
 		fmt.Fprintln(w, "  /queries               in-flight query progress (JSON)")
 		fmt.Fprintln(w, "  /history               completed queries + per-shape stats (JSON)")
 		fmt.Fprintln(w, "  /calibration           CI-coverage + cost-drift audit report (JSON)")
+		fmt.Fprintln(w, "  /slo                   per-tenant deadline hit/miss + error-budget burn (JSON)")
 		fmt.Fprintln(w, "  /debug/flightrecorder  captured anomalous-query traces (JSON)")
 		fmt.Fprintln(w, "  /debug/pprof/          Go runtime profiles")
 	})
@@ -340,6 +360,12 @@ var promHelp = map[string]string{
 	"calibration_anomaly_ci_miss":        "flight captures triggered by a ground-truth CI miss",
 	"calibration_anomaly_deadline_abort": "flight captures triggered by a hard-deadline abort",
 	"calibration_anomaly_overspend":      "flight captures triggered by overspend past threshold",
+	"calibration_anomaly_slo_miss":       "flight captures triggered by a wire-to-wire SLO miss",
+	"slo_hits":                           "time-constrained requests that met their deadline, per tenant",
+	"slo_misses":                         "time-constrained requests that missed their deadline, per tenant",
+	"slo_infeasible":                     "admission rejections no schedule could satisfy, per tenant",
+	"slo_miss_span":                      "deadline misses attributed to their dominant span",
+	"slo_budget_burn":                    "error-budget burn rate (miss rate over allowed miss rate), per tenant",
 	"telemetry_queries_in_flight":        "queries tracked by the progress registry right now",
 	"catalog_lookups":                    "queries resolved against the sample catalog",
 	"catalog_hits":                       "catalog lookups that reused a materialized sample",

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"tcq/internal/trace"
+)
+
+// Span names used by the tcqd request timeline. A request's spans
+// partition its wire-to-wire wall time: every Mark attributes the
+// elapsed time since the previous mark to the named span, so the spans
+// always sum to the timeline's Wall() (up to the tail after the last
+// mark, which is the terminal spans event's own construction).
+const (
+	// SpanDecode covers reading and validating the request body.
+	SpanDecode = "decode"
+	// SpanAdmissionWait covers time blocked in the sched.Controller
+	// admission gate, including bounded at-capacity retries.
+	SpanAdmissionWait = "admission_wait"
+	// SpanPlan covers parsing and plan construction up to the first
+	// sampling stage (BeginQuery on the tracer chain).
+	SpanPlan = "plan"
+	// SpanEval covers one sampling stage's evaluation (StageDone);
+	// the span's Stage field carries the 1-based stage number.
+	SpanEval = "eval"
+	// SpanFinalize covers estimator finalization after the last stage
+	// (EndQuery on the tracer chain).
+	SpanFinalize = "finalize"
+	// SpanStreamWrite covers marshalling and writing one event to the
+	// client connection.
+	SpanStreamWrite = "stream_write"
+	// SpanFlush covers flushing the HTTP response writer after an
+	// event (streaming responses only).
+	SpanFlush = "flush"
+)
+
+// Span is one attributed slice of a request's wall time.
+type Span struct {
+	// Name is one of the Span* constants.
+	Name string
+	// Stage is the 1-based sampling stage for eval spans, 0 otherwise.
+	Stage int
+	// Start is the offset from the timeline's start.
+	Start time.Duration
+	// Dur is the attributed duration (elapsed since the prior mark).
+	Dur time.Duration
+	// Retries counts admission re-reservation attempts (admission_wait
+	// spans only).
+	Retries int
+}
+
+// SpanTimeline accumulates the latency anatomy of one request. It is
+// safe for concurrent use (the stream writer and the tracer chain run
+// on the same goroutine, but telemetry scrapes may race a snapshot)
+// and, like Stream and Probe, a nil *SpanTimeline is a valid no-op so
+// the disabled path stays allocation-free.
+type SpanTimeline struct {
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+	spans []Span
+}
+
+// NewSpanTimeline starts a timeline; the first Mark attributes time
+// from this call.
+func NewSpanTimeline() *SpanTimeline {
+	now := time.Now()
+	return &SpanTimeline{start: now, last: now}
+}
+
+// Mark attributes all wall time since the previous mark (or the
+// timeline start) to the named span and returns that duration.
+func (tl *SpanTimeline) Mark(name string, stage int) time.Duration {
+	return tl.MarkRetries(name, stage, 0)
+}
+
+// MarkRetries is Mark with an admission retry count attached.
+func (tl *SpanTimeline) MarkRetries(name string, stage, retries int) time.Duration {
+	if tl == nil {
+		return 0
+	}
+	now := time.Now()
+	tl.mu.Lock()
+	d := now.Sub(tl.last)
+	if d < 0 {
+		d = 0
+	}
+	tl.spans = append(tl.spans, Span{
+		Name:    name,
+		Stage:   stage,
+		Start:   tl.last.Sub(tl.start),
+		Dur:     d,
+		Retries: retries,
+	})
+	tl.last = now
+	tl.mu.Unlock()
+	return d
+}
+
+// Spans returns a snapshot of the marked spans in mark order.
+func (tl *SpanTimeline) Spans() []Span {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.Lock()
+	out := make([]Span, len(tl.spans))
+	copy(out, tl.spans)
+	tl.mu.Unlock()
+	return out
+}
+
+// Wall returns the wall time from the timeline start to the last mark
+// — the portion of the request the spans fully partition.
+func (tl *SpanTimeline) Wall() time.Duration {
+	if tl == nil {
+		return 0
+	}
+	tl.mu.Lock()
+	d := tl.last.Sub(tl.start)
+	tl.mu.Unlock()
+	return d
+}
+
+// Total returns the summed duration attributed to the named span.
+func (tl *SpanTimeline) Total(name string) time.Duration {
+	if tl == nil {
+		return 0
+	}
+	var d time.Duration
+	tl.mu.Lock()
+	for _, sp := range tl.spans {
+		if sp.Name == name {
+			d += sp.Dur
+		}
+	}
+	tl.mu.Unlock()
+	return d
+}
+
+// Dominant returns the span name with the largest summed duration and
+// that duration. Ties break toward the lexically smaller name so
+// attribution is deterministic. Returns ("", 0) when nothing is marked.
+func (tl *SpanTimeline) Dominant() (string, time.Duration) {
+	if tl == nil {
+		return "", 0
+	}
+	tl.mu.Lock()
+	totals := make(map[string]time.Duration, 8)
+	for _, sp := range tl.spans {
+		totals[sp.Name] += sp.Dur
+	}
+	tl.mu.Unlock()
+	var best string
+	var bestD time.Duration
+	for name, d := range totals {
+		if best == "" || d > bestD || (d == bestD && name < best) {
+			best, bestD = name, d
+		}
+	}
+	return best, bestD
+}
+
+// Tracer returns a trace.Tracer that marks plan/eval/finalize spans at
+// the chain's stage boundaries. The tracer is read-only in the §6.2
+// sense: it only reads the wall clock, never the session's virtual
+// clock or RNG, so results and goldens are byte-identical with it
+// installed. A nil timeline returns a typed-nil tracer whose Enabled
+// reports false — the zero-allocation disabled path.
+func (tl *SpanTimeline) Tracer() *SpanTracer {
+	if tl == nil {
+		return nil
+	}
+	return &SpanTracer{tl: tl}
+}
+
+// SpanTracer rides the trace.Tracer chain attributing engine time to
+// plan/eval/finalize spans on its SpanTimeline.
+type SpanTracer struct {
+	tl *SpanTimeline
+}
+
+var _ trace.Tracer = (*SpanTracer)(nil)
+
+// Enabled reports whether the tracer marks spans; false for the
+// typed-nil disabled path.
+func (t *SpanTracer) Enabled() bool { return t != nil && t.tl != nil }
+
+// BeginQuery closes the plan span: everything since the prior mark was
+// parsing and plan construction.
+func (t *SpanTracer) BeginQuery(info trace.QueryInfo) {
+	if t == nil {
+		return
+	}
+	t.tl.Mark(SpanPlan, 0)
+}
+
+// StageDone closes the stage's eval span.
+func (t *SpanTracer) StageDone(rec trace.StageRecord) {
+	if t == nil {
+		return
+	}
+	t.tl.Mark(SpanEval, rec.Stage)
+}
+
+// EndQuery closes the finalize span.
+func (t *SpanTracer) EndQuery(res trace.QueryEnd) {
+	if t == nil {
+		return
+	}
+	t.tl.Mark(SpanFinalize, 0)
+}

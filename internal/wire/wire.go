@@ -50,16 +50,31 @@ type QueryRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Stream requests progressive per-stage events (NDJSON, or SSE when
 	// the request's Accept header is text/event-stream). Off, the
-	// response is the single final result event.
+	// response is the result event followed by the terminal spans event.
 	Stream bool `json:"stream,omitempty"`
+	// Parallel sets the engine's worker count for sample evaluation
+	// (0 = serial). Any value returns the same answer as serial; it only
+	// changes wall time.
+	Parallel int `json:"parallel,omitempty"`
 }
+
+// RequestIDHeader carries the server-assigned request id on every
+// response, including rejections, so any outcome is traceable to the
+// server's per-request label ("req-N").
+const RequestIDHeader = "X-Tcq-Request-Id"
 
 // Event is one line of the response stream. The Event discriminator is
 // "progress" (a completed stage's running estimate), "result" (the
-// terminal answer) or "error" (terminal failure). One flat struct
-// serves all three so clients decode every line identically.
+// terminal answer), "spans" (the request's wire-to-wire latency
+// anatomy, emitted once after the result) or "error" (terminal
+// failure). One flat struct serves all four so clients decode every
+// line identically. Unknown event kinds must be skipped, not rejected,
+// so older clients survive new terminal events.
 type Event struct {
 	Event string `json:"event"`
+	// RequestID is the server-assigned request id ("req-N"), present on
+	// terminal events and duplicated in the RequestIDHeader.
+	RequestID string `json:"request_id,omitempty"`
 
 	// Progress + result fields.
 	Stage    int           `json:"stage,omitempty"`
@@ -87,6 +102,31 @@ type Event struct {
 	Error      string        `json:"error,omitempty"`
 	Reason     string        `json:"reason,omitempty"`
 	RetryAfter time.Duration `json:"retry_after_ns,omitempty"`
+
+	// Spans-only fields: the request's latency anatomy. Wall is the
+	// wire-to-wire wall time the spans partition; nanosecond values are
+	// real (not virtual) time, so they are the one nondeterministic part
+	// of an otherwise deterministic stream.
+	Wall  time.Duration `json:"wall_ns,omitempty"`
+	Spans []Span        `json:"spans,omitempty"`
+}
+
+// Span is one attributed slice of a request's wall time on the
+// terminal spans event. Names and semantics mirror
+// telemetry.SpanTimeline: consecutive spans partition [0, wall].
+type Span struct {
+	// Name: decode, admission_wait, plan, eval, finalize, stream_write
+	// or flush.
+	Name string `json:"name"`
+	// Stage is the 1-based sampling stage for eval spans, 0 otherwise.
+	Stage int `json:"stage,omitempty"`
+	// Start is the span's offset from request receipt.
+	Start time.Duration `json:"start_ns"`
+	// Dur is the wall time attributed to the span.
+	Dur time.Duration `json:"duration_ns"`
+	// Retries counts admission re-reservation attempts (admission_wait
+	// only).
+	Retries int `json:"retries,omitempty"`
 }
 
 // Group is one GROUP BY bucket of a result event.
@@ -101,6 +141,9 @@ type Group struct {
 // admission rejection, draining server).
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// RequestID is the server-assigned request id, also sent in the
+	// RequestIDHeader, so rejected requests are traceable too.
+	RequestID string `json:"request_id,omitempty"`
 	// Reason is the admission RejectReason slug ("infeasible",
 	// "at-capacity", "closed") or "bad-request".
 	Reason string `json:"reason,omitempty"`

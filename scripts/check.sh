@@ -42,10 +42,10 @@ go test -race ./...
 # failure in exactly the code where interleavings matter.
 echo "== go test -race -count=1 (concurrency surfaces)"
 go test -race -count=1 \
-  -run 'Concurrent|Parallel|Controller|Registry|Telemetry|Metrics|Serve|Lane|SubTerm|HardDeadline|Calib|Flight|Coverage|Ring|Wilson|Catalog|Stream|Drain|Reject|Tenant|SSE' \
+  -run 'Concurrent|Parallel|Controller|Registry|Telemetry|Metrics|Serve|Lane|SubTerm|HardDeadline|Calib|Flight|Coverage|Ring|Wilson|Catalog|Stream|Drain|Reject|Tenant|SSE|Span|SLO|Retry|AdmitWait|Admission|NonStreaming' \
   . ./internal/sched ./internal/trace ./internal/telemetry ./internal/calib \
   ./internal/stats ./internal/exec ./internal/core ./internal/bench \
-  ./internal/catalog ./internal/server
+  ./internal/catalog ./internal/server ./internal/client
 
 # The experiment tables are a deterministic function of the seed: any
 # change to the executor that perturbs the sequence of simulated-clock
@@ -212,6 +212,34 @@ if ! diff testdata/golden_serve_smoke.txt <(echo "$smoke"); then
 fi
 if ! grep -q 'tcqd: bye' "$serve_log"; then
   echo "tcqd did not drain cleanly on SIGTERM:" >&2; cat "$serve_log" >&2
+  exit 1
+fi
+
+# The latency anatomy is golden-able the same way: a fresh tcqd (so
+# the request counter starts at req-1) serves one traced estimate, and
+# everything in the transcript except the span nanosecond values —
+# request id, span names, span count, order, per-stage estimates — is
+# a deterministic function of the seed. The sed pass normalizes the
+# one nondeterministic ingredient (real wall-clock span durations) so
+# the golden pins the anatomy's shape.
+echo "== span anatomy smoke (deterministic span golden, ns normalized)"
+span_log="$serve_dir/tcqd_spans.log"
+"$serve_dir/tcqd" -addr 127.0.0.1:0 -gen "select orders 20000 2000" > "$span_log" 2>&1 &
+span_pid=$!
+for _ in $(seq 100); do
+  grep -q 'listening on' "$span_log" && break
+  sleep 0.1
+done
+span_addr=$(sed -n 's/^tcqd: listening on //p' "$span_log")
+if [ -z "$span_addr" ]; then
+  echo "span-smoke tcqd never came up:" >&2; cat "$span_log" >&2; exit 1
+fi
+spans=$(printf '\\connect %s alice\n\\trace on\nestimate 2s select(orders, a < 2000)\n\\disconnect\nquit\n' "$span_addr" \
+  | go run ./cmd/tcqsh | sed -E 's/[0-9]+ns/_ns/g')
+kill -TERM "$span_pid"
+wait "$span_pid"
+if ! diff testdata/golden_spans_smoke.txt <(echo "$spans"); then
+  echo "span anatomy diverged from testdata/golden_spans_smoke.txt" >&2
   exit 1
 fi
 

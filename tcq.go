@@ -614,6 +614,20 @@ func (db *DB) Calibration() CalibrationReport { return db.calib.Report() }
 // chronological order. Empty unless the DB was opened WithCalibration.
 func (db *DB) FlightRecords() []FlightRecord { return db.calib.FlightRecords() }
 
+// CalibrationEnabled reports whether the DB was opened
+// WithCalibration, i.e. whether CaptureFlight can retain anything.
+func (db *DB) CalibrationEnabled() bool { return db.calib != nil }
+
+// CaptureFlight stores an externally triggered flight record — a trace
+// a serving layer deemed anomalous (e.g. a request that missed its
+// wire-to-wire SLO) — in the calibration flight ring. reasons name the
+// capture triggers (see calib.Reason*); note carries free-form
+// attribution shown on /debug/flightrecorder. No-op unless the DB was
+// opened WithCalibration.
+func (db *DB) CaptureFlight(label, note string, reasons []string, t QueryTrace) {
+	db.calib.Capture(label, note, reasons, t)
+}
+
 // TelemetryHandler returns the telemetry HTTP handler for this DB:
 // /metrics (Prometheus text exposition), /queries (in-flight progress,
 // JSON), /history (completed queries + shape stats, JSON),

@@ -66,6 +66,30 @@ func BenchmarkCountEstimateTraceOverhead(b *testing.B) {
 	b.Run("collect", func(b *testing.B) { benchCountEstimate(b, true) })
 	b.Run("telemetry", func(b *testing.B) { benchCountEstimate(b, false, tcq.WithTelemetry(64)) })
 	b.Run("calibration", func(b *testing.B) { benchCountEstimate(b, false, tcq.WithCalibration(64)) })
+	b.Run("spans", func(b *testing.B) { benchCountEstimateSpans(b) })
+}
+
+// benchCountEstimateSpans measures the span-timeline tracer riding the
+// chain — the per-request cost tcqd pays for its latency anatomy (one
+// Mark per stage boundary: a lock, a clock read, one slice append).
+func benchCountEstimateSpans(b *testing.B) {
+	db, q := traceBenchDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl := telemetry.NewSpanTimeline()
+		_, err := db.CountEstimate(q, tcq.EstimateOptions{
+			Quota:  10 * time.Second,
+			Seed:   int64(i + 1),
+			Tracer: tl.Tracer(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tl.Spans()) == 0 {
+			b.Fatal("span timeline collected nothing")
+		}
+	}
 }
 
 // TestNopTracerZeroAllocs pins the production tracing cost: with
@@ -142,5 +166,35 @@ func TestDisabledCalibProbeZeroAllocs(t *testing.T) {
 	}
 	if rep := a.Report(); rep.Queries != 0 {
 		t.Errorf("nil auditor Report = %+v, want zero", rep)
+	}
+}
+
+// TestDisabledSpanTracerZeroAllocs pins the disabled-span cost: a nil
+// timeline hands out a typed-nil tracer, and every callback on it —
+// plus Mark on the nil timeline itself — must complete without
+// allocating. A server built without span collection pays one nil
+// check per boundary and nothing else.
+func TestDisabledSpanTracerZeroAllocs(t *testing.T) {
+	var tl *telemetry.SpanTimeline
+	tr := tl.Tracer()
+	if tr.Enabled() {
+		t.Fatal("nil timeline's tracer must report disabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr = tl.Tracer()
+		tr.BeginQuery(trace.QueryInfo{})
+		tr.StageDone(trace.StageRecord{})
+		tr.EndQuery(trace.QueryEnd{})
+		tl.Mark("eval", 1)
+		tl.MarkRetries("admission_wait", 0, 2)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span tracer allocates: %v allocs/op", allocs)
+	}
+	if got := tl.Spans(); got != nil {
+		t.Errorf("nil timeline Spans = %v, want nil", got)
+	}
+	if got := tl.Wall(); got != 0 {
+		t.Errorf("nil timeline Wall = %v, want 0", got)
 	}
 }
